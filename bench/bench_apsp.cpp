@@ -1,0 +1,77 @@
+// Micro-benchmark: the IncrementalApsp kernel (google-benchmark).
+// Complements exp_agdp_complexity with steady-state per-operation numbers.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "common/rng.h"
+#include "graph/incremental_apsp.h"
+
+namespace driftsync::graph {
+namespace {
+
+void window_step(IncrementalApsp& apsp,
+                 std::deque<IncrementalApsp::Handle>& live, Rng& rng) {
+  std::vector<IncrementalApsp::HalfEdge> ins, outs;
+  for (int d = 0; d < 3 && !live.empty(); ++d) {
+    const auto other = live[rng.uniform_index(live.size())];
+    if (rng.flip(0.5)) {
+      ins.push_back({other, rng.uniform(0.0, 1.0)});
+    } else {
+      outs.push_back({other, rng.uniform(0.0, 1.0)});
+    }
+  }
+  live.push_back(apsp.insert_node(ins, outs));
+}
+
+void BM_InsertNodeAtWindow(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  Rng rng(99);
+  IncrementalApsp apsp;
+  std::deque<IncrementalApsp::Handle> live;
+  live.push_back(apsp.insert_node({}, {}));
+  while (live.size() < window) window_step(apsp, live, rng);
+  for (auto _ : state) {
+    window_step(apsp, live, rng);
+    apsp.remove_node(live.front());
+    live.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertNodeAtWindow)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_InsertEdge(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  IncrementalApsp apsp;
+  std::deque<IncrementalApsp::Handle> live;
+  live.push_back(apsp.insert_node({}, {}));
+  while (live.size() < window) window_step(apsp, live, rng);
+  for (auto _ : state) {
+    const auto u = live[rng.uniform_index(live.size())];
+    const auto v = live[rng.uniform_index(live.size())];
+    if (u != v) {
+      benchmark::DoNotOptimize(apsp.insert_edge(u, v, rng.uniform(0.5, 1.0)));
+    }
+  }
+}
+BENCHMARK(BM_InsertEdge)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DistanceQuery(benchmark::State& state) {
+  Rng rng(11);
+  IncrementalApsp apsp;
+  std::deque<IncrementalApsp::Handle> live;
+  live.push_back(apsp.insert_node({}, {}));
+  while (live.size() < 256) window_step(apsp, live, rng);
+  for (auto _ : state) {
+    const auto u = live[rng.uniform_index(live.size())];
+    const auto v = live[rng.uniform_index(live.size())];
+    benchmark::DoNotOptimize(apsp.distance(u, v));
+  }
+}
+BENCHMARK(BM_DistanceQuery);
+
+}  // namespace
+}  // namespace driftsync::graph
+
+BENCHMARK_MAIN();

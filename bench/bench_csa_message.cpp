@@ -1,0 +1,78 @@
+// Micro-benchmark: per-message cost of each CSA under identical traffic.
+// The oracle's cost grows with execution length (the problem the paper
+// solves); the optimal algorithm's cost stays flat (O(L^2), L bounded by
+// the communication pattern).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/full_view_csa.h"
+#include "baselines/interval_csa.h"
+#include "baselines/ntp_csa.h"
+#include "core/optimal_csa.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+namespace driftsync {
+namespace {
+
+workloads::Network make_net() {
+  workloads::TopoParams params;
+  params.rho = 100e-6;
+  params.latency = sim::LatencyModel::uniform(0.002, 0.02);
+  return workloads::make_star(6, params);
+}
+
+template <typename MakeCsa>
+void run_once(const workloads::Network& net, RealTime duration,
+              MakeCsa make_csa, benchmark::State& state) {
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    workloads::ScenarioConfig cfg;
+    cfg.seed = 5;
+    cfg.duration = duration;
+    cfg.sample_interval = 0.0;
+    std::vector<workloads::CsaSlot> slots{{"bench", make_csa}};
+    const auto report = workloads::run_scenario(
+        net, workloads::periodic_probe_apps(net, 0.25), slots, cfg);
+    messages = report.messages_sent;
+    benchmark::DoNotOptimize(report.total_events);
+  }
+  state.counters["msgs"] = static_cast<double>(messages);
+  state.counters["us_per_msg"] = benchmark::Counter(
+      static_cast<double>(messages) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_OptimalCsa(benchmark::State& state) {
+  const auto net = make_net();
+  run_once(net, static_cast<double>(state.range(0)),
+           [](ProcId) { return std::make_unique<OptimalCsa>(); }, state);
+}
+BENCHMARK(BM_OptimalCsa)->Arg(5)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_FullViewOracle(benchmark::State& state) {
+  const auto net = make_net();
+  run_once(net, static_cast<double>(state.range(0)),
+           [](ProcId) { return std::make_unique<FullViewCsa>(); }, state);
+}
+BENCHMARK(BM_FullViewOracle)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_IntervalCsa(benchmark::State& state) {
+  const auto net = make_net();
+  run_once(net, static_cast<double>(state.range(0)),
+           [](ProcId) { return std::make_unique<IntervalCsa>(); }, state);
+}
+BENCHMARK(BM_IntervalCsa)->Arg(5)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_NtpCsa(benchmark::State& state) {
+  const auto net = make_net();
+  run_once(net, static_cast<double>(state.range(0)),
+           [](ProcId) { return std::make_unique<NtpCsa>(); }, state);
+}
+BENCHMARK(BM_NtpCsa)->Arg(5)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace driftsync
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Micro-benchmark: wire encoding/decoding of report batches, and the
+// compression ratio over the naive fixed-size record layout.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/wire.h"
+
+namespace driftsync::wire {
+namespace {
+
+EventBatch make_batch(std::size_t records, std::size_t procs, Rng& rng) {
+  EventBatch batch;
+  std::vector<std::uint32_t> seq(procs, 0);
+  std::vector<EventRecord> sends;
+  double t = 0.0;
+  for (std::size_t i = 0; i < records; ++i) {
+    const ProcId p = static_cast<ProcId>(rng.uniform_index(procs));
+    t += rng.uniform(0.0, 0.1);
+    EventRecord r;
+    r.id = EventId{p, seq[p]++};
+    r.lt = t;
+    if (!sends.empty() && rng.flip(0.3)) {
+      const EventRecord& s = sends[rng.uniform_index(sends.size())];
+      r.kind = EventKind::kReceive;
+      r.peer = s.id.proc;
+      r.match = s.id;
+    } else if (rng.flip(0.5)) {
+      r.kind = EventKind::kSend;
+      r.peer = static_cast<ProcId>(rng.uniform_index(procs));
+      sends.push_back(r);
+    } else {
+      r.kind = EventKind::kInternal;
+    }
+    batch.push_back(r);
+  }
+  return batch;
+}
+
+void BM_EncodeBatch(benchmark::State& state) {
+  Rng rng(3);
+  const auto batch =
+      make_batch(static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_batch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["bytes_per_record"] =
+      static_cast<double>(encoded_size(batch)) /
+      static_cast<double>(batch.size());
+  state.counters["vs_naive"] =
+      static_cast<double>(encoded_size(batch)) /
+      static_cast<double>(batch.size() * kEventRecordWireBytes);
+}
+BENCHMARK(BM_EncodeBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DecodeBatch(benchmark::State& state) {
+  Rng rng(4);
+  const auto batch =
+      make_batch(static_cast<std::size_t>(state.range(0)), 8, rng);
+  const auto bytes = encode_batch(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_batch(bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace driftsync::wire
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Ablation — what the AGDP garbage collection buys (Section 3.2).
+//
+// The paper's central efficiency idea is that the dynamic shortest-path
+// structure can be "garbage-collected": dead points are dropped because
+// Lemma 3.4 shows live-to-live distances survive the removal.  This bench
+// disables exactly that removal (keeping results bit-identical, by the same
+// lemma) and measures the consequence: the node set — and the O(n^2)
+// per-insert cost — grows with the whole execution, i.e., the algorithm
+// degenerates into the inefficient general algorithm of Section 2.3.
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+namespace {
+
+struct Run {
+  double seconds = 0.0;
+  std::size_t nodes = 0;
+  std::size_t matrix_kb = 0;
+  double mean_width = 0.0;
+  std::size_t messages = 0;
+};
+
+Run run(RealTime duration, bool keep_dead) {
+  workloads::TopoParams params;
+  params.rho = 100e-6;
+  params.latency = sim::LatencyModel::uniform(0.002, 0.02);
+  const workloads::Network net = workloads::make_star(5, params);
+  workloads::ScenarioConfig cfg;
+  cfg.seed = 9;
+  cfg.duration = duration;
+  cfg.sample_interval = 1.0;
+  std::vector<workloads::CsaSlot> slots{
+      {"optimal", [keep_dead](ProcId) {
+         OptimalCsa::Options o;
+         o.ablate_keep_dead_nodes = keep_dead;
+         return std::make_unique<OptimalCsa>(o);
+       }}};
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = workloads::run_scenario(
+      net, workloads::periodic_probe_apps(net, 0.25), slots, cfg);
+  const auto stop = std::chrono::steady_clock::now();
+  Run r;
+  r.seconds = std::chrono::duration<double>(stop - start).count();
+  r.nodes = report.csas[0].max_live_points;
+  r.matrix_kb = report.csas[0].state_bytes / 1024;
+  r.mean_width = report.csas[0].width.mean();
+  r.messages = report.messages_sent;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: AGDP dead-node garbage collection ON vs OFF\n\n";
+  Table table({"sim secs", "variant", "nodes in structure", "state KB (sum)",
+               "wall ms", "us/msg", "mean width"});
+  // The ablated variant's cost explodes cubically-ish with sim length (a
+  // run at 80 sim-seconds takes ~11 wall-minutes); two points suffice to
+  // show the blow-up while keeping the suite runnable.
+  for (const double duration : {10.0, 20.0}) {
+    for (const bool keep_dead : {false, true}) {
+      const Run r = run(duration, keep_dead);
+      table.add_row({Table::num(duration, 0),
+                     keep_dead ? "no GC (ablated)" : "GC (paper)",
+                     Table::num(r.nodes), Table::num(r.matrix_kb),
+                     Table::num(r.seconds * 1e3, 1),
+                     Table::num(r.seconds * 1e6 / double(r.messages), 1),
+                     Table::num(r.mean_width, 6)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth variants produce identical estimates (Lemma 3.4); the\n"
+               "ablated one pays node counts and per-message cost that grow\n"
+               "linearly/quadratically with execution length — the paper's\n"
+               "garbage collection is what makes optimality affordable.\n";
+  return 0;
+}

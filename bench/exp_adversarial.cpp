@@ -1,0 +1,111 @@
+// EXP-12 (extension) — why the complexity parameters are necessary.
+//
+// The paper complements its algorithm with the lower bound of [19]: for
+// *general* systems no optimal algorithm has bounded complexity.  The
+// parameters K1/K2/L are where that generality bites: a system that keeps
+// sending messages that are never answered (e.g., one-way UDP beacons into
+// a void, K2 unbounded) accumulates pending-send live points without limit,
+// and the O(L^2) work per event grows with the length of the execution —
+// for ANY optimal algorithm, not just this one, because each pending send
+// may still be matched in the future and constrains the answer.
+//
+// This bench runs that adversarial pattern and shows L and the per-message
+// cost growing with time, in contrast to the bounded request/response
+// pattern on the same topology.
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+namespace {
+
+/// Sends one-way beacons to a peer that never answers (the adversarial
+/// unbounded-K2 pattern); the receiver occasionally beacons a third node so
+/// traffic still flows everywhere.
+class BeaconVoidApp : public sim::App {
+ public:
+  explicit BeaconVoidApp(Duration gap) : gap_(gap) {}
+  void on_start(sim::NodeApi& api) override {
+    if (!api.neighbors().empty()) api.set_timer(gap_, 1);
+  }
+  void on_timer(sim::NodeApi& api, std::uint32_t) override {
+    // Beacon the highest-numbered neighbor only; never reply to anything.
+    api.send(api.neighbors().back(), 1);
+    api.set_timer(gap_, 1);
+  }
+
+ private:
+  Duration gap_;
+};
+
+struct Run {
+  std::size_t live = 0;
+  double us_per_msg = 0.0;
+};
+
+Run run(RealTime duration, bool adversarial) {
+  workloads::TopoParams params;
+  params.rho = 100e-6;
+  params.latency = sim::LatencyModel::uniform(0.002, 0.02);
+  const workloads::Network net = workloads::make_ring(4, params);
+  sim::SimConfig cfg;
+  cfg.seed = 5;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<OptimalCsa>());
+    std::unique_ptr<sim::App> app;
+    if (adversarial) {
+      app = std::make_unique<BeaconVoidApp>(0.05);
+    } else {
+      workloads::ProbeApp::Config pc;
+      pc.upstreams = net.upstreams[p];
+      pc.peers = net.peers[p];
+      pc.period = 0.05;
+      app = std::make_unique<workloads::ProbeApp>(pc);
+    }
+    simulator.attach_node(p, sim::ClockModel::constant(0.0, 1.0),
+                          std::move(app), std::move(csas));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  simulator.run_until(duration);
+  const auto stop = std::chrono::steady_clock::now();
+  Run r;
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    r.live = std::max(r.live, simulator.csa(p, 0).stats().max_live_points);
+  }
+  r.us_per_msg =
+      std::chrono::duration<double, std::micro>(stop - start).count() /
+      static_cast<double>(simulator.messages_sent());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-12 (extension): the adversarial unbounded pattern vs the "
+               "bounded one\n\n";
+  Table table({"sim secs", "pattern", "max live points", "us/msg"});
+  for (const double d : {5.0, 10.0, 20.0, 40.0}) {
+    const Run bounded = run(d, false);
+    const Run advers = run(d, true);
+    table.add_row({Table::num(d, 0), "request/response (K2=2)",
+                   Table::num(bounded.live), Table::num(bounded.us_per_msg, 1)});
+    table.add_row({Table::num(d, 0), "one-way beacons (K2 unbounded)",
+                   Table::num(advers.live), Table::num(advers.us_per_msg, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe bounded pattern's live set and cost are flat; the\n"
+               "adversarial pattern's grow with execution length — the\n"
+               "lower-bound side of the paper's story: without assumptions\n"
+               "like Lemma 4.1's K2, optimal synchronization cannot have\n"
+               "bounded complexity (Patt-Shamir's thesis [19]).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// EXP-4 — Lemma 3.5 / Theorem 3.6: the AGDP algorithm costs O(L^2) time per
+// node insertion and O(L^2) space, where L is the number of live nodes.
+//
+// Synthetic AGDP workload: a sliding window of exactly L live nodes (insert
+// one node with a handful of edges, retire the oldest), timed per insert.
+// The log-log slope of ns/insert vs L should be ~2; matrix bytes exactly
+// follow capacity^2.
+#include <chrono>
+#include <deque>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "graph/incremental_apsp.h"
+
+using namespace driftsync;
+using graph::IncrementalApsp;
+
+namespace {
+
+double ns_per_insert(std::size_t window, std::size_t inserts, Rng& rng) {
+  IncrementalApsp apsp;
+  std::deque<IncrementalApsp::Handle> live;
+  live.push_back(apsp.insert_node({}, {}));
+  // Grow to the target window first.
+  const auto add_node = [&]() {
+    std::vector<IncrementalApsp::HalfEdge> ins, outs;
+    const std::size_t degree = std::min<std::size_t>(3, live.size());
+    for (std::size_t d = 0; d < degree; ++d) {
+      const auto other = live[rng.uniform_index(live.size())];
+      const double w = rng.uniform(0.0, 1.0);
+      if (rng.flip(0.5)) {
+        ins.push_back({other, w});
+      } else {
+        outs.push_back({other, w});
+      }
+    }
+    live.push_back(apsp.insert_node(ins, outs));
+  };
+  while (live.size() < window) add_node();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < inserts; ++i) {
+    add_node();
+    apsp.remove_node(live.front());
+    live.pop_front();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(inserts);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-4: AGDP complexity — O(L^2) time per insert, O(L^2) "
+               "space (Lemma 3.5)\n\n";
+  Rng rng(1234);
+  Table table({"L (live nodes)", "ns/insert", "ns/insert/L^2",
+               "matrix bytes", "bytes/L^2"});
+  std::vector<double> ls, times, bytes;
+  for (const std::size_t window : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const std::size_t inserts = window >= 256 ? 2000 : 20000;
+    const double ns = ns_per_insert(window, inserts, rng);
+    IncrementalApsp probe;
+    std::vector<IncrementalApsp::Handle> handles;
+    for (std::size_t i = 0; i < window; ++i) {
+      handles.push_back(probe.insert_node({}, {}));
+    }
+    const double l2 = static_cast<double>(window) * double(window);
+    table.add_row({Table::num(window), Table::num(ns, 0),
+                   Table::num(ns / l2, 3),
+                   Table::num(probe.matrix_bytes()),
+                   Table::num(double(probe.matrix_bytes()) / l2, 2)});
+    ls.push_back(static_cast<double>(window));
+    times.push_back(ns);
+    bytes.push_back(static_cast<double>(probe.matrix_bytes()));
+  }
+  table.print(std::cout);
+
+  // Fit only the large-L tail (small L is dominated by constant overheads).
+  const std::vector<double> tail_l(ls.end() - 4, ls.end());
+  const std::vector<double> tail_t(times.end() - 4, times.end());
+  const LinearFit time_fit = loglog_fit(tail_l, tail_t);
+  const LinearFit space_fit = loglog_fit(ls, bytes);
+  std::cout << "\nlog-log slope, time  vs L (tail): " << time_fit.slope
+            << "  (claim: ~2)\n";
+  std::cout << "log-log slope, space vs L:        " << space_fit.slope
+            << "  (claim: ~2)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// EXP-7 — the Section 4 probabilistic-synchronization application: heavy-
+// tailed links with no useful upper transit bound, clients bursting probes
+// until a quick round trip lands (Cristian [5]).  The paper's analysis:
+// K2 = 2 and K1 = O(p1 |V| T) hold with high probability, so space stays
+// O(|E|^2); and the optimal algorithm extracts at least as much from every
+// burst as Cristian's rule.
+#include <iostream>
+#include <memory>
+
+#include "baselines/cristian_csa.h"
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+namespace {
+
+workloads::ScenarioReport run_star(std::size_t n, double p_fast,
+                                   double width_target, std::uint64_t seed) {
+  workloads::TopoParams params;
+  params.rho = 100e-6;
+  params.latency =
+      sim::LatencyModel::bimodal(0.001, 0.003, 0.020, 0.150, p_fast);
+  const workloads::Network net = workloads::make_star(n, params);
+  workloads::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = 60.0;
+  cfg.sample_interval = 0.5;
+  cfg.warmup = 10.0;
+  std::vector<workloads::CsaSlot> slots;
+  slots.push_back({"cristian", [](ProcId) {
+                     CristianCsa::Options o;
+                     o.rtt_threshold = 0.03;
+                     return std::make_unique<CristianCsa>(o);
+                   }});
+  slots.push_back({"optimal", [](ProcId) {
+                     return std::make_unique<OptimalCsa>();
+                   }});
+  const auto report = workloads::run_scenario(
+      net,
+      // Retry gap 0.25s exceeds the 0.15s latency tail: Cristian's trials
+      // must be independent (a retry fired into a still-queued slow probe
+      // would only measure head-of-line blocking).
+      workloads::adaptive_probe_apps(net, 5.0, width_target, 0.25,
+                                     /*watch_csa=*/0),
+      slots, cfg);
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-7: the probabilistic (Cristian) pattern (Section 4)\n\n";
+
+  std::cout << "(a) accuracy: optimal vs Cristian on identical bursts "
+               "(star, width target 12 ms):\n";
+  Table ta({"p(fast trip)", "messages", "cristian mean w", "optimal mean w",
+            "ratio", "viol (both)"});
+  for (const double p_fast : {0.1, 0.2, 0.4}) {
+    const auto r = run_star(6, p_fast, 0.012, 17);
+    ta.add_row(
+        {Table::num(p_fast, 2), Table::num(r.messages_sent),
+         Table::num(r.csas[0].width.mean(), 6),
+         Table::num(r.csas[1].width.mean(), 6),
+         Table::num(r.csas[0].width.mean() / r.csas[1].width.mean(), 2),
+         Table::num(r.csas[0].containment_violations +
+                    r.csas[1].containment_violations)});
+  }
+  ta.print(std::cout);
+
+  std::cout << "\n(b) complexity under bursty probing (p_fast = 0.2):\n";
+  Table tb({"clients", "|E|", "K1", "K2", "max live L", "L/(K2*|E|)"});
+  for (const std::size_t n : {4u, 8u, 12u, 20u}) {
+    const auto r = run_star(n, 0.2, 0.012, 23 + n);
+    const double e = static_cast<double>(n - 1);
+    const double k2 =
+        static_cast<double>(std::max<std::size_t>(r.observed_k2, 1));
+    tb.add_row({Table::num(n - 1), Table::num(n - 1),
+                Table::num(r.observed_k1), Table::num(r.observed_k2),
+                Table::num(r.csas[1].max_live_points),
+                Table::num(double(r.csas[1].max_live_points) / (k2 * e), 3)});
+  }
+  tb.print(std::cout);
+  std::cout << "\nPaper's claims: bursts give K2 well above the NTP case but\n"
+               "still O(1)-per-burst; live points stay O(K2|E|); and the\n"
+               "optimal algorithm is uniformly at least as tight as\n"
+               "Cristian's accept-if-fast rule on the same probes.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// EXP-9 — Section 3.3: message loss.  With a detection mechanism that
+// eventually flags lost messages, the algorithm stays correct, the live set
+// stays bounded (lost sends die via loss declarations), and dropped report
+// gaps are recovered by the rollback accounting.
+#include <iostream>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  std::cout << "EXP-9: message loss with a detection mechanism "
+               "(Section 3.3)\n\n";
+  Table table({"loss prob", "messages", "lost", "mean width", "violations",
+               "max live L", "max |H_v|"});
+  for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
+    workloads::TopoParams params;
+    params.rho = 100e-6;
+    params.latency = sim::LatencyModel::uniform(0.002, 0.02);
+    params.loss_prob = loss;
+    const workloads::Network net = workloads::make_star(6, params);
+    workloads::ScenarioConfig cfg;
+    cfg.seed = flags.get_seed("seed", 13);
+    cfg.duration = flags.get_double("duration", 120.0);
+    cfg.sample_interval = 1.0;
+    cfg.warmup = 10.0;
+    cfg.detection_timeout = loss > 0.0 ? 0.3 : 0.0;
+    std::vector<workloads::CsaSlot> slots{
+        {"optimal", [loss](ProcId) {
+           OptimalCsa::Options o;
+           o.loss_tolerant = loss > 0.0;
+           return std::make_unique<OptimalCsa>(o);
+         }}};
+    const auto report = workloads::run_scenario(
+        net, workloads::periodic_probe_apps(net, 1.0), slots, cfg);
+    table.add_row({Table::num(loss, 2), Table::num(report.messages_sent),
+                   Table::num(report.messages_lost),
+                   Table::num(report.csas[0].width.mean(), 6),
+                   Table::num(report.csas[0].containment_violations),
+                   Table::num(report.csas[0].max_live_points),
+                   Table::num(report.csas[0].max_history_events)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper's claims: correctness is untouched by loss (0\n"
+               "violations); live points stay bounded because the detection\n"
+               "mechanism lets send points die; width degrades gracefully\n"
+               "with the information actually delivered.\n";
+  return 0;
+}

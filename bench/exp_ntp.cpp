@@ -1,0 +1,94 @@
+// EXP-6 — the Section 4 NTP application: under the NTP communication
+// pattern (hierarchical servers, periodic polls with period C), the
+// parameters satisfy K2 <= 2 and K1 = O(|V|), hence the optimal algorithm
+// runs in space O(|E|^2) — and it out-synchronizes a faithful NTP client on
+// the very same packets.
+#include <iostream>
+#include <memory>
+
+#include "baselines/ntp_csa.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+int main() {
+  std::cout << "EXP-6: the NTP system pattern (Section 4)\n\n";
+  workloads::TopoParams params;
+  params.rho = 50e-6;
+  params.latency = sim::LatencyModel::shifted_exp(0.002, 0.008, 0.060);
+
+  std::cout << "(a) complexity scaling with hierarchy size (poll period 2s):\n";
+  Table ta({"V", "|E|", "K1", "K1/V", "K2", "max live L", "L^2 (space)",
+            "(K2*E)^2"});
+  struct Shape {
+    std::vector<std::size_t> widths;
+    std::size_t fanout;
+  } shapes[] = {{{2, 4}, 2}, {{3, 6}, 2}, {{3, 9, 12}, 2}, {{4, 12, 20}, 3}};
+  std::vector<double> es, spaces;
+  for (const Shape& s : shapes) {
+    const workloads::Network net = workloads::make_ntp_hierarchy(
+        s.widths, s.fanout, /*peer_rings=*/true, /*seed=*/5, params);
+    workloads::ScenarioConfig cfg;
+    cfg.seed = 31;
+    cfg.duration = 60.0;
+    cfg.sample_interval = 2.0;
+    std::vector<workloads::CsaSlot> slots{
+        {"optimal", [](ProcId) { return std::make_unique<OptimalCsa>(); }}};
+    const auto report = workloads::run_scenario(
+        net, workloads::periodic_probe_apps(net, 2.0), slots, cfg);
+    const double v = static_cast<double>(net.spec.num_procs());
+    const double e = static_cast<double>(net.spec.links().size());
+    const double live = static_cast<double>(report.csas[0].max_live_points);
+    ta.add_row({Table::num(net.spec.num_procs()),
+                Table::num(net.spec.links().size()),
+                Table::num(report.observed_k1),
+                Table::num(double(report.observed_k1) / v, 2),
+                Table::num(report.observed_k2), Table::num(std::size_t(live)),
+                Table::num(live * live, 0),
+                Table::num(4.0 * e * e, 0)});
+    es.push_back(e);
+    spaces.push_back(live * live);
+  }
+  ta.print(std::cout);
+  std::cout << "log-log slope of L^2 vs |E|: " << loglog_fit(es, spaces).slope
+            << "  (claim: space O(|E|^2) => slope <= 2)\n\n";
+
+  std::cout << "(b) accuracy on identical packets (poll period sweep, "
+               "hierarchy {3,6}x2):\n";
+  Table tb({"poll period C (s)", "optimal mean width", "ntp mean width",
+            "ratio ntp/optimal", "viol opt", "viol ntp"});
+  const workloads::Network net = workloads::make_ntp_hierarchy(
+      {3, 6}, 2, true, 5, params);
+  for (const double period : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    workloads::ScenarioConfig cfg;
+    cfg.seed = 77;
+    cfg.duration = std::max(60.0, period * 12);
+    cfg.sample_interval = 1.0;
+    cfg.warmup = cfg.duration * 0.25;
+    std::vector<workloads::CsaSlot> slots;
+    slots.push_back({"optimal", [](ProcId) {
+                       return std::make_unique<OptimalCsa>();
+                     }});
+    slots.push_back(
+        {"ntp", [](ProcId) { return std::make_unique<NtpCsa>(); }});
+    const auto report = workloads::run_scenario(
+        net, workloads::periodic_probe_apps(net, period), slots, cfg);
+    tb.add_row({Table::num(period, 0),
+                Table::num(report.csas[0].width.mean(), 6),
+                Table::num(report.csas[1].width.mean(), 6),
+                Table::num(report.csas[1].width.mean() /
+                               report.csas[0].width.mean(),
+                           2),
+                Table::num(report.csas[0].containment_violations),
+                Table::num(report.csas[1].containment_violations)});
+  }
+  tb.print(std::cout);
+  std::cout << "\nPaper's claims: K1/V bounded (NTP analysis uses K1 <= 16V),\n"
+               "K2 <= 2 for request/response polling, space O(|E|^2); and\n"
+               "the optimal algorithm dominates NTP at every poll rate.\n";
+  return 0;
+}

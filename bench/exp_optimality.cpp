@@ -1,0 +1,160 @@
+// EXP-1 — Theorem 2.1 / optimality (DESIGN.md §3).
+//
+// Claim: the efficient algorithm's output equals the synchronization-graph
+// distance bounds (= the full-view oracle), the bounds always contain the
+// true source time, and both endpoints are attained by legal executions.
+//
+// Regenerates a table: per scenario, the maximum endpoint deviation between
+// OptimalCsa and the oracle (should be floating-point noise), containment
+// violations (0), and tight-execution witnesses (violations 0).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "baselines/full_view_csa.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "core/tight_execution.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+using workloads::Network;
+using workloads::TopoParams;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::size_t events = 0;
+  double max_deviation = 0.0;
+  std::size_t containment_violations = 0;
+  std::size_t tight_violations = 0;
+  double mean_width = 0.0;
+};
+
+struct Comparator : sim::SimObserver {
+  void on_event(sim::Simulator& sim, const EventRecord& rec,
+                RealTime rt) override {
+    const ProcId p = rec.id.proc;
+    const Interval fast = sim.csa(p, 0).estimate(rec.lt);
+    const Interval slow = sim.csa(p, 1).estimate(rec.lt);
+    ++events;
+    if (!fast.contains(rt)) ++violations;
+    const auto dev = [](double a, double b) {
+      if (a == b) return 0.0;
+      if (std::isinf(a) || std::isinf(b)) return kNoBound;
+      return std::fabs(a - b);
+    };
+    max_dev = std::max({max_dev, dev(fast.lo, slow.lo), dev(fast.hi, slow.hi)});
+    if (fast.bounded()) {
+      width_sum += fast.width();
+      ++width_n;
+    }
+  }
+  std::size_t events = 0;
+  std::size_t violations = 0;
+  double max_dev = 0.0;
+  double width_sum = 0.0;
+  std::size_t width_n = 0;
+};
+
+Row run(const std::string& name, const Network& net, std::uint64_t seed,
+        bool gossip, RealTime duration) {
+  sim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.record_trace = true;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  Rng rng(seed * 3 + 1);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<OptimalCsa>());
+    csas.push_back(std::make_unique<FullViewCsa>());
+    const double rho = net.spec.clock(p).rho;
+    sim::ClockModel clock =
+        p == net.spec.source()
+            ? sim::ClockModel::constant(0.0, 1.0)
+            : sim::ClockModel::constant(rng.uniform(-100.0, 100.0),
+                                        1.0 + rng.uniform(-rho, rho));
+    std::unique_ptr<sim::App> app;
+    if (gossip) {
+      app = std::make_unique<workloads::GossipApp>(
+          workloads::GossipApp::Config{0.3, 0.5});
+    } else {
+      workloads::ProbeApp::Config pc;
+      pc.upstreams = net.upstreams[p];
+      pc.peers = net.peers[p];
+      pc.period = 0.5;
+      app = std::make_unique<workloads::ProbeApp>(pc);
+    }
+    simulator.attach_node(p, std::move(clock), std::move(app),
+                          std::move(csas));
+  }
+  Comparator obs;
+  simulator.set_observer(&obs);
+  simulator.run_until(duration);
+
+  // Tight-execution witnesses over the full trace (Theorem 2.1's alpha_0 /
+  // alpha_1): both must satisfy every constraint of the bounds mapping.
+  View global(&net.spec);
+  for (const sim::TraceEntry& te : simulator.trace()) global.add(te.record);
+  std::size_t tight_violations = 0;
+  const EventRecord* sp = global.last_event_of(net.spec.source());
+  if (sp != nullptr) {
+    tight_violations +=
+        count_violations(global, tight_assignment(global, sp->id, true));
+    tight_violations +=
+        count_violations(global, tight_assignment(global, sp->id, false));
+  }
+
+  Row row;
+  row.name = name;
+  row.events = obs.events;
+  row.max_deviation = obs.max_dev;
+  row.containment_violations = obs.violations;
+  row.tight_violations = tight_violations;
+  row.mean_width = obs.width_n ? obs.width_sum / double(obs.width_n) : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::uint64_t seed0 = flags.get_seed("seed", 0);
+  std::cout << "EXP-1: optimality — OptimalCsa vs the Section 2.3 general "
+               "optimal algorithm (oracle)\n\n";
+  TopoParams params;
+  params.rho = 200e-6;
+  params.latency = sim::LatencyModel::uniform(0.002, 0.05);
+
+  Table table({"scenario", "events", "max |opt-oracle|", "containment viol",
+               "tight-exec viol", "mean width (s)"});
+  std::vector<Row> rows;
+  rows.push_back(run("path5/probe", workloads::make_path(5, params), seed0 + 1,
+                     false, 12.0));
+  rows.push_back(run("ring6/gossip", workloads::make_ring(6, params), seed0 + 2,
+                     true, 12.0));
+  rows.push_back(run("star6/probe", workloads::make_star(6, params), seed0 + 3,
+                     false, 12.0));
+  rows.push_back(run("grid3x3/gossip", workloads::make_grid(3, 3, params), seed0 + 4,
+                     true, 10.0));
+  rows.push_back(run("rand8+5/gossip", workloads::make_random(8, 5, 9, params),
+                     seed0 + 5, true, 10.0));
+  rows.push_back(run("hier(2,4)/probe",
+                     workloads::make_ntp_hierarchy({2, 4}, 2, true, 11,
+                                                   params),
+                     seed0 + 6, false, 10.0));
+  for (const Row& r : rows) {
+    table.add_row({r.name, Table::num(r.events), Table::num(r.max_deviation),
+                   Table::num(r.containment_violations),
+                   Table::num(r.tight_violations), Table::num(r.mean_width, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper's claim: deviation 0 (the algorithm IS optimal), no\n"
+               "containment violations, and endpoint-attaining executions\n"
+               "exist (tight-exec violations 0).\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// EXP-2 — Lemma 3.2: the history protocol reports each event at most once
+// over each link in each direction.
+//
+// Runs audit-enabled OptimalCsa under several traffic patterns and
+// topologies; the audit counts (event, link, direction) repeats — the claim
+// is exactly 0 on loss-free links — alongside the amortized report cost.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/optimal_csa.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+using workloads::Network;
+
+namespace {
+
+OptimalCsa::Options audit_opts() {
+  OptimalCsa::Options o;
+  o.audit_reports = true;
+  return o;
+}
+
+struct Row {
+  std::string name;
+  std::size_t events = 0;
+  std::size_t reports = 0;
+  std::size_t repeats = 0;
+  std::size_t cross_link_dups = 0;
+  double reports_per_event_link = 0.0;
+};
+
+Row run(const std::string& name, const Network& net,
+        const workloads::AppFactory& apps, std::uint64_t seed) {
+  workloads::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = 30.0;
+  cfg.sample_interval = 1.0;
+
+  // The scenario runner aggregates CsaStats, but the audit counters live on
+  // the protocol; run manually to read them.
+  sim::SimConfig sim_cfg;
+  sim_cfg.seed = seed;
+  sim::Simulator simulator(net.spec, net.links, sim_cfg);
+  std::vector<OptimalCsa*> raw;
+  Rng rng(seed + 5);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    auto csa = std::make_unique<OptimalCsa>(audit_opts());
+    raw.push_back(csa.get());
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::move(csa));
+    const double rho = net.spec.clock(p).rho;
+    sim::ClockModel clock =
+        p == net.spec.source()
+            ? sim::ClockModel::constant(0.0, 1.0)
+            : sim::ClockModel::constant(rng.uniform(-10.0, 10.0),
+                                        1.0 + rng.uniform(-rho, rho));
+    simulator.attach_node(p, std::move(clock), apps(p), std::move(csas));
+  }
+  simulator.run_until(cfg.duration);
+
+  Row row;
+  row.name = name;
+  row.events = simulator.total_events();
+  for (OptimalCsa* c : raw) {
+    row.reports += c->history().reports_sent();
+    row.repeats += c->history().audit_repeat_reports();
+    row.cross_link_dups += c->history().duplicate_reports_received();
+  }
+  // Lemma 3.2's amortization: total reports <= events * links * 2.
+  row.reports_per_event_link =
+      static_cast<double>(row.reports) /
+      (static_cast<double>(row.events) *
+       static_cast<double>(net.spec.links().size()) * 2.0);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-2: each event reported at most once per link per "
+               "direction (Lemma 3.2)\n\n";
+  workloads::TopoParams params;
+  params.rho = 100e-6;
+  params.latency = sim::LatencyModel::uniform(0.002, 0.02);
+
+  Table table({"scenario", "events", "reports", "same-link repeats",
+               "cross-link dups", "reports/(event*dir-link)"});
+  const Network ring = workloads::make_ring(6, params);
+  const Network grid = workloads::make_grid(3, 3, params);
+  const Network rand = workloads::make_random(8, 6, 17, params);
+  const Network star = workloads::make_star(6, params);
+  struct Case {
+    const char* name;
+    const Network* net;
+    bool gossip;
+  } cases[] = {{"ring6/gossip", &ring, true},
+               {"grid3x3/gossip", &grid, true},
+               {"rand8+6/gossip", &rand, true},
+               {"star6/probe", &star, false},
+               {"grid3x3/probe", &grid, false}};
+  for (const Case& c : cases) {
+    const workloads::AppFactory apps =
+        c.gossip ? workloads::gossip_apps(0.2, 0.5)
+                 : workloads::periodic_probe_apps(*c.net, 0.5);
+    const Row r = run(c.name, *c.net, apps, 7);
+    table.add_row({r.name, Table::num(r.events), Table::num(r.reports),
+                   Table::num(r.repeats), Table::num(r.cross_link_dups),
+                   Table::num(r.reports_per_event_link, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper's claim: same-link repeats = 0 everywhere; the final\n"
+               "column is bounded by 1 (each event crosses each directed\n"
+               "link at most once).  Cross-link duplicates are expected in\n"
+               "multipath topologies and are suppressed on arrival.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Drift anatomy: what "optimal under drifting clocks" buys.
+//
+// A two-node system exchanges one probe burst, then goes quiet.  We watch
+// the optimal estimate's width between events: it is exactly the synced
+// width plus the unavoidable drift widening dl*(rho/(1+rho) + rho/(1-rho)),
+// for several drift bounds.  Then a second burst snaps the interval tight
+// again.  This is the behavior NTP calls "dispersion growth", derived here
+// from first principles rather than by convention.
+//
+//   $ ./drift_demo
+#include <cstdio>
+
+#include "baselines/ntp_csa.h"  // kProbeTag / kResponseTag
+#include "core/optimal_csa.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+namespace {
+
+/// Probes the source in two bursts: around t=1s and around t=31s (local).
+class TwoBurstApp : public sim::App {
+ public:
+  void on_start(sim::NodeApi& api) override {
+    if (api.self() == 0) return;  // the source only responds
+    api.set_timer(1.0, 1);
+    api.set_timer(31.0, 1);
+  }
+  void on_timer(sim::NodeApi& api, std::uint32_t) override {
+    api.send(0, kProbeTag);
+  }
+  void on_message(sim::NodeApi& api, ProcId from,
+                  std::uint32_t app_tag) override {
+    if (app_tag == kProbeTag) api.send(from, kResponseTag);
+  }
+};
+
+double run_width_at(double rho, RealTime when) {
+  workloads::TopoParams params;
+  params.rho = rho;
+  params.latency = sim::LatencyModel::uniform(0.004, 0.006);
+  const workloads::Network net = workloads::make_path(2, params);
+  sim::SimConfig cfg;
+  cfg.seed = 12;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  for (ProcId p = 0; p < 2; ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<OptimalCsa>());
+    simulator.attach_node(
+        p,
+        p == 0 ? sim::ClockModel::constant(0.0, 1.0)
+               : sim::ClockModel::constant(42.0, 1.0 + rho * 0.7),
+        std::make_unique<TwoBurstApp>(), std::move(csas));
+  }
+  simulator.run_until(when);
+  const LocalTime now = simulator.clock(1).lt_at(when);
+  return simulator.csa(1, 0).estimate(now).width();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%12s %14s %14s %14s %16s\n", "drift (ppm)", "w @ t=2s",
+              "w @ t=16s", "w @ t=30s", "w @ t=32s (resync)");
+  for (const double rho : {10e-6, 50e-6, 100e-6, 500e-6, 2000e-6}) {
+    std::printf("%12.0f %14.6f %14.6f %14.6f %16.6f\n", rho * 1e6,
+                run_width_at(rho, 2.0), run_width_at(rho, 16.0),
+                run_width_at(rho, 30.0), run_width_at(rho, 32.5));
+  }
+  std::printf(
+      "\nBetween bursts the width grows linearly at ~2*rho per second —\n"
+      "the information-theoretic floor for clocks with drift bound rho —\n"
+      "and the second burst restores the synced width immediately.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Three processors on a line: a source with a perfect clock, and two
+// processors with drifting clocks and unknown offsets.  Everyone runs the
+// paper's optimal CSA; the middle node polls the source, the leaf polls the
+// middle node.  We print, over time, each processor's interval estimate of
+// the source clock against the simulator's ground truth.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/optimal_csa.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+int main() {
+  // 1. Describe the system: drift bounds and link transit bounds.  These
+  //    specifications are all the algorithm may assume (Section 2).
+  workloads::TopoParams params;
+  params.rho = 100e-6;  // 100 ppm quartz clocks
+  params.latency = sim::LatencyModel::uniform(0.002, 0.020);  // 2-20 ms
+  const workloads::Network net = workloads::make_path(3, params);
+
+  // 2. Build the simulator and attach each node's clock, send module and the
+  //    optimal clock synchronization algorithm.
+  sim::SimConfig cfg;
+  cfg.seed = 2026;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    // The source reads real time; the others start offset by whole seconds
+    // and drift within the bound.
+    sim::ClockModel clock =
+        p == 0 ? sim::ClockModel::constant(0.0, 1.0)
+               : sim::ClockModel::constant(10.0 * p, 1.0 + 60e-6 * (p % 2 ? 1 : -1));
+    workloads::ProbeApp::Config app;
+    app.upstreams = net.upstreams[p];  // poll toward the source
+    app.period = 0.5;                  // every half second (local)
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<OptimalCsa>());
+    simulator.attach_node(p, std::move(clock),
+                          std::make_unique<workloads::ProbeApp>(app),
+                          std::move(csas));
+  }
+
+  // 3. Run, querying estimates as real time advances.
+  std::printf("%8s  %26s  %26s\n", "truth", "proc 1 estimate (width)",
+              "proc 2 estimate (width)");
+  for (RealTime t = 1.0; t <= 10.0; t += 1.0) {
+    simulator.run_until(t);
+    std::printf("%8.3f", t);
+    for (ProcId p = 1; p <= 2; ++p) {
+      const LocalTime now = simulator.clock(p).lt_at(t);
+      const Interval est = simulator.csa(p, 0).estimate(now);
+      std::printf("  [%10.4f, %10.4f] %.4f", est.lo, est.hi, est.width());
+      if (!est.contains(t)) std::printf("  <-- VIOLATION");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nEvery interval above contains the ground-truth time: that is the\n"
+      "external-synchronization guarantee, at the tightest width any\n"
+      "algorithm could achieve from the same messages (Theorem 2.1).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reference clocks and multi-source fusion — the paper's §4 modeling of
+// NTP's stratum-0 layer: "an abstract source node representing standard
+// time, connected to level 0 servers with links representing the accuracy
+// of those servers."
+//
+// Three stratum-0 servers read UTC through virtual reference links of
+// different accuracies (a GPS receiver at ±0.5 ms, a radio clock at ±2 ms,
+// a coarse beacon at ±10 ms); a client polls all three.  The optimal
+// algorithm fuses the references: the client's interval is as tight as the
+// *best* reachable reference chain allows — and tighter than any single
+// reference when their error windows only partially overlap.
+//
+//   $ ./reference_clocks
+#include <cstdio>
+
+#include "baselines/ntp_csa.h"
+#include "core/optimal_csa.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+
+using namespace driftsync;
+
+int main() {
+  // Proc 0: abstract UTC.  Procs 1-3: stratum-0 servers with reference
+  // accuracies.  Proc 4: a client connected to all three servers.
+  const double acc[3] = {0.0005, 0.002, 0.010};
+  std::vector<ClockSpec> clocks(5, ClockSpec{50e-6});
+  clocks[0].rho = 0.0;
+  std::vector<LinkSpec> links;
+  for (ProcId s = 1; s <= 3; ++s) {
+    links.push_back(LinkSpec(0, s, -acc[s - 1], acc[s - 1]));  // virtual
+  }
+  for (ProcId s = 1; s <= 3; ++s) {
+    links.push_back(LinkSpec(s, 4, 0.002, 0.020));  // real network links
+  }
+  const SystemSpec spec(std::move(clocks), std::move(links), 0);
+
+  sim::SimConfig cfg;
+  cfg.seed = 77;
+  std::vector<sim::LinkRuntime> runtime;
+  for (int i = 0; i < 3; ++i) {
+    runtime.push_back(
+        sim::LinkRuntime{sim::LatencyModel::uniform(0.0, acc[i]), 0.0});
+  }
+  for (int i = 0; i < 3; ++i) {
+    runtime.push_back(
+        sim::LinkRuntime{sim::LatencyModel::uniform(0.002, 0.020), 0.0});
+  }
+  sim::Simulator simulator(spec, runtime, cfg);
+
+  /// UTC beacons each server once a second; servers respond to client polls.
+  struct BeaconApp : sim::App {
+    void on_start(sim::NodeApi& api) override {
+      if (api.self() == 0) api.set_timer(1.0, 0);
+    }
+    void on_timer(sim::NodeApi& api, std::uint32_t) override {
+      for (const ProcId s : api.neighbors()) api.send(s, 9);
+      api.set_timer(1.0, 0);
+    }
+    void on_message(sim::NodeApi& api, ProcId from,
+                    std::uint32_t tag) override {
+      if (tag == kProbeTag) api.send(from, kResponseTag);
+    }
+  };
+
+  Rng rng(5);
+  for (ProcId p = 0; p < 5; ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<OptimalCsa>());
+    sim::ClockModel clock =
+        p == 0 ? sim::ClockModel::constant(0.0, 1.0)
+               : sim::ClockModel::constant(rng.uniform(-5.0, 5.0),
+                                           1.0 + rng.uniform(-50e-6, 50e-6));
+    std::unique_ptr<sim::App> app;
+    if (p == 4) {
+      workloads::ProbeApp::Config pc;
+      pc.upstreams = {1, 2, 3};
+      pc.period = 1.0;
+      app = std::make_unique<workloads::ProbeApp>(pc);
+    } else {
+      app = std::make_unique<BeaconApp>();
+    }
+    simulator.attach_node(p, std::move(clock), std::move(app),
+                          std::move(csas));
+  }
+
+  simulator.run_until(30.0);
+  std::printf("%28s %16s\n", "node", "interval width");
+  const char* names[5] = {"UTC (abstract source)", "server A (gps +-0.5ms)",
+                          "server B (radio +-2ms)", "server C (coarse +-10ms)",
+                          "client (polls A,B,C)"};
+  for (ProcId p = 0; p < 5; ++p) {
+    const Interval est =
+        simulator.csa(p, 0).estimate(simulator.clock(p).lt_at(30.0));
+    std::printf("%28s %16.6f\n", names[p], est.width());
+  }
+  std::printf(
+      "\nThe client's width tracks the best reference chain (GPS + network\n"
+      "round trips), not the average: optimal fusion discards nothing and\n"
+      "is never hurt by adding a worse reference.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "baselines/cristian_csa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace driftsync {
+
+void CristianCsa::init(const SystemSpec& spec, ProcId self) {
+  spec_ = &spec;
+  self_ = self;
+  const double rho = spec.clock(self).rho;
+  rho_lo_ = rho / (1.0 + rho);
+  rho_hi_ = rho / (1.0 - rho);
+  if (self == spec.source()) {
+    synced_ = true;
+    phi_ = Interval::point(0.0);
+    ref_lt_ = 0.0;
+  }
+}
+
+CsaPayload CristianCsa::on_send(const SendContext& ctx) {
+  CsaPayload payload;
+  if (ctx.app_tag == kResponseTag) {
+    const auto it = pending_.find(ctx.dest);
+    if (it != pending_.end() && it->second.valid) {
+      // Reply with the origin echo and our current source-time interval at
+      // the transmit moment (a server deeper in the hierarchy forwards its
+      // own synchronized estimate, Section 4).
+      const Interval est = estimate(ctx.send_event.lt);
+      payload.scalars = {it->second.t1, est.lo, est.hi};
+      it->second.valid = false;
+    }
+  }
+  stats_.payload_bytes_sent += payload.approx_bytes();
+  return payload;
+}
+
+void CristianCsa::on_receive(const RecvContext& ctx,
+                             const CsaPayload& payload) {
+  stats_.payload_bytes_received += payload.approx_bytes();
+  if (ctx.app_tag == kProbeTag) {
+    pending_[ctx.from] = PendingRequest{true, ctx.send_event.lt};
+    return;
+  }
+  if (ctx.app_tag != kResponseTag || payload.scalars.size() < 3) return;
+  const double t1 = payload.scalars[0];
+  const Interval server_est{payload.scalars[1], payload.scalars[2]};
+  if (!server_est.bounded()) return;
+
+  const LocalTime t4 = ctx.recv_event.lt;
+  const Duration rtt = t4 - t1;
+  if (rtt < 0.0 || rtt > opts_.rtt_threshold) return;
+
+  const LinkSpec* link = spec_->link_between(ctx.self, ctx.from);
+  DS_CHECK(link != nullptr);
+  const double l_resp = link->min_from(ctx.from);
+  const double l_req = link->min_from(ctx.self);
+  // Source time at t4 = server interval at transmit + response transit;
+  // response transit in [l_resp, rtt/(1-rho) - l_req] (the request leg took
+  // >= l_req of the real round trip, which is at most rtt/(1-rho)).
+  const double rtt_real_max = rtt / (1.0 - spec_->clock(self_).rho);
+  if (rtt_real_max - l_req - l_resp < 0.0) return;  // inconsistent; discard
+  Interval measured{server_est.lo + l_resp - t4,
+                    server_est.hi + (rtt_real_max - l_req) - t4};
+
+  // Replace-if-narrower (Cristian keeps the best sample; no intersection).
+  if (synced_) {
+    const Duration dl = std::max(0.0, t4 - ref_lt_);
+    const double current_width =
+        phi_.width() + dl * (rho_lo_ + rho_hi_);
+    if (measured.width() >= current_width) return;
+  }
+  synced_ = true;
+  phi_ = measured;
+  ref_lt_ = t4;
+}
+
+Interval CristianCsa::estimate(LocalTime now) const {
+  if (!synced_) return Interval::everything();
+  const Duration dl = std::max(0.0, now - ref_lt_);
+  return Interval{now + phi_.lo - dl * rho_lo_, now + phi_.hi + dl * rho_hi_};
+}
+
+}  // namespace driftsync

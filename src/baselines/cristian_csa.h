@@ -1,0 +1,66 @@
+// Probabilistic clock synchronization (Cristian [5]), the second practical
+// comparator discussed in Section 4.
+//
+// The client probes a server and measures the local round-trip time.  A
+// reply received after round trip rtt bounds the server-to-client transit
+// by [l, rtt/(1-rho) - l], so the server's time interval shifted by that
+// transit contains the source time at the receive moment.  Short round
+// trips give tight intervals; Cristian's insight is that on heavy-tailed
+// links a short round trip is likely within a few trials, so the *send
+// module* keeps probing until the estimate is tight enough (see
+// workloads/probe_apps.h).  Samples with rtt above `rtt_threshold` are
+// discarded, and a better sample replaces the current one (no interval
+// intersection — faithful to the original algorithm).
+//
+// Like NtpCsa this is passive and keys off kProbeTag / kResponseTag.
+#pragma once
+
+#include <unordered_map>
+
+#include "baselines/ntp_csa.h"  // kProbeTag / kResponseTag
+#include "core/csa.h"
+
+namespace driftsync {
+
+class CristianCsa : public Csa {
+ public:
+  struct Options {
+    /// Discard samples whose local round trip exceeds this (kNoBound: keep
+    /// everything).
+    Duration rtt_threshold = kNoBound;
+  };
+
+  CristianCsa() = default;
+  explicit CristianCsa(Options opts) : opts_(opts) {}
+
+  void init(const SystemSpec& spec, ProcId self) override;
+  CsaPayload on_send(const SendContext& ctx) override;
+  void on_receive(const RecvContext& ctx, const CsaPayload& payload) override;
+  [[nodiscard]] Interval estimate(LocalTime now) const override;
+  [[nodiscard]] CsaStats stats() const override { return stats_; }
+  [[nodiscard]] const char* name() const override { return "cristian"; }
+
+  [[nodiscard]] bool synchronized() const { return synced_; }
+
+ private:
+  struct PendingRequest {
+    bool valid = false;
+    LocalTime t1 = 0.0;
+  };
+
+  Options opts_;
+  const SystemSpec* spec_ = nullptr;
+  ProcId self_ = kInvalidProc;
+  double rho_lo_ = 0.0;
+  double rho_hi_ = 0.0;
+
+  std::unordered_map<ProcId, PendingRequest> pending_;  // server side
+
+  // Current adopted sample, as a phi = RT - LT interval anchored at ref_lt_.
+  bool synced_ = false;
+  Interval phi_ = Interval::everything();
+  LocalTime ref_lt_ = 0.0;
+  CsaStats stats_;
+};
+
+}  // namespace driftsync

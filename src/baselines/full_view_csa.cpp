@@ -1,0 +1,107 @@
+#include "baselines/full_view_csa.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/shortest_paths.h"
+
+namespace driftsync {
+
+void FullViewCsa::init(const SystemSpec& spec, ProcId self) {
+  spec_ = &spec;
+  self_ = self;
+  view_.emplace(&spec);
+}
+
+CsaPayload FullViewCsa::on_send(const SendContext& ctx) {
+  view_->add(ctx.send_event);
+  CsaPayload payload;
+  payload.reports = view_->causal_order();  // the complete local view
+  stats_.payload_bytes_sent += payload.approx_bytes();
+  stats_.reports_sent += payload.reports.size();
+  return payload;
+}
+
+void FullViewCsa::on_receive(const RecvContext& ctx,
+                             const CsaPayload& payload) {
+  stats_.payload_bytes_received += payload.approx_bytes();
+  view_->merge(payload.reports);
+  view_->add(ctx.recv_event);
+}
+
+void FullViewCsa::on_internal(const EventRecord& event) {
+  view_->add(event);
+}
+
+Interval FullViewCsa::estimate(LocalTime now) const {
+  const EventRecord* p = view_->last_event_of(self_);
+  const EventRecord* sp = view_->last_event_of(spec_->source());
+  if (p == nullptr || sp == nullptr) return Interval::everything();
+
+  const View::SyncGraph sg = view_->build_sync_graph();
+  const graph::NodeIndex pi = sg.index_of.at(p->id);
+  const graph::NodeIndex si = sg.index_of.at(sp->id);
+  const auto from_sp = graph::bellman_ford(sg.graph, si);
+  const auto to_sp = graph::bellman_ford_to(sg.graph, si);
+  DS_CHECK_MSG(!from_sp.negative_cycle && !to_sp.negative_cycle,
+               "inconsistent real-time specification");
+
+  const double d_sp_p = from_sp.dist[pi];
+  const double d_p_sp = to_sp.dist[pi];
+  const Duration dl = std::max(0.0, now - p->lt);
+  const ClockSpec& clock = spec_->clock(self_);
+  Interval out = Interval::everything();
+  if (d_sp_p != kNoBound) out.lo = p->lt - d_sp_p + clock.rt_lower(dl);
+  if (d_p_sp != kNoBound) out.hi = p->lt + d_p_sp + clock.rt_upper(dl);
+  return out;
+}
+
+Interval FullViewCsa::rt_difference_bounds(EventId p, EventId q) const {
+  const EventRecord* rp = view_->find(p);
+  const EventRecord* rq = view_->find(q);
+  DS_CHECK(rp != nullptr && rq != nullptr);
+  const View::SyncGraph sg = view_->build_sync_graph();
+  const graph::NodeIndex pi = sg.index_of.at(p);
+  const graph::NodeIndex qi = sg.index_of.at(q);
+  const auto from_p = graph::bellman_ford(sg.graph, pi);
+  const auto to_p = graph::bellman_ford_to(sg.graph, pi);
+  DS_CHECK(!from_p.negative_cycle && !to_p.negative_cycle);
+  const double vd = rp->lt - rq->lt;
+  const double d_pq = from_p.dist[qi];  // d(p, q)
+  const double d_qp = to_p.dist[qi];    // d(q, p)
+  return Interval{d_qp == kNoBound ? kNegInf : vd - d_qp,
+                  d_pq == kNoBound ? kNoBound : vd + d_pq};
+}
+
+Interval FullViewCsa::peer_clock_estimate(ProcId w, LocalTime now) const {
+  DS_CHECK(w < spec_->num_procs());
+  if (w == self_) return Interval::point(now);
+  const EventRecord* p = view_->last_event_of(self_);
+  const EventRecord* q = view_->last_event_of(w);
+  if (p == nullptr || q == nullptr) return Interval::everything();
+  const ClockSpec& my_clock = spec_->clock(self_);
+  const Duration dl = std::max(0.0, now - p->lt);
+  const Interval d = rt_difference_bounds(p->id, q->id);
+  const double t_lo =
+      d.lo == kNegInf ? 0.0 : std::max(0.0, my_clock.rt_lower(dl) + d.lo);
+  const double t_hi =
+      d.hi == kNoBound ? kNoBound : my_clock.rt_upper(dl) + d.hi;
+  const ClockSpec& w_clock = spec_->clock(w);
+  return Interval{q->lt + t_lo * w_clock.min_rate(),
+                  t_hi == kNoBound ? kNoBound
+                                   : q->lt + t_hi * w_clock.max_rate()};
+}
+
+CsaStats FullViewCsa::stats() const {
+  CsaStats s = stats_;
+  if (view_) {
+    s.state_bytes = view_->total_events() * sizeof(EventRecord);
+    s.history_events = view_->total_events();
+    s.max_history_events = view_->total_events();
+    s.live_points = view_->live_points().size();
+    s.max_live_points = s.live_points;
+  }
+  return s;
+}
+
+}  // namespace driftsync

@@ -1,0 +1,46 @@
+// The general optimal algorithm of Section 2.3, verbatim: send the complete
+// local view in every message, merge views, and at every query run a batch
+// shortest-path computation over the whole synchronization graph.
+//
+// This is the ORACLE of the test suite: it is obviously optimal (it is the
+// Clock Synchronization Theorem applied directly) and obviously wasteful
+// (state and message size grow with the number of events in the execution —
+// the very problem the paper's algorithm solves).  OptimalCsa must agree
+// with it on every query.
+#pragma once
+
+#include <optional>
+
+#include "core/csa.h"
+#include "core/view.h"
+
+namespace driftsync {
+
+class FullViewCsa : public Csa {
+ public:
+  void init(const SystemSpec& spec, ProcId self) override;
+  CsaPayload on_send(const SendContext& ctx) override;
+  void on_receive(const RecvContext& ctx, const CsaPayload& payload) override;
+  void on_internal(const EventRecord& event) override;
+  [[nodiscard]] Interval estimate(LocalTime now) const override;
+  [[nodiscard]] CsaStats stats() const override;
+  [[nodiscard]] const char* name() const override { return "full-view"; }
+
+  [[nodiscard]] const View& view() const { return *view_; }
+
+  /// Theorem 2.1 bounds on RT(p) - RT(q) via batch Bellman-Ford over the
+  /// entire view (for cross-checking SyncEngine::rt_difference_bounds).
+  [[nodiscard]] Interval rt_difference_bounds(EventId p, EventId q) const;
+
+  /// Oracle counterpart of SyncEngine::peer_clock_estimate (same chaining,
+  /// distances from the whole view).
+  [[nodiscard]] Interval peer_clock_estimate(ProcId w, LocalTime now) const;
+
+ private:
+  const SystemSpec* spec_ = nullptr;
+  ProcId self_ = kInvalidProc;
+  std::optional<View> view_;
+  CsaStats stats_;
+};
+
+}  // namespace driftsync

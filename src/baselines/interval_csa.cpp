@@ -1,0 +1,163 @@
+#include "baselines/interval_csa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace driftsync {
+
+namespace {
+
+/// Ages a phi interval of a clock with widening rates (rho_lo, rho_hi) by
+/// `dl >= 0` of that clock's local time.
+Interval age(Interval phi, Duration dl, double rho_lo, double rho_hi) {
+  if (std::isfinite(phi.lo)) phi.lo -= dl * rho_lo;
+  if (std::isfinite(phi.hi)) phi.hi += dl * rho_hi;
+  return phi;
+}
+
+}  // namespace
+
+void IntervalCsa::init(const SystemSpec& spec, ProcId self) {
+  spec_ = &spec;
+  self_ = self;
+  const double rho = spec.clock(self).rho;
+  rho_lo_ = rho / (1.0 + rho);
+  rho_hi_ = rho / (1.0 - rho);
+  if (self == spec.source()) {
+    // The source *is* real time: phi = 0 forever (rho = 0, so no widening).
+    anchored_ = true;
+    anchor_lt_ = 0.0;
+    phi_ = Interval::point(0.0);
+  }
+}
+
+void IntervalCsa::maybe_roll_epoch(LocalTime lt) {
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_lt_ = lt;
+    return;
+  }
+  if (epoch_ <= 0.0) {
+    // Continuous anchoring: bake the exact drift widening and re-anchor.
+    phi_ = age(phi_, std::max(0.0, lt - anchor_lt_), rho_lo_, rho_hi_);
+    anchor_lt_ = lt;
+    return;
+  }
+  // Epoch mode: "restart the drift-free algorithm every epoch"; carry the
+  // previous result over with a full-epoch fudge baked in.
+  while (lt >= anchor_lt_ + epoch_) {
+    phi_ = age(phi_, epoch_, rho_lo_, rho_hi_);
+    anchor_lt_ += epoch_;
+  }
+}
+
+void IntervalCsa::absorb(Interval measured, LocalTime lt) {
+  maybe_roll_epoch(lt);
+  // In epoch mode the measurement is treated as drift-free within the
+  // epoch (that is the point of the fudge-factor scheme); in continuous
+  // mode the anchor has just been moved to lt, so this is exact.
+  phi_.lo = std::max(phi_.lo, measured.lo);
+  phi_.hi = std::min(phi_.hi, measured.hi);
+  // Stored endpoints may cross by up to the in-epoch fudge (measurements
+  // taken at different instants are compared in the anchor frame); the
+  // *effective* envelope read at any time >= lt must stay non-empty.
+  const Interval effective = phi_at(lt);
+  DS_CHECK_MSG(effective.lo <= effective.hi + 1e-6,
+               "interval algorithm derived an empty offset envelope");
+}
+
+Interval IntervalCsa::phi_at(LocalTime lt) const {
+  if (!anchored_) return Interval::everything();
+  return age(phi_, std::max(0.0, lt - anchor_lt_), rho_lo_, rho_hi_);
+}
+
+CsaPayload IntervalCsa::on_send(const SendContext& ctx) {
+  const Interval phi = phi_at(ctx.send_event.lt);
+  CsaPayload payload;
+  payload.scalars = {phi.lo, phi.hi, std::nan(""), kNegInf, kNoBound};
+  const auto it = echoes_.find(ctx.dest);
+  if (it != echoes_.end() && it->second.valid) {
+    payload.scalars[2] = it->second.peer_anchor;
+    payload.scalars[3] = it->second.phi.lo;
+    payload.scalars[4] = it->second.phi.hi;
+  }
+  stats_.payload_bytes_sent += payload.approx_bytes();
+  return payload;
+}
+
+void IntervalCsa::on_receive(const RecvContext& ctx,
+                             const CsaPayload& payload) {
+  stats_.payload_bytes_received += payload.approx_bytes();
+  if (payload.scalars.size() < 2) return;
+  const Interval sender_phi{payload.scalars[0], payload.scalars[1]};
+  const LinkSpec* link = spec_->link_between(ctx.self, ctx.from);
+  DS_CHECK(link != nullptr);
+  const LocalTime ts = ctx.send_event.lt;  // sender stamp
+  const LocalTime tr = ctx.recv_event.lt;  // our stamp
+
+  // Forward constraint: phi_self(tr) - phi_sender(ts) in
+  // [ts - tr + l, ts - tr + u], combined with the sender's envelope.
+  const Duration l_fwd = link->min_from(ctx.from);
+  const Duration u_fwd = link->max_from(ctx.from);
+  Interval measured = Interval::everything();
+  if (std::isfinite(sender_phi.lo)) {
+    measured.lo = sender_phi.lo + ts - tr + l_fwd;
+  }
+  if (std::isfinite(sender_phi.hi) && u_fwd != kNoBound) {
+    measured.hi = sender_phi.hi + ts - tr + u_fwd;
+  }
+  absorb(measured, tr);
+
+  // Echo: a bound on OUR phi that the sender derived from our earlier
+  // message, anchored at our own old timestamp — age it on our clock.
+  if (payload.scalars.size() >= 5 && std::isfinite(payload.scalars[2])) {
+    const LocalTime anchor = payload.scalars[2];
+    const Interval echo = age(Interval{payload.scalars[3], payload.scalars[4]},
+                              std::max(0.0, tr - anchor), rho_lo_, rho_hi_);
+    absorb(echo, tr);
+  }
+
+  // Record the reverse constraint for the sender:
+  //   phi_sender(ts) in  phi_self(tr) + [tr - ts - u, tr - ts - l],
+  // anchored at the sender's stamp ts.  Keep the tighter of old (aged on a
+  // conservative bound of the sender's clock) and new.
+  const double peer_rho = spec_->clock(ctx.from).rho;
+  const double peer_lo = peer_rho / (1.0 + peer_rho);
+  const double peer_hi = peer_rho / (1.0 - peer_rho);
+  const Interval self_phi = phi_at(tr);
+  Interval reverse = Interval::everything();
+  if (std::isfinite(self_phi.lo) && u_fwd != kNoBound) {
+    reverse.lo = self_phi.lo + tr - ts - u_fwd;
+  }
+  if (std::isfinite(self_phi.hi)) {
+    reverse.hi = self_phi.hi + tr - ts - l_fwd;
+  }
+  PeerEcho& slot = echoes_[ctx.from];
+  bool take = !slot.valid;
+  if (!take) {
+    const Interval old_aged =
+        age(slot.phi, std::max(0.0, ts - slot.peer_anchor), peer_lo, peer_hi);
+    take = !(old_aged.width() <= reverse.width());
+    if (!take) {
+      // The aged old echo is still tighter; re-anchor it at the new stamp so
+      // the recipient ages it from a fresh base.
+      slot.phi = old_aged;
+      slot.peer_anchor = ts;
+    }
+  }
+  if (take) {
+    slot.valid = true;
+    slot.peer_anchor = ts;
+    slot.phi = reverse;
+  }
+}
+
+Interval IntervalCsa::estimate(LocalTime now) const {
+  const Interval phi = phi_at(now);
+  return Interval{phi.lo == kNegInf ? kNegInf : now + phi.lo,
+                  phi.hi == kNoBound ? kNoBound : now + phi.hi};
+}
+
+}  // namespace driftsync

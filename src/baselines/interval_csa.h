@@ -1,0 +1,81 @@
+// The drift-free algorithm of [20] adapted to drifting clocks, as sketched
+// in the paper's introduction: "running a new version of the algorithm every
+// short while and combining the results by adding a fudge factor to account
+// for the drift.  Such implementations may beat other practical algorithms,
+// but they are still not optimal."
+//
+// In the drift-free setting of [20] every processor collapses to a single
+// offset variable phi = RT - LT, and each message m (send stamp Ts at u,
+// receive stamp Tr at v, transit in [l, u]) yields the two-sided difference
+// constraint
+//     phi_v(Tr) - phi_u(Ts)  in  [Ts - Tr + l, Ts - Tr + u],
+// over which Bellman-Ford computes each phi's envelope.  This class runs
+// that computation distributedly:
+//
+//  * every outgoing message carries the sender's current phi envelope, and
+//    additionally an "echo": the bound on the *recipient's* phi that the
+//    sender derived from the best previous message in the opposite
+//    direction (this is how round-trip information — the r->s edges of the
+//    synchronization graph — flows back; it is the offset-graph analogue of
+//    NTP's T1/T2 echo);
+//  * the receiver intersects the forward constraint (sender envelope +
+//    transit bounds) and the aged echo into its own envelope.
+//
+// Drift is handled by a fudge factor anchored at the start of the current
+// epoch: reads widen the stored envelope by rho/(1±rho)·(lt - anchor).
+// epoch == 0 degenerates to continuous (per-update) anchoring — the
+// tightest sound variant of this scheme.  Both variants are *correct* but
+// neither is optimal: constraints are summarized per processor, so the
+// per-event structure (which the optimal algorithm keeps as live points)
+// and cross-path combinations are lost — the gap EXP-8 measures.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/csa.h"
+
+namespace driftsync {
+
+class IntervalCsa : public Csa {
+ public:
+  /// `epoch`: local-time length of a fudge epoch; 0 = continuous anchoring.
+  explicit IntervalCsa(Duration epoch = 0.0) : epoch_(epoch) {}
+
+  void init(const SystemSpec& spec, ProcId self) override;
+  CsaPayload on_send(const SendContext& ctx) override;
+  void on_receive(const RecvContext& ctx, const CsaPayload& payload) override;
+  [[nodiscard]] Interval estimate(LocalTime now) const override;
+  [[nodiscard]] CsaStats stats() const override { return stats_; }
+  [[nodiscard]] const char* name() const override {
+    return epoch_ > 0.0 ? "interval-fudge" : "interval";
+  }
+
+  /// Current offset envelope for phi = RT - LT at local time `lt`.
+  [[nodiscard]] Interval phi_at(LocalTime lt) const;
+
+ private:
+  /// What we know about a peer's phi, anchored at one of the PEER's local
+  /// timestamps (so the peer can age it exactly on its own clock).
+  struct PeerEcho {
+    bool valid = false;
+    LocalTime peer_anchor = 0.0;
+    Interval phi = Interval::everything();
+  };
+
+  void maybe_roll_epoch(LocalTime lt);
+  /// Folds a measurement of phi valid at `lt` into the anchored state.
+  void absorb(Interval measured, LocalTime lt);
+
+  const SystemSpec* spec_ = nullptr;
+  ProcId self_ = kInvalidProc;
+  Duration epoch_ = 0.0;
+  double rho_lo_ = 0.0;  ///< rho / (1 + rho): downward drift per local sec.
+  double rho_hi_ = 0.0;  ///< rho / (1 - rho): upward drift per local sec.
+  bool anchored_ = false;
+  LocalTime anchor_lt_ = 0.0;
+  Interval phi_ = Interval::everything();  ///< Normalized to anchor_lt_.
+  std::unordered_map<ProcId, PeerEcho> echoes_;
+  CsaStats stats_;
+};
+
+}  // namespace driftsync

@@ -1,0 +1,118 @@
+#include "baselines/ntp_csa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace driftsync {
+
+void NtpCsa::init(const SystemSpec& spec, ProcId self) {
+  spec_ = &spec;
+  self_ = self;
+  const double rho = spec.clock(self).rho;
+  rho_hi_ = rho / (1.0 - rho);
+  if (self == spec.source()) {
+    synced_ = true;
+    offset_ = 0.0;
+    error_ref_ = 0.0;
+    t_ref_ = 0.0;
+    stratum_ = 0;
+  }
+}
+
+double NtpCsa::error_at(LocalTime lt) const {
+  // Root dispersion: the error bound grows with drift since the reference
+  // sample (rho = 0 at the source, so the source stays exact).
+  return error_ref_ + rho_hi_ * std::max(0.0, lt - t_ref_);
+}
+
+CsaPayload NtpCsa::on_send(const SendContext& ctx) {
+  CsaPayload payload;
+  if (ctx.app_tag == kResponseTag) {
+    const auto it = pending_.find(ctx.dest);
+    if (it != pending_.end() && it->second.valid) {
+      const LocalTime t3 = ctx.send_event.lt;
+      payload.scalars = {it->second.t1, it->second.t2,
+                         synced_ ? offset_ : std::nan(""),
+                         synced_ ? error_at(t3) : kNoBound,
+                         static_cast<double>(stratum_)};
+      it->second.valid = false;
+    }
+  }
+  stats_.payload_bytes_sent += payload.approx_bytes();
+  return payload;
+}
+
+void NtpCsa::on_receive(const RecvContext& ctx, const CsaPayload& payload) {
+  stats_.payload_bytes_received += payload.approx_bytes();
+  if (ctx.app_tag == kProbeTag) {
+    // Server side: remember (T1, T2) until the application replies.
+    pending_[ctx.from] =
+        PendingRequest{true, ctx.send_event.lt, ctx.recv_event.lt};
+    return;
+  }
+  if (ctx.app_tag != kResponseTag || payload.scalars.size() < 5) return;
+  const double t1 = payload.scalars[0];
+  const double t2 = payload.scalars[1];
+  const double server_offset = payload.scalars[2];
+  const double server_error = payload.scalars[3];
+  const int server_stratum = static_cast<int>(payload.scalars[4]);
+  if (!std::isfinite(server_offset) || !std::isfinite(server_error)) {
+    return;  // server itself unsynchronized
+  }
+  const LocalTime t3 = ctx.send_event.lt;
+  const LocalTime t4 = ctx.recv_event.lt;
+  const double theta = ((t2 - t1) + (t3 - t4)) / 2.0;
+  const double delta = (t4 - t1) - (t3 - t2);
+  if (delta < 0.0) return;  // clock stepped mid-exchange; discard
+
+  const LinkSpec* link = spec_->link_between(ctx.self, ctx.from);
+  DS_CHECK(link != nullptr);
+  Sample s;
+  // |theta - true offset| <= delta/2 - l (asymmetry) plus drift accrued by
+  // both clocks over the exchange.
+  s.offset = theta + server_offset;
+  // Asymmetric legs: |theta - true offset| <= delta/2 - min(l_req, l_resp).
+  const double l_min =
+      std::min(link->min_from(ctx.self), link->min_from(ctx.from));
+  s.error = std::max(0.0, delta / 2.0 - l_min) + server_error +
+            2.0 * rho_hi_ * (t4 - t1);
+  s.delay = delta;
+  s.t4 = t4;
+  s.stratum = server_stratum + 1;
+
+  auto& reg = filter_[ctx.from];
+  reg.push_back(s);
+  while (reg.size() > opts_.filter_size) reg.pop_front();
+
+  // NTP clock filter: the minimum-delay sample of the register.
+  const Sample* best = &reg.front();
+  for (const Sample& cand : reg) {
+    if (cand.delay < best->delay) best = &cand;
+  }
+  consider(*best);
+}
+
+void NtpCsa::consider(const Sample& s) {
+  // Adopt the candidate if it beats the current synchronization projected
+  // to the candidate's reference time.
+  const double cand_error = s.error;
+  if (!synced_ || cand_error < error_at(s.t4)) {
+    synced_ = true;
+    offset_ = s.offset;
+    error_ref_ = cand_error;
+    t_ref_ = s.t4;
+    stratum_ = s.stratum;
+  }
+}
+
+Interval NtpCsa::estimate(LocalTime now) const {
+  if (!synced_) return Interval::everything();
+  const double err = error_at(now);
+  // The drift also skews the projected offset itself: local time advanced
+  // (now - t_ref) but real time advanced up to rho_hi more.
+  return Interval{now + offset_ - err, now + offset_ + err};
+}
+
+}  // namespace driftsync

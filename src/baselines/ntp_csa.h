@@ -1,0 +1,88 @@
+// A simplified NTP client/server (Mills [15, 16]), the first of the two
+// practical comparators discussed in Section 4.
+//
+// On a request/response exchange the client obtains the four classic
+// timestamps (T1 origin, T2 server receive, T3 server transmit, T4 client
+// receive) and computes
+//     theta = ((T2 - T1) + (T3 - T4)) / 2        (offset vs. the server)
+//     delta = (T4 - T1) - (T3 - T2)              (round-trip delay)
+// The offset error of theta is at most delta/2 - l (l = link lower transit
+// bound) plus drift accrued during the exchange; stacking the server's own
+// advertised root error gives a *valid* containment interval (Mills'
+// correctness interval), so this baseline is comparable to the optimal
+// algorithm on both width and containment.  A per-peer shift register keeps
+// the last `filter_size` samples and selects the minimum-delay one (the NTP
+// clock filter).
+//
+// The CSA is passive: it never sends; it recognizes request/response
+// messages by their application tags (the workload's probe apps use
+// kProbeTag / kResponseTag) and ignores all other traffic.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/csa.h"
+
+namespace driftsync {
+
+/// Application tags shared by the probing send modules and the NTP/Cristian
+/// baselines.
+inline constexpr std::uint32_t kProbeTag = 1;
+inline constexpr std::uint32_t kResponseTag = 2;
+
+class NtpCsa : public Csa {
+ public:
+  struct Options {
+    std::size_t filter_size = 8;
+  };
+
+  NtpCsa() = default;
+  explicit NtpCsa(Options opts) : opts_(opts) {}
+
+  void init(const SystemSpec& spec, ProcId self) override;
+  CsaPayload on_send(const SendContext& ctx) override;
+  void on_receive(const RecvContext& ctx, const CsaPayload& payload) override;
+  [[nodiscard]] Interval estimate(LocalTime now) const override;
+  [[nodiscard]] CsaStats stats() const override { return stats_; }
+  [[nodiscard]] const char* name() const override { return "ntp"; }
+
+  [[nodiscard]] int stratum() const { return stratum_; }
+  [[nodiscard]] bool synchronized() const { return synced_; }
+
+ private:
+  struct PendingRequest {
+    bool valid = false;
+    LocalTime t1 = 0.0;  // client's origin timestamp (from the message header)
+    LocalTime t2 = 0.0;  // our receive timestamp
+  };
+
+  struct Sample {
+    double offset = 0.0;  // source - local, as of t4
+    double error = 0.0;   // bound on |offset| error, as of t4
+    double delay = 0.0;
+    LocalTime t4 = 0.0;
+    int stratum = 0;
+  };
+
+  [[nodiscard]] double error_at(LocalTime lt) const;
+  void consider(const Sample& s);
+
+  Options opts_;
+  const SystemSpec* spec_ = nullptr;
+  ProcId self_ = kInvalidProc;
+  double rho_hi_ = 0.0;
+
+  std::unordered_map<ProcId, PendingRequest> pending_;  // server side
+  std::unordered_map<ProcId, std::deque<Sample>> filter_;  // client side
+
+  bool synced_ = false;
+  double offset_ = 0.0;
+  double error_ref_ = 0.0;
+  LocalTime t_ref_ = 0.0;
+  int stratum_ = 16;  // "unsynchronized" per NTP convention
+  CsaStats stats_;
+};
+
+}  // namespace driftsync

@@ -1,0 +1,46 @@
+// Invariant checking.
+//
+// DS_CHECK is always on: it guards public API preconditions and internal
+// invariants whose violation means a bug, and throws std::logic_error so
+// that tests can assert on misuse.  DS_DCHECK compiles away in NDEBUG
+// builds; it guards hot-path invariants (e.g. the Lemma 3.4 assertions in
+// the AGDP update loop).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace driftsync::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace driftsync::detail
+
+#define DS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::driftsync::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                 \
+  } while (false)
+
+#define DS_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::driftsync::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define DS_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define DS_DCHECK(expr) DS_CHECK(expr)
+#endif

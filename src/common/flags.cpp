@@ -1,0 +1,80 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace driftsync {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      DS_CHECK_MSG(i + 1 < argc, "flag --" + body + " needs a value");
+      values_[body] = argv[++i];
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  DS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+               "flag --" + key + " is not a number: " + it->second);
+  return v;
+}
+
+std::int64_t Flags::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  DS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+               "flag --" + key + " is not an integer: " + it->second);
+  return v;
+}
+
+std::uint64_t Flags::get_seed(const std::string& key,
+                              std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
+  DS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+               "flag --" + key + " is not a seed: " + it->second);
+  return v;
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  DS_CHECK_MSG(false, "flag --" + key + " is not a boolean: " + v);
+  __builtin_unreachable();
+}
+
+}  // namespace driftsync

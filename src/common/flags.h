@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the experiment harnesses and
+// examples: `--key=value` and `--key value` pairs with typed getters and
+// defaults.  Unrecognized positional arguments are kept in order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace driftsync {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::logic_error on a malformed flag (e.g. a
+  /// trailing `--key` with no value).
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_seed(const std::string& key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace driftsync

@@ -1,0 +1,64 @@
+// Identifier types shared across the driftsync libraries.
+//
+// Processors carry small dense integer ids (the paper assumes unique
+// processor identifiers, Section 2).  Events are identified by the pair
+// (processor, per-processor sequence number); per-processor local time is
+// strictly increasing, so the sequence number is a faithful stand-in for the
+// local-time ordering used by the paper's history protocol (Figure 2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace driftsync {
+
+/// Dense processor identifier. Processor 0 is conventionally the source in
+/// external-synchronization scenarios, but nothing in the core library
+/// assumes that; the source is always passed explicitly.
+using ProcId = std::uint32_t;
+
+inline constexpr ProcId kInvalidProc = std::numeric_limits<ProcId>::max();
+
+/// Identifier of a single event (point) of an execution: the processor it
+/// occurred at and its per-processor sequence number (0-based).
+struct EventId {
+  ProcId proc = kInvalidProc;
+  std::uint32_t seq = 0;
+
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+
+  [[nodiscard]] bool valid() const { return proc != kInvalidProc; }
+
+  /// Packs into a single 64-bit key (useful for hashing / maps).
+  [[nodiscard]] std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(proc) << 32) | seq;
+  }
+
+  static EventId unpack(std::uint64_t key) {
+    return EventId{static_cast<ProcId>(key >> 32),
+                   static_cast<std::uint32_t>(key & 0xffffffffULL)};
+  }
+
+  [[nodiscard]] std::string str() const {
+    return "(" + std::to_string(proc) + "," + std::to_string(seq) + ")";
+  }
+};
+
+inline constexpr EventId kInvalidEvent{};
+
+}  // namespace driftsync
+
+template <>
+struct std::hash<driftsync::EventId> {
+  std::size_t operator()(const driftsync::EventId& id) const noexcept {
+    // splitmix64 finalizer over the packed key: cheap and well distributed.
+    std::uint64_t x = id.pack();
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

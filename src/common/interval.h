@@ -1,0 +1,85 @@
+// Closed real intervals, the output type of external synchronization:
+// a processor's estimate of the source clock is an interval [lo, hi]
+// guaranteed to contain it (Section 2.1).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "common/time_types.h"
+
+namespace driftsync {
+
+/// A closed interval [lo, hi] on the real line.  The empty interval is
+/// represented by lo > hi; the "know nothing" interval is (-inf, +inf).
+struct Interval {
+  double lo = kNegInf;
+  double hi = kNoBound;
+
+  Interval() = default;
+  Interval(double l, double h) : lo(l), hi(h) {}
+
+  /// The interval containing every real: the output before any information
+  /// about the source has been received.
+  static Interval everything() { return Interval{kNegInf, kNoBound}; }
+
+  /// A single point.
+  static Interval point(double x) { return Interval{x, x}; }
+
+  [[nodiscard]] bool empty() const { return lo > hi; }
+
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+
+  [[nodiscard]] bool contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Width; +inf when either endpoint is unbounded, NaN when empty.
+  [[nodiscard]] double width() const {
+    if (empty()) return std::nan("");
+    return hi - lo;
+  }
+
+  [[nodiscard]] bool bounded() const {
+    return std::isfinite(lo) && std::isfinite(hi);
+  }
+
+  [[nodiscard]] double midpoint() const { return lo / 2 + hi / 2; }
+
+  /// Intersection (may be empty).
+  [[nodiscard]] Interval intersect(const Interval& other) const {
+    return Interval{std::max(lo, other.lo), std::min(hi, other.hi)};
+  }
+
+  /// Minkowski sum: {a+b : a in this, b in other}.
+  [[nodiscard]] Interval operator+(const Interval& other) const {
+    return Interval{lo + other.lo, hi + other.hi};
+  }
+
+  /// Shift by a scalar.
+  [[nodiscard]] Interval operator+(double x) const {
+    return Interval{lo + x, hi + x};
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+    return os << iv.str();
+  }
+};
+
+/// True when the two intervals agree within `eps` on both endpoints.
+inline bool intervals_close(const Interval& a, const Interval& b,
+                            double eps = kTimeEps) {
+  return time_close(a.lo, b.lo, eps) && time_close(a.hi, b.hi, eps);
+}
+
+}  // namespace driftsync

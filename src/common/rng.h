@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in the simulator (message latencies, traffic
+// jitter, clock rates, loss) flow through this generator so that every
+// scenario is reproducible from a single 64-bit seed.  The engine is
+// xoshiro256++ (public-domain construction by Blackman & Vigna), implemented
+// here from the published algorithm.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace driftsync {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // Seed the state with splitmix64 as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    const __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli(p).
+  bool flip(double p) { return next_double() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent generator (e.g. one per link) from this one.
+  Rng split() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace driftsync

@@ -1,0 +1,52 @@
+// Small statistics helpers used by tests and benchmark harnesses:
+// running summaries, percentiles, and least-squares fits (the experiment
+// harness checks claimed complexity exponents with a log-log slope fit).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace driftsync {
+
+/// Single-pass summary of a stream of doubles.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1 divisor).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th percentile (q in [0,1]) by linear interpolation; the input vector is
+/// copied and sorted.  Returns NaN on empty input.
+double percentile(std::vector<double> values, double q);
+
+/// Ordinary least squares y = a + b*x.  Returns {a, b}.  Requires >= 2
+/// points with non-identical x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fits y = c * x^k by regressing log y on log x, returning the exponent k
+/// (and the fit).  All inputs must be positive.
+LinearFit loglog_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace driftsync

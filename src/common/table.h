@@ -1,0 +1,37 @@
+// ASCII table printer for the experiment harnesses in bench/.
+// Every EXP-n binary prints its results as a table in the same format, so
+// EXPERIMENTS.md can quote bench output verbatim.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace driftsync {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-style quoting) for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace driftsync

@@ -1,0 +1,42 @@
+// Time representation.
+//
+// The paper treats time-stamps as real numbers manipulated by linear
+// transformations only (remark in Section 3.1); we follow suit and represent
+// both real time (RT) and local clock time (LT) as double-precision seconds.
+// Infinity is used for "no bound" (the paper's ⊤).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace driftsync {
+
+/// Real time (the global time base; available only to the simulator and to
+/// analysis code, never to algorithms — Section 2, "view").
+using RealTime = double;
+
+/// Local clock time of some processor.
+using LocalTime = double;
+
+/// A difference of times (either base).
+using Duration = double;
+
+/// The paper's ⊤: absence of an upper bound in a bounds mapping.
+inline constexpr double kNoBound = std::numeric_limits<double>::infinity();
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Default relative tolerance used when comparing two independently computed
+/// time values (e.g. oracle vs. incremental algorithm).
+inline constexpr double kTimeEps = 1e-9;
+
+/// True if |a-b| is within `eps` absolutely or relative to magnitude.
+/// Also true when both are the same infinity.
+inline bool time_close(double a, double b, double eps = kTimeEps) {
+  if (a == b) return true;  // covers equal infinities
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double scale = 1.0 + std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= eps * scale;
+}
+
+}  // namespace driftsync

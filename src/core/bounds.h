@@ -1,0 +1,66 @@
+// The bounds mapping and synchronization-graph edge weights (Definitions in
+// Section 2 and Definition 2.1).
+//
+// Given the real-time specification of the system, the bounds mapping B
+// assigns to event pairs upper bounds on RT(p) - RT(q); the synchronization
+// graph has an edge (p, q) whenever B(p,q) < ⊤, weighted
+//     w(p, q) = B(p, q) - virt_del(p, q),  virt_del(p,q) = LT(p) - LT(q).
+//
+// Only two families of pairs get finite bounds (Section 2): consecutive
+// events at one processor (from the clock-drift bound) and matching
+// send/receive pairs (from the link transit bounds).  The helpers below
+// compute those weights; they are shared by the online engine, the oracle
+// and the tests, so every component prices edges identically.
+#pragma once
+
+#include "common/check.h"
+#include "core/event.h"
+#include "core/spec.h"
+
+namespace driftsync {
+
+/// Weights of the two synchronization-graph edges between consecutive
+/// events p (earlier) and q (later) at one processor with drift bound rho
+/// and elapsed local time dl = LT(q) - LT(p) >= 0:
+///   forward  = w(p, q) = -rt_lower(dl) + dl = dl * rho / (1 + rho)
+///   backward = w(q, p) =  rt_upper(dl) - dl = dl * rho / (1 - rho)
+/// Both are 0 at the source (rho = 0): consecutive source events are at
+/// mutual distance 0, which is why any source point can serve as `sp`.
+struct ProcEdgeWeights {
+  double forward = 0.0;   ///< Edge earlier -> later.
+  double backward = 0.0;  ///< Edge later -> earlier.
+};
+
+inline ProcEdgeWeights proc_edge_weights(const ClockSpec& clock,
+                                         Duration dl) {
+  DS_CHECK_MSG(dl >= 0.0, "local clocks are monotone");
+  ProcEdgeWeights w;
+  w.forward = dl - clock.rt_lower(dl);
+  w.backward = clock.rt_upper(dl) - dl;
+  return w;
+}
+
+/// Weights of the two synchronization-graph edges between a send event s
+/// (at processor `sender`) and its matching receive event r across a link
+/// with transit bounds [l, u] in the message's direction, where
+/// vd = LT(r) - LT(s):
+///   send_to_recv = w(s, r) = -l + vd        (from RT(s)-RT(r) <= -l)
+///   recv_to_send = w(r, s) =  u - vd        (from RT(r)-RT(s) <= u)
+/// recv_to_send is kNoBound when the direction has no upper transit bound;
+/// such an edge simply does not exist in the synchronization graph.
+struct MsgEdgeWeights {
+  double send_to_recv = 0.0;
+  double recv_to_send = kNoBound;
+};
+
+inline MsgEdgeWeights msg_edge_weights(const LinkSpec& link, ProcId sender,
+                                       LocalTime lt_send, LocalTime lt_recv) {
+  const double vd = lt_recv - lt_send;
+  const Duration u = link.max_from(sender);
+  MsgEdgeWeights w;
+  w.send_to_recv = vd - link.min_from(sender);
+  w.recv_to_send = u == kNoBound ? kNoBound : u - vd;
+  return w;
+}
+
+}  // namespace driftsync

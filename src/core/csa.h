@@ -1,0 +1,113 @@
+// The passive clock-synchronization-algorithm (CSA) interface, Section 2.2.
+//
+// Per the paper's model, a CSA is a layer between the send module (the
+// application that decides when messages are sent) and the network.  It
+// never initiates traffic; it only fills a payload into outgoing messages,
+// reads payloads of incoming messages, and answers estimate queries.  This
+// makes different algorithms directly comparable: the simulator can attach
+// several CSAs to the same execution and they all observe the identical
+// communication pattern.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/event.h"
+#include "core/spec.h"
+
+namespace driftsync {
+
+/// What a CSA may attach to a message.  `reports` is used by the
+/// view-propagating algorithms (event records); `scalars` by the classic
+/// baselines (timestamps, offsets, error bounds).
+struct CsaPayload {
+  EventBatch reports;
+  std::vector<double> scalars;
+
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return reports.size() * kEventRecordWireBytes +
+           scalars.size() * sizeof(double);
+  }
+};
+
+/// Context handed to a CSA when its processor sends a message.  The send
+/// event record (including its local time) is already assigned.
+struct SendContext {
+  ProcId self = kInvalidProc;
+  ProcId dest = kInvalidProc;
+  EventRecord send_event;
+  /// Application message tag (protocols like NTP key their payload off the
+  /// request/response kind; the tag models that shared convention).
+  std::uint32_t app_tag = 0;
+};
+
+/// Context handed to a CSA when its processor receives a message.  The
+/// matching send event record travels in the message header, so its local
+/// time at the sender is always available (this is the minimum any real
+/// protocol stack timestamps).
+struct RecvContext {
+  ProcId self = kInvalidProc;
+  ProcId from = kInvalidProc;
+  EventRecord recv_event;
+  EventRecord send_event;
+  std::uint32_t app_tag = 0;  ///< See SendContext::app_tag.
+};
+
+/// Instrumentation counters shared by all CSAs (zeros when not applicable).
+/// These feed the complexity experiments (EXP-3, EXP-4, EXP-5, EXP-10).
+struct CsaStats {
+  std::size_t live_points = 0;       ///< Current |live set| (Def. 3.1).
+  std::size_t max_live_points = 0;   ///< High-water mark of the above.
+  std::size_t history_events = 0;    ///< Current |H_v| (Fig. 2 buffer).
+  std::size_t max_history_events = 0;
+  std::size_t payload_bytes_sent = 0;
+  std::size_t payload_bytes_received = 0;
+  std::size_t reports_sent = 0;      ///< Event records attached, total.
+  std::size_t state_bytes = 0;       ///< Approximate resident state size.
+};
+
+class Csa {
+ public:
+  virtual ~Csa() = default;
+
+  /// Binds the CSA to its processor.  Called once before any event.
+  virtual void init(const SystemSpec& spec, ProcId self) = 0;
+
+  /// The processor is about to send a message; returns the payload to
+  /// attach.  The CSA must treat `ctx.send_event` as the newest event of its
+  /// own processor.
+  virtual CsaPayload on_send(const SendContext& ctx) = 0;
+
+  /// A message (with the given payload) arrived.
+  virtual void on_receive(const RecvContext& ctx,
+                          const CsaPayload& payload) = 0;
+
+  /// An internal event occurred at this processor (includes loss
+  /// declarations, Section 3.3).  Default: ignore.
+  virtual void on_internal(const EventRecord& event) { (void)event; }
+
+  /// The loss-detection mechanism (Section 3.3) reports that the earliest
+  /// outstanding message to `dest` was delivered.  (Loss of a message is
+  /// reported as a kLossDecl event via on_internal instead.)  Default:
+  /// ignore.
+  virtual void on_delivery_confirmed(ProcId dest) { (void)dest; }
+
+  /// The external-synchronization output (Section 2.1): an interval that is
+  /// guaranteed to contain the source clock's current value, queried when
+  /// this processor's local clock reads `now` (now >= the local time of the
+  /// last event seen).  Must not mutate state.
+  [[nodiscard]] virtual Interval estimate(LocalTime now) const = 0;
+
+  [[nodiscard]] virtual CsaStats stats() const { return {}; }
+
+  /// Short human-readable algorithm name (for harness tables).
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Factory: workloads construct one CSA instance per processor.
+using CsaFactory = std::function<std::unique_ptr<Csa>()>;
+
+}  // namespace driftsync

@@ -1,0 +1,50 @@
+// Events ("points") of an execution, Section 2.
+//
+// Every message send and receive is an event.  We additionally allow
+// internal events (e.g. user-visible queries) and loss-declaration events
+// (Section 3.3: the detection mechanism that flags a message as lost is
+// modeled as an event at the sender referencing the lost send).
+//
+// An EventRecord is exactly the information about an event that is part of
+// a *view*: location, local time and the graph structure (which send a
+// receive matches).  Real times of occurrence are deliberately absent —
+// they exist only in the simulator's ground-truth trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time_types.h"
+
+namespace driftsync {
+
+enum class EventKind : std::uint8_t {
+  kSend,      ///< A message send; `peer` is the destination processor.
+  kReceive,   ///< A message receive; `peer` is the sender, `match` its send.
+  kInternal,  ///< A local event with no message attached.
+  kLossDecl,  ///< Declares the message sent at `match` (same processor) lost.
+};
+
+struct EventRecord {
+  EventId id;
+  LocalTime lt = 0.0;
+  EventKind kind = EventKind::kInternal;
+  ProcId peer = kInvalidProc;  ///< Other endpoint for send/receive events.
+  EventId match;               ///< Matching send for kReceive / kLossDecl.
+
+  friend bool operator==(const EventRecord&, const EventRecord&) = default;
+};
+
+/// Serialized size we charge for one event record when accounting message
+/// overhead (proc + seq + lt + kind + peer + match ≈ 24 bytes packed).
+inline constexpr std::size_t kEventRecordWireBytes = 24;
+
+/// A batch of event records in a causally consistent order: every record's
+/// predecessors (previous event at the same processor, and the matching send
+/// of a receive) appear earlier in the batch or are already known to the
+/// recipient.  The history protocol produces batches with this property
+/// (see history.h).
+using EventBatch = std::vector<EventRecord>;
+
+}  // namespace driftsync

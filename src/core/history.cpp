@@ -1,0 +1,253 @@
+#include "core/history.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/wire.h"
+
+namespace driftsync {
+
+HistoryProtocol::HistoryProtocol(const SystemSpec& spec, ProcId self,
+                                 Options opts)
+    : spec_(&spec), self_(self), opts_(opts) {
+  DS_CHECK(self < spec.num_procs());
+  known_seq_.assign(spec.num_procs(), -1);
+  neighbors_.reserve(spec.neighbors(self).size());
+  for (const ProcId u : spec.neighbors(self)) {
+    NeighborState ns;
+    ns.id = u;
+    ns.c.assign(spec.num_procs(), -1);
+    neighbors_.push_back(std::move(ns));
+  }
+}
+
+HistoryProtocol::NeighborState& HistoryProtocol::neighbor_state(ProcId u) {
+  for (NeighborState& ns : neighbors_) {
+    if (ns.id == u) return ns;
+  }
+  DS_CHECK_MSG(false, "not a neighbor: " + std::to_string(u));
+  __builtin_unreachable();
+}
+
+void HistoryProtocol::record_own_event(const EventRecord& event) {
+  DS_CHECK_MSG(event.id.proc == self_, "record_own_event: foreign event");
+  DS_CHECK_MSG(
+      static_cast<std::int64_t>(event.id.seq) == known_seq_[self_] + 1,
+      "own events must be recorded in sequence order");
+  known_seq_[self_] = event.id.seq;
+  history_.push_back(event);
+  max_history_size_ = std::max(max_history_size_, history_.size());
+}
+
+EventBatch HistoryProtocol::fill_message(ProcId dest,
+                                         const EventRecord& send_event) {
+  record_own_event(send_event);
+  NeighborState& ns = neighbor_state(dest);
+  if (opts_.loss_tolerant) {
+    // Retain the pre-send knowledge until the detection mechanism reports
+    // this message's fate; until then GC must not trust the advance below.
+    if (ns.n_pending == 0) {
+      ns.pending_min = ns.c;
+    } else {
+      for (std::size_t w = 0; w < ns.c.size(); ++w) {
+        ns.pending_min[w] = std::min(ns.pending_min[w], ns.c[w]);
+      }
+    }
+    ++ns.n_pending;
+  }
+  EventBatch batch;
+  for (const EventRecord& p : history_) {
+    if (static_cast<std::int64_t>(p.id.seq) > ns.c[p.id.proc]) {
+      batch.push_back(p);
+      if (opts_.audit) {
+        if (++ns.reported[p.id.pack()] > 1) ++audit_repeat_reports_;
+      }
+    }
+  }
+  reports_sent_ += batch.size();
+  // After this message, dest knows everything v knows (optimistically so
+  // under loss; see pending_min above).
+  ns.c = known_seq_;
+  garbage_collect();
+  return batch;
+}
+
+EventBatch HistoryProtocol::receive_message(ProcId from,
+                                            const EventBatch& batch) {
+  NeighborState& ns = neighbor_state(from);
+  EventBatch fresh;
+  for (const EventRecord& p : batch) {
+    const auto seq = static_cast<std::int64_t>(p.id.seq);
+    // Whatever the sender reports, the sender knows.
+    ns.c[p.id.proc] = std::max(ns.c[p.id.proc], seq);
+    if (seq <= known_seq_[p.id.proc]) {
+      ++duplicate_reports_received_;
+      continue;
+    }
+    const bool gap = seq != known_seq_[p.id.proc] + 1;
+    const bool needs_match =
+        p.kind == EventKind::kReceive || p.kind == EventKind::kLossDecl;
+    const bool match_missing =
+        needs_match && static_cast<std::int64_t>(p.match.seq) >
+                           known_seq_[p.match.proc];
+    if (gap || match_missing) {
+      DS_CHECK_MSG(opts_.loss_tolerant,
+                   "report batch out of order for processor " +
+                       std::to_string(p.id.proc) +
+                       " (enable loss_tolerant for lossy links)");
+      ++gap_dropped_;
+      continue;  // a predecessor report was lost; rollback will resend
+    }
+    known_seq_[p.id.proc] = seq;
+    history_.push_back(p);
+    fresh.push_back(p);
+  }
+  max_history_size_ = std::max(max_history_size_, history_.size());
+  garbage_collect();
+  return fresh;
+}
+
+void HistoryProtocol::confirm_delivery(ProcId dest) {
+  DS_CHECK(opts_.loss_tolerant);
+  NeighborState& ns = neighbor_state(dest);
+  DS_CHECK_MSG(ns.n_pending > 0, "confirm_delivery without outstanding send");
+  if (--ns.n_pending == 0) ns.pending_min.clear();
+  garbage_collect();
+}
+
+void HistoryProtocol::handle_loss(ProcId dest) {
+  DS_CHECK(opts_.loss_tolerant);
+  NeighborState& ns = neighbor_state(dest);
+  DS_CHECK_MSG(ns.n_pending > 0, "handle_loss without outstanding send");
+  // Roll back to confirmed knowledge.  Element-wise min against the current
+  // C: entries advanced by *receiving* from dest meanwhile may be forgotten
+  // (causing a benign duplicate report later) but are never over-claimed.
+  for (std::size_t w = 0; w < ns.c.size(); ++w) {
+    ns.c[w] = std::min(ns.c[w], ns.pending_min[w]);
+  }
+  if (--ns.n_pending == 0) ns.pending_min.clear();
+}
+
+std::int64_t HistoryProtocol::confirmed_c(const NeighborState& ns,
+                                          ProcId proc) const {
+  if (ns.n_pending == 0) return ns.c[proc];
+  return std::min(ns.c[proc], ns.pending_min[proc]);
+}
+
+void HistoryProtocol::garbage_collect() {
+  if (opts_.disable_gc) return;  // ablation mode
+  // Keep p while some neighbor may not (confirmably) know it yet.  With a
+  // single neighbor and no loss this empties the buffer after every send.
+  std::erase_if(history_, [&](const EventRecord& p) {
+    const auto seq = static_cast<std::int64_t>(p.id.seq);
+    for (const NeighborState& ns : neighbors_) {
+      if (seq > confirmed_c(ns, p.id.proc)) return false;
+    }
+    return true;
+  });
+}
+
+std::int64_t HistoryProtocol::c_entry(ProcId neighbor, ProcId proc) const {
+  for (const NeighborState& ns : neighbors_) {
+    if (ns.id == neighbor) {
+      DS_CHECK(proc < ns.c.size());
+      return ns.c[proc];
+    }
+  }
+  DS_CHECK_MSG(false, "not a neighbor: " + std::to_string(neighbor));
+  __builtin_unreachable();
+}
+
+std::size_t HistoryProtocol::state_bytes() const {
+  std::size_t bytes = history_.capacity() * sizeof(EventRecord);
+  for (const NeighborState& ns : neighbors_) {
+    bytes += ns.c.capacity() * sizeof(std::int64_t);
+    bytes += ns.pending_min.capacity() * sizeof(std::int64_t);
+  }
+  bytes += known_seq_.capacity() * sizeof(std::int64_t);
+  return bytes;
+}
+
+// ------------------------------------------------------------ checkpointing
+
+namespace {
+// Sequence numbers are saved +1 so that "none known" (-1) encodes as 0.
+std::uint64_t seq_code(std::int64_t seq) {
+  return static_cast<std::uint64_t>(seq + 1);
+}
+std::int64_t seq_decode(std::uint64_t code) {
+  return static_cast<std::int64_t>(code) - 1;
+}
+constexpr std::uint64_t kHistoryMagic = 0xD5711;
+}  // namespace
+
+void HistoryProtocol::save(std::vector<std::uint8_t>& out) const {
+  DS_CHECK_MSG(!opts_.audit, "audit mode cannot be checkpointed");
+  wire::put_varint(out, kHistoryMagic);
+  wire::put_varint(out, self_);
+  wire::put_varint(out, known_seq_.size());
+  for (const std::int64_t s : known_seq_) wire::put_varint(out, seq_code(s));
+  wire::put_varint(out, neighbors_.size());
+  for (const NeighborState& ns : neighbors_) {
+    wire::put_varint(out, ns.id);
+    for (const std::int64_t s : ns.c) wire::put_varint(out, seq_code(s));
+    wire::put_varint(out, ns.n_pending);
+    if (ns.n_pending > 0) {
+      for (const std::int64_t s : ns.pending_min) {
+        wire::put_varint(out, seq_code(s));
+      }
+    }
+  }
+  const auto batch = wire::encode_batch(history_);
+  wire::put_varint(out, batch.size());
+  out.insert(out.end(), batch.begin(), batch.end());
+  wire::put_varint(out, max_history_size_);
+  wire::put_varint(out, reports_sent_);
+  wire::put_varint(out, duplicate_reports_received_);
+  wire::put_varint(out, gap_dropped_);
+}
+
+void HistoryProtocol::load(std::span<const std::uint8_t> bytes,
+                           std::size_t& offset) {
+  DS_CHECK_MSG(!opts_.audit, "audit mode cannot be checkpointed");
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == kHistoryMagic,
+               "checkpoint: bad history magic");
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == self_,
+               "checkpoint: wrong processor");
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == known_seq_.size(),
+               "checkpoint: wrong system size");
+  for (std::int64_t& s : known_seq_) {
+    s = seq_decode(wire::get_varint(bytes, offset));
+  }
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == neighbors_.size(),
+               "checkpoint: wrong neighbor count");
+  for (NeighborState& ns : neighbors_) {
+    DS_CHECK_MSG(wire::get_varint(bytes, offset) == ns.id,
+                 "checkpoint: neighbor mismatch");
+    for (std::int64_t& s : ns.c) {
+      s = seq_decode(wire::get_varint(bytes, offset));
+    }
+    ns.n_pending = wire::get_varint(bytes, offset);
+    if (ns.n_pending > 0) {
+      DS_CHECK_MSG(opts_.loss_tolerant,
+                   "checkpoint: pending snapshots need loss_tolerant mode");
+      ns.pending_min.resize(known_seq_.size());
+      for (std::int64_t& s : ns.pending_min) {
+        s = seq_decode(wire::get_varint(bytes, offset));
+      }
+    } else {
+      ns.pending_min.clear();
+    }
+  }
+  const std::uint64_t batch_bytes = wire::get_varint(bytes, offset);
+  DS_CHECK_MSG(offset + batch_bytes <= bytes.size(),
+               "checkpoint: truncated history batch");
+  history_ = wire::decode_batch(bytes.subspan(offset, batch_bytes));
+  offset += batch_bytes;
+  max_history_size_ = wire::get_varint(bytes, offset);
+  reports_sent_ = wire::get_varint(bytes, offset);
+  duplicate_reports_received_ = wire::get_varint(bytes, offset);
+  gap_dropped_ = wire::get_varint(bytes, offset);
+}
+
+}  // namespace driftsync

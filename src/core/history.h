@@ -1,0 +1,168 @@
+// The full-information propagation protocol of Figure 2 (Section 3.1).
+//
+// Guarantees (Lemma 3.1) that at every point p of processor v, all events of
+// the local view from p have been reported to v — using, per Lemma 3.2, at
+// most one report of each event per link per direction.  The state is the
+// history buffer H_v (events some neighbor may not know yet) and, per
+// neighbor u, the array C_vu with one entry per processor w: the last event
+// of w that v knows u knows.
+//
+// Implementation notes:
+//  * Entries of C are per-processor sequence numbers rather than local
+//    times.  Per-processor local time is non-decreasing and the sequence
+//    number strictly increasing, so the comparison LT(p) > C_vu[loc(p)] of
+//    the paper is equivalent to seq(p) > C_vu[loc(p)] — and exact (no
+//    floating-point ties).
+//  * H_v is kept in arrival order, which is causally consistent (own events
+//    in occurrence order; reported events in the order the sender stored
+//    them).  Hence every message batch is causally consistent for its
+//    recipient: each record's causal predecessors either precede it in the
+//    batch or were already known to the recipient (see DESIGN.md §4).
+//  * The garbage-collection keep-rule is: keep p while SOME neighbor u'
+//    still has seq(p) > C_vu'[loc(p)].  (The extended abstract's listing
+//    prints the complemented predicate, which would discard exactly the
+//    events still owed to a neighbor; we implement the rule consistent with
+//    Lemmas 3.1-3.3.)
+//
+// Message loss (Section 3.3).  The paper assumes reliable links for the
+// protocol and adds a detection mechanism that eventually flags a message
+// as lost.  In loss-tolerant mode this class extends the accounting to stay
+// sound under loss: C_vu is advanced optimistically at each send, but a
+// snapshot of the pre-send state is retained until the detection mechanism
+// reports the message's fate.  On a loss report, C_vu rolls back (element-
+// wise min — receives from u meanwhile may only be *forgotten*, never
+// over-claimed, so safety is preserved at the cost of an occasional
+// duplicate report).  Garbage collection only trusts confirmed knowledge,
+// so rolled-back events are still in H_v for retransmission.  On the
+// receive side, records that are unusable because a predecessor report was
+// lost (sequence gap, or unknown matching send) are dropped and counted;
+// the rollback guarantees they are reported again later.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/spec.h"
+
+namespace driftsync {
+
+class HistoryProtocol {
+ public:
+  struct Options {
+    /// Track every (event, link, direction) report to prove Lemma 3.2 in
+    /// tests (memory-heavy; off by default).
+    bool audit = false;
+    /// Enable the Section 3.3 loss accounting described above.
+    bool loss_tolerant = false;
+    /// ABLATION ONLY: never garbage-collect H_v.  Messages are unchanged
+    /// (the C arrays alone decide what is reported); only the buffer grows
+    /// with the whole execution instead of O(K1*D) — isolating what the
+    /// Figure-2 GC clause buys (Lemma 3.3).
+    bool disable_gc = false;
+  };
+
+  HistoryProtocol(const SystemSpec& spec, ProcId self, Options opts);
+  HistoryProtocol(const SystemSpec& spec, ProcId self)
+      : HistoryProtocol(spec, self, Options()) {}
+
+  /// Records an event that occurred at this processor (send events are
+  /// recorded by fill_message; use this for receives, internal events and
+  /// loss declarations).
+  void record_own_event(const EventRecord& event);
+
+  /// The processor is sending a message to neighbor `dest` whose send event
+  /// is `send_event`.  Records the send event, then returns the batch of
+  /// all events v does not know `dest` knows (which always includes the
+  /// send event itself), updates C_v,dest, and garbage-collects H_v.
+  EventBatch fill_message(ProcId dest, const EventRecord& send_event);
+
+  /// A message with report batch `batch` arrived from neighbor `from`.
+  /// Returns the sub-batch of records that are new to this processor, in
+  /// causally consistent order; updates C_v,from and garbage-collects H_v.
+  /// (The caller records its own receive event separately via
+  /// record_own_event, *after* ingesting the returned records.)
+  EventBatch receive_message(ProcId from, const EventBatch& batch);
+
+  /// Loss-tolerant mode: the detection mechanism reports that the earliest
+  /// outstanding message to `dest` was delivered / was lost.
+  void confirm_delivery(ProcId dest);
+  void handle_loss(ProcId dest);
+
+  /// Current number of events buffered in H_v.
+  [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+  [[nodiscard]] std::size_t max_history_size() const {
+    return max_history_size_;
+  }
+
+  /// Highest sequence number of `proc`'s events known to this processor
+  /// (-1 when none).
+  [[nodiscard]] std::int64_t known_seq(ProcId proc) const {
+    return known_seq_[proc];
+  }
+
+  /// C_v,neighbor[proc]; -1 when no event of proc is known-known.
+  [[nodiscard]] std::int64_t c_entry(ProcId neighbor, ProcId proc) const;
+
+  /// Total event records attached to outgoing messages.
+  [[nodiscard]] std::size_t reports_sent() const { return reports_sent_; }
+  /// Records received that this processor already knew.  These occur
+  /// legitimately when two neighbors independently report the same event
+  /// (diamond topologies); Lemma 3.2 only rules out repeats on the *same*
+  /// link and direction — that is what audit_repeat_reports() checks.
+  [[nodiscard]] std::size_t duplicate_reports_received() const {
+    return duplicate_reports_received_;
+  }
+  /// With audit: number of (event, link, direction) pairs reported more
+  /// than once — Lemma 3.2 asserts this is 0 on loss-free links.
+  [[nodiscard]] std::size_t audit_repeat_reports() const {
+    return audit_repeat_reports_;
+  }
+  /// Loss-tolerant mode: records dropped because a predecessor was lost.
+  [[nodiscard]] std::size_t gap_dropped() const { return gap_dropped_; }
+
+  /// Approximate resident bytes (H_v + C arrays), for EXP-10.
+  [[nodiscard]] std::size_t state_bytes() const;
+
+  /// Checkpointing: appends the full protocol state (buffer, C arrays,
+  /// pending snapshots, counters) to `out`; load() restores it into a
+  /// freshly constructed instance bound to the same spec/processor/options
+  /// (audit mode cannot be checkpointed).  The format reuses the wire
+  /// primitives and validates on load.
+  void save(std::vector<std::uint8_t>& out) const;
+  void load(std::span<const std::uint8_t> bytes, std::size_t& offset);
+
+ private:
+  struct NeighborState {
+    ProcId id = kInvalidProc;
+    std::vector<std::int64_t> c;  // per processor, -1 initially
+    // Loss-tolerant mode: element-wise min of the pre-send C snapshots of
+    // all messages whose fate is still unknown.
+    std::vector<std::int64_t> pending_min;
+    std::size_t n_pending = 0;
+    std::unordered_map<std::uint64_t, char> reported;  // audit only
+  };
+
+  NeighborState& neighbor_state(ProcId u);
+  void garbage_collect();
+  /// Knowledge of neighbor `ns` that GC may trust (confirmed only).
+  [[nodiscard]] std::int64_t confirmed_c(const NeighborState& ns,
+                                         ProcId proc) const;
+
+  const SystemSpec* spec_;
+  ProcId self_ = kInvalidProc;
+  Options opts_;
+  std::vector<EventRecord> history_;            // arrival order
+  std::vector<std::int64_t> known_seq_;         // per processor
+  std::vector<NeighborState> neighbors_;
+  std::size_t max_history_size_ = 0;
+  std::size_t reports_sent_ = 0;
+  std::size_t duplicate_reports_received_ = 0;
+  std::size_t audit_repeat_reports_ = 0;
+  std::size_t gap_dropped_ = 0;
+};
+
+}  // namespace driftsync

@@ -1,0 +1,69 @@
+// The paper's main result assembled as a passive CSA (Theorem 3.6): the
+// full-information history protocol of Figure 2 feeds the local view, in
+// causal order, into the AGDP-based SyncEngine.  Space O(L^2 + K1*D), time
+// O(L^2) per message, message payload O(K1*D + delta*|V|) — measured by the
+// EXP-3/4/5/10 benches.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/csa.h"
+#include "core/history.h"
+#include "core/sync_engine.h"
+
+namespace driftsync {
+
+class OptimalCsa : public Csa {
+ public:
+  struct Options {
+    bool audit_reports = false;  ///< Lemma 3.2 audit (tests only).
+    bool loss_tolerant = false;  ///< Section 3.3 accounting.
+    /// ABLATION ONLY: disable AGDP dead-node garbage collection (see
+    /// SyncEngine::Options::keep_dead_nodes).
+    bool ablate_keep_dead_nodes = false;
+  };
+
+  OptimalCsa() = default;
+  explicit OptimalCsa(Options opts) : opts_(opts) {}
+
+  void init(const SystemSpec& spec, ProcId self) override;
+  CsaPayload on_send(const SendContext& ctx) override;
+  void on_receive(const RecvContext& ctx, const CsaPayload& payload) override;
+  void on_internal(const EventRecord& event) override;
+  [[nodiscard]] Interval estimate(LocalTime now) const override;
+  [[nodiscard]] CsaStats stats() const override;
+  [[nodiscard]] const char* name() const override { return "optimal"; }
+
+  /// Loss-tolerant mode plumbing (called by the simulator's detection
+  /// mechanism; see sim/simulator.h).
+  void on_delivery_confirmed(ProcId dest) override;
+
+  /// Internal-synchronization-style query: bounds on processor w's current
+  /// clock reading (see SyncEngine::peer_clock_estimate).
+  [[nodiscard]] Interval peer_clock_estimate(ProcId w, LocalTime now) const {
+    DS_CHECK(engine_.has_value());
+    return engine_->peer_clock_estimate(w, now);
+  }
+
+  /// Checkpoint/restore: a node can persist its synchronization state
+  /// across restarts (the local clock keeps running, so the estimate simply
+  /// resumes extrapolating from the last pre-restart event).  `restore`
+  /// must be called on a freshly init()-ed instance with the same options,
+  /// spec and processor.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
+  void restore(std::span<const std::uint8_t> bytes);
+
+  /// Direct access for white-box tests and experiments.
+  [[nodiscard]] const SyncEngine& engine() const { return *engine_; }
+  [[nodiscard]] const HistoryProtocol& history() const { return *history_; }
+
+ private:
+  Options opts_;
+  std::optional<HistoryProtocol> history_;
+  std::optional<SyncEngine> engine_;
+  CsaStats stats_;
+};
+
+}  // namespace driftsync

@@ -1,0 +1,283 @@
+#include "core/sync_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/wire.h"
+
+namespace driftsync {
+
+using Handle = graph::IncrementalApsp::Handle;
+using HalfEdge = graph::IncrementalApsp::HalfEdge;
+
+SyncEngine::SyncEngine(const SystemSpec& spec, ProcId self, Options opts)
+    : spec_(&spec), self_(self), opts_(opts) {
+  DS_CHECK(self < spec.num_procs());
+  last_id_.assign(spec.num_procs(), kInvalidEvent);
+}
+
+void SyncEngine::ingest(const EventRecord& record) {
+  const ProcId w = record.id.proc;
+  DS_CHECK(w < spec_->num_procs());
+  const EventId prev_id = last_id_[w];
+  DS_CHECK_MSG(record.id.seq == (prev_id.valid() ? prev_id.seq + 1 : 0),
+               "events of a processor must be ingested in sequence order");
+
+  std::vector<HalfEdge> in_edges;
+  std::vector<HalfEdge> out_edges;
+
+  // Drift edges to the processor-predecessor (Section 2, clock drift
+  // bounds).  The predecessor is live: the last known event of every
+  // processor always is (Definition 3.1).
+  if (prev_id.valid()) {
+    const LiveNode& prev = live_.at(prev_id);
+    const Duration dl = record.lt - prev.rec.lt;
+    DS_CHECK_MSG(dl >= 0.0, "local clock went backwards");
+    const ProcEdgeWeights pw = proc_edge_weights(spec_->clock(w), dl);
+    in_edges.push_back(HalfEdge{prev.handle, pw.forward});
+    out_edges.push_back(HalfEdge{prev.handle, pw.backward});
+  }
+
+  // Transit edges to the matching send (Section 2, message transit bounds).
+  // The send is live: its receive was not in the view before this record.
+  if (record.kind == EventKind::kReceive) {
+    const auto it = live_.find(record.match);
+    DS_CHECK_MSG(it != live_.end(),
+                 "receive ingested before its matching send is live");
+    const LiveNode& send = it->second;
+    DS_CHECK(send.rec.kind == EventKind::kSend && !send.recv_seen &&
+             !send.lost);
+    const LinkSpec* link = spec_->link_between(w, record.peer);
+    DS_CHECK_MSG(link != nullptr, "receive over a non-existent link");
+    const MsgEdgeWeights mw =
+        msg_edge_weights(*link, record.peer, send.rec.lt, record.lt);
+    in_edges.push_back(HalfEdge{send.handle, mw.send_to_recv});
+    if (mw.recv_to_send != kNoBound) {
+      out_edges.push_back(HalfEdge{send.handle, mw.recv_to_send});
+    }
+  }
+
+  const Handle h = apsp_.insert_node(in_edges, out_edges);
+  DS_CHECK_MSG(h != graph::IncrementalApsp::kNoHandle,
+               "negative cycle: the real-time specification is inconsistent "
+               "with the observed local times");
+
+  LiveNode node;
+  node.rec = record;
+  node.handle = h;
+  live_.emplace(record.id, std::move(node));
+  last_id_[w] = record.id;
+
+  // Death processing (Definition 3.1): the predecessor is no longer the last
+  // point of its processor, and a matched/lost send is no longer pending.
+  if (prev_id.valid()) drop_if_dead(prev_id);
+  if (record.kind == EventKind::kReceive) {
+    live_.at(record.match).recv_seen = true;
+    drop_if_dead(record.match);
+  } else if (record.kind == EventKind::kLossDecl) {
+    const auto it = live_.find(record.match);
+    DS_CHECK_MSG(it != live_.end() && it->second.rec.kind == EventKind::kSend,
+                 "loss declaration must reference a pending send");
+    DS_CHECK_MSG(record.match.proc == w,
+                 "only the sender declares a message lost");
+    it->second.lost = true;
+    drop_if_dead(record.match);
+  }
+
+  max_live_ = std::max(max_live_, live_.size());
+}
+
+void SyncEngine::drop_if_dead(EventId id) {
+  if (opts_.keep_dead_nodes) return;  // ablation mode: no garbage collection
+  const auto it = live_.find(id);
+  DS_CHECK(it != live_.end());
+  const LiveNode& node = it->second;
+  if (last_id_[id.proc] == id) return;  // still the last point at its proc
+  if (node.rec.kind == EventKind::kSend && !node.recv_seen && !node.lost) {
+    return;  // pending send
+  }
+  apsp_.remove_node(node.handle);
+  live_.erase(it);
+}
+
+Interval SyncEngine::estimate(LocalTime now) const {
+  const EventId p_id = last_id_[self_];
+  if (!p_id.valid() || !knows_source()) return Interval::everything();
+  const LiveNode& p = live_.at(p_id);
+  const LiveNode& sp = live_.at(last_id_[spec_->source()]);
+  DS_CHECK_MSG(now >= p.rec.lt - 1e-12,
+               "estimate() queried before the last ingested event");
+
+  // ext_L = LT(p) - d(sp, p), ext_U = LT(p) + d(p, sp)  (Section 2.3),
+  // then extrapolated from point p to local time `now` via the drift bound.
+  const double d_sp_p = apsp_.distance(sp.handle, p.handle);
+  const double d_p_sp = apsp_.distance(p.handle, sp.handle);
+  const Duration dl = std::max(0.0, now - p.rec.lt);
+  const ClockSpec& clock = spec_->clock(self_);
+  Interval out = Interval::everything();
+  if (d_sp_p != kNoBound) out.lo = p.rec.lt - d_sp_p + clock.rt_lower(dl);
+  if (d_p_sp != kNoBound) out.hi = p.rec.lt + d_p_sp + clock.rt_upper(dl);
+  return out;
+}
+
+Interval SyncEngine::peer_clock_estimate(ProcId w, LocalTime now) const {
+  DS_CHECK(w < spec_->num_procs());
+  if (w == self_) return Interval::point(now);  // my clock reads `now` now
+  const EventId p_id = last_id_[self_];
+  const EventId q_id = last_id_[w];
+  if (!p_id.valid() || !q_id.valid()) return Interval::everything();
+  const LiveNode& p = live_.at(p_id);
+  const LiveNode& q = live_.at(q_id);
+
+  // Real time elapsed since my last event (my own drift envelope) ...
+  const ClockSpec& my_clock = spec_->clock(self_);
+  const Duration dl = std::max(0.0, now - p.rec.lt);
+  // ... plus the Theorem 2.1 bounds on RT(p) - RT(q): together, the real
+  // time elapsed at w since its last known event q (non-negative, since q
+  // is in the causal past of the query).
+  const Interval d = rt_difference_bounds(p_id, q_id);
+  const double t_lo =
+      d.lo == kNegInf ? 0.0 : std::max(0.0, my_clock.rt_lower(dl) + d.lo);
+  const double t_hi =
+      d.hi == kNoBound ? kNoBound : my_clock.rt_upper(dl) + d.hi;
+
+  // w's clock advances over that real time at a rate within its drift bound.
+  const ClockSpec& w_clock = spec_->clock(w);
+  return Interval{q.rec.lt + t_lo * w_clock.min_rate(),
+                  t_hi == kNoBound ? kNoBound
+                                   : q.rec.lt + t_hi * w_clock.max_rate()};
+}
+
+Interval SyncEngine::rt_difference_bounds(EventId p, EventId q) const {
+  const auto ip = live_.find(p);
+  const auto iq = live_.find(q);
+  DS_CHECK_MSG(ip != live_.end() && iq != live_.end(),
+               "rt_difference_bounds requires live points");
+  const double vd = ip->second.rec.lt - iq->second.rec.lt;
+  const double d_pq = apsp_.distance(ip->second.handle, iq->second.handle);
+  const double d_qp = apsp_.distance(iq->second.handle, ip->second.handle);
+  return Interval{d_qp == kNoBound ? kNegInf : vd - d_qp,
+                  d_pq == kNoBound ? kNoBound : vd + d_pq};
+}
+
+double SyncEngine::distance(EventId from, EventId to) const {
+  const auto f = live_.find(from);
+  const auto t = live_.find(to);
+  DS_CHECK(f != live_.end() && t != live_.end());
+  return apsp_.distance(f->second.handle, t->second.handle);
+}
+
+std::vector<EventId> SyncEngine::live_points() const {
+  std::vector<EventId> out;
+  out.reserve(live_.size());
+  for (const auto& [id, node] : live_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+
+// ------------------------------------------------------------ checkpointing
+
+namespace {
+constexpr std::uint64_t kEngineMagic = 0xE5617;
+}  // namespace
+
+void SyncEngine::save(std::vector<std::uint8_t>& out) const {
+  wire::put_varint(out, kEngineMagic);
+  wire::put_varint(out, self_);
+  wire::put_varint(out, last_id_.size());
+  for (const EventId& id : last_id_) {
+    wire::put_varint(out, id.valid() ? std::uint64_t{id.seq} + 1 : 0);
+  }
+  // Live nodes in canonical (EventId) order, with flags and the exact
+  // pairwise distance matrix in that order.
+  const std::vector<EventId> order = live_points();
+  EventBatch records;
+  records.reserve(order.size());
+  std::vector<std::uint8_t> flags;
+  for (const EventId& id : order) {
+    const LiveNode& node = live_.at(id);
+    records.push_back(node.rec);
+    flags.push_back(static_cast<std::uint8_t>((node.recv_seen ? 1 : 0) |
+                                              (node.lost ? 2 : 0)));
+  }
+  // The canonical order is NOT causally consistent; serialize records
+  // individually (encode_batch is order-preserving, so this is fine — the
+  // decoder applies no semantic checks).
+  const auto batch = wire::encode_batch(records);
+  wire::put_varint(out, batch.size());
+  out.insert(out.end(), batch.begin(), batch.end());
+  out.insert(out.end(), flags.begin(), flags.end());
+  for (const EventId& a : order) {
+    for (const EventId& b : order) {
+      wire::put_double(out, distance(a, b));
+    }
+  }
+  wire::put_varint(out, max_live_);
+}
+
+void SyncEngine::load(std::span<const std::uint8_t> bytes,
+                      std::size_t& offset) {
+  DS_CHECK_MSG(live_.empty(), "load into a fresh engine");
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == kEngineMagic,
+               "checkpoint: bad engine magic");
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == self_,
+               "checkpoint: wrong processor");
+  DS_CHECK_MSG(wire::get_varint(bytes, offset) == last_id_.size(),
+               "checkpoint: wrong system size");
+  std::vector<std::uint64_t> last_seq(last_id_.size());
+  for (std::uint64_t& code : last_seq) code = wire::get_varint(bytes, offset);
+
+  const std::uint64_t batch_bytes = wire::get_varint(bytes, offset);
+  DS_CHECK_MSG(offset + batch_bytes <= bytes.size(),
+               "checkpoint: truncated live records");
+  const EventBatch records =
+      wire::decode_batch(bytes.subspan(offset, batch_bytes));
+  offset += batch_bytes;
+  const std::size_t n = records.size();
+  DS_CHECK_MSG(offset + n <= bytes.size(), "checkpoint: truncated flags");
+  std::vector<std::uint8_t> flags(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  offset += n;
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[i][j] = wire::get_double(bytes, offset);
+    }
+  }
+  max_live_ = wire::get_varint(bytes, offset);
+
+  // Rebuild the APSP structure: insert node i with direct edges carrying the
+  // exact saved distances to/from all previously inserted nodes.  True
+  // distances satisfy the triangle inequality, so the resulting shortest
+  // paths equal the saved matrix entry-for-entry.
+  std::vector<graph::IncrementalApsp::Handle> handles(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<graph::IncrementalApsp::HalfEdge> ins, outs;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (dist[j][i] != kNoBound) ins.push_back({handles[j], dist[j][i]});
+      if (dist[i][j] != kNoBound) outs.push_back({handles[j], dist[i][j]});
+    }
+    handles[i] = apsp_.insert_node(ins, outs);
+    DS_CHECK_MSG(handles[i] != graph::IncrementalApsp::kNoHandle,
+                 "checkpoint: inconsistent distance matrix");
+    LiveNode node;
+    node.rec = records[i];
+    node.handle = handles[i];
+    node.recv_seen = (flags[i] & 1) != 0;
+    node.lost = (flags[i] & 2) != 0;
+    live_.emplace(records[i].id, std::move(node));
+  }
+  for (std::size_t w = 0; w < last_id_.size(); ++w) {
+    if (last_seq[w] == 0) {
+      last_id_[w] = kInvalidEvent;
+    } else {
+      last_id_[w] = EventId{static_cast<ProcId>(w),
+                            static_cast<std::uint32_t>(last_seq[w] - 1)};
+      DS_CHECK_MSG(live_.contains(last_id_[w]),
+                   "checkpoint: frontier event not live");
+    }
+  }
+}
+
+}  // namespace driftsync

@@ -1,0 +1,123 @@
+// The online synchronization engine: the reduction of external clock
+// synchronization to the Accumulated Graph Distance Problem (Section 3.1)
+// plus the AGDP algorithm itself (Section 3.2).
+//
+// The engine consumes the event records of one processor's local view in a
+// causally consistent order (its own events as they occur, plus the batches
+// produced by the history protocol) and maintains:
+//
+//  * the live points of the view (Definition 3.1, with the Section 3.3
+//    extension for loss declarations), and
+//  * a complete weighted digraph over the live points whose edge weights
+//    are exactly the synchronization-graph distances (Lemma 3.4), stored in
+//    an IncrementalApsp.
+//
+// Each ingested event inserts one node with at most four incident edges
+// (two to the processor-predecessor, two to the matching send), costing
+// O(L^2) by Lemma 3.5; nodes that stop being live are dropped.  Queries
+// read distances to/from the latest known source point, giving the optimal
+// bounds of Theorem 2.1.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "core/bounds.h"
+#include "core/event.h"
+#include "core/spec.h"
+#include "graph/incremental_apsp.h"
+
+namespace driftsync {
+
+class SyncEngine {
+ public:
+  struct Options {
+    /// ABLATION ONLY: keep dead nodes in the distance structure instead of
+    /// dropping them.  Results stay correct (dead nodes never improve a
+    /// distance between live ones — Lemma 3.4) but the node set, and hence
+    /// the per-insert O(L^2) cost, grows with the whole execution: this is
+    /// exactly what the paper's garbage collection buys (bench
+    /// exp_ablation_gc).
+    bool keep_dead_nodes = false;
+  };
+
+  SyncEngine(const SystemSpec& spec, ProcId self, Options opts);
+  SyncEngine(const SystemSpec& spec, ProcId self)
+      : SyncEngine(spec, self, Options()) {}
+
+  /// Feeds one event record.  Records must arrive in a causally consistent
+  /// order and, per processor, in sequence order with no gaps.
+  void ingest(const EventRecord& record);
+
+  /// Optimal estimate of the current source time, queried when this
+  /// processor's clock reads `now` (>= local time of the last ingested own
+  /// event).  Returns Interval::everything() until a source event is known.
+  [[nodiscard]] Interval estimate(LocalTime now) const;
+
+  /// Theorem 2.1 bounds on RT(p) - RT(q) for two currently live points.
+  [[nodiscard]] Interval rt_difference_bounds(EventId p, EventId q) const;
+
+  /// Internal-synchronization-style query: bounds on processor w's current
+  /// clock reading, evaluated when this processor's clock reads `now`.
+  /// Composes (Theorem 2.1 bounds between the two last events) with both
+  /// clocks' drift envelopes; returns everything() until w has a known
+  /// event.  For w == source this reduces to estimate().
+  [[nodiscard]] Interval peer_clock_estimate(ProcId w, LocalTime now) const;
+
+  /// Synchronization-graph distance between two live points (Lemma 3.4
+  /// guarantees this equals the distance in the full view's graph).
+  [[nodiscard]] double distance(EventId from, EventId to) const;
+
+  [[nodiscard]] bool is_live(EventId id) const {
+    return live_.contains(id);
+  }
+  [[nodiscard]] std::vector<EventId> live_points() const;
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+  [[nodiscard]] std::size_t max_live_count() const { return max_live_; }
+  [[nodiscard]] std::size_t matrix_bytes() const {
+    return apsp_.matrix_bytes();
+  }
+
+  /// Last known event of a processor (invalid EventId when none).
+  [[nodiscard]] EventId last_event_of(ProcId p) const {
+    return last_id_[p];
+  }
+
+  /// True once at least one source event has been ingested.
+  [[nodiscard]] bool knows_source() const {
+    return last_id_[spec_->source()].valid();
+  }
+
+  /// Checkpointing: appends the engine state (live records with flags, the
+  /// live-to-live distance matrix, per-processor frontiers) to `out`;
+  /// load() restores it into a freshly constructed instance bound to the
+  /// same spec/processor.  Distances are restored exactly (they are saved,
+  /// not recomputed).
+  void save(std::vector<std::uint8_t>& out) const;
+  void load(std::span<const std::uint8_t> bytes, std::size_t& offset);
+
+ private:
+  struct LiveNode {
+    EventRecord rec;
+    graph::IncrementalApsp::Handle handle = graph::IncrementalApsp::kNoHandle;
+    bool recv_seen = false;  ///< For sends: matching receive ingested.
+    bool lost = false;       ///< For sends: loss declaration ingested.
+  };
+
+  /// Removes a node if it is no longer live per Definition 3.1.
+  void drop_if_dead(EventId id);
+
+  const SystemSpec* spec_;
+  ProcId self_;
+  Options opts_;
+  graph::IncrementalApsp apsp_;
+  std::unordered_map<EventId, LiveNode> live_;
+  std::vector<EventId> last_id_;  ///< Per processor; invalid when none.
+  std::size_t max_live_ = 0;
+};
+
+}  // namespace driftsync

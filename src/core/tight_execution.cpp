@@ -1,0 +1,52 @@
+#include "core/tight_execution.h"
+
+#include "common/check.h"
+#include "graph/shortest_paths.h"
+
+namespace driftsync {
+
+RtAssignment tight_assignment(const View& view, EventId anchor, bool maximize,
+                              RealTime anchor_rt_offset) {
+  const View::SyncGraph sg = view.build_sync_graph();
+  const auto it = sg.index_of.find(anchor);
+  DS_CHECK_MSG(it != sg.index_of.end(), "anchor not in view");
+  const graph::NodeIndex a = it->second;
+
+  const graph::ShortestPathResult res =
+      maximize ? graph::bellman_ford_to(sg.graph, a)
+               : graph::bellman_ford(sg.graph, a);
+  DS_CHECK_MSG(!res.negative_cycle, "inconsistent real-time specification");
+
+  RtAssignment rt;
+  rt.reserve(sg.order.size());
+  for (std::size_t i = 0; i < sg.order.size(); ++i) {
+    const double d = res.dist[i];
+    DS_CHECK_MSG(d != kNoBound,
+                 "tight assignment needs finite distances; give every link "
+                 "a finite upper transit bound");
+    const double phi = maximize ? d : -d;
+    const EventRecord* rec = view.find(sg.order[i]);
+    rt.emplace(sg.order[i], rec->lt + phi + anchor_rt_offset);
+  }
+  return rt;
+}
+
+std::size_t count_violations(const View& view, const RtAssignment& rt,
+                             double eps) {
+  const View::SyncGraph sg = view.build_sync_graph();
+  std::size_t violations = 0;
+  // Every edge (x, y) encodes RT(x) - RT(y) <= B(x, y), i.e.
+  // phi(x) - phi(y) <= w(x, y).
+  for (graph::NodeIndex x = 0; x < sg.graph.size(); ++x) {
+    const EventRecord* rx = view.find(sg.order[x]);
+    const double phi_x = rt.at(sg.order[x]) - rx->lt;
+    for (const graph::Arc& arc : sg.graph.out_edges(x)) {
+      const EventRecord* ry = view.find(sg.order[arc.to]);
+      const double phi_y = rt.at(sg.order[arc.to]) - ry->lt;
+      if (phi_x - phi_y > arc.weight + eps) ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace driftsync

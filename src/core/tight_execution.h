@@ -1,0 +1,43 @@
+// Construction of the tight executions of Theorem 2.1.
+//
+// Given a view and its synchronization graph, a real-time assignment is a
+// choice of RT(x) for every event x.  Writing phi(x) = RT(x) - LT(x), the
+// bounds mapping constraints become difference constraints
+//     phi(x) - phi(y) <= w(x, y)           for every graph edge (x, y),
+// so feasible assignments are exactly the feasible potentials.  The theorem's
+// extremal executions are the classic extremal potentials anchored at q:
+//     alpha_1:  phi(x) = d(x, q)   (maximizes RT(x) - RT(q) for every x)
+//     alpha_0:  phi(x) = -d(q, x)  (minimizes RT(x) - RT(q) for every x)
+// Both require the relevant distances to be finite, which holds whenever all
+// links carry finite upper transit bounds (the graph is then strongly
+// connected).  These constructions let the tests *exhibit* executions
+// attaining the optimal bounds — the other half of optimality.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time_types.h"
+#include "core/view.h"
+
+namespace driftsync {
+
+/// A full real-time assignment for a view, keyed by event.
+using RtAssignment = std::unordered_map<EventId, RealTime>;
+
+/// Builds the assignment phi(x) = d(x, anchor) (when `maximize`) or
+/// phi(x) = -d(anchor, x) (otherwise) over the view's synchronization graph
+/// and returns RT(x) = LT(x) + phi(x) + `anchor_rt_offset`, where the offset
+/// shifts the anchor to a desired absolute real time (RT(anchor) =
+/// LT(anchor) + anchor_rt_offset; use offset 0 for source anchors).
+/// Throws when a required distance is infinite.
+RtAssignment tight_assignment(const View& view, EventId anchor, bool maximize,
+                              RealTime anchor_rt_offset = 0.0);
+
+/// Verifies that an assignment satisfies every constraint of the view's
+/// bounds mapping (up to eps).  Returns the number of violated constraints.
+std::size_t count_violations(const View& view, const RtAssignment& rt,
+                             double eps = 1e-9);
+
+}  // namespace driftsync

@@ -1,0 +1,142 @@
+#include "core/view.h"
+
+#include "common/check.h"
+
+namespace driftsync {
+
+View::View(const SystemSpec* spec) : spec_(spec) {
+  DS_CHECK(spec != nullptr);
+  by_proc_.resize(spec->num_procs());
+}
+
+bool View::add(const EventRecord& record) {
+  DS_CHECK(record.id.proc < by_proc_.size());
+  auto& seq = by_proc_[record.id.proc];
+  if (record.id.seq < seq.size()) {
+    DS_CHECK_MSG(seq[record.id.seq] == record,
+                 "conflicting record for an existing event");
+    return false;
+  }
+  DS_CHECK_MSG(record.id.seq == seq.size(),
+               "prefix property violated: sequence gap at " +
+                   record.id.str());
+  if (!seq.empty()) {
+    DS_CHECK_MSG(record.lt >= seq.back().lt, "local clock went backwards");
+  }
+  if (record.kind == EventKind::kReceive) {
+    const EventRecord* send = find(record.match);
+    DS_CHECK_MSG(send != nullptr && send->kind == EventKind::kSend,
+                 "receive " + record.id.str() +
+                     " added before its matching send " + record.match.str());
+    DS_CHECK_MSG(send->peer == record.id.proc && send->id.proc == record.peer,
+                 "mismatched send/receive endpoints");
+    send_status_[record.match] |= 1;
+  } else if (record.kind == EventKind::kLossDecl) {
+    const EventRecord* send = find(record.match);
+    DS_CHECK_MSG(send != nullptr && send->kind == EventKind::kSend,
+                 "loss declaration before its send");
+    DS_CHECK_MSG(send->id.proc == record.id.proc,
+                 "only the sender declares a message lost");
+    send_status_[record.match] |= 2;
+  }
+  seq.push_back(record);
+  causal_order_.push_back(record);
+  ++total_;
+  return true;
+}
+
+std::size_t View::merge(const EventBatch& batch) {
+  std::size_t added = 0;
+  for (const EventRecord& r : batch) {
+    if (add(r)) ++added;
+  }
+  return added;
+}
+
+bool View::contains(EventId id) const {
+  return id.proc < by_proc_.size() && id.seq < by_proc_[id.proc].size();
+}
+
+const EventRecord* View::find(EventId id) const {
+  if (!contains(id)) return nullptr;
+  return &by_proc_[id.proc][id.seq];
+}
+
+const std::vector<EventRecord>& View::events_of(ProcId p) const {
+  DS_CHECK(p < by_proc_.size());
+  return by_proc_[p];
+}
+
+const EventRecord* View::last_event_of(ProcId p) const {
+  DS_CHECK(p < by_proc_.size());
+  return by_proc_[p].empty() ? nullptr : &by_proc_[p].back();
+}
+
+bool View::receive_seen(EventId send_id) const {
+  const auto it = send_status_.find(send_id);
+  return it != send_status_.end() && (it->second & 1) != 0;
+}
+
+bool View::declared_lost(EventId send_id) const {
+  const auto it = send_status_.find(send_id);
+  return it != send_status_.end() && (it->second & 2) != 0;
+}
+
+bool View::is_live(EventId id) const {
+  const EventRecord* rec = find(id);
+  if (rec == nullptr) return false;
+  if (id.seq + 1 == by_proc_[id.proc].size()) return true;  // last at proc
+  return rec->kind == EventKind::kSend && !receive_seen(id) &&
+         !declared_lost(id);
+}
+
+std::vector<EventId> View::live_points() const {
+  std::vector<EventId> live;
+  for (ProcId p = 0; p < by_proc_.size(); ++p) {
+    for (const EventRecord& r : by_proc_[p]) {
+      if (is_live(r.id)) live.push_back(r.id);
+    }
+  }
+  return live;
+}
+
+View::SyncGraph View::build_sync_graph() const {
+  SyncGraph sg;
+  sg.graph = graph::Digraph(total_);
+  sg.order.reserve(total_);
+  graph::NodeIndex next = 0;
+  for (ProcId p = 0; p < by_proc_.size(); ++p) {
+    for (const EventRecord& r : by_proc_[p]) {
+      sg.index_of.emplace(r.id, next++);
+      sg.order.push_back(r.id);
+    }
+  }
+  for (ProcId p = 0; p < by_proc_.size(); ++p) {
+    const auto& seq = by_proc_[p];
+    const ClockSpec& clock = spec_->clock(p);
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      const auto a = sg.index_of.at(seq[i].id);
+      const auto b = sg.index_of.at(seq[i + 1].id);
+      const ProcEdgeWeights w =
+          proc_edge_weights(clock, seq[i + 1].lt - seq[i].lt);
+      sg.graph.add_edge(a, b, w.forward);
+      sg.graph.add_edge(b, a, w.backward);
+    }
+    for (const EventRecord& r : seq) {
+      if (r.kind != EventKind::kReceive) continue;
+      const EventRecord* send = find(r.match);
+      const LinkSpec* link = spec_->link_between(r.id.proc, r.peer);
+      DS_CHECK_MSG(link != nullptr, "receive over a non-existent link");
+      const MsgEdgeWeights w = msg_edge_weights(*link, r.peer, send->lt, r.lt);
+      const auto s = sg.index_of.at(send->id);
+      const auto rr = sg.index_of.at(r.id);
+      sg.graph.add_edge(s, rr, w.send_to_recv);
+      if (w.recv_to_send != kNoBound) {
+        sg.graph.add_edge(rr, s, w.recv_to_send);
+      }
+    }
+  }
+  return sg;
+}
+
+}  // namespace driftsync

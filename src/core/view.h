@@ -1,0 +1,87 @@
+// A view of an execution (Section 2): the Lamport graph of all events known
+// to a processor, with local times but no real times.
+//
+// Views enjoy the prefix property: the events of each processor present in a
+// view form a prefix of that processor's event sequence (a view is the
+// causal past of a point, and per-processor order is causal).  `View`
+// enforces this on insertion, which also makes insertion order a
+// topological order of the happens-before relation.
+//
+// The oracle algorithm (baselines/full_view_csa) and the tests materialize
+// the synchronization graph (Definition 2.1) from a View; the efficient
+// algorithm never does — that is the point of the paper.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/bounds.h"
+#include "core/event.h"
+#include "core/spec.h"
+#include "graph/digraph.h"
+
+namespace driftsync {
+
+class View {
+ public:
+  explicit View(const SystemSpec* spec);
+
+  /// Adds one event record.  Returns false when the event is already
+  /// present.  Throws if the record violates the prefix property (sequence
+  /// gap) or references a matching send that is not in the view yet.
+  bool add(const EventRecord& record);
+
+  /// Adds every record of a causally ordered batch; returns how many were
+  /// new.
+  std::size_t merge(const EventBatch& batch);
+
+  [[nodiscard]] bool contains(EventId id) const;
+  [[nodiscard]] const EventRecord* find(EventId id) const;
+
+  /// Records of processor p, in sequence order (a prefix of p's events).
+  [[nodiscard]] const std::vector<EventRecord>& events_of(ProcId p) const;
+
+  /// The last known event of processor p, if any.
+  [[nodiscard]] const EventRecord* last_event_of(ProcId p) const;
+
+  [[nodiscard]] std::size_t total_events() const { return total_; }
+
+  /// All events in one causally consistent order (insertion order).
+  [[nodiscard]] const EventBatch& causal_order() const {
+    return causal_order_;
+  }
+
+  /// Live points of this view per Definition 3.1 (+ the Section 3.3
+  /// refinement): p is live iff p is the last known event of its processor,
+  /// or p is a send whose receive is not in the view and that has not been
+  /// declared lost.
+  [[nodiscard]] bool is_live(EventId id) const;
+  [[nodiscard]] std::vector<EventId> live_points() const;
+
+  /// True for send events whose matching receive is in the view.
+  [[nodiscard]] bool receive_seen(EventId send_id) const;
+  /// True for send events covered by a loss declaration in the view.
+  [[nodiscard]] bool declared_lost(EventId send_id) const;
+
+  /// The synchronization graph of this view (Definition 2.1), with a node
+  /// per event.  `index_of` maps EventId -> node index; `order` lists the
+  /// events by node index.
+  struct SyncGraph {
+    graph::Digraph graph;
+    std::unordered_map<EventId, graph::NodeIndex> index_of;
+    std::vector<EventId> order;
+  };
+  [[nodiscard]] SyncGraph build_sync_graph() const;
+
+ private:
+  const SystemSpec* spec_;
+  std::vector<std::vector<EventRecord>> by_proc_;
+  std::unordered_map<EventId, char> send_status_;  // 1=recv seen, 2=lost
+  EventBatch causal_order_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace driftsync

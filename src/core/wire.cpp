@@ -1,0 +1,169 @@
+#include "core/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace driftsync::wire {
+
+namespace {
+
+// Flag byte layout: bits 0-1 kind, bit 2 "proc is delta-0 from previous
+// record's proc", bit 3 "seq is prev_seq(proc)+1".
+constexpr std::uint8_t kKindMask = 0x03;
+constexpr std::uint8_t kSameProc = 0x04;
+constexpr std::uint8_t kNextSeq = 0x08;
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+double get_double(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  DS_CHECK_MSG(offset + 8 <= bytes.size(), "wire: truncated double");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(
+                bytes[offset + static_cast<std::size_t>(i)])
+            << (8 * i);
+  }
+  offset += 8;
+  return std::bit_cast<double>(bits);
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    DS_CHECK_MSG(offset < bytes.size(), "wire: truncated varint");
+    DS_CHECK_MSG(shift < 64, "wire: varint too long");
+    const std::uint8_t byte = bytes[offset++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> encode_batch(const EventBatch& batch) {
+  std::vector<std::uint8_t> out;
+  out.reserve(batch.size() * 12 + 4);
+  put_varint(out, batch.size());
+  ProcId prev_proc = kInvalidProc;
+  std::unordered_map<ProcId, std::uint32_t> next_seq;
+  for (const EventRecord& r : batch) {
+    std::uint8_t flags = static_cast<std::uint8_t>(r.kind) & kKindMask;
+    const bool same_proc = r.id.proc == prev_proc;
+    const auto seq_it = next_seq.find(r.id.proc);
+    const bool next = seq_it != next_seq.end() && seq_it->second == r.id.seq;
+    if (same_proc) flags |= kSameProc;
+    if (next) flags |= kNextSeq;
+    out.push_back(flags);
+    if (!same_proc) put_varint(out, r.id.proc);
+    if (!next) put_varint(out, r.id.seq);
+    put_double(out, r.lt);
+    if (r.kind == EventKind::kSend || r.kind == EventKind::kReceive ||
+        r.kind == EventKind::kLossDecl) {
+      put_varint(out, r.peer);
+    }
+    if (r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) {
+      put_varint(out, r.match.proc);
+      put_varint(out, r.match.seq);
+    }
+    prev_proc = r.id.proc;
+    next_seq[r.id.proc] = r.id.seq + 1;
+  }
+  return out;
+}
+
+EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  const std::uint64_t count = get_varint(bytes, offset);
+  DS_CHECK_MSG(count <= bytes.size(), "wire: implausible batch count");
+  EventBatch batch;
+  batch.reserve(count);
+  ProcId prev_proc = kInvalidProc;
+  std::unordered_map<ProcId, std::uint32_t> next_seq;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DS_CHECK_MSG(offset < bytes.size(), "wire: truncated record");
+    const std::uint8_t flags = bytes[offset++];
+    EventRecord r;
+    r.kind = static_cast<EventKind>(flags & kKindMask);
+    if (flags & kSameProc) {
+      DS_CHECK_MSG(prev_proc != kInvalidProc, "wire: dangling proc delta");
+      r.id.proc = prev_proc;
+    } else {
+      r.id.proc = static_cast<ProcId>(get_varint(bytes, offset));
+    }
+    if (flags & kNextSeq) {
+      const auto it = next_seq.find(r.id.proc);
+      DS_CHECK_MSG(it != next_seq.end(), "wire: dangling seq delta");
+      r.id.seq = it->second;
+    } else {
+      r.id.seq = static_cast<std::uint32_t>(get_varint(bytes, offset));
+    }
+    r.lt = get_double(bytes, offset);
+    if (r.kind == EventKind::kSend || r.kind == EventKind::kReceive ||
+        r.kind == EventKind::kLossDecl) {
+      r.peer = static_cast<ProcId>(get_varint(bytes, offset));
+    }
+    if (r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) {
+      r.match.proc = static_cast<ProcId>(get_varint(bytes, offset));
+      r.match.seq = static_cast<std::uint32_t>(get_varint(bytes, offset));
+    }
+    prev_proc = r.id.proc;
+    next_seq[r.id.proc] = r.id.seq + 1;
+    batch.push_back(r);
+  }
+  DS_CHECK_MSG(offset == bytes.size(), "wire: trailing bytes");
+  return batch;
+}
+
+std::size_t encoded_size(const EventBatch& batch) {
+  std::size_t size = varint_size(batch.size());
+  ProcId prev_proc = kInvalidProc;
+  std::unordered_map<ProcId, std::uint32_t> next_seq;
+  for (const EventRecord& r : batch) {
+    size += 1 + 8;  // flags + local time
+    if (r.id.proc != prev_proc) size += varint_size(r.id.proc);
+    const auto it = next_seq.find(r.id.proc);
+    if (it == next_seq.end() || it->second != r.id.seq) {
+      size += varint_size(r.id.seq);
+    }
+    if (r.kind == EventKind::kSend || r.kind == EventKind::kReceive ||
+        r.kind == EventKind::kLossDecl) {
+      size += varint_size(r.peer);
+    }
+    if (r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) {
+      size += varint_size(r.match.proc) + varint_size(r.match.seq);
+    }
+    prev_proc = r.id.proc;
+    next_seq[r.id.proc] = r.id.seq + 1;
+  }
+  return size;
+}
+
+}  // namespace driftsync::wire

@@ -1,0 +1,45 @@
+// Compact wire encoding for event-report batches.
+//
+// The paper's Section 3.1 remark addresses bit complexity: node labels are
+// (processor, local time) pairs, and "a time-stamp is represented by a
+// fixed-length structure (e.g., 64 bits in NTP)".  This module makes the
+// message-size accounting concrete: batches are serialized with
+//
+//   * varint processor ids and sequence numbers, delta-encoded per
+//     processor within the batch (the history protocol sends contiguous
+//     per-processor runs, so deltas are almost always 0/1),
+//   * one flag byte per record (kind + which optional fields follow),
+//   * 64-bit IEEE local times (the fixed-length time-stamp of the remark),
+//   * match references as (processor varint, seq varint), present only for
+//     receive and loss-declaration records.
+//
+// Encoding is fully self-describing and order-preserving, so a decoded
+// batch is byte-for-byte re-encodable; decode throws on any truncation or
+// malformed input (a network payload is untrusted input).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/event.h"
+
+namespace driftsync::wire {
+
+/// Serializes a batch (any record order; the encoder keeps it).
+std::vector<std::uint8_t> encode_batch(const EventBatch& batch);
+
+/// Parses a batch; throws std::logic_error on malformed input.
+EventBatch decode_batch(std::span<const std::uint8_t> bytes);
+
+/// Encoded size without materializing the buffer.
+std::size_t encoded_size(const EventBatch& batch);
+
+// Low-level primitives (exposed for tests and the checkpoint module).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset);
+void put_double(std::vector<std::uint8_t>& out, double v);
+double get_double(std::span<const std::uint8_t> bytes, std::size_t& offset);
+
+}  // namespace driftsync::wire

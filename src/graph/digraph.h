@@ -1,0 +1,65 @@
+// A simple weighted directed graph with adjacency lists.
+//
+// Used for the "oracle" computations (full synchronization graphs, Def. 2.1)
+// and as the input type of the batch shortest-path algorithms.  Edge weights
+// may be negative (synchronization-graph message edges usually are on one
+// side); algorithms must therefore be Bellman-Ford-compatible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace driftsync::graph {
+
+using NodeIndex = std::uint32_t;
+
+struct Arc {
+  NodeIndex to = 0;
+  double weight = 0.0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count) : adjacency_(node_count) {}
+
+  NodeIndex add_node() {
+    adjacency_.emplace_back();
+    return static_cast<NodeIndex>(adjacency_.size() - 1);
+  }
+
+  void add_edge(NodeIndex from, NodeIndex to, double weight) {
+    DS_CHECK(from < size() && to < size());
+    adjacency_[from].push_back(Arc{to, weight});
+    ++edge_count_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  [[nodiscard]] std::span<const Arc> out_edges(NodeIndex v) const {
+    DS_CHECK(v < size());
+    return adjacency_[v];
+  }
+
+  /// The graph with every edge reversed (for single-target distances).
+  [[nodiscard]] Digraph reversed() const {
+    Digraph rev(size());
+    for (NodeIndex v = 0; v < size(); ++v) {
+      for (const Arc& a : adjacency_[v]) {
+        rev.add_edge(a.to, v, a.weight);
+      }
+    }
+    return rev;
+  }
+
+ private:
+  std::vector<std::vector<Arc>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace driftsync::graph

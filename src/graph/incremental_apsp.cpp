@@ -1,0 +1,137 @@
+#include "graph/incremental_apsp.h"
+
+#include <algorithm>
+
+namespace driftsync::graph {
+
+void IncrementalApsp::grow(std::size_t min_capacity) {
+  std::size_t new_capacity = std::max<std::size_t>(8, capacity_ * 2);
+  while (new_capacity < min_capacity) new_capacity *= 2;
+  std::vector<double> fresh(new_capacity * new_capacity, kNoBound);
+  for (const Handle hx : slot_to_handle_) {
+    const std::uint32_t sx = slot_of_[hx];
+    for (const Handle hy : slot_to_handle_) {
+      const std::uint32_t sy = slot_of_[hy];
+      fresh[static_cast<std::size_t>(sx) * new_capacity + sy] = at(sx, sy);
+    }
+  }
+  matrix_ = std::move(fresh);
+  capacity_ = new_capacity;
+}
+
+IncrementalApsp::Handle IncrementalApsp::insert_node(
+    const std::vector<HalfEdge>& in_edges,
+    const std::vector<HalfEdge>& out_edges) {
+  for (const HalfEdge& e : in_edges) DS_CHECK(is_live(e.node));
+  for (const HalfEdge& e : out_edges) DS_CHECK(is_live(e.node));
+
+  if (free_slots_.empty() && slot_to_handle_.size() >= capacity_) {
+    grow(slot_to_handle_.size() + 1);
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_to_handle_.size());
+  }
+
+  // Distances from each live node x to the new node: every path ends with an
+  // in-edge (a, new); its prefix cannot revisit the new node, so it is an
+  // old distance.  Symmetrically for distances from the new node.
+  for (const Handle hx : slot_to_handle_) {
+    const std::uint32_t sx = slot_of_[hx];
+    double to_new = kNoBound;
+    for (const HalfEdge& e : in_edges) {
+      const double via = (e.node == hx ? 0.0 : at(sx, slot_of_[e.node]));
+      if (via != kNoBound && via + e.weight < to_new) to_new = via + e.weight;
+    }
+    double from_new = kNoBound;
+    for (const HalfEdge& e : out_edges) {
+      const double via = (e.node == hx ? 0.0 : at(slot_of_[e.node], sx));
+      if (via != kNoBound && e.weight + via < from_new) {
+        from_new = e.weight + via;
+      }
+    }
+    at(sx, slot) = to_new;
+    at(slot, sx) = from_new;
+  }
+
+  // A negative cycle through the new node shows up as a negative round trip.
+  for (const Handle hx : slot_to_handle_) {
+    const std::uint32_t sx = slot_of_[hx];
+    const double out = at(slot, sx);
+    const double back = at(sx, slot);
+    if (out != kNoBound && back != kNoBound && out + back < 0.0) {
+      free_slots_.push_back(slot);
+      return kNoHandle;
+    }
+  }
+
+  // Relax every existing pair through the new node (Ausiello et al. [2]).
+  for (const Handle hx : slot_to_handle_) {
+    const std::uint32_t sx = slot_of_[hx];
+    const double xs = at(sx, slot);
+    if (xs == kNoBound) continue;
+    for (const Handle hy : slot_to_handle_) {
+      const std::uint32_t sy = slot_of_[hy];
+      const double sy_dist = at(slot, sy);
+      if (sy_dist == kNoBound) continue;
+      const double through = xs + sy_dist;
+      if (through < at(sx, sy)) at(sx, sy) = through;
+    }
+  }
+  at(slot, slot) = 0.0;
+
+  const Handle handle = static_cast<Handle>(slot_of_.size());
+  slot_of_.push_back(slot);
+  dense_pos_.push_back(static_cast<std::uint32_t>(slot_to_handle_.size()));
+  slot_to_handle_.push_back(handle);
+  return handle;
+}
+
+bool IncrementalApsp::insert_edge(Handle from, Handle to, double weight) {
+  DS_CHECK(is_live(from) && is_live(to));
+  const std::uint32_t su = slot_of_[from];
+  const std::uint32_t sv = slot_of_[to];
+  const double back = at(sv, su);
+  if (back != kNoBound && back + weight < 0.0) return false;
+
+  // In-place relaxation is safe: entries (x,from) and (to,y) cannot improve
+  // through the new edge absent a negative cycle, so stale reads are
+  // impossible.
+  for (const Handle hx : slot_to_handle_) {
+    const std::uint32_t sx = slot_of_[hx];
+    const double xu = at(sx, su);
+    if (xu == kNoBound) continue;
+    const double head = xu + weight;
+    for (const Handle hy : slot_to_handle_) {
+      const std::uint32_t sy = slot_of_[hy];
+      const double vy = at(sv, sy);
+      if (vy == kNoBound) continue;
+      if (head + vy < at(sx, sy)) at(sx, sy) = head + vy;
+    }
+  }
+  return true;
+}
+
+void IncrementalApsp::remove_node(Handle h) {
+  DS_CHECK(is_live(h));
+  const std::uint32_t slot = slot_of_[h];
+  const std::uint32_t pos = dense_pos_[h];
+  const Handle moved = slot_to_handle_.back();
+  slot_to_handle_[pos] = moved;
+  dense_pos_[moved] = pos;
+  slot_to_handle_.pop_back();
+  slot_of_[h] = kNoHandle;
+  free_slots_.push_back(slot);
+  // Hygiene: wipe the slot so stale distances can never leak into a future
+  // occupant (the insert path overwrites, but kNoBound is a safer resting
+  // state and makes bugs loud).
+  for (std::uint32_t s = 0; s < capacity_; ++s) {
+    at(slot, s) = kNoBound;
+    at(s, slot) = kNoBound;
+  }
+}
+
+}  // namespace driftsync::graph

@@ -1,0 +1,78 @@
+#include "graph/shortest_paths.h"
+
+#include <deque>
+
+#include "common/time_types.h"
+
+namespace driftsync::graph {
+
+ShortestPathResult bellman_ford(const Digraph& g, NodeIndex source) {
+  const std::size_t n = g.size();
+  DS_CHECK(source < n);
+  ShortestPathResult result;
+  result.dist.assign(n, kNoBound);
+  result.dist[source] = 0.0;
+
+  // SPFA scheduling: relax only out-edges of nodes whose distance changed.
+  // relax_count bounds total work and detects negative cycles: a node
+  // dequeued n times lies on (or is reachable from) one.
+  std::deque<NodeIndex> queue{source};
+  std::vector<char> in_queue(n, 0);
+  std::vector<std::uint32_t> dequeues(n, 0);
+  in_queue[source] = 1;
+
+  while (!queue.empty()) {
+    const NodeIndex u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    if (++dequeues[u] > n) {
+      result.negative_cycle = true;
+      result.dist.clear();
+      return result;
+    }
+    const double du = result.dist[u];
+    for (const Arc& arc : g.out_edges(u)) {
+      const double candidate = du + arc.weight;
+      if (candidate < result.dist[arc.to]) {
+        result.dist[arc.to] = candidate;
+        if (!in_queue[arc.to]) {
+          in_queue[arc.to] = 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ShortestPathResult bellman_ford_to(const Digraph& g, NodeIndex target) {
+  return bellman_ford(g.reversed(), target);
+}
+
+std::optional<std::vector<std::vector<double>>> floyd_warshall(
+    const Digraph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, kNoBound));
+  for (std::size_t v = 0; v < n; ++v) {
+    dist[v][v] = 0.0;
+    for (const Arc& arc : g.out_edges(static_cast<NodeIndex>(v))) {
+      if (arc.weight < dist[v][arc.to]) dist[v][arc.to] = arc.weight;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = dist[i][k];
+      if (dik == kNoBound) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double through = dik + dist[k][j];
+        if (through < dist[i][j]) dist[i][j] = through;
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dist[v][v] < 0.0) return std::nullopt;
+  }
+  return dist;
+}
+
+}  // namespace driftsync::graph

@@ -1,0 +1,36 @@
+// Batch shortest-path algorithms over Digraph.
+//
+// Synchronization graphs have negative edge weights but — for consistent
+// real-time specifications — no negative cycles (a negative cycle would mean
+// the specification admits no execution at all; Theorem 2.1 presupposes
+// satisfiable bounds).  All routines detect negative cycles and report them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace driftsync::graph {
+
+struct ShortestPathResult {
+  /// dist[v] = shortest-path distance from the source (kNoBound when
+  /// unreachable).  Empty when a negative cycle was detected.
+  std::vector<double> dist;
+  bool negative_cycle = false;
+};
+
+/// Single-source shortest paths; O(V*E) worst case, queue-based (SPFA
+/// scheduling) so typically much faster on synchronization graphs.
+ShortestPathResult bellman_ford(const Digraph& g, NodeIndex source);
+
+/// Distances from every node *to* `target` (runs bellman_ford on the
+/// reversed graph).
+ShortestPathResult bellman_ford_to(const Digraph& g, NodeIndex target);
+
+/// All-pairs distances, O(V^3).  dist[u][v]; diagonal is 0.  Returns
+/// nullopt when a negative cycle exists.
+std::optional<std::vector<std::vector<double>>> floyd_warshall(
+    const Digraph& g);
+
+}  // namespace driftsync::graph

@@ -1,0 +1,63 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace driftsync::sim {
+
+ClockModel ClockModel::constant(LocalTime lt0, double rate, RealTime rt0) {
+  DS_CHECK_MSG(rate > 0.0, "clock rates must be positive");
+  ClockModel m;
+  m.segments_.push_back(Segment{rt0, lt0, rate});
+  return m;
+}
+
+void ClockModel::add_rate_change(RealTime rt_start, double rate) {
+  DS_CHECK(!segments_.empty());
+  DS_CHECK_MSG(rate > 0.0, "clock rates must be positive");
+  DS_CHECK_MSG(rt_start >= segments_.back().rt_start,
+               "rate changes must be appended in time order");
+  segments_.push_back(Segment{rt_start, lt_at(rt_start), rate});
+}
+
+LocalTime ClockModel::lt_at(RealTime rt) const {
+  DS_CHECK(!segments_.empty());
+  DS_CHECK_MSG(rt >= segments_.front().rt_start,
+               "query before the clock's epoch");
+  // Find the last segment starting at or before rt.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), rt,
+      [](RealTime t, const Segment& s) { return t < s.rt_start; });
+  const Segment& seg = *std::prev(it);
+  return seg.lt_start + seg.rate * (rt - seg.rt_start);
+}
+
+RealTime ClockModel::rt_at(LocalTime lt) const {
+  DS_CHECK(!segments_.empty());
+  DS_CHECK_MSG(lt >= segments_.front().lt_start,
+               "query before the clock's epoch");
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), lt,
+      [](LocalTime t, const Segment& s) { return t < s.lt_start; });
+  const Segment& seg = *std::prev(it);
+  return seg.rt_start + (lt - seg.lt_start) / seg.rate;
+}
+
+double ClockModel::rate_at(RealTime rt) const {
+  DS_CHECK(!segments_.empty());
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), rt,
+      [](RealTime t, const Segment& s) { return t < s.rt_start; });
+  if (it == segments_.begin()) return segments_.front().rate;
+  return std::prev(it)->rate;
+}
+
+double ClockModel::max_drift() const {
+  double drift = 0.0;
+  for (const Segment& s : segments_) {
+    drift = std::max(drift, std::fabs(s.rate - 1.0));
+  }
+  return drift;
+}
+
+}  // namespace driftsync::sim

@@ -1,0 +1,44 @@
+// Drifting hardware-clock models for the simulator.
+//
+// A clock maps ground-truth real time to the local clock reading.  It is
+// piecewise linear: within a segment the clock advances at a constant rate
+// r = dLT/dRT; segments let scenarios exercise clocks whose drift wanders
+// within the specified bound (the bounds mapping only assumes
+// |r - 1| <= rho, not constancy).  The initial local reading is arbitrary —
+// recovering the offset is the whole problem.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/time_types.h"
+
+namespace driftsync::sim {
+
+class ClockModel {
+ public:
+  /// A clock that reads lt0 at real time rt0 and advances at `rate`.
+  static ClockModel constant(LocalTime lt0, double rate, RealTime rt0 = 0.0);
+
+  /// Appends a rate change taking effect at real time `rt_start` (must be
+  /// after all previous segment starts).
+  void add_rate_change(RealTime rt_start, double rate);
+
+  [[nodiscard]] LocalTime lt_at(RealTime rt) const;
+  [[nodiscard]] RealTime rt_at(LocalTime lt) const;
+  [[nodiscard]] double rate_at(RealTime rt) const;
+
+  /// Largest |rate - 1| over all segments; must be <= the processor's
+  /// specified drift bound rho (checked when a node is attached).
+  [[nodiscard]] double max_drift() const;
+
+ private:
+  struct Segment {
+    RealTime rt_start = 0.0;
+    LocalTime lt_start = 0.0;
+    double rate = 1.0;
+  };
+  std::vector<Segment> segments_;  // ordered by rt_start
+};
+
+}  // namespace driftsync::sim

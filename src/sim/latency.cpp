@@ -1,0 +1,76 @@
+#include "sim/latency.h"
+
+namespace driftsync::sim {
+
+LatencyModel LatencyModel::fixed(Duration d) {
+  DS_CHECK(d >= 0.0);
+  LatencyModel m;
+  m.shape_ = Shape::kFixed;
+  m.min_ = m.max_ = d;
+  m.a_ = d;
+  return m;
+}
+
+LatencyModel LatencyModel::uniform(Duration lo, Duration hi) {
+  DS_CHECK(lo >= 0.0 && hi >= lo);
+  LatencyModel m;
+  m.shape_ = Shape::kUniform;
+  m.min_ = lo;
+  m.max_ = hi;
+  m.a_ = lo;
+  m.b_ = hi;
+  return m;
+}
+
+LatencyModel LatencyModel::shifted_exp(Duration min, Duration mean_extra,
+                                       Duration cap) {
+  DS_CHECK(min >= 0.0 && mean_extra > 0.0);
+  DS_CHECK(cap == kNoBound || cap > min);
+  LatencyModel m;
+  m.shape_ = Shape::kShiftedExp;
+  m.min_ = min;
+  m.max_ = cap;
+  m.a_ = min;
+  m.b_ = mean_extra;
+  m.c_ = (cap == kNoBound) ? min + 20.0 * mean_extra : cap;
+  return m;
+}
+
+LatencyModel LatencyModel::bimodal(Duration fast_lo, Duration fast_hi,
+                                   Duration slow_lo, Duration slow_hi,
+                                   double p_fast) {
+  DS_CHECK(fast_lo >= 0.0 && fast_hi >= fast_lo);
+  DS_CHECK(slow_lo >= fast_lo && slow_hi >= slow_lo);
+  DS_CHECK(p_fast >= 0.0 && p_fast <= 1.0);
+  LatencyModel m;
+  m.shape_ = Shape::kBimodal;
+  m.min_ = fast_lo;
+  m.max_ = slow_hi;
+  m.a_ = fast_lo;
+  m.b_ = fast_hi;
+  m.c_ = slow_lo;
+  m.d_ = slow_hi;
+  m.p_ = p_fast;
+  return m;
+}
+
+Duration LatencyModel::sample(Rng& rng) const {
+  switch (shape_) {
+    case Shape::kFixed:
+      return a_;
+    case Shape::kUniform:
+      return rng.uniform(a_, b_);
+    case Shape::kShiftedExp: {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const Duration d = a_ + rng.exponential(b_);
+        if (d <= c_) return d;
+      }
+      return c_;  // pathological truncation; still within declared bounds
+    }
+    case Shape::kBimodal:
+      return rng.flip(p_) ? rng.uniform(a_, b_) : rng.uniform(c_, d_);
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace driftsync::sim

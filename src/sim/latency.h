@@ -1,0 +1,59 @@
+// Message-latency samplers.
+//
+// A LatencyModel both *samples* transit times (what the simulated network
+// actually does) and *declares* the transit bounds [min, max] that go into
+// the system specification, guaranteeing samples respect the declared
+// bounds — otherwise the synchronization graph could acquire a negative
+// cycle, i.e. an execution outside the specification.
+//
+// The shifted-exponential and bimodal shapes model the latency profile
+// motivating Cristian's probabilistic synchronization [5]: most round trips
+// are slow-ish, occasional ones are fast, and only a (possibly trivial)
+// lower bound is certain.
+#pragma once
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace driftsync::sim {
+
+class LatencyModel {
+ public:
+  /// Deterministic delay d (bounds [d, d]).
+  static LatencyModel fixed(Duration d);
+
+  /// Uniform in [lo, hi] (bounds [lo, hi]).
+  static LatencyModel uniform(Duration lo, Duration hi);
+
+  /// min + Exp(mean_extra), truncated to [min, cap] by resampling.
+  /// `cap` == kNoBound declares no upper transit bound (the paper's ⊤);
+  /// samples are then truncated at min + 20 * mean_extra so executions stay
+  /// finite, which is sound: the specification claims *no* upper bound, and
+  /// any execution consistent with tighter behavior is consistent with ⊤.
+  static LatencyModel shifted_exp(Duration min, Duration mean_extra,
+                                  Duration cap = kNoBound);
+
+  /// Fast path U[fast_lo, fast_hi] with probability p_fast, otherwise slow
+  /// path U[slow_lo, slow_hi].  Declared bounds are [fast_lo, slow_hi].
+  static LatencyModel bimodal(Duration fast_lo, Duration fast_hi,
+                              Duration slow_lo, Duration slow_hi,
+                              double p_fast);
+
+  [[nodiscard]] Duration sample(Rng& rng) const;
+  [[nodiscard]] Duration min_delay() const { return min_; }
+  [[nodiscard]] Duration max_delay() const { return max_; }
+
+ private:
+  enum class Shape { kFixed, kUniform, kShiftedExp, kBimodal };
+  Shape shape_ = Shape::kFixed;
+  Duration min_ = 0.0;
+  Duration max_ = 0.0;
+  // Shape parameters (interpretation depends on shape_).
+  Duration a_ = 0.0, b_ = 0.0, c_ = 0.0, d_ = 0.0;
+  double p_ = 0.0;
+};
+
+}  // namespace driftsync::sim

@@ -1,0 +1,339 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace driftsync::sim {
+
+// ---------------------------------------------------------------- NodeApi
+
+const SystemSpec& NodeApi::spec() const { return sim_->spec(); }
+
+const std::vector<ProcId>& NodeApi::neighbors() const {
+  return sim_->spec().neighbors(self_);
+}
+
+LocalTime NodeApi::local_time() const {
+  return sim_->nodes_[self_].clock.lt_at(sim_->now());
+}
+
+Rng& NodeApi::rng() { return sim_->nodes_[self_].rng; }
+
+Interval NodeApi::estimate(std::size_t csa_index) const {
+  const auto& node = sim_->nodes_[self_];
+  DS_CHECK(csa_index < node.csas.size());
+  return node.csas[csa_index]->estimate(local_time());
+}
+
+void NodeApi::set_timer(Duration local_delay, std::uint32_t tag) {
+  DS_CHECK_MSG(local_delay >= 0.0, "timers cannot fire in the local past");
+  const auto& node = sim_->nodes_[self_];
+  const RealTime fire = node.clock.rt_at(local_time() + local_delay);
+  sim_->schedule(fire, Simulator::SimEventKind::kTimer, self_, tag);
+}
+
+void NodeApi::mark_internal_event() {
+  EventRecord rec = sim_->make_event(self_, EventKind::kInternal,
+                                     kInvalidProc, kInvalidEvent);
+  for (const auto& csa : sim_->nodes_[self_].csas) csa->on_internal(rec);
+  sim_->after_event(self_, rec);
+}
+
+void NodeApi::send(ProcId dest, std::uint32_t app_tag) {
+  Simulator& sim = *sim_;
+  DS_CHECK_MSG(sim.spec_.link_between(self_, dest) != nullptr,
+               "send to a non-neighbor");
+  if (sim.config_.detection_timeout > 0.0) {
+    // Detection mechanism on: the Section 3.3 refined assumption requires a
+    // message's fate to be known before the next send on this direction —
+    // enforce it with a stop-and-wait link layer.
+    auto& dir = sim.link_dirs_[sim.link_dir_index(self_, dest)];
+    if (dir.awaiting_fate) {
+      dir.backlog.push_back(Simulator::QueuedSend{self_, dest, app_tag});
+      return;
+    }
+    dir.awaiting_fate = true;
+  }
+  sim.transmit(self_, dest, app_tag);
+}
+
+// -------------------------------------------------------------- Simulator
+
+void Simulator::transmit(ProcId from, ProcId to, std::uint32_t app_tag) {
+  const LinkSpec* link = spec_.link_between(from, to);
+  DS_CHECK(link != nullptr);
+  const std::size_t link_index =
+      static_cast<std::size_t>(link - spec_.links().data());
+  const LinkRuntime& runtime = link_runtime_[link_index];
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.app_tag = app_tag;
+  msg.send_event = make_event(from, EventKind::kSend, to, kInvalidEvent);
+
+  NodeState& node = nodes_[from];
+  SendContext ctx{from, to, msg.send_event, app_tag};
+  msg.payloads.reserve(node.csas.size());
+  for (const auto& csa : node.csas) msg.payloads.push_back(csa->on_send(ctx));
+
+  // K2 bookkeeping (Lemma 4.1): count sends per direction between sends in
+  // the opposite direction.
+  {
+    const std::size_t fwd = link_dir_index(from, to);
+    const std::size_t rev = fwd ^ 1;
+    auto& fwd_dir = link_dirs_[fwd];
+    ++fwd_dir.sends_since_reverse;
+    observed_k2_ = std::max(observed_k2_, fwd_dir.sends_since_reverse);
+    link_dirs_[rev].sends_since_reverse = 0;
+  }
+
+  Rng& lrng = link_rngs_[link_index];
+  msg.lost = runtime.loss_prob > 0.0 && lrng.flip(runtime.loss_prob);
+  if (msg.lost) {
+    DS_CHECK_MSG(config_.detection_timeout > 0.0,
+                 "lossy links require the detection mechanism");
+    ++messages_lost_;
+  }
+
+  const std::int64_t message_index =
+      static_cast<std::int64_t>(messages_.size());
+  messages_.push_back(std::move(msg));
+  ++messages_sent_;
+
+  if (!messages_.back().lost) {
+    // FIFO per direction: delivery never before the previous delivery on
+    // this direction.  Always within declared bounds (see DESIGN.md).
+    const LatencyModel& lat =
+        (from == link->a || !runtime.latency_reverse)
+            ? runtime.latency
+            : *runtime.latency_reverse;
+    const Duration raw = lat.sample(lrng);
+    DS_CHECK(raw >= link->min_from(from) &&
+             (link->max_from(from) == kNoBound ||
+              raw <= link->max_from(from)));
+    auto& dir = link_dirs_[link_dir_index(from, to)];
+    const RealTime deliver = std::max(now_ + raw, dir.last_delivery);
+    dir.last_delivery = deliver;
+    schedule(deliver, SimEventKind::kDeliver, to, 0, message_index);
+  }
+  if (config_.detection_timeout > 0.0) {
+    const RealTime check = node.clock.rt_at(node.clock.lt_at(now_) +
+                                            config_.detection_timeout);
+    schedule(check, SimEventKind::kDetection, from, 0, message_index);
+  }
+  after_event(from,
+              messages_[static_cast<std::size_t>(message_index)].send_event);
+}
+
+Simulator::Simulator(SystemSpec spec, std::vector<LinkRuntime> links,
+                     SimConfig config)
+    : spec_(std::move(spec)),
+      link_runtime_(std::move(links)),
+      config_(config) {
+  DS_CHECK_MSG(link_runtime_.size() == spec_.links().size(),
+               "one LinkRuntime per spec link");
+  for (std::size_t i = 0; i < link_runtime_.size(); ++i) {
+    const LinkSpec& ls = spec_.links()[i];
+    const LatencyModel& ab = link_runtime_[i].latency;
+    const LatencyModel& ba = link_runtime_[i].latency_reverse
+                                 ? *link_runtime_[i].latency_reverse
+                                 : ab;
+    DS_CHECK_MSG(ab.min_delay() >= ls.min_ab &&
+                     (ls.max_ab == kNoBound || ab.max_delay() <= ls.max_ab),
+                 "a->b latency model exceeds the declared transit bounds");
+    DS_CHECK_MSG(ba.min_delay() >= ls.min_ba &&
+                     (ls.max_ba == kNoBound || ba.max_delay() <= ls.max_ba),
+                 "b->a latency model exceeds the declared transit bounds");
+    DS_CHECK(link_runtime_[i].loss_prob >= 0.0 &&
+             link_runtime_[i].loss_prob < 1.0);
+    if (link_runtime_[i].loss_prob > 0.0) {
+      DS_CHECK_MSG(config_.detection_timeout > 0.0,
+                   "lossy links require the detection mechanism");
+    }
+  }
+  nodes_.resize(spec_.num_procs());
+  Rng master(config_.seed);
+  for (auto& node : nodes_) node.rng = master.split();
+  link_rngs_.reserve(link_runtime_.size());
+  for (std::size_t i = 0; i < link_runtime_.size(); ++i) {
+    link_rngs_.push_back(master.split());
+  }
+  link_dirs_.resize(2 * link_runtime_.size());
+}
+
+void Simulator::attach_node(ProcId proc, ClockModel clock,
+                            std::unique_ptr<App> app,
+                            std::vector<std::unique_ptr<Csa>> csas) {
+  DS_CHECK(proc < nodes_.size());
+  NodeState& node = nodes_[proc];
+  DS_CHECK_MSG(!node.attached, "node attached twice");
+  DS_CHECK_MSG(!started_, "attach before run");
+  const double rho = spec_.clock(proc).rho;
+  DS_CHECK_MSG(clock.max_drift() <= rho + 1e-15,
+               "clock drifts more than the specified bound");
+  node.attached = true;
+  node.clock = std::move(clock);
+  node.app = std::move(app);
+  node.csas = std::move(csas);
+  node.api = std::make_unique<NodeApi>(*this, proc);
+  for (const auto& csa : node.csas) csa->init(spec_, proc);
+}
+
+void Simulator::schedule(RealTime rt, SimEventKind kind, ProcId proc,
+                         std::uint32_t tag, std::int64_t message_index) {
+  DS_CHECK_MSG(rt >= now_ - 1e-12, "cannot schedule into the past");
+  SimEvent ev;
+  ev.rt = std::max(rt, now_);
+  ev.order = order_counter_++;
+  ev.kind = kind;
+  ev.proc = proc;
+  ev.tag = tag;
+  ev.message_index = message_index;
+  queue_.push(ev);
+}
+
+void Simulator::run_until(RealTime until) {
+  if (!started_) {
+    started_ = true;
+    for (ProcId p = 0; p < nodes_.size(); ++p) {
+      DS_CHECK_MSG(nodes_[p].attached,
+                   "all nodes must be attached before run");
+      if (nodes_[p].app) nodes_[p].app->on_start(*nodes_[p].api);
+    }
+    if (config_.probe_interval > 0.0) {
+      next_probe_ = config_.probe_interval;
+      schedule(next_probe_, SimEventKind::kProbe, 0, 0);
+    }
+  }
+  while (!queue_.empty() && queue_.top().rt <= until) {
+    const SimEvent ev = queue_.top();
+    queue_.pop();
+    now_ = ev.rt;
+    dispatch(ev);
+  }
+  now_ = std::max(now_, until);
+}
+
+void Simulator::dispatch(const SimEvent& ev) {
+  switch (ev.kind) {
+    case SimEventKind::kTimer: {
+      NodeState& node = nodes_[ev.proc];
+      if (node.app) node.app->on_timer(*node.api, ev.tag);
+      break;
+    }
+    case SimEventKind::kDeliver:
+      handle_deliver(ev);
+      break;
+    case SimEventKind::kDetection:
+      handle_detection(ev);
+      break;
+    case SimEventKind::kProbe: {
+      if (observer_) observer_->on_probe(*this, now_);
+      next_probe_ += config_.probe_interval;
+      schedule(next_probe_, SimEventKind::kProbe, 0, 0);
+      break;
+    }
+  }
+}
+
+void Simulator::handle_deliver(const SimEvent& ev) {
+  // Copy out of messages_ up front: the app's on_message may send, which
+  // grows messages_ and would invalidate a reference.
+  const Message& msg = messages_[static_cast<std::size_t>(ev.message_index)];
+  const ProcId from = msg.from;
+  const ProcId to = msg.to;
+  const std::uint32_t app_tag = msg.app_tag;
+  NodeState& node = nodes_[to];
+  EventRecord recv =
+      make_event(to, EventKind::kReceive, from, msg.send_event.id);
+  RecvContext ctx{to, from, recv, msg.send_event, app_tag};
+  DS_CHECK(msg.payloads.size() == node.csas.size());
+  for (std::size_t i = 0; i < node.csas.size(); ++i) {
+    node.csas[i]->on_receive(ctx, msg.payloads[i]);
+  }
+  after_event(to, recv);
+  if (node.app) node.app->on_message(*node.api, from, app_tag);
+}
+
+void Simulator::handle_detection(const SimEvent& ev) {
+  // Copy out: resolving the fate below can transmit the backlog, which may
+  // grow messages_.
+  const Message& msg = messages_[static_cast<std::size_t>(ev.message_index)];
+  const ProcId from = msg.from;
+  const ProcId to = msg.to;
+  const bool lost = msg.lost;
+  const EventId send_id = msg.send_event.id;
+  NodeState& node = nodes_[from];
+  if (lost) {
+    EventRecord decl = make_event(from, EventKind::kLossDecl, to, send_id);
+    for (const auto& csa : node.csas) csa->on_internal(decl);
+    after_event(from, decl);
+  } else {
+    for (const auto& csa : node.csas) csa->on_delivery_confirmed(to);
+  }
+  // The fate is now known: release the stop-and-wait link layer.
+  auto& dir = link_dirs_[link_dir_index(from, to)];
+  DS_CHECK(dir.awaiting_fate);
+  if (dir.backlog.empty()) {
+    dir.awaiting_fate = false;
+  } else {
+    const QueuedSend next = dir.backlog.front();
+    dir.backlog.pop_front();
+    transmit(next.from, next.to, next.app_tag);
+  }
+}
+
+EventRecord Simulator::make_event(ProcId proc, EventKind kind, ProcId peer,
+                                  EventId match) {
+  NodeState& node = nodes_[proc];
+  EventRecord rec;
+  rec.id = EventId{proc, node.next_seq++};
+  rec.lt = node.clock.lt_at(now_);
+  rec.kind = kind;
+  rec.peer = peer;
+  rec.match = match;
+  return rec;
+}
+
+void Simulator::after_event(ProcId proc, const EventRecord& record) {
+  ++total_events_;
+  NodeState& node = nodes_[proc];
+  // K1: events in the whole system strictly between two consecutive events
+  // at the same processor (Lemma 3.3 / Theorem 3.6).
+  if (record.id.seq > 0) {
+    observed_k1_ = std::max(
+        observed_k1_,
+        static_cast<std::size_t>(total_events_ - 1 - node.events_seen_total));
+  }
+  node.events_seen_total = total_events_;
+  if (config_.record_trace) trace_.push_back(TraceEntry{record, now_});
+  if (observer_) observer_->on_event(*this, record, now_);
+}
+
+std::size_t Simulator::link_dir_index(ProcId from, ProcId to) const {
+  const LinkSpec* link = spec_.link_between(from, to);
+  DS_CHECK(link != nullptr);
+  const auto base =
+      static_cast<std::size_t>(link - spec_.links().data()) * 2;
+  return base + (link->a == from ? 0 : 1);
+}
+
+const ClockModel& Simulator::clock(ProcId p) const {
+  DS_CHECK(p < nodes_.size());
+  return nodes_[p].clock;
+}
+
+Csa& Simulator::csa(ProcId p, std::size_t index) const {
+  DS_CHECK(p < nodes_.size() && index < nodes_[p].csas.size());
+  return *nodes_[p].csas[index];
+}
+
+std::size_t Simulator::csa_count(ProcId p) const {
+  DS_CHECK(p < nodes_.size());
+  return nodes_[p].csas.size();
+}
+
+}  // namespace driftsync::sim

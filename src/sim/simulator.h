@@ -1,0 +1,259 @@
+// Discrete-event simulator for clock-synchronization systems.
+//
+// The simulator plays the roles the paper's model assigns to "the system":
+// it owns ground-truth real time, drives the drifting clocks, generates
+// events via the per-node send modules ("apps"), delivers messages within
+// the specified transit bounds (FIFO per link direction), optionally drops
+// them, and implements the Section 3.3 loss-detection mechanism.
+//
+// CSAs are strictly passive (Section 2.2): any number of them can be
+// attached to every node, each fills its own payload slot on the same
+// messages, so different algorithms are compared on the identical
+// execution.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/csa.h"
+#include "core/event.h"
+#include "core/spec.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace driftsync::sim {
+
+class Simulator;
+
+/// The interface a send module uses to interact with its node.
+class NodeApi {
+ public:
+  NodeApi(Simulator& sim, ProcId self) : sim_(&sim), self_(self) {}
+
+  [[nodiscard]] ProcId self() const { return self_; }
+  [[nodiscard]] const SystemSpec& spec() const;
+  [[nodiscard]] const std::vector<ProcId>& neighbors() const;
+  [[nodiscard]] LocalTime local_time() const;
+
+  /// Sends a message to a neighbor; `app_tag` is opaque application data
+  /// (e.g. probe/response discrimination).
+  void send(ProcId dest, std::uint32_t app_tag);
+
+  /// Schedules on_timer(tag) after `local_delay` on this node's own clock.
+  void set_timer(Duration local_delay, std::uint32_t tag);
+
+  /// Creates an internal event (a point with no message attached).
+  void mark_internal_event();
+
+  /// Queries the estimate of the CSA at `csa_index` on this node.
+  [[nodiscard]] Interval estimate(std::size_t csa_index = 0) const;
+
+  [[nodiscard]] Rng& rng();
+
+ private:
+  Simulator* sim_;
+  ProcId self_;
+};
+
+/// A send module (Figure 1): decides when messages are sent.  Never sees
+/// real time.
+class App {
+ public:
+  virtual ~App() = default;
+  virtual void on_start(NodeApi& api) { (void)api; }
+  virtual void on_timer(NodeApi& api, std::uint32_t tag) {
+    (void)api;
+    (void)tag;
+  }
+  virtual void on_message(NodeApi& api, ProcId from, std::uint32_t app_tag) {
+    (void)api;
+    (void)from;
+    (void)app_tag;
+  }
+};
+
+/// Hooks for tests and measurement harnesses.  All callbacks run with the
+/// simulator in a consistent state.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// After every event has been processed by all CSAs of its node.
+  virtual void on_event(Simulator& sim, const EventRecord& record,
+                        RealTime rt) {
+    (void)sim;
+    (void)record;
+    (void)rt;
+  }
+  /// At every probe tick (SimConfig::probe_interval).
+  virtual void on_probe(Simulator& sim, RealTime rt) {
+    (void)sim;
+    (void)rt;
+  }
+};
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  /// Record (EventRecord, real time) for every event (for oracle checks).
+  bool record_trace = false;
+  /// Loss-detection timeout on the sender's local clock; 0 disables the
+  /// detection mechanism (then all loss probabilities must be 0).
+  Duration detection_timeout = 0.0;
+  /// Real-time cadence of SimObserver::on_probe; 0 disables probing.
+  Duration probe_interval = 0.0;
+};
+
+/// Per-link runtime behavior, parallel to SystemSpec::links().
+struct LinkRuntime {
+  LinkRuntime() = default;
+  LinkRuntime(LatencyModel latency_in, double loss_prob_in)
+      : latency(std::move(latency_in)), loss_prob(loss_prob_in) {}
+
+  LatencyModel latency = LatencyModel::fixed(0.0);  ///< a->b (and b->a ...)
+  double loss_prob = 0.0;
+  /// ... unless a distinct b->a model is given (asymmetric links).
+  std::optional<LatencyModel> latency_reverse;
+};
+
+struct TraceEntry {
+  EventRecord record;
+  RealTime rt = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(SystemSpec spec, std::vector<LinkRuntime> links, SimConfig config);
+
+  /// Attaches a node's clock, send module and CSA stack.  Must be called
+  /// once per processor before run().  The clock's drift must respect the
+  /// spec's rho; the source clock must be exact.
+  void attach_node(ProcId proc, ClockModel clock, std::unique_ptr<App> app,
+                   std::vector<std::unique_ptr<Csa>> csas);
+
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  /// Runs until ground-truth real time `until` (events at exactly `until`
+  /// included).  May be called repeatedly with increasing times.
+  void run_until(RealTime until);
+
+  // --- Introspection (harness-side; uses ground truth) -------------------
+  [[nodiscard]] const SystemSpec& spec() const { return spec_; }
+  [[nodiscard]] RealTime now() const { return now_; }
+  [[nodiscard]] const ClockModel& clock(ProcId p) const;
+  [[nodiscard]] Csa& csa(ProcId p, std::size_t index) const;
+  [[nodiscard]] std::size_t csa_count(ProcId p) const;
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const { return trace_; }
+  [[nodiscard]] std::size_t total_events() const { return total_events_; }
+  [[nodiscard]] std::size_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::size_t messages_lost() const { return messages_lost_; }
+
+  /// Number of events in the whole system between consecutive events of the
+  /// busiest processor so far — the paper's relative system speed K1.
+  [[nodiscard]] std::size_t observed_k1() const { return observed_k1_; }
+
+  /// Maximum number of messages sent over a link in one direction between
+  /// two consecutive sends in the other direction — the paper's K2
+  /// (Lemma 4.1).  0 when no link has seen bidirectional traffic yet.
+  [[nodiscard]] std::size_t observed_k2() const { return observed_k2_; }
+
+ private:
+  friend class NodeApi;
+
+  struct Message {
+    ProcId from = kInvalidProc;
+    ProcId to = kInvalidProc;
+    EventRecord send_event;
+    std::vector<CsaPayload> payloads;
+    std::uint32_t app_tag = 0;
+    bool lost = false;
+  };
+
+  enum class SimEventKind : std::uint8_t {
+    kTimer,
+    kDeliver,
+    kDetection,
+    kProbe,
+  };
+
+  struct SimEvent {
+    RealTime rt = 0.0;
+    std::uint64_t order = 0;  // FIFO tie-break
+    SimEventKind kind = SimEventKind::kTimer;
+    ProcId proc = kInvalidProc;
+    std::uint32_t tag = 0;
+    std::int64_t message_index = -1;
+
+    bool operator>(const SimEvent& other) const {
+      if (rt != other.rt) return rt > other.rt;
+      return order > other.order;
+    }
+  };
+
+  struct NodeState {
+    bool attached = false;
+    ClockModel clock = ClockModel::constant(0.0, 1.0);
+    std::unique_ptr<App> app;
+    std::vector<std::unique_ptr<Csa>> csas;
+    std::unique_ptr<NodeApi> api;
+    std::uint32_t next_seq = 0;
+    Rng rng;
+    std::uint64_t events_seen_total = 0;  // system events at last own event
+  };
+
+  struct QueuedSend {
+    ProcId from = kInvalidProc;
+    ProcId to = kInvalidProc;
+    std::uint32_t app_tag = 0;
+  };
+
+  struct LinkDirState {
+    RealTime last_delivery = 0.0;
+    std::size_t sends_since_reverse = 0;
+    // Stop-and-wait (only when the detection mechanism is enabled): the
+    // Section 3.3 refined assumption — a message's fate is known before the
+    // next send on the same link direction — implemented as an ARQ-style
+    // link layer: at most one message with unknown fate in flight; further
+    // sends queue here and transmit when the fate resolves.
+    bool awaiting_fate = false;
+    std::deque<QueuedSend> backlog;
+  };
+
+  void schedule(RealTime rt, SimEventKind kind, ProcId proc, std::uint32_t tag,
+                std::int64_t message_index = -1);
+  void dispatch(const SimEvent& ev);
+  void handle_deliver(const SimEvent& ev);
+  void handle_detection(const SimEvent& ev);
+  EventRecord make_event(ProcId proc, EventKind kind, ProcId peer,
+                         EventId match);
+  void after_event(ProcId proc, const EventRecord& record);
+  std::size_t link_dir_index(ProcId from, ProcId to) const;
+  /// Performs the actual transmission (send event, CSA payloads, latency /
+  /// loss sampling, detection scheduling).
+  void transmit(ProcId from, ProcId to, std::uint32_t app_tag);
+
+  SystemSpec spec_;
+  std::vector<LinkRuntime> link_runtime_;
+  SimConfig config_;
+  std::vector<NodeState> nodes_;
+  std::vector<Rng> link_rngs_;
+  std::vector<LinkDirState> link_dirs_;  // 2 per link: [2i]=a->b, [2i+1]=b->a
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>> queue_;
+  std::vector<Message> messages_;
+  std::vector<TraceEntry> trace_;
+  SimObserver* observer_ = nullptr;
+  RealTime now_ = 0.0;
+  std::uint64_t order_counter_ = 0;
+  std::size_t total_events_ = 0;
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_lost_ = 0;
+  std::size_t observed_k1_ = 0;
+  std::size_t observed_k2_ = 0;
+  bool started_ = false;
+  RealTime next_probe_ = 0.0;
+};
+
+}  // namespace driftsync::sim

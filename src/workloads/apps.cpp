@@ -1,0 +1,93 @@
+#include "workloads/apps.h"
+
+#include <algorithm>
+
+#include "baselines/ntp_csa.h"  // kProbeTag / kResponseTag
+
+namespace driftsync::workloads {
+
+namespace {
+constexpr std::uint32_t kPollTimer = 1;
+constexpr std::uint32_t kGossipTimer = 2;
+constexpr std::uint32_t kGossipTag = 7;
+}  // namespace
+
+// ------------------------------------------------------------- ProbeApp
+
+void ProbeApp::schedule_next(sim::NodeApi& api, Duration base) {
+  const double j = config_.jitter;
+  const Duration delay =
+      base * (j > 0.0 ? api.rng().uniform(1.0 - j, 1.0 + j) : 1.0);
+  api.set_timer(std::max(delay, 1e-6), kPollTimer);
+}
+
+void ProbeApp::on_start(sim::NodeApi& api) {
+  if (config_.upstreams.empty() && config_.peers.empty()) return;
+  // Desynchronize pollers: first poll after a random fraction of a period.
+  const Duration first =
+      config_.period * api.rng().uniform(0.05, 1.0);
+  api.set_timer(first, kPollTimer);
+}
+
+void ProbeApp::on_timer(sim::NodeApi& api, std::uint32_t tag) {
+  if (tag != kPollTimer) return;
+  ++round_;
+  const bool poll_peers = !config_.peers.empty() && config_.peer_every > 0 &&
+                          round_ % config_.peer_every == 0;
+  if (config_.adaptive) {
+    const Interval est = api.estimate(config_.watch_csa);
+    const double width = est.bounded() ? est.width() : kNoBound;
+    if (width > config_.width_target) {
+      for (const ProcId u : config_.upstreams) api.send(u, kProbeTag);
+      if (poll_peers) {
+        for (const ProcId u : config_.peers) api.send(u, kProbeTag);
+      }
+      schedule_next(api, config_.burst_gap);
+    } else {
+      schedule_next(api, config_.period);
+    }
+    return;
+  }
+  for (const ProcId u : config_.upstreams) api.send(u, kProbeTag);
+  if (poll_peers) {
+    for (const ProcId u : config_.peers) api.send(u, kProbeTag);
+  }
+  schedule_next(api, config_.period);
+}
+
+void ProbeApp::on_message(sim::NodeApi& api, ProcId from,
+                          std::uint32_t app_tag) {
+  if (app_tag == kProbeTag) api.send(from, kResponseTag);
+}
+
+// ------------------------------------------------------------- GossipApp
+
+void GossipApp::on_start(sim::NodeApi& api) {
+  api.set_timer(api.rng().exponential(config_.mean_interval), kGossipTimer);
+}
+
+void GossipApp::on_timer(sim::NodeApi& api, std::uint32_t tag) {
+  if (tag != kGossipTimer) return;
+  const auto& nbrs = api.neighbors();
+  if (!nbrs.empty()) {
+    api.send(nbrs[api.rng().uniform_index(nbrs.size())], kGossipTag);
+  }
+  api.set_timer(api.rng().exponential(config_.mean_interval), kGossipTimer);
+}
+
+void GossipApp::on_message(sim::NodeApi& api, ProcId from,
+                           std::uint32_t app_tag) {
+  if (app_tag == kGossipTag && config_.reply_prob > 0.0 &&
+      api.rng().flip(config_.reply_prob)) {
+    api.send(from, kGossipTag + 1);
+  }
+}
+
+// ----------------------------------------------------------- ResponderApp
+
+void ResponderApp::on_message(sim::NodeApi& api, ProcId from,
+                              std::uint32_t app_tag) {
+  if (app_tag == kProbeTag) api.send(from, kResponseTag);
+}
+
+}  // namespace driftsync::workloads

@@ -1,0 +1,75 @@
+// Send modules ("apps", Figure 1): the traffic generators of the scenarios.
+//
+// These decide the communication pattern; every attached CSA passively rides
+// on the same messages (Section 2.2), so results are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace driftsync::workloads {
+
+/// Periodic polling of upstream servers with request/response exchanges —
+/// the NTP communication pattern of Section 4 (poll period C).  Can also
+/// run in *adaptive* (Cristian) mode: poll only while the watched CSA's
+/// estimate is wider than `width_target`, retrying every `burst_gap` — the
+/// probabilistic pattern of Section 4.
+class ProbeApp : public sim::App {
+ public:
+  struct Config {
+    std::vector<ProcId> upstreams;  ///< Whom to poll (empty: respond only).
+    std::vector<ProcId> peers;      ///< Polled every `peer_every`-th round.
+    Duration period = 1.0;          ///< Local poll period.
+    double jitter = 0.1;            ///< Uniform +- fraction of the period.
+    std::size_t peer_every = 4;     ///< Peer-poll cadence (in rounds).
+    bool adaptive = false;          ///< Cristian burst mode.
+    double width_target = 0.01;     ///< Burst while estimate is wider.
+    Duration burst_gap = 0.05;      ///< Local gap between burst probes.
+    std::size_t watch_csa = 0;      ///< Which CSA's estimate to watch.
+  };
+
+  explicit ProbeApp(Config config) : config_(std::move(config)) {}
+
+  void on_start(sim::NodeApi& api) override;
+  void on_timer(sim::NodeApi& api, std::uint32_t tag) override;
+  void on_message(sim::NodeApi& api, ProcId from,
+                  std::uint32_t app_tag) override;
+
+ private:
+  void schedule_next(sim::NodeApi& api, Duration base);
+  Config config_;
+  std::size_t round_ = 0;
+};
+
+/// Random peer-to-peer chatter: exponential interarrival, uniform random
+/// neighbor, optional replies.  Exercises arbitrary communication patterns
+/// (the general model of Section 2) rather than a server hierarchy.
+class GossipApp : public sim::App {
+ public:
+  struct Config {
+    Duration mean_interval = 0.5;  ///< Local-time mean between sends.
+    double reply_prob = 0.0;       ///< Probability of replying to a message.
+  };
+
+  explicit GossipApp(Config config) : config_(config) {}
+
+  void on_start(sim::NodeApi& api) override;
+  void on_timer(sim::NodeApi& api, std::uint32_t tag) override;
+  void on_message(sim::NodeApi& api, ProcId from,
+                  std::uint32_t app_tag) override;
+
+ private:
+  Config config_;
+};
+
+/// A quiet node: only responds to probes (a pure server).
+class ResponderApp : public sim::App {
+ public:
+  void on_message(sim::NodeApi& api, ProcId from,
+                  std::uint32_t app_tag) override;
+};
+
+}  // namespace driftsync::workloads

@@ -1,0 +1,161 @@
+#include "workloads/scenario.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/clock.h"
+#include "workloads/apps.h"
+
+namespace driftsync::workloads {
+
+namespace {
+
+/// Collects estimate samples at every probe tick and aggregates CSA stats at
+/// the end.
+class MetricsObserver : public sim::SimObserver {
+ public:
+  MetricsObserver(ScenarioReport& report, const ScenarioConfig& config)
+      : report_(&report), config_(&config) {}
+
+  void on_probe(sim::Simulator& sim, RealTime rt) override {
+    if (rt < config_->warmup) return;
+    const SystemSpec& spec = sim.spec();
+    for (ProcId p = 0; p < spec.num_procs(); ++p) {
+      if (p == spec.source()) continue;  // trivially exact; would skew stats
+      const LocalTime lt = sim.clock(p).lt_at(rt);
+      for (std::size_t c = 0; c < sim.csa_count(p); ++c) {
+        CsaMetrics& m = report_->csas[c];
+        const Interval est = sim.csa(p, c).estimate(lt);
+        ++m.samples;
+        if (!est.contains(rt)) ++m.containment_violations;
+        if (est.bounded()) {
+          m.width.add(est.width());
+          last_width_[c].add(est.width());
+        } else {
+          ++m.unbounded_samples;
+        }
+      }
+    }
+    // Keep only the most recent tick's widths for final_mean_width.
+    for (auto& [c, stats] : last_width_) {
+      report_->csas[c].final_mean_width = stats.mean();
+    }
+    last_width_.clear();
+  }
+
+ private:
+  ScenarioReport* report_;
+  const ScenarioConfig* config_;
+  std::unordered_map<std::size_t, RunningStats> last_width_;
+};
+
+sim::ClockModel build_clock(const SystemSpec& spec, ProcId p, Rng& rng,
+                            const ScenarioConfig& config) {
+  if (p == spec.source()) {
+    return sim::ClockModel::constant(0.0, 1.0);  // the source IS real time
+  }
+  const double rho = spec.clock(p).rho;
+  const double offset =
+      rng.uniform(-config.init_offset_range, config.init_offset_range);
+  const double rate = 1.0 + rng.uniform(-rho, rho);
+  sim::ClockModel clock = sim::ClockModel::constant(offset, rate);
+  if (config.clock_wander && rho > 0.0) {
+    for (RealTime t = config.wander_interval; t < config.duration;
+         t += config.wander_interval) {
+      clock.add_rate_change(t, 1.0 + rng.uniform(-rho, rho));
+    }
+  }
+  return clock;
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const Network& net, const AppFactory& apps,
+                            const std::vector<CsaSlot>& slots,
+                            const ScenarioConfig& config) {
+  DS_CHECK_MSG(!slots.empty(), "need at least one CSA slot");
+  sim::SimConfig sim_config;
+  sim_config.seed = config.seed;
+  sim_config.record_trace = config.record_trace;
+  sim_config.detection_timeout = config.detection_timeout;
+  sim_config.probe_interval = config.sample_interval;
+
+  sim::Simulator simulator(net.spec, net.links, sim_config);
+
+  Rng clock_rng(config.seed ^ 0xC10CC10CC10CC10CULL);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.reserve(slots.size());
+    for (const CsaSlot& slot : slots) csas.push_back(slot.make(p));
+    simulator.attach_node(p, build_clock(net.spec, p, clock_rng, config),
+                          apps(p), std::move(csas));
+  }
+
+  ScenarioReport report;
+  report.csas.resize(slots.size());
+  for (std::size_t c = 0; c < slots.size(); ++c) {
+    report.csas[c].label = slots[c].label;
+  }
+  MetricsObserver observer(report, config);
+  simulator.set_observer(&observer);
+  simulator.run_until(config.duration);
+
+  report.total_events = simulator.total_events();
+  report.messages_sent = simulator.messages_sent();
+  report.messages_lost = simulator.messages_lost();
+  report.observed_k1 = simulator.observed_k1();
+  report.observed_k2 = simulator.observed_k2();
+  for (std::size_t c = 0; c < slots.size(); ++c) {
+    CsaMetrics& m = report.csas[c];
+    for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+      const CsaStats s = simulator.csa(p, c).stats();
+      m.max_live_points = std::max(m.max_live_points, s.max_live_points);
+      m.max_history_events =
+          std::max(m.max_history_events, s.max_history_events);
+      m.payload_bytes_sent += s.payload_bytes_sent;
+      m.reports_sent += s.reports_sent;
+      m.state_bytes += s.state_bytes;
+    }
+  }
+  return report;
+}
+
+AppFactory periodic_probe_apps(const Network& net, Duration period,
+                               double jitter) {
+  return [&net, period, jitter](ProcId p) -> std::unique_ptr<sim::App> {
+    ProbeApp::Config cfg;
+    cfg.upstreams = net.upstreams[p];
+    cfg.peers = net.peers[p];
+    cfg.period = period;
+    cfg.jitter = jitter;
+    return std::make_unique<ProbeApp>(cfg);
+  };
+}
+
+AppFactory adaptive_probe_apps(const Network& net, Duration period,
+                               double width_target, Duration burst_gap,
+                               std::size_t watch_csa) {
+  return [&net, period, width_target, burst_gap,
+          watch_csa](ProcId p) -> std::unique_ptr<sim::App> {
+    ProbeApp::Config cfg;
+    cfg.upstreams = net.upstreams[p];
+    cfg.peers = net.peers[p];
+    cfg.period = period;
+    cfg.adaptive = true;
+    cfg.width_target = width_target;
+    cfg.burst_gap = burst_gap;
+    cfg.watch_csa = watch_csa;
+    return std::make_unique<ProbeApp>(cfg);
+  };
+}
+
+AppFactory gossip_apps(Duration mean_interval, double reply_prob) {
+  return [mean_interval, reply_prob](ProcId) -> std::unique_ptr<sim::App> {
+    return std::make_unique<GossipApp>(
+        GossipApp::Config{mean_interval, reply_prob});
+  };
+}
+
+}  // namespace driftsync::workloads

@@ -1,0 +1,366 @@
+// Tests for the comparator CSAs: the full-view oracle's bookkeeping, the
+// interval (drift-free + fudge) algorithm, NTP, and Cristian.  All four are
+// *correct* interval algorithms — their estimates must always contain the
+// true source time — which is what makes the width comparisons of the
+// experiment harnesses meaningful.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/cristian_csa.h"
+#include "baselines/full_view_csa.h"
+#include "baselines/interval_csa.h"
+#include "baselines/ntp_csa.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "workloads/apps.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+namespace driftsync {
+namespace {
+
+using testing::line_spec;
+using workloads::Network;
+using workloads::TopoParams;
+
+// ------------------------------------------------------------ IntervalCsa
+
+TEST(IntervalCsaTest, UnsynchronizedIsEverything) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.01, 0.05);
+  IntervalCsa csa;
+  csa.init(spec, 1);
+  EXPECT_EQ(csa.estimate(123.0), Interval::everything());
+}
+
+TEST(IntervalCsaTest, SourcePinsPhiToZero) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.01, 0.05);
+  IntervalCsa csa;
+  csa.init(spec, 0);
+  EXPECT_TRUE(intervals_close(csa.estimate(42.0), Interval::point(42.0)));
+}
+
+TEST(IntervalCsaTest, OneMessageFromSourceGivesTransitWidth) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.01, 0.05);
+  IntervalCsa source;
+  IntervalCsa client;
+  source.init(spec, 0);
+  client.init(spec, 1);
+
+  testing::EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  SendContext sctx{0, 1, s, 0};
+  const CsaPayload payload = source.on_send(sctx);
+  const EventRecord r = fac.receive(1, 500.0, s);
+  RecvContext rctx{1, 0, r, s, 0};
+  client.on_receive(rctx, payload);
+  // phi in [10 + 0.01 - 500, 10 + 0.05 - 500]: width = transit slack.
+  const Interval est = client.estimate(500.0);
+  EXPECT_NEAR(est.width(), 0.04, 1e-9);
+  EXPECT_NEAR(est.lo, 10.01, 1e-9);
+}
+
+TEST(IntervalCsaTest, WidthGrowsWithDrift) {
+  const SystemSpec spec = line_spec(2, 1e-3, 0.01, 0.05);
+  IntervalCsa source, client;
+  source.init(spec, 0);
+  client.init(spec, 1);
+  testing::EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const CsaPayload payload = source.on_send(SendContext{0, 1, s, 0});
+  const EventRecord r = fac.receive(1, 500.0, s);
+  client.on_receive(RecvContext{1, 0, r, s, 0}, payload);
+  const double w0 = client.estimate(500.0).width();
+  const double w1 = client.estimate(600.0).width();
+  EXPECT_NEAR(w1 - w0, 100.0 * (1e-3 / 0.999 + 1e-3 / 1.001), 1e-9);
+}
+
+TEST(IntervalCsaTest, FudgeEpochIsCoarserButCorrect) {
+  // Same exchange; the epoch variant must be at least as wide as the
+  // continuous variant at any later read.
+  const SystemSpec spec = line_spec(2, 1e-3, 0.01, 0.05);
+  IntervalCsa cont(0.0);
+  IntervalCsa fudge(50.0);
+  cont.init(spec, 1);
+  fudge.init(spec, 1);
+  IntervalCsa source;
+  source.init(spec, 0);
+  testing::EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const CsaPayload payload = source.on_send(SendContext{0, 1, s, 0});
+  const EventRecord r = fac.receive(1, 500.0, s);
+  cont.on_receive(RecvContext{1, 0, r, s, 0}, payload);
+  fudge.on_receive(RecvContext{1, 0, r, s, 0}, payload);
+  for (const double t : {500.0, 520.0, 560.0, 700.0}) {
+    EXPECT_GE(fudge.estimate(t).width(), cont.estimate(t).width() - 1e-12);
+  }
+}
+
+TEST(IntervalCsaTest, IntersectionTightens) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 1.0);
+  IntervalCsa source, client;
+  source.init(spec, 0);
+  client.init(spec, 1);
+  testing::EventFactory fac(2);
+  // Two messages with different transits: intersect.
+  const EventRecord s1 = fac.send(0, 10.0, 1);
+  const CsaPayload p1 = source.on_send(SendContext{0, 1, s1, 0});
+  const EventRecord r1 = fac.receive(1, 100.0, s1);
+  client.on_receive(RecvContext{1, 0, r1, s1, 0}, p1);
+  EXPECT_NEAR(client.estimate(100.0).width(), 1.0, 1e-9);
+  const EventRecord s2 = fac.send(0, 10.4, 1);
+  const CsaPayload p2 = source.on_send(SendContext{0, 1, s2, 0});
+  const EventRecord r2 = fac.receive(1, 100.5, s2);  // vd 90.1 vs 90 before
+  client.on_receive(RecvContext{1, 0, r2, s2, 0}, p2);
+  // New constraint phi in [10.4-100.5, 11.4-100.5]=[-90.1,-89.1];
+  // old [-90,-89]: intersect -> [-90,-89.1], width 0.9.
+  EXPECT_NEAR(client.estimate(100.5).width(), 0.9, 1e-9);
+}
+
+// ------------------------------------------------- sim-level containment
+
+struct ContainmentObserver : sim::SimObserver {
+  void on_probe(sim::Simulator& sim, RealTime rt) override {
+    for (ProcId p = 0; p < sim.spec().num_procs(); ++p) {
+      const LocalTime lt = sim.clock(p).lt_at(rt);
+      for (std::size_t c = 0; c < sim.csa_count(p); ++c) {
+        const Interval est = sim.csa(p, c).estimate(lt);
+        EXPECT_TRUE(est.contains(rt))
+            << sim.csa(p, c).name() << " violated containment at proc " << p
+            << " rt=" << rt << " est=" << est.str();
+        if (est.bounded()) ++bounded;
+      }
+    }
+  }
+  int bounded = 0;
+};
+
+void run_containment(const Network& net, std::uint64_t seed,
+                     bool adaptive_probing, RealTime duration,
+                     int min_bounded) {
+  sim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.probe_interval = 0.25;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  Rng rng(seed + 1);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<CristianCsa>());
+    csas.push_back(std::make_unique<NtpCsa>());
+    csas.push_back(std::make_unique<IntervalCsa>());
+    csas.push_back(std::make_unique<IntervalCsa>(30.0));
+    const double rho = net.spec.clock(p).rho;
+    sim::ClockModel clock =
+        p == net.spec.source()
+            ? sim::ClockModel::constant(0.0, 1.0)
+            : sim::ClockModel::constant(rng.uniform(-20.0, 20.0),
+                                        1.0 + rng.uniform(-rho, rho));
+    workloads::ProbeApp::Config pc;
+    pc.upstreams = net.upstreams[p];
+    pc.period = 0.5;
+    pc.adaptive = adaptive_probing;
+    pc.width_target = 0.05;
+    pc.burst_gap = 0.05;
+    simulator.attach_node(p, std::move(clock),
+                          std::make_unique<workloads::ProbeApp>(pc),
+                          std::move(csas));
+  }
+  ContainmentObserver obs;
+  simulator.set_observer(&obs);
+  simulator.run_until(duration);
+  EXPECT_GE(obs.bounded, min_bounded);
+}
+
+TEST(BaselineContainmentTest, PeriodicProbingStar) {
+  TopoParams params;
+  params.rho = 200e-6;
+  params.latency = sim::LatencyModel::uniform(0.002, 0.02);
+  run_containment(workloads::make_star(5, params), 11, false, 15.0, 200);
+}
+
+TEST(BaselineContainmentTest, PeriodicProbingHierarchy) {
+  TopoParams params;
+  params.rho = 100e-6;
+  params.latency = sim::LatencyModel::uniform(0.001, 0.03);
+  run_containment(workloads::make_ntp_hierarchy({2, 4}, 2, false, 3, params),
+                  12, false, 15.0, 300);
+}
+
+TEST(BaselineContainmentTest, AdaptiveProbingHeavyTail) {
+  TopoParams params;
+  params.rho = 100e-6;
+  params.latency = sim::LatencyModel::bimodal(0.001, 0.004, 0.05, 0.2, 0.25);
+  run_containment(workloads::make_star(4, params), 13, true, 15.0, 100);
+}
+
+// --------------------------------------------------------------- NtpCsa
+
+TEST(NtpCsaTest, StartsUnsynchronized) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.001, 0.05);
+  NtpCsa csa;
+  csa.init(spec, 1);
+  EXPECT_FALSE(csa.synchronized());
+  EXPECT_EQ(csa.estimate(0.0), Interval::everything());
+}
+
+TEST(NtpCsaTest, SourceIsStratumZero) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.001, 0.05);
+  NtpCsa csa;
+  csa.init(spec, 0);
+  EXPECT_TRUE(csa.synchronized());
+  EXPECT_EQ(csa.stratum(), 0);
+  EXPECT_TRUE(intervals_close(csa.estimate(9.0), Interval::point(9.0)));
+}
+
+TEST(NtpCsaTest, SymmetricExchangeRecoversOffset) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 1.0);
+  NtpCsa server, client;
+  server.init(spec, 0);
+  client.init(spec, 1);
+  testing::EventFactory fac(2);
+  // Client clock = source + 100.  Request at client 110 (source 10),
+  // transit 0.2; server receives at 10.2; replies at 10.3; transit 0.2;
+  // client receives at 110.5.
+  const EventRecord probe = fac.send(1, 110.0, 0);
+  client.on_send(SendContext{1, 0, probe, kProbeTag});
+  const EventRecord preq = fac.receive(0, 10.2, probe);
+  server.on_receive(RecvContext{0, 1, preq, probe, kProbeTag}, {});
+  const EventRecord resp = fac.send(0, 10.3, 1);
+  const CsaPayload payload =
+      server.on_send(SendContext{0, 1, resp, kResponseTag});
+  const EventRecord rresp = fac.receive(1, 110.5, resp);
+  client.on_receive(RecvContext{1, 0, rresp, resp, kResponseTag}, payload);
+  ASSERT_TRUE(client.synchronized());
+  EXPECT_EQ(client.stratum(), 1);
+  // theta = ((10.2-110)+(10.3-110.5))/2 = -100 exactly for symmetric legs.
+  const Interval est = client.estimate(110.5);
+  EXPECT_NEAR(est.midpoint(), 10.5, 1e-9);
+  EXPECT_TRUE(est.contains(10.5));
+}
+
+TEST(NtpCsaTest, IgnoresResponsesWithoutPendingRequest) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.0, 1.0);
+  NtpCsa server;
+  server.init(spec, 0);
+  testing::EventFactory fac(2);
+  const EventRecord resp = fac.send(0, 1.0, 1);
+  const CsaPayload payload =
+      server.on_send(SendContext{0, 1, resp, kResponseTag});
+  EXPECT_TRUE(payload.scalars.empty());  // no request to answer
+}
+
+TEST(NtpCsaTest, UnsynchronizedServerDoesNotPoison) {
+  const SystemSpec spec = line_spec(3, 1e-4, 0.0, 1.0);
+  NtpCsa middle, client;
+  middle.init(spec, 1);  // not the source; knows nothing
+  client.init(spec, 2);
+  testing::EventFactory fac(3);
+  const EventRecord probe = fac.send(2, 5.0, 1);
+  client.on_send(SendContext{2, 1, probe, kProbeTag});
+  const EventRecord preq = fac.receive(1, 7.0, probe);
+  middle.on_receive(RecvContext{1, 2, preq, probe, kProbeTag}, {});
+  const EventRecord resp = fac.send(1, 7.1, 2);
+  const CsaPayload payload =
+      middle.on_send(SendContext{1, 2, resp, kResponseTag});
+  const EventRecord rresp = fac.receive(2, 5.4, resp);
+  client.on_receive(RecvContext{2, 1, rresp, resp, kResponseTag}, payload);
+  EXPECT_FALSE(client.synchronized());
+}
+
+// ------------------------------------------------------------ CristianCsa
+
+TEST(CristianCsaTest, RoundTripProducesBoundedEstimate) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.01, kNoBound);
+  CristianCsa server, client;
+  server.init(spec, 0);
+  client.init(spec, 1);
+  testing::EventFactory fac(2);
+  const EventRecord probe = fac.send(1, 200.0, 0);
+  client.on_send(SendContext{1, 0, probe, kProbeTag});
+  const EventRecord preq = fac.receive(0, 50.02, probe);
+  server.on_receive(RecvContext{0, 1, preq, probe, kProbeTag}, {});
+  const EventRecord resp = fac.send(0, 50.03, 1);
+  const CsaPayload payload =
+      server.on_send(SendContext{0, 1, resp, kResponseTag});
+  const EventRecord rresp = fac.receive(1, 200.05, resp);
+  client.on_receive(RecvContext{1, 0, rresp, resp, kResponseTag}, payload);
+  ASSERT_TRUE(client.synchronized());
+  const Interval est = client.estimate(200.05);
+  EXPECT_TRUE(est.bounded());
+  // True source time at receive = 50.05 (transit 0.02 + hold + 0.02).
+  EXPECT_TRUE(est.contains(50.05));
+  // Width ~ rtt - 2l = 0.05 - 0.02 = 0.03 (plus drift epsilon).
+  EXPECT_NEAR(est.width(), 0.03, 1e-3);
+}
+
+TEST(CristianCsaTest, DiscardsSlowRoundTrips) {
+  CristianCsa::Options opts;
+  opts.rtt_threshold = 0.04;
+  const SystemSpec spec = line_spec(2, 1e-4, 0.01, kNoBound);
+  CristianCsa server, client(opts);
+  server.init(spec, 0);
+  client.init(spec, 1);
+  testing::EventFactory fac(2);
+  const EventRecord probe = fac.send(1, 200.0, 0);
+  client.on_send(SendContext{1, 0, probe, kProbeTag});
+  const EventRecord preq = fac.receive(0, 50.05, probe);
+  server.on_receive(RecvContext{0, 1, preq, probe, kProbeTag}, {});
+  const EventRecord resp = fac.send(0, 50.06, 1);
+  const CsaPayload payload =
+      server.on_send(SendContext{0, 1, resp, kResponseTag});
+  const EventRecord rresp = fac.receive(1, 200.11, resp);  // rtt 0.11 > 0.04
+  client.on_receive(RecvContext{1, 0, rresp, resp, kResponseTag}, payload);
+  EXPECT_FALSE(client.synchronized());
+}
+
+TEST(CristianCsaTest, KeepsBetterSample) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.01, kNoBound);
+  CristianCsa server, client;
+  server.init(spec, 0);
+  client.init(spec, 1);
+  testing::EventFactory fac(2);
+  const auto exchange = [&](double t_probe, double t_req, double t_resp,
+                            double t_rresp) {
+    const EventRecord probe = fac.send(1, t_probe, 0);
+    client.on_send(SendContext{1, 0, probe, kProbeTag});
+    const EventRecord preq = fac.receive(0, t_req, probe);
+    server.on_receive(RecvContext{0, 1, preq, probe, kProbeTag}, {});
+    const EventRecord resp = fac.send(0, t_resp, 1);
+    const CsaPayload payload =
+        server.on_send(SendContext{0, 1, resp, kResponseTag});
+    const EventRecord rresp = fac.receive(1, t_rresp, resp);
+    client.on_receive(RecvContext{1, 0, rresp, resp, kResponseTag}, payload);
+  };
+  exchange(200.0, 50.1, 50.11, 200.21);  // rtt 0.21
+  ASSERT_TRUE(client.synchronized());
+  const double wide = client.estimate(200.21).width();
+  exchange(201.0, 51.02, 51.03, 201.05);  // rtt 0.05: better
+  const double narrow = client.estimate(201.05).width();
+  EXPECT_LT(narrow, wide);
+  exchange(202.0, 52.2, 52.21, 202.41);  // worse: must be ignored
+  EXPECT_NEAR(client.estimate(202.41).width(),
+              narrow + 1.36 * (1e-4 / 0.9999 + 1e-4 / 1.0001), 1e-6);
+}
+
+// --------------------------------------------------------- FullViewCsa
+
+TEST(FullViewCsaTest, StatsReflectViewGrowth) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.0, 1.0);
+  FullViewCsa a, b;
+  a.init(spec, 0);
+  b.init(spec, 1);
+  testing::EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  const CsaPayload p = a.on_send(SendContext{0, 1, s, 0});
+  EXPECT_EQ(p.reports.size(), 1u);
+  const EventRecord r = fac.receive(1, 1.5, s);
+  b.on_receive(RecvContext{1, 0, r, s, 0}, p);
+  EXPECT_EQ(b.stats().history_events, 2u);
+  // The oracle's payload grows with the whole view: wasteful by design.
+  const EventRecord s2 = fac.send(1, 2.0, 0);
+  const CsaPayload p2 = b.on_send(SendContext{1, 0, s2, 0});
+  EXPECT_EQ(p2.reports.size(), 3u);
+}
+
+}  // namespace
+}  // namespace driftsync

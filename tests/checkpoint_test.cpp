@@ -1,0 +1,172 @@
+// Tests for checkpoint/restore of the optimal CSA: a restored instance must
+// be indistinguishable from one that never restarted.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/optimal_csa.h"
+#include "test_util.h"
+
+namespace driftsync {
+namespace {
+
+using testing::EventFactory;
+using testing::line_spec;
+
+/// Drives proc 0 (source) and proc 1 (client) through `rounds` exchanges,
+/// feeding identical contexts to every CSA in `clients`; used to keep an
+/// original and a restored instance in lockstep.
+struct TwoNodeDriver {
+  explicit TwoNodeDriver(const SystemSpec& spec_in)
+      : spec(spec_in), fac(2) {
+    source.init(spec, 0);
+  }
+
+  void round(std::vector<OptimalCsa*> clients, double t) {
+    // Client probes source; source replies.
+    const EventRecord probe = fac.send(1, 100.0 + t, 0);
+    std::vector<CsaPayload> probe_payloads;
+    for (OptimalCsa* c : clients) {
+      probe_payloads.push_back(c->on_send(SendContext{1, 0, probe, 1}));
+    }
+    const EventRecord preq = fac.receive(0, t + 0.01, probe);
+    source.on_receive(RecvContext{0, 1, preq, probe, 1}, probe_payloads[0]);
+    const EventRecord resp = fac.send(0, t + 0.02, 1);
+    const CsaPayload resp_payload =
+        source.on_send(SendContext{0, 1, resp, 2});
+    const EventRecord rresp = fac.receive(1, 100.0 + t + 0.03, resp);
+    for (OptimalCsa* c : clients) {
+      c->on_receive(RecvContext{1, 0, rresp, resp, 2}, resp_payload);
+    }
+    now = 100.0 + t + 0.03;
+  }
+
+  const SystemSpec& spec;
+  EventFactory fac;
+  OptimalCsa source;
+  LocalTime now = 0.0;
+};
+
+TEST(CheckpointTest, RestoredInstanceContinuesIdentically) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  TwoNodeDriver driver(spec);
+  OptimalCsa original;
+  original.init(spec, 1);
+  for (int i = 0; i < 5; ++i) driver.round({&original}, 1.0 + i);
+
+  // Snapshot, restore into a fresh instance.
+  const auto bytes = original.checkpoint();
+  OptimalCsa restored;
+  restored.init(spec, 1);
+  restored.restore(bytes);
+
+  // Identical immediately...
+  EXPECT_TRUE(intervals_close(restored.estimate(driver.now),
+                              original.estimate(driver.now), 1e-12));
+  EXPECT_EQ(restored.engine().live_points(),
+            original.engine().live_points());
+  EXPECT_EQ(restored.history().history_size(),
+            original.history().history_size());
+
+  // ... and through ten more rounds of identical traffic.
+  for (int i = 0; i < 10; ++i) {
+    driver.round({&original, &restored}, 10.0 + i);
+    const Interval a = original.estimate(driver.now);
+    const Interval b = restored.estimate(driver.now);
+    EXPECT_TRUE(intervals_close(a, b, 1e-12)) << a.str() << " vs " << b.str();
+    EXPECT_EQ(restored.engine().live_points(),
+              original.engine().live_points());
+  }
+}
+
+TEST(CheckpointTest, SaveLoadSaveIsIdentity) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  TwoNodeDriver driver(spec);
+  OptimalCsa original;
+  original.init(spec, 1);
+  for (int i = 0; i < 4; ++i) driver.round({&original}, 1.0 + i);
+  const auto bytes = original.checkpoint();
+  OptimalCsa restored;
+  restored.init(spec, 1);
+  restored.restore(bytes);
+  EXPECT_EQ(restored.checkpoint(), bytes);
+}
+
+TEST(CheckpointTest, EmptyStateRoundTrips) {
+  const SystemSpec spec = line_spec(3, 1e-4, 0.0, 1.0);
+  OptimalCsa fresh;
+  fresh.init(spec, 2);
+  const auto bytes = fresh.checkpoint();
+  OptimalCsa restored;
+  restored.init(spec, 2);
+  restored.restore(bytes);
+  EXPECT_EQ(restored.estimate(5.0), Interval::everything());
+  EXPECT_EQ(restored.checkpoint(), bytes);
+}
+
+TEST(CheckpointTest, WrongProcessorRejected) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  OptimalCsa a;
+  a.init(spec, 1);
+  const auto bytes = a.checkpoint();
+  OptimalCsa b;
+  b.init(spec, 0);
+  EXPECT_THROW(b.restore(bytes), std::logic_error);
+}
+
+TEST(CheckpointTest, WrongSystemRejected) {
+  const SystemSpec small = line_spec(2, 1e-4, 0.002, 0.03);
+  const SystemSpec big = line_spec(4, 1e-4, 0.002, 0.03);
+  OptimalCsa a;
+  a.init(small, 1);
+  const auto bytes = a.checkpoint();
+  OptimalCsa b;
+  b.init(big, 1);
+  EXPECT_THROW(b.restore(bytes), std::logic_error);
+}
+
+TEST(CheckpointTest, TruncationRejected) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  TwoNodeDriver driver(spec);
+  OptimalCsa a;
+  a.init(spec, 1);
+  driver.round({&a}, 1.0);
+  auto bytes = a.checkpoint();
+  bytes.resize(bytes.size() / 2);
+  OptimalCsa b;
+  b.init(spec, 1);
+  EXPECT_THROW(b.restore(bytes), std::logic_error);
+}
+
+TEST(CheckpointTest, TrailingBytesRejected) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  OptimalCsa a;
+  a.init(spec, 1);
+  auto bytes = a.checkpoint();
+  bytes.push_back(0);
+  OptimalCsa b;
+  b.init(spec, 1);
+  EXPECT_THROW(b.restore(bytes), std::logic_error);
+}
+
+TEST(CheckpointTest, LossTolerantStateRoundTrips) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  OptimalCsa::Options opts;
+  opts.loss_tolerant = true;
+  OptimalCsa a(opts);
+  a.init(spec, 1);
+  EventFactory fac(2);
+  // One unresolved outstanding send (pending snapshot held).
+  const EventRecord s = fac.send(1, 50.0, 0);
+  a.on_send(SendContext{1, 0, s, 1});
+  const auto bytes = a.checkpoint();
+  OptimalCsa b(opts);
+  b.init(spec, 1);
+  b.restore(bytes);
+  EXPECT_EQ(b.checkpoint(), bytes);
+  // The restored instance can resolve the pending fate.
+  b.on_delivery_confirmed(0);
+}
+
+}  // namespace
+}  // namespace driftsync

@@ -1,0 +1,150 @@
+// Tests for the simulator substrate pieces: drifting clock models and
+// latency samplers.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace driftsync::sim {
+namespace {
+
+TEST(ClockModelTest, IdentityClock) {
+  const ClockModel c = ClockModel::constant(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.lt_at(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.rt_at(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.max_drift(), 0.0);
+}
+
+TEST(ClockModelTest, OffsetAndRate) {
+  const ClockModel c = ClockModel::constant(100.0, 1.5);
+  EXPECT_DOUBLE_EQ(c.lt_at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.lt_at(2.0), 103.0);
+  EXPECT_DOUBLE_EQ(c.rt_at(103.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.rate_at(1.0), 1.5);
+  EXPECT_DOUBLE_EQ(c.max_drift(), 0.5);
+}
+
+TEST(ClockModelTest, RoundTripIsIdentity) {
+  const ClockModel c = ClockModel::constant(-3.0, 0.9997);
+  for (const double rt : {0.0, 0.1, 7.5, 1234.0}) {
+    EXPECT_NEAR(c.rt_at(c.lt_at(rt)), rt, 1e-9);
+  }
+}
+
+TEST(ClockModelTest, PiecewiseRates) {
+  ClockModel c = ClockModel::constant(0.0, 1.0);
+  c.add_rate_change(10.0, 2.0);
+  c.add_rate_change(20.0, 0.5);
+  EXPECT_DOUBLE_EQ(c.lt_at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.lt_at(15.0), 20.0);   // 10 + 2*5
+  EXPECT_DOUBLE_EQ(c.lt_at(20.0), 30.0);
+  EXPECT_DOUBLE_EQ(c.lt_at(24.0), 32.0);   // 30 + 0.5*4
+  EXPECT_DOUBLE_EQ(c.rt_at(32.0), 24.0);
+  EXPECT_DOUBLE_EQ(c.rate_at(12.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.max_drift(), 1.0);
+}
+
+TEST(ClockModelTest, PiecewiseRoundTrip) {
+  Rng rng(3);
+  ClockModel c = ClockModel::constant(50.0, 1.0001);
+  for (double t = 5.0; t < 100.0; t += 5.0) {
+    c.add_rate_change(t, 1.0 + rng.uniform(-1e-4, 1e-4));
+  }
+  for (double rt = 0.0; rt < 120.0; rt += 0.37) {
+    EXPECT_NEAR(c.rt_at(c.lt_at(rt)), rt, 1e-6);
+  }
+}
+
+TEST(ClockModelTest, MonotoneLocalTime) {
+  ClockModel c = ClockModel::constant(0.0, 1.2);
+  c.add_rate_change(3.0, 0.8);
+  double prev = c.lt_at(0.0);
+  for (double rt = 0.01; rt < 10.0; rt += 0.01) {
+    const double lt = c.lt_at(rt);
+    EXPECT_GT(lt, prev);
+    prev = lt;
+  }
+}
+
+TEST(ClockModelTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(ClockModel::constant(0.0, 0.0), std::logic_error);
+  ClockModel c = ClockModel::constant(0.0, 1.0);
+  EXPECT_THROW(c.add_rate_change(1.0, -0.1), std::logic_error);
+}
+
+TEST(ClockModelTest, RejectsOutOfOrderSegments) {
+  ClockModel c = ClockModel::constant(0.0, 1.0);
+  c.add_rate_change(5.0, 1.1);
+  EXPECT_THROW(c.add_rate_change(4.0, 1.2), std::logic_error);
+}
+
+TEST(ClockModelTest, QueryBeforeEpochThrows) {
+  const ClockModel c = ClockModel::constant(0.0, 1.0, /*rt0=*/10.0);
+  EXPECT_THROW((void)c.lt_at(5.0), std::logic_error);
+}
+
+// ---------------------------------------------------------------- latency
+
+TEST(LatencyModelTest, FixedIsConstant) {
+  const LatencyModel m = LatencyModel::fixed(0.25);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.sample(rng), 0.25);
+  EXPECT_DOUBLE_EQ(m.min_delay(), 0.25);
+  EXPECT_DOUBLE_EQ(m.max_delay(), 0.25);
+}
+
+TEST(LatencyModelTest, UniformWithinBounds) {
+  const LatencyModel m = LatencyModel::uniform(0.1, 0.2);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = m.sample(rng);
+    EXPECT_GE(d, 0.1);
+    EXPECT_LE(d, 0.2);
+  }
+}
+
+TEST(LatencyModelTest, ShiftedExpRespectsCap) {
+  const LatencyModel m = LatencyModel::shifted_exp(0.05, 0.02, 0.1);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = m.sample(rng);
+    EXPECT_GE(d, 0.05);
+    EXPECT_LE(d, 0.1);
+  }
+}
+
+TEST(LatencyModelTest, ShiftedExpUnboundedDeclaresNoBound) {
+  const LatencyModel m = LatencyModel::shifted_exp(0.05, 0.02);
+  EXPECT_EQ(m.max_delay(), kNoBound);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(m.sample(rng), 0.05);
+  }
+}
+
+TEST(LatencyModelTest, BimodalHitsBothModes) {
+  const LatencyModel m = LatencyModel::bimodal(0.01, 0.02, 0.2, 0.4, 0.3);
+  Rng rng(5);
+  int fast = 0, slow = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = m.sample(rng);
+    EXPECT_GE(d, 0.01);
+    EXPECT_LE(d, 0.4);
+    if (d <= 0.02) ++fast;
+    if (d >= 0.2) ++slow;
+  }
+  EXPECT_EQ(fast + slow, 5000);
+  EXPECT_NEAR(static_cast<double>(fast) / 5000.0, 0.3, 0.05);
+}
+
+TEST(LatencyModelTest, RejectsBadParameters) {
+  EXPECT_THROW(LatencyModel::fixed(-1.0), std::logic_error);
+  EXPECT_THROW(LatencyModel::uniform(0.2, 0.1), std::logic_error);
+  EXPECT_THROW(LatencyModel::shifted_exp(0.1, 0.0), std::logic_error);
+  EXPECT_THROW(LatencyModel::bimodal(0.1, 0.2, 0.3, 0.4, 1.5),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace driftsync::sim

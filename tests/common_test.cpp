@@ -1,0 +1,289 @@
+// Unit tests for the common substrate: ids, time helpers, intervals, RNG,
+// statistics and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "common/interval.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/time_types.h"
+
+namespace driftsync {
+namespace {
+
+// ------------------------------------------------------------------- ids
+
+TEST(EventIdTest, PackUnpackRoundTrip) {
+  const EventId id{42, 17};
+  EXPECT_EQ(EventId::unpack(id.pack()), id);
+}
+
+TEST(EventIdTest, PackUnpackExtremes) {
+  const EventId id{0xfffffffe, 0xffffffff};
+  EXPECT_EQ(EventId::unpack(id.pack()), id);
+}
+
+TEST(EventIdTest, OrderingByProcThenSeq) {
+  EXPECT_LT((EventId{1, 9}), (EventId{2, 0}));
+  EXPECT_LT((EventId{1, 3}), (EventId{1, 4}));
+}
+
+TEST(EventIdTest, InvalidIsNotValid) {
+  EXPECT_FALSE(kInvalidEvent.valid());
+  EXPECT_TRUE((EventId{0, 0}).valid());
+}
+
+TEST(EventIdTest, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<EventId> h;
+  for (ProcId p = 0; p < 32; ++p) {
+    for (std::uint32_t s = 0; s < 32; ++s) hashes.insert(h(EventId{p, s}));
+  }
+  EXPECT_EQ(hashes.size(), 32u * 32u);  // no collisions on this tiny set
+}
+
+// ------------------------------------------------------------ time_types
+
+TEST(TimeCloseTest, ExactAndRelative) {
+  EXPECT_TRUE(time_close(1.0, 1.0));
+  EXPECT_TRUE(time_close(1e12, 1e12 * (1 + 1e-12)));
+  EXPECT_FALSE(time_close(1.0, 1.001));
+}
+
+TEST(TimeCloseTest, Infinities) {
+  EXPECT_TRUE(time_close(kNoBound, kNoBound));
+  EXPECT_TRUE(time_close(kNegInf, kNegInf));
+  EXPECT_FALSE(time_close(kNoBound, kNegInf));
+  EXPECT_FALSE(time_close(kNoBound, 1e300));
+}
+
+// --------------------------------------------------------------- interval
+
+TEST(IntervalTest, EverythingContainsAll) {
+  const Interval all = Interval::everything();
+  EXPECT_TRUE(all.contains(0.0));
+  EXPECT_TRUE(all.contains(-1e308));
+  EXPECT_FALSE(all.bounded());
+  EXPECT_FALSE(all.empty());
+}
+
+TEST(IntervalTest, PointInterval) {
+  const Interval p = Interval::point(3.5);
+  EXPECT_TRUE(p.contains(3.5));
+  EXPECT_FALSE(p.contains(3.5000001));
+  EXPECT_DOUBLE_EQ(p.width(), 0.0);
+}
+
+TEST(IntervalTest, EmptyDetection) {
+  EXPECT_TRUE((Interval{2.0, 1.0}).empty());
+  EXPECT_FALSE((Interval{1.0, 1.0}).empty());
+}
+
+TEST(IntervalTest, IntersectOverlap) {
+  const Interval a{0.0, 5.0};
+  const Interval b{3.0, 9.0};
+  EXPECT_EQ(a.intersect(b), (Interval{3.0, 5.0}));
+}
+
+TEST(IntervalTest, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE((Interval{0.0, 1.0}).intersect(Interval{2.0, 3.0}).empty());
+}
+
+TEST(IntervalTest, MinkowskiSumAndShift) {
+  const Interval a{1.0, 2.0};
+  const Interval b{10.0, 20.0};
+  EXPECT_EQ(a + b, (Interval{11.0, 22.0}));
+  EXPECT_EQ(a + 5.0, (Interval{6.0, 7.0}));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  EXPECT_TRUE((Interval{0.0, 10.0}).contains(Interval{2.0, 3.0}));
+  EXPECT_FALSE((Interval{0.0, 10.0}).contains(Interval{2.0, 11.0}));
+}
+
+TEST(IntervalTest, WidthOfUnbounded) {
+  EXPECT_TRUE(std::isinf(Interval::everything().width()));
+}
+
+TEST(IntervalTest, IntervalsClose) {
+  EXPECT_TRUE(intervals_close(Interval{1.0, 2.0},
+                              Interval{1.0 + 1e-12, 2.0 - 1e-12}));
+  EXPECT_FALSE(intervals_close(Interval{1.0, 2.0}, Interval{1.0, 2.1}));
+  EXPECT_TRUE(intervals_close(Interval::everything(),
+                              Interval::everything()));
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIndexInRange) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.uniform_index(10);
+    ASSERT_LT(k, 10u);
+    ++counts[k];
+  }
+  for (const int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, FlipProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.flip(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream should not replay the parent stream.
+  Rng parent2(5);
+  parent2.split();
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());  // parent deterministic
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (const double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(RunningStatsTest, Variance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.35), 3.5);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, RejectsDegenerate) {
+  EXPECT_THROW(linear_fit({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(LogLogFitTest, RecoverExponent) {
+  std::vector<double> x, y;
+  for (double v = 1; v <= 64; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const LinearFit f = loglog_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+}
+
+TEST(LogLogFitTest, RejectsNonPositive) {
+  EXPECT_THROW(loglog_fit({1.0, -2.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TableTest, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(1.5, 2), "1.50");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::num(kNoBound), "inf");
+}
+
+
+TEST(TableTest, CsvOutput) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"he said \"\"hi\"\"\"\n");
+}
+
+}  // namespace
+}  // namespace driftsync

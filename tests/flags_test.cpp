@@ -1,0 +1,62 @@
+// Tests for the minimal flag parser used by the experiment harnesses.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace driftsync {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = make({"--duration=12.5", "--seed=42"});
+  EXPECT_DOUBLE_EQ(f.get_double("duration", 0.0), 12.5);
+  EXPECT_EQ(f.get_seed("seed", 0), 42u);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = make({"--procs", "16"});
+  EXPECT_EQ(f.get_int("procs", 0), 16);
+}
+
+TEST(FlagsTest, Defaults) {
+  const Flags f = make({});
+  EXPECT_FALSE(f.has("x"));
+  EXPECT_DOUBLE_EQ(f.get_double("x", 3.5), 3.5);
+  EXPECT_EQ(f.get_string("x", "abc"), "abc");
+  EXPECT_TRUE(f.get_bool("x", true));
+}
+
+TEST(FlagsTest, Booleans) {
+  const Flags f = make({"--a=true", "--b=0", "--c=on"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+}
+
+TEST(FlagsTest, Positional) {
+  const Flags f = make({"input.txt", "--k=1", "more"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(FlagsTest, HexSeed) {
+  const Flags f = make({"--seed=0xdeadbeef"});
+  EXPECT_EQ(f.get_seed("seed", 0), 0xdeadbeefull);
+}
+
+TEST(FlagsTest, MalformedThrows) {
+  EXPECT_THROW(make({"--dangling"}), std::logic_error);
+  const Flags f = make({"--n=abc"});
+  EXPECT_THROW((void)f.get_int("n", 0), std::logic_error);
+  EXPECT_THROW((void)f.get_double("n", 0), std::logic_error);
+  const Flags g = make({"--b=maybe"});
+  EXPECT_THROW((void)g.get_bool("b", false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace driftsync

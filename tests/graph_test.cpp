@@ -1,0 +1,155 @@
+// Unit and property tests for the batch shortest-path algorithms.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "graph/digraph.h"
+#include "graph/shortest_paths.h"
+
+namespace driftsync::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3 with asymmetric weights.
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(1, 3, 10.0);
+  g.add_edge(2, 3, 2.0);
+  return g;
+}
+
+TEST(BellmanFordTest, SimpleDiamond) {
+  const auto res = bellman_ford(diamond(), 0);
+  ASSERT_FALSE(res.negative_cycle);
+  EXPECT_DOUBLE_EQ(res.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(res.dist[2], 4.0);
+  EXPECT_DOUBLE_EQ(res.dist[3], 6.0);
+}
+
+TEST(BellmanFordTest, Unreachable) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto res = bellman_ford(g, 0);
+  EXPECT_EQ(res.dist[2], kNoBound);
+}
+
+TEST(BellmanFordTest, NegativeEdgesNoCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, -3.0);
+  g.add_edge(0, 2, 4.0);
+  const auto res = bellman_ford(g, 0);
+  ASSERT_FALSE(res.negative_cycle);
+  EXPECT_DOUBLE_EQ(res.dist[2], 2.0);
+}
+
+TEST(BellmanFordTest, DetectsNegativeCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, -2.0);
+  g.add_edge(2, 1, 1.0);
+  const auto res = bellman_ford(g, 0);
+  EXPECT_TRUE(res.negative_cycle);
+  EXPECT_TRUE(res.dist.empty());
+}
+
+TEST(BellmanFordTest, NegativeCycleUnreachableFromSourceIsIgnored) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, -2.0);  // negative cycle 2<->3 not reachable from 0
+  g.add_edge(3, 2, 1.0);
+  const auto res = bellman_ford(g, 0);
+  EXPECT_FALSE(res.negative_cycle);
+  EXPECT_DOUBLE_EQ(res.dist[1], 1.0);
+}
+
+TEST(BellmanFordTest, ZeroWeightSelfDistances) {
+  Digraph g(2);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 0, 0.0);
+  const auto res = bellman_ford(g, 0);
+  EXPECT_DOUBLE_EQ(res.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.dist[1], 0.0);
+}
+
+TEST(BellmanFordToTest, ReversedDistances) {
+  const auto res = bellman_ford_to(diamond(), 3);
+  ASSERT_FALSE(res.negative_cycle);
+  EXPECT_DOUBLE_EQ(res.dist[0], 6.0);
+  EXPECT_DOUBLE_EQ(res.dist[1], 10.0);
+  EXPECT_DOUBLE_EQ(res.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(res.dist[3], 0.0);
+}
+
+TEST(FloydWarshallTest, MatchesDiamond) {
+  const auto fw = floyd_warshall(diamond());
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_DOUBLE_EQ((*fw)[0][3], 6.0);
+  EXPECT_EQ((*fw)[3][0], kNoBound);
+}
+
+TEST(FloydWarshallTest, NegativeCycleReturnsNullopt) {
+  Digraph g(2);
+  g.add_edge(0, 1, -1.0);
+  g.add_edge(1, 0, -1.0);
+  EXPECT_FALSE(floyd_warshall(g).has_value());
+}
+
+TEST(DigraphTest, ReversedPreservesEdges) {
+  const Digraph g = diamond();
+  const Digraph r = g.reversed();
+  EXPECT_EQ(r.edge_count(), g.edge_count());
+  bool found = false;
+  for (const Arc& a : r.out_edges(3)) {
+    if (a.to == 1 && a.weight == 10.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DigraphTest, EdgeBoundsChecked) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::logic_error);
+}
+
+// Property: SPFA-scheduled Bellman-Ford agrees with Floyd-Warshall on random
+// graphs with mixed-sign weights (no negative cycles by construction: weights
+// derived from a potential function, the same trick that makes
+// synchronization graphs consistent).
+class ShortestPathPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShortestPathPropertyTest, BellmanFordMatchesFloydWarshall) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_index(30);
+  Digraph g(n);
+  // Potentials guarantee w'(u,v) = w(u,v) + phi(u) - phi(v) >= 0 has no
+  // negative cycles regardless of sign of w'.
+  std::vector<double> phi(n);
+  for (auto& p : phi) p = rng.uniform(-10.0, 10.0);
+  const std::size_t m = n * 3;
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto u = static_cast<NodeIndex>(rng.uniform_index(n));
+    const auto v = static_cast<NodeIndex>(rng.uniform_index(n));
+    if (u == v) continue;
+    const double base = rng.uniform(0.0, 5.0);
+    g.add_edge(u, v, base - phi[u] + phi[v]);
+  }
+  const auto fw = floyd_warshall(g);
+  ASSERT_TRUE(fw.has_value());
+  for (NodeIndex s = 0; s < n; ++s) {
+    const auto bf = bellman_ford(g, s);
+    ASSERT_FALSE(bf.negative_cycle);
+    for (NodeIndex t = 0; t < n; ++t) {
+      EXPECT_TRUE(time_close(bf.dist[t], (*fw)[s][t]))
+          << "s=" << s << " t=" << t << " bf=" << bf.dist[t]
+          << " fw=" << (*fw)[s][t];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ShortestPathPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace driftsync::graph

@@ -1,0 +1,263 @@
+// Tests for the incremental all-pairs shortest-path kernel — the AGDP
+// computational core (Lemma 3.5).  The central property: after any sequence
+// of node insertions, edge insertions and node removals, distances between
+// remaining nodes equal a from-scratch Floyd-Warshall over the *entire*
+// accumulated graph restricted to live nodes (the Lemma 3.4 invariant).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "graph/digraph.h"
+#include "graph/incremental_apsp.h"
+#include "graph/shortest_paths.h"
+
+namespace driftsync::graph {
+namespace {
+
+using Handle = IncrementalApsp::Handle;
+using HalfEdge = IncrementalApsp::HalfEdge;
+
+TEST(IncrementalApspTest, SingleNode) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  EXPECT_EQ(apsp.size(), 1u);
+  EXPECT_DOUBLE_EQ(apsp.distance(a, a), 0.0);
+}
+
+TEST(IncrementalApspTest, TwoNodesOneEdge) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 3.0}}, {});
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), 3.0);
+  EXPECT_EQ(apsp.distance(b, a), kNoBound);
+}
+
+TEST(IncrementalApspTest, BidirectionalEdges) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 3.0}}, {{a, 5.0}});
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(apsp.distance(b, a), 5.0);
+}
+
+TEST(IncrementalApspTest, PathRelaxationThroughNewNode) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({}, {});
+  // c connects a -> c -> b, shortening nothing yet since a,b unconnected.
+  const Handle c = apsp.insert_node({{a, 1.0}}, {{b, 2.0}});
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(apsp.distance(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(apsp.distance(c, b), 2.0);
+  EXPECT_EQ(apsp.distance(b, a), kNoBound);
+}
+
+TEST(IncrementalApspTest, InsertEdgeImprovesPairs) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 10.0}}, {});
+  EXPECT_TRUE(apsp.insert_edge(a, b, 4.0));
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), 4.0);
+  EXPECT_TRUE(apsp.insert_edge(a, b, 7.0));  // worse edge: no change
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), 4.0);
+}
+
+TEST(IncrementalApspTest, NegativeEdgeOk) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, -2.5}}, {{a, 3.0}});
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), -2.5);
+  EXPECT_DOUBLE_EQ(apsp.distance(b, a), 3.0);
+}
+
+TEST(IncrementalApspTest, NegativeCycleOnInsertNodeRejected) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  // in 1.0, out -2.0: round trip a -> b -> a = -1.0.
+  const Handle b = apsp.insert_node({{a, 1.0}}, {{a, -2.0}});
+  EXPECT_EQ(b, IncrementalApsp::kNoHandle);
+  EXPECT_EQ(apsp.size(), 1u);  // unchanged
+  EXPECT_DOUBLE_EQ(apsp.distance(a, a), 0.0);
+}
+
+TEST(IncrementalApspTest, NegativeCycleOnInsertEdgeRejected) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 2.0}}, {});
+  EXPECT_FALSE(apsp.insert_edge(b, a, -3.0));
+  EXPECT_DOUBLE_EQ(apsp.distance(a, b), 2.0);  // unchanged
+  EXPECT_EQ(apsp.distance(b, a), kNoBound);
+}
+
+TEST(IncrementalApspTest, RemoveNodePreservesOtherDistances) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 1.0}}, {});
+  const Handle c = apsp.insert_node({{b, 1.0}}, {});
+  EXPECT_DOUBLE_EQ(apsp.distance(a, c), 2.0);
+  apsp.remove_node(b);  // distances were already materialized
+  EXPECT_EQ(apsp.size(), 2u);
+  EXPECT_DOUBLE_EQ(apsp.distance(a, c), 2.0);
+  EXPECT_FALSE(apsp.is_live(b));
+}
+
+TEST(IncrementalApspTest, SlotReuseAfterRemoval) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 1.0}}, {});
+  apsp.remove_node(b);
+  const Handle c = apsp.insert_node({}, {});  // reuses b's slot
+  EXPECT_NE(c, b);
+  EXPECT_TRUE(apsp.is_live(c));
+  // No stale distance may leak from the recycled slot.
+  EXPECT_EQ(apsp.distance(a, c), kNoBound);
+  EXPECT_EQ(apsp.distance(c, a), kNoBound);
+}
+
+TEST(IncrementalApspTest, GrowthPreservesDistances) {
+  IncrementalApsp apsp;
+  std::vector<Handle> chain;
+  chain.push_back(apsp.insert_node({}, {}));
+  for (int i = 1; i < 40; ++i) {  // force several growth steps
+    chain.push_back(apsp.insert_node({{chain.back(), 1.0}}, {}));
+  }
+  EXPECT_DOUBLE_EQ(apsp.distance(chain.front(), chain.back()), 39.0);
+}
+
+TEST(IncrementalApspTest, DeadHandleAccessThrows) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({}, {});
+  apsp.remove_node(b);
+  EXPECT_THROW((void)apsp.distance(a, b), std::logic_error);
+  EXPECT_THROW(apsp.remove_node(b), std::logic_error);
+  EXPECT_THROW(apsp.insert_node({{b, 1.0}}, {}), std::logic_error);
+}
+
+TEST(IncrementalApspTest, MatrixBytesGrowQuadratically) {
+  IncrementalApsp apsp;
+  std::vector<Handle> nodes;
+  for (int i = 0; i < 64; ++i) nodes.push_back(apsp.insert_node({}, {}));
+  // Capacity is at least the live count, and the matrix is capacity^2.
+  EXPECT_GE(apsp.matrix_bytes(), 64u * 64u * sizeof(double));
+}
+
+TEST(IncrementalApspTest, LiveHandlesTracksSet) {
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({}, {});
+  const Handle c = apsp.insert_node({}, {});
+  apsp.remove_node(b);
+  const auto& live = apsp.live_handles();
+  EXPECT_EQ(live.size(), 2u);
+  EXPECT_TRUE((live[0] == a && live[1] == c) ||
+              (live[0] == c && live[1] == a));
+}
+
+// ---------------------------------------------------------------- property
+
+// Reference model: keep the full accumulated digraph (with dead nodes), and
+// check IncrementalApsp distances between live nodes against Floyd-Warshall
+// distances in the full graph — exactly the Lemma 3.4 claim.
+class ApspModel {
+ public:
+  Handle insert_node(IncrementalApsp& apsp,
+                     const std::vector<HalfEdge>& in_edges,
+                     const std::vector<HalfEdge>& out_edges) {
+    const NodeIndex idx = full_.add_node();
+    for (const HalfEdge& e : in_edges) {
+      full_.add_edge(node_of_.at(e.node), idx, e.weight);
+    }
+    for (const HalfEdge& e : out_edges) {
+      full_.add_edge(idx, node_of_.at(e.node), e.weight);
+    }
+    const Handle h = apsp.insert_node(in_edges, out_edges);
+    if (h != IncrementalApsp::kNoHandle) node_of_[h] = idx;
+    return h;
+  }
+
+  void insert_edge(IncrementalApsp& apsp, Handle u, Handle v, double w) {
+    if (apsp.insert_edge(u, v, w)) {
+      full_.add_edge(node_of_.at(u), node_of_.at(v), w);
+    }
+  }
+
+  void check(const IncrementalApsp& apsp) {
+    const auto fw = floyd_warshall(full_);
+    ASSERT_TRUE(fw.has_value());
+    for (const Handle hu : apsp.live_handles()) {
+      for (const Handle hv : apsp.live_handles()) {
+        const double expected = (*fw)[node_of_.at(hu)][node_of_.at(hv)];
+        const double actual = apsp.distance(hu, hv);
+        EXPECT_TRUE(time_close(expected, actual))
+            << "d(" << hu << "," << hv << ") incremental=" << actual
+            << " reference=" << expected;
+      }
+    }
+  }
+
+ private:
+  Digraph full_;
+  std::unordered_map<Handle, NodeIndex> node_of_;
+};
+
+class IncrementalApspPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalApspPropertyTest, MatchesBatchRecomputation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  IncrementalApsp apsp;
+  ApspModel model;
+  std::vector<Handle> live;
+  // Potentials keep the instance free of negative cycles while producing
+  // edges of both signs.
+  std::unordered_map<Handle, double> phi;
+
+  const auto weight = [&](Handle from, Handle to) {
+    return rng.uniform(0.0, 4.0) - phi.at(from) + phi.at(to);
+  };
+
+  live.push_back(model.insert_node(apsp, {}, {}));
+  phi[live[0]] = 0.0;
+
+  for (int step = 0; step < 60; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.55 || live.size() < 3) {
+      // Insert a node with a few random incident edges.
+      const double new_phi = rng.uniform(-5.0, 5.0);
+      std::vector<HalfEdge> ins, outs;
+      const std::size_t degree = 1 + rng.uniform_index(3);
+      for (std::size_t d = 0; d < degree; ++d) {
+        const Handle other = live[rng.uniform_index(live.size())];
+        const double base = rng.uniform(0.0, 4.0);
+        if (rng.flip(0.5)) {
+          ins.push_back({other, base - phi.at(other) + new_phi});
+        } else {
+          outs.push_back({other, base - new_phi + phi.at(other)});
+        }
+      }
+      const Handle h = model.insert_node(apsp, ins, outs);
+      ASSERT_NE(h, IncrementalApsp::kNoHandle);
+      phi[h] = new_phi;
+      live.push_back(h);
+    } else if (action < 0.8) {
+      const Handle u = live[rng.uniform_index(live.size())];
+      const Handle v = live[rng.uniform_index(live.size())];
+      if (u != v) model.insert_edge(apsp, u, v, weight(u, v));
+    } else if (live.size() > 2) {
+      const std::size_t k = rng.uniform_index(live.size());
+      apsp.remove_node(live[k]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    if (step % 10 == 9) model.check(apsp);
+  }
+  model.check(apsp);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, IncrementalApspPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace driftsync::graph

@@ -1,0 +1,172 @@
+// Tests for the system-specification model and the synchronization-graph
+// edge-weight formulas (Section 2, Definition 2.1).
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/spec.h"
+
+namespace driftsync {
+namespace {
+
+SystemSpec triangle(double rho = 1e-4) {
+  return SystemSpec({ClockSpec{0.0}, ClockSpec{rho}, ClockSpec{rho}},
+                    {LinkSpec{0, 1, 0.001, 0.01}, LinkSpec{1, 2, 0.001, 0.01},
+                     LinkSpec{0, 2, 0.002, 0.02}},
+                    /*source=*/0);
+}
+
+TEST(ClockSpecTest, RateBounds) {
+  const ClockSpec c{0.01};
+  EXPECT_DOUBLE_EQ(c.min_rate(), 0.99);
+  EXPECT_DOUBLE_EQ(c.max_rate(), 1.01);
+}
+
+TEST(ClockSpecTest, RtBoundsBracketTruth) {
+  const ClockSpec c{0.01};
+  // A clock running at rate r in [0.99, 1.01] maps dl local seconds to
+  // dl/r real seconds, which must lie within [rt_lower, rt_upper].
+  const double dl = 100.0;
+  for (const double r : {0.99, 0.995, 1.0, 1.005, 1.01}) {
+    const double real = dl / r;
+    EXPECT_LE(c.rt_lower(dl), real + 1e-12);
+    EXPECT_GE(c.rt_upper(dl), real - 1e-12);
+  }
+}
+
+TEST(ClockSpecTest, ExactClockHasTightBounds) {
+  const ClockSpec c{0.0};
+  EXPECT_DOUBLE_EQ(c.rt_lower(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.rt_upper(5.0), 5.0);
+}
+
+TEST(SystemSpecTest, BasicAccessors) {
+  const SystemSpec spec = triangle();
+  EXPECT_EQ(spec.num_procs(), 3u);
+  EXPECT_EQ(spec.source(), 0u);
+  EXPECT_EQ(spec.links().size(), 3u);
+  EXPECT_EQ(spec.diameter(), 1u);
+  EXPECT_EQ(spec.max_degree(), 2u);
+}
+
+TEST(SystemSpecTest, NeighborsSorted) {
+  const SystemSpec spec = triangle();
+  EXPECT_EQ(spec.neighbors(1), (std::vector<ProcId>{0, 2}));
+  EXPECT_TRUE(spec.are_neighbors(0, 2));
+}
+
+TEST(SystemSpecTest, LinkLookupBothDirections) {
+  const SystemSpec spec = triangle();
+  const LinkSpec* ab = spec.link_between(0, 2);
+  const LinkSpec* ba = spec.link_between(2, 0);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab, ba);
+  EXPECT_DOUBLE_EQ(ab->min_from(0), 0.002);
+  EXPECT_EQ(spec.link_between(1, 1), nullptr);
+}
+
+TEST(SystemSpecTest, PathDiameter) {
+  const SystemSpec spec({ClockSpec{0.0}, ClockSpec{1e-4}, ClockSpec{1e-4},
+                         ClockSpec{1e-4}},
+                        {LinkSpec{0, 1, 0, 1}, LinkSpec{1, 2, 0, 1},
+                         LinkSpec{2, 3, 0, 1}},
+                        0);
+  EXPECT_EQ(spec.diameter(), 3u);
+}
+
+TEST(SystemSpecTest, RejectsDriftingSource) {
+  EXPECT_THROW(SystemSpec({ClockSpec{1e-4}}, {}, 0), std::logic_error);
+}
+
+TEST(SystemSpecTest, RejectsDisconnected) {
+  EXPECT_THROW(SystemSpec({ClockSpec{0.0}, ClockSpec{1e-4}, ClockSpec{1e-4}},
+                          {LinkSpec{0, 1, 0, 1}}, 0),
+               std::logic_error);
+}
+
+TEST(SystemSpecTest, RejectsSelfLink) {
+  EXPECT_THROW(SystemSpec({ClockSpec{0.0}, ClockSpec{1e-4}},
+                          {LinkSpec{1, 1, 0, 1}}, 0),
+               std::logic_error);
+}
+
+TEST(SystemSpecTest, RejectsDuplicateLink) {
+  EXPECT_THROW(SystemSpec({ClockSpec{0.0}, ClockSpec{1e-4}},
+                          {LinkSpec{0, 1, 0, 1}, LinkSpec{1, 0, 0, 2}}, 0),
+               std::logic_error);
+}
+
+TEST(SystemSpecTest, RejectsEmptyTransitBound) {
+  EXPECT_THROW(SystemSpec({ClockSpec{0.0}, ClockSpec{1e-4}},
+                          {LinkSpec{0, 1, 2.0, 1.0}}, 0),
+               std::logic_error);
+}
+
+TEST(SystemSpecTest, RejectsBadSource) {
+  EXPECT_THROW(SystemSpec({ClockSpec{0.0}}, {}, 5), std::logic_error);
+}
+
+TEST(SystemSpecTest, AllowsUnboundedLink) {
+  const SystemSpec spec({ClockSpec{0.0}, ClockSpec{1e-4}},
+                        {LinkSpec{0, 1, 0.001, kNoBound}}, 0);
+  EXPECT_EQ(spec.link_between(0, 1)->max_from(0), kNoBound);
+}
+
+// ------------------------------------------------- edge weights (Def. 2.1)
+
+TEST(BoundsTest, ProcEdgeWeightsFormula) {
+  const ClockSpec c{0.01};
+  const double dl = 10.0;
+  const ProcEdgeWeights w = proc_edge_weights(c, dl);
+  EXPECT_NEAR(w.forward, dl * 0.01 / 1.01, 1e-12);
+  EXPECT_NEAR(w.backward, dl * 0.01 / 0.99, 1e-12);
+}
+
+TEST(BoundsTest, ProcEdgeWeightsNonNegative) {
+  const ProcEdgeWeights w = proc_edge_weights(ClockSpec{0.05}, 3.0);
+  EXPECT_GE(w.forward, 0.0);
+  EXPECT_GE(w.backward, 0.0);
+}
+
+TEST(BoundsTest, SourceProcEdgesAreZero) {
+  const ProcEdgeWeights w = proc_edge_weights(ClockSpec{0.0}, 123.0);
+  EXPECT_DOUBLE_EQ(w.forward, 0.0);
+  EXPECT_DOUBLE_EQ(w.backward, 0.0);
+}
+
+TEST(BoundsTest, ProcEdgeRejectsBackwardClock) {
+  EXPECT_THROW(proc_edge_weights(ClockSpec{0.01}, -1.0), std::logic_error);
+}
+
+TEST(BoundsTest, MsgEdgeWeightsFormula) {
+  const LinkSpec link{0, 1, 0.5, 2.0};
+  // Send at local 10, receive at local 11 => virtual delay 1.
+  const MsgEdgeWeights w = msg_edge_weights(link, 0, 10.0, 11.0);
+  EXPECT_DOUBLE_EQ(w.send_to_recv, 1.0 - 0.5);
+  EXPECT_DOUBLE_EQ(w.recv_to_send, 2.0 - 1.0);
+}
+
+TEST(BoundsTest, MsgEdgeWeightCanBeNegative) {
+  const LinkSpec link{0, 1, 0.5, 2.0};
+  // Receiver's clock lags: receive stamped before the send.
+  const MsgEdgeWeights w = msg_edge_weights(link, 0, 10.0, 9.0);
+  EXPECT_DOUBLE_EQ(w.send_to_recv, -1.5);
+  EXPECT_DOUBLE_EQ(w.recv_to_send, 3.0);
+}
+
+TEST(BoundsTest, MsgEdgeUnboundedLink) {
+  const LinkSpec link{0, 1, 0.1, kNoBound};
+  const MsgEdgeWeights w = msg_edge_weights(link, 0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.send_to_recv, 0.9);
+  EXPECT_EQ(w.recv_to_send, kNoBound);
+}
+
+TEST(BoundsTest, RoundTripWeightsNonNegativeForConsistentTimes) {
+  // For any send/receive local times produced by a real execution,
+  // w(s,r) + w(r,s) = (u - l) >= 0: no negative cycle on a message pair.
+  const LinkSpec link{0, 1, 0.25, 1.75};
+  const MsgEdgeWeights w = msg_edge_weights(link, 0, 5.0, 5.9);
+  EXPECT_NEAR(w.send_to_recv + w.recv_to_send, 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace driftsync

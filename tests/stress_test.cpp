@@ -1,0 +1,140 @@
+// Long-horizon randomized stress: everything at once — wandering clocks,
+// heavy-tailed and lossy links, mixed probe/gossip traffic, adaptive bursts
+// — with the cheap global invariants asserted throughout (no oracle here;
+// the oracle-equality property is covered in optimality_test on smaller
+// runs).  Invariants:
+//   * every estimate of every CSA contains the true source time,
+//   * estimates never form empty intervals,
+//   * live-point and history-buffer high-water marks stay bounded by
+//     generous pattern-derived budgets (no state leak),
+//   * once a node has heard from the source, its estimate stays bounded.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/cristian_csa.h"
+#include "baselines/interval_csa.h"
+#include "baselines/ntp_csa.h"
+#include "core/optimal_csa.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+#include "workloads/scenario.h"
+#include "workloads/topology.h"
+
+namespace driftsync {
+namespace {
+
+struct StressParams {
+  std::uint64_t seed;
+  std::size_t procs;
+  double loss;
+  bool wander;
+};
+
+class StressObserver : public sim::SimObserver {
+ public:
+  void on_probe(sim::Simulator& sim, RealTime rt) override {
+    for (ProcId p = 0; p < sim.spec().num_procs(); ++p) {
+      const LocalTime now = sim.clock(p).lt_at(rt);
+      for (std::size_t c = 0; c < sim.csa_count(p); ++c) {
+        const Interval est = sim.csa(p, c).estimate(now);
+        ASSERT_FALSE(est.empty());
+        ASSERT_TRUE(est.contains(rt))
+            << sim.csa(p, c).name() << "@" << p << " t=" << rt << " est "
+            << est.str();
+        if (est.bounded()) was_bounded_[p * 8 + c] = true;
+        // Boundedness is monotone for the optimal algorithm (information
+        // only accumulates).
+        if (c == 0 && was_bounded_[p * 8 + c]) {
+          ASSERT_TRUE(est.bounded()) << "optimal estimate became unbounded";
+        }
+      }
+    }
+    ++probes;
+  }
+  int probes = 0;
+
+ private:
+  std::map<std::size_t, bool> was_bounded_;
+};
+
+class StressTest : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(StressTest, InvariantsHoldOverLongRuns) {
+  const StressParams sp = GetParam();
+  workloads::TopoParams params;
+  params.rho = 150e-6;
+  params.latency = sim::LatencyModel::shifted_exp(0.001, 0.01, 0.08);
+  params.loss_prob = sp.loss;
+  const workloads::Network net =
+      workloads::make_random(sp.procs, sp.procs / 2, sp.seed, params);
+
+  sim::SimConfig cfg;
+  cfg.seed = sp.seed * 31 + 1;
+  cfg.probe_interval = 1.0;
+  cfg.detection_timeout = sp.loss > 0.0 ? 0.4 : 0.0;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  Rng rng(sp.seed + 2);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    OptimalCsa::Options oo;
+    oo.loss_tolerant = sp.loss > 0.0;
+    csas.push_back(std::make_unique<OptimalCsa>(oo));
+    csas.push_back(std::make_unique<IntervalCsa>());
+    csas.push_back(std::make_unique<IntervalCsa>(20.0));
+    const double rho = net.spec.clock(p).rho;
+    sim::ClockModel clock = sim::ClockModel::constant(0.0, 1.0);
+    if (p != net.spec.source()) {
+      clock = sim::ClockModel::constant(rng.uniform(-1000.0, 1000.0),
+                                        1.0 + rng.uniform(-rho, rho));
+      if (sp.wander) {
+        for (double t = 5.0; t < 120.0; t += 5.0) {
+          clock.add_rate_change(t, 1.0 + rng.uniform(-rho, rho));
+        }
+      }
+    }
+    workloads::ProbeApp::Config pc;
+    pc.upstreams = net.upstreams[p];
+    pc.peers = net.peers[p];
+    // Stay compatible with the loss-detection spacing assumption.
+    pc.period = 1.0;
+    simulator.attach_node(p, std::move(clock),
+                          std::make_unique<workloads::ProbeApp>(pc),
+                          std::move(csas));
+  }
+  StressObserver obs;
+  simulator.set_observer(&obs);
+  simulator.run_until(120.0);
+  EXPECT_GE(obs.probes, 119);
+
+  // State budgets: live points O(K2*E) and history O(K1*D) with generous
+  // constants; a violation indicates a leak.
+  const std::size_t k2 = std::max<std::size_t>(simulator.observed_k2(), 1);
+  const std::size_t live_budget = 4 * k2 * net.spec.links().size() + 16;
+  const std::size_t hist_budget =
+      4 * std::max<std::size_t>(simulator.observed_k1(), 1) *
+          (net.spec.diameter() + 1) +
+      64;
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    const CsaStats s = simulator.csa(p, 0).stats();
+    EXPECT_LE(s.max_live_points, live_budget) << "proc " << p;
+    EXPECT_LE(s.max_history_events, hist_budget) << "proc " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, StressTest,
+    ::testing::Values(StressParams{3, 6, 0.0, false},
+                      StressParams{4, 10, 0.0, true},
+                      StressParams{5, 8, 0.08, false},
+                      StressParams{6, 12, 0.05, true},
+                      StressParams{7, 16, 0.0, true}),
+    [](const ::testing::TestParamInfo<StressParams>& param) {
+      const StressParams& p = param.param;
+      return "seed" + std::to_string(p.seed) + "_n" +
+             std::to_string(p.procs) + (p.loss > 0 ? "_lossy" : "") +
+             (p.wander ? "_wander" : "");
+    });
+
+}  // namespace
+}  // namespace driftsync

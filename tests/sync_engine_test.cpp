@@ -1,0 +1,290 @@
+// Tests for SyncEngine: the AGDP reduction (Section 3.1/3.2).  Liveness must
+// match Definition 3.1 (checked against View), distances must match batch
+// Bellman-Ford over the full view (Lemma 3.4), and estimates must equal the
+// Section 2.3 formula.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sync_engine.h"
+#include "core/view.h"
+#include "graph/shortest_paths.h"
+#include "test_util.h"
+
+namespace driftsync {
+namespace {
+
+using testing::EventFactory;
+using testing::clique_spec;
+using testing::line_spec;
+
+// Feeds the same records to a SyncEngine and a View, and cross-checks.
+class EngineHarness {
+ public:
+  EngineHarness(const SystemSpec& spec, ProcId self)
+      : spec_(&spec), engine_(spec, self), view_(&spec) {}
+
+  void ingest(const EventRecord& r) {
+    engine_.ingest(r);
+    view_.add(r);
+  }
+
+  void check_liveness() const {
+    auto expected = view_.live_points();
+    auto actual = engine_.live_points();
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(actual, expected);
+  }
+
+  void check_distances() const {
+    const View::SyncGraph sg = view_.build_sync_graph();
+    for (const EventId p : engine_.live_points()) {
+      const auto res = graph::bellman_ford(sg.graph, sg.index_of.at(p));
+      ASSERT_FALSE(res.negative_cycle);
+      for (const EventId q : engine_.live_points()) {
+        const double expected = res.dist[sg.index_of.at(q)];
+        const double actual = engine_.distance(p, q);
+        EXPECT_TRUE(time_close(expected, actual))
+            << "d(" << p.str() << "," << q.str() << ") engine=" << actual
+            << " oracle=" << expected;
+      }
+    }
+  }
+
+  SyncEngine& engine() { return engine_; }
+  View& view() { return view_; }
+
+ private:
+  const SystemSpec* spec_;
+  SyncEngine engine_;
+  View view_;
+};
+
+TEST(SyncEngineTest, EmptyEngineKnowsNothing) {
+  const SystemSpec spec = line_spec(2);
+  SyncEngine engine(spec, 1);
+  EXPECT_FALSE(engine.knows_source());
+  EXPECT_EQ(engine.estimate(100.0), Interval::everything());
+  EXPECT_EQ(engine.live_count(), 0u);
+}
+
+TEST(SyncEngineTest, SourceEstimatesItselfExactly) {
+  const SystemSpec spec = line_spec(2);
+  SyncEngine engine(spec, 0);
+  EventFactory fac(2);
+  engine.ingest(fac.send(0, 5.0, 1));
+  const Interval est = engine.estimate(7.5);
+  EXPECT_TRUE(intervals_close(est, Interval::point(7.5)));
+}
+
+TEST(SyncEngineTest, SingleMessageBoundsMatchTheorem) {
+  // Source sends at LT 10 over a link with transit in [0.2, 1.0]; receiver
+  // clock reads 100 at the receive, drift 1e-3.
+  const SystemSpec spec = line_spec(2, 1e-3, 0.2, 1.0);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 100.0, s);
+  engine.ingest(s);
+  engine.ingest(r);
+  // At the receive point: RT in [10 + 0.2, 10 + 1.0].
+  const Interval est = engine.estimate(100.0);
+  EXPECT_TRUE(intervals_close(est, Interval{10.2, 11.0}));
+}
+
+TEST(SyncEngineTest, EstimateWidensBetweenEvents) {
+  const SystemSpec spec = line_spec(2, 1e-3, 0.2, 1.0);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 100.0, s);
+  engine.ingest(s);
+  engine.ingest(r);
+  const Interval at_event = engine.estimate(100.0);
+  const Interval later = engine.estimate(110.0);
+  // Extrapolation: lo advances by dl/(1+rho), hi by dl/(1-rho).
+  EXPECT_NEAR(later.lo, at_event.lo + 10.0 / 1.001, 1e-9);
+  EXPECT_NEAR(later.hi, at_event.hi + 10.0 / 0.999, 1e-9);
+  EXPECT_GT(later.width(), at_event.width());
+}
+
+TEST(SyncEngineTest, RoundTripTightensUpperSide) {
+  // Only lower transit bounds (max unbounded): a one-way message gives a
+  // one-sided estimate; the round trip closes the interval.
+  const SystemSpec spec = line_spec(2, 1e-3, 0.1, kNoBound);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s1 = fac.send(1, 50.0, 0);   // my probe
+  engine.ingest(s1);
+  EXPECT_EQ(engine.estimate(50.0), Interval::everything());
+  const EventRecord r1 = fac.receive(0, 20.0, s1);  // source receives
+  const EventRecord s2 = fac.send(0, 20.5, 1);      // source replies
+  const EventRecord r2 = fac.receive(1, 51.2, s2);  // I receive
+  engine.ingest(r1);
+  engine.ingest(s2);
+  engine.ingest(r2);
+  const Interval est = engine.estimate(51.2);
+  EXPECT_TRUE(est.bounded());
+  // lo: source reply sent at RT 20.5, took >= 0.1.
+  EXPECT_NEAR(est.lo, 20.6, 1e-9);
+  // hi: my probe left at my 50.0, arrived at source RT 20.0 after >= 0.1,
+  // so RT(my send) <= 19.9; my elapsed local 1.2 maps to <= 1.2/(1-rho).
+  EXPECT_NEAR(est.hi, 19.9 + 1.2 / 0.999, 1e-6);
+}
+
+TEST(SyncEngineTest, LivenessMatchesViewOnHandSequence) {
+  const SystemSpec spec = line_spec(3, 1e-4, 0.0, 1.0);
+  EngineHarness h(spec, 1);
+  EventFactory fac(3);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  const EventRecord r = fac.receive(1, 1.5, s);
+  const EventRecord s2 = fac.send(1, 2.0, 2);
+  h.ingest(s);
+  h.check_liveness();
+  h.ingest(r);
+  h.check_liveness();  // s dead (receive seen, superseded)... unless last
+  h.ingest(s2);
+  h.check_liveness();
+  EXPECT_TRUE(h.engine().is_live(s2.id));  // pending send
+  EXPECT_FALSE(h.engine().is_live(r.id));  // superseded receive
+}
+
+TEST(SyncEngineTest, PendingSendStaysLiveUntilReceiveIngested) {
+  const SystemSpec spec = line_spec(3, 1e-4, 0.0, 1.0);
+  EngineHarness h(spec, 1);
+  EventFactory fac(3);
+  const EventRecord s = fac.send(1, 1.0, 2);
+  const EventRecord x = fac.internal(1, 2.0);
+  h.ingest(s);
+  h.ingest(x);
+  EXPECT_TRUE(h.engine().is_live(s.id));
+  const EventRecord r = fac.receive(2, 3.0, s);
+  h.ingest(r);
+  h.check_liveness();
+  EXPECT_FALSE(h.engine().is_live(s.id));
+}
+
+TEST(SyncEngineTest, LossDeclarationKillsPendingSend) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.0, 1.0);
+  EngineHarness h(spec, 0);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  h.ingest(s);
+  EXPECT_TRUE(h.engine().is_live(s.id));
+  const EventRecord decl = fac.loss_decl(0, 2.0, s);
+  h.ingest(decl);
+  h.check_liveness();
+  EXPECT_FALSE(h.engine().is_live(s.id));
+  EXPECT_EQ(h.engine().live_count(), 1u);  // just the declaration point
+}
+
+TEST(SyncEngineTest, OutOfOrderIngestThrows) {
+  const SystemSpec spec = line_spec(2);
+  SyncEngine engine(spec, 0);
+  EventFactory fac(2);
+  fac.internal(0, 1.0);  // consume seq 0
+  EXPECT_THROW(engine.ingest(fac.internal(0, 2.0)), std::logic_error);
+}
+
+TEST(SyncEngineTest, ReceiveWithoutSendThrows) {
+  const SystemSpec spec = line_spec(2);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  EXPECT_THROW(engine.ingest(fac.receive(1, 2.0, s)), std::logic_error);
+}
+
+TEST(SyncEngineTest, BackwardClockThrows) {
+  const SystemSpec spec = line_spec(2);
+  SyncEngine engine(spec, 0);
+  EventFactory fac(2);
+  engine.ingest(fac.internal(0, 5.0));
+  EXPECT_THROW(engine.ingest(fac.internal(0, 4.0)), std::logic_error);
+}
+
+TEST(SyncEngineTest, InconsistentSpecDetected) {
+  // Claim the link delivers within [0, 0.1] but stamp a round trip whose
+  // local times are impossible under drift 0: a negative cycle.
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 0.1);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 20.0, s);   // fine on its own
+  const EventRecord s2 = fac.send(1, 20.1, 0);
+  const EventRecord r2 = fac.receive(0, 10.05, s2);  // impossible: rt loops
+  engine.ingest(s);
+  engine.ingest(r);
+  engine.ingest(s2);
+  EXPECT_THROW(engine.ingest(r2), std::logic_error);
+}
+
+TEST(SyncEngineTest, RtDifferenceBoundsMatchTheoremForm) {
+  const SystemSpec spec = line_spec(2, 1e-3, 0.2, 1.0);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 100.0, s);
+  engine.ingest(s);
+  engine.ingest(r);
+  const Interval b = engine.rt_difference_bounds(r.id, s.id);
+  // RT(r) - RT(s) in [0.2, 1.0] exactly (the transit bounds).
+  EXPECT_TRUE(intervals_close(b, Interval{0.2, 1.0}));
+}
+
+// Property: random causally consistent multi-processor histories, engine
+// distances/liveness always match the batch recomputation.
+class SyncEnginePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyncEnginePropertyTest, MatchesViewOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 77);
+  const std::size_t n = 3 + rng.uniform_index(3);
+  const SystemSpec spec = clique_spec(n, 1e-3, 0.05, 2.0);
+  EngineHarness h(spec, 0);
+  EventFactory fac(n);
+
+  // Ground-truth-ish per-proc local clocks advance as we generate.
+  std::vector<double> lt(n, 0.0);
+  std::vector<EventRecord> pending_sends;
+  for (int step = 0; step < 80; ++step) {
+    const ProcId p = static_cast<ProcId>(rng.uniform_index(n));
+    lt[p] += rng.uniform(0.01, 0.5);
+    const double action = rng.next_double();
+    if (action < 0.4) {
+      ProcId q = static_cast<ProcId>(rng.uniform_index(n));
+      if (q == p) q = static_cast<ProcId>((q + 1) % n);
+      const EventRecord s = fac.send(p, lt[p], q);
+      h.ingest(s);
+      pending_sends.push_back(s);
+    } else if (action < 0.8 && !pending_sends.empty()) {
+      // Deliver a random pending send with a transit consistent with the
+      // declared bounds AND the receiver's monotone clock (all clocks run at
+      // rate 1 here, so local numbers double as real times).
+      const std::size_t k = rng.uniform_index(pending_sends.size());
+      const EventRecord s = pending_sends[k];
+      const ProcId q = s.peer;
+      const double min_transit = std::max(0.05, lt[q] - s.lt);
+      if (min_transit > 2.0) continue;  // undeliverable in-bounds: stays live
+      pending_sends.erase(pending_sends.begin() +
+                          static_cast<std::ptrdiff_t>(k));
+      lt[q] = s.lt + rng.uniform(min_transit, 2.0);
+      h.ingest(fac.receive(q, lt[q], s));
+    } else {
+      h.ingest(fac.internal(p, lt[p]));
+    }
+    if (step % 16 == 15) {
+      h.check_liveness();
+      h.check_distances();
+    }
+  }
+  h.check_liveness();
+  h.check_distances();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHistories, SyncEnginePropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace driftsync

@@ -1,0 +1,76 @@
+// Shared helpers for the driftsync test suites: compact builders for
+// specifications and hand-crafted event sequences.
+#pragma once
+
+#include <vector>
+
+#include "core/event.h"
+#include "core/spec.h"
+
+namespace driftsync::testing {
+
+/// Path 0-1-...-n-1 with identical link bounds.
+inline SystemSpec line_spec(std::size_t n, double rho = 1e-4,
+                            double min_delay = 0.0, double max_delay = 1.0,
+                            ProcId source = 0) {
+  std::vector<ClockSpec> clocks(n, ClockSpec{rho});
+  clocks[source].rho = 0.0;
+  std::vector<LinkSpec> links;
+  for (ProcId i = 0; i + 1 < n; ++i) {
+    links.push_back(LinkSpec{i, static_cast<ProcId>(i + 1), min_delay,
+                             max_delay});
+  }
+  return SystemSpec(std::move(clocks), std::move(links), source);
+}
+
+/// Fully connected spec.
+inline SystemSpec clique_spec(std::size_t n, double rho = 1e-4,
+                              double min_delay = 0.0, double max_delay = 1.0) {
+  std::vector<ClockSpec> clocks(n, ClockSpec{rho});
+  clocks[0].rho = 0.0;
+  std::vector<LinkSpec> links;
+  for (ProcId i = 0; i < n; ++i) {
+    for (ProcId j = i + 1; j < n; ++j) {
+      links.push_back(LinkSpec{i, j, min_delay, max_delay});
+    }
+  }
+  return SystemSpec(std::move(clocks), std::move(links), 0);
+}
+
+/// Mints per-processor event records with strictly increasing sequence
+/// numbers; callers supply local times.
+class EventFactory {
+ public:
+  explicit EventFactory(std::size_t num_procs) : next_seq_(num_procs, 0) {}
+
+  EventRecord internal(ProcId p, LocalTime lt) {
+    return make(p, lt, EventKind::kInternal, kInvalidProc, kInvalidEvent);
+  }
+  EventRecord send(ProcId p, LocalTime lt, ProcId dest) {
+    return make(p, lt, EventKind::kSend, dest, kInvalidEvent);
+  }
+  EventRecord receive(ProcId p, LocalTime lt, const EventRecord& send_event) {
+    return make(p, lt, EventKind::kReceive, send_event.id.proc,
+                send_event.id);
+  }
+  EventRecord loss_decl(ProcId p, LocalTime lt,
+                        const EventRecord& send_event) {
+    return make(p, lt, EventKind::kLossDecl, send_event.peer, send_event.id);
+  }
+
+ private:
+  EventRecord make(ProcId p, LocalTime lt, EventKind kind, ProcId peer,
+                   EventId match) {
+    EventRecord rec;
+    rec.id = EventId{p, next_seq_[p]++};
+    rec.lt = lt;
+    rec.kind = kind;
+    rec.peer = peer;
+    rec.match = match;
+    return rec;
+  }
+
+  std::vector<std::uint32_t> next_seq_;
+};
+
+}  // namespace driftsync::testing

@@ -1,0 +1,106 @@
+// Unit tests for the Theorem 2.1 tight-execution constructions.
+#include <gtest/gtest.h>
+
+#include "core/tight_execution.h"
+#include "test_util.h"
+
+namespace driftsync {
+namespace {
+
+using testing::EventFactory;
+using testing::line_spec;
+
+TEST(TightExecutionTest, SingleMessagePairEndpoints) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.2, 1.0);
+  View view(&spec);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 100.0, s);
+  view.add(s);
+  view.add(r);
+
+  const RtAssignment hi = tight_assignment(view, s.id, /*maximize=*/true);
+  const RtAssignment lo = tight_assignment(view, s.id, /*maximize=*/false);
+  EXPECT_EQ(count_violations(view, hi), 0u);
+  EXPECT_EQ(count_violations(view, lo), 0u);
+  // Anchor keeps its own RT = LT.
+  EXPECT_DOUBLE_EQ(hi.at(s.id), 10.0);
+  EXPECT_DOUBLE_EQ(lo.at(s.id), 10.0);
+  // The receive can happen as late as send + max, as early as send + min.
+  EXPECT_DOUBLE_EQ(hi.at(r.id), 11.0);
+  EXPECT_DOUBLE_EQ(lo.at(r.id), 10.2);
+}
+
+TEST(TightExecutionTest, DriftBoundsRealized) {
+  const SystemSpec spec = line_spec(2, 0.01, 0.0, 5.0);
+  View view(&spec);
+  EventFactory fac(2);
+  // One received message keeps the graph strongly connected (finite
+  // distances); the anchor is the receive, so the message constraint cannot
+  // bind the a -> b stretch.
+  const EventRecord s = fac.send(0, 0.0, 1);
+  const EventRecord a = fac.receive(1, 0.0, s);
+  const EventRecord b = fac.internal(1, 100.0);
+  view.add(s);
+  view.add(a);
+  view.add(b);
+  const RtAssignment hi = tight_assignment(view, a.id, /*maximize=*/true);
+  const RtAssignment lo = tight_assignment(view, a.id, /*maximize=*/false);
+  EXPECT_EQ(count_violations(view, hi), 0u);
+  EXPECT_EQ(count_violations(view, lo), 0u);
+  // 100 local seconds stretch to at most 100/(1-rho), shrink to 100/(1+rho).
+  EXPECT_NEAR(hi.at(b.id) - hi.at(a.id), 100.0 / 0.99, 1e-9);
+  EXPECT_NEAR(lo.at(b.id) - lo.at(a.id), 100.0 / 1.01, 1e-9);
+}
+
+TEST(TightExecutionTest, AnchorOffsetShiftsEverything) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 1.0);
+  View view(&spec);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  const EventRecord r = fac.receive(1, 2.0, s);
+  view.add(s);
+  view.add(r);
+  const RtAssignment base = tight_assignment(view, s.id, true, 0.0);
+  const RtAssignment shifted = tight_assignment(view, s.id, true, 7.0);
+  for (const auto& [id, rt] : base) {
+    EXPECT_DOUBLE_EQ(shifted.at(id), rt + 7.0);
+  }
+}
+
+TEST(TightExecutionTest, UnknownAnchorThrows) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 1.0);
+  View view(&spec);
+  EXPECT_THROW(tight_assignment(view, EventId{0, 0}, true),
+               std::logic_error);
+}
+
+TEST(TightExecutionTest, InfiniteDistanceThrows) {
+  // Unbounded link: no finite distance from the receive back to the send.
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, kNoBound);
+  View view(&spec);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  const EventRecord r = fac.receive(1, 2.0, s);
+  view.add(s);
+  view.add(r);
+  EXPECT_THROW(tight_assignment(view, s.id, /*maximize=*/true),
+               std::logic_error);
+}
+
+TEST(TightExecutionTest, ViolationCounterDetectsBadAssignments) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.2, 1.0);
+  View view(&spec);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 100.0, s);
+  view.add(s);
+  view.add(r);
+  RtAssignment bad;
+  bad[s.id] = 10.0;
+  bad[r.id] = 10.1;  // transit below the declared minimum of 0.2
+  EXPECT_GT(count_violations(view, bad), 0u);
+}
+
+}  // namespace
+}  // namespace driftsync

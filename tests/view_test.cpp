@@ -1,0 +1,200 @@
+// Tests for View: local-view bookkeeping, the prefix property, liveness per
+// Definition 3.1, and synchronization-graph construction (Definition 2.1).
+#include <gtest/gtest.h>
+
+#include "core/view.h"
+#include "graph/shortest_paths.h"
+#include "test_util.h"
+
+namespace driftsync {
+namespace {
+
+using testing::EventFactory;
+using testing::line_spec;
+
+class ViewTest : public ::testing::Test {
+ protected:
+  ViewTest() : spec_(line_spec(3, 1e-3, 0.1, 0.5)), view_(&spec_), fac_(3) {}
+  SystemSpec spec_;
+  View view_;
+  EventFactory fac_;
+};
+
+TEST_F(ViewTest, AddAndFind) {
+  const EventRecord e = fac_.internal(1, 10.0);
+  EXPECT_TRUE(view_.add(e));
+  EXPECT_TRUE(view_.contains(e.id));
+  EXPECT_EQ(view_.find(e.id)->lt, 10.0);
+  EXPECT_EQ(view_.total_events(), 1u);
+}
+
+TEST_F(ViewTest, DuplicateAddReturnsFalse) {
+  const EventRecord e = fac_.internal(1, 10.0);
+  EXPECT_TRUE(view_.add(e));
+  EXPECT_FALSE(view_.add(e));
+  EXPECT_EQ(view_.total_events(), 1u);
+}
+
+TEST_F(ViewTest, ConflictingDuplicateThrows) {
+  const EventRecord e = fac_.internal(1, 10.0);
+  view_.add(e);
+  EventRecord altered = e;
+  altered.lt = 11.0;
+  EXPECT_THROW(view_.add(altered), std::logic_error);
+}
+
+TEST_F(ViewTest, SequenceGapThrows) {
+  EventRecord e = fac_.internal(1, 10.0);
+  e.id.seq = 5;
+  EXPECT_THROW(view_.add(e), std::logic_error);
+}
+
+TEST_F(ViewTest, LocalTimeMustBeMonotone) {
+  view_.add(fac_.internal(1, 10.0));
+  EXPECT_THROW(view_.add(fac_.internal(1, 9.0)), std::logic_error);
+}
+
+TEST_F(ViewTest, ReceiveBeforeSendThrows) {
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord r = fac_.receive(1, 2.0, s);
+  EXPECT_THROW(view_.add(r), std::logic_error);
+}
+
+TEST_F(ViewTest, SendReceivePairTracked) {
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord r = fac_.receive(1, 2.0, s);
+  view_.add(s);
+  EXPECT_FALSE(view_.receive_seen(s.id));
+  view_.add(r);
+  EXPECT_TRUE(view_.receive_seen(s.id));
+}
+
+TEST_F(ViewTest, LastEventOf) {
+  EXPECT_EQ(view_.last_event_of(1), nullptr);
+  view_.add(fac_.internal(1, 1.0));
+  const EventRecord e2 = fac_.internal(1, 2.0);
+  view_.add(e2);
+  EXPECT_EQ(view_.last_event_of(1)->id, e2.id);
+}
+
+TEST_F(ViewTest, LivenessLastEventPerProcessor) {
+  const EventRecord a = fac_.internal(1, 1.0);
+  const EventRecord b = fac_.internal(1, 2.0);
+  view_.add(a);
+  view_.add(b);
+  EXPECT_FALSE(view_.is_live(a.id));  // superseded internal event
+  EXPECT_TRUE(view_.is_live(b.id));
+}
+
+TEST_F(ViewTest, LivenessPendingSend) {
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord later = fac_.internal(0, 2.0);
+  view_.add(s);
+  view_.add(later);
+  EXPECT_TRUE(view_.is_live(s.id));  // send without receive stays live
+  const EventRecord r = fac_.receive(1, 3.0, s);
+  view_.add(r);
+  EXPECT_FALSE(view_.is_live(s.id));
+  EXPECT_TRUE(view_.is_live(r.id));
+}
+
+TEST_F(ViewTest, LivenessLossDeclaredSendDies) {
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  view_.add(s);
+  const EventRecord decl = fac_.loss_decl(0, 2.0, s);
+  view_.add(decl);
+  EXPECT_TRUE(view_.declared_lost(s.id));
+  EXPECT_FALSE(view_.is_live(s.id));
+  EXPECT_TRUE(view_.is_live(decl.id));
+}
+
+TEST_F(ViewTest, LivePointsEnumeration) {
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord x = fac_.internal(0, 2.0);
+  const EventRecord y = fac_.internal(1, 5.0);
+  view_.add(s);
+  view_.add(x);
+  view_.add(y);
+  const auto live = view_.live_points();
+  EXPECT_EQ(live.size(), 3u);  // pending send + last of proc 0 + last of 1
+}
+
+TEST_F(ViewTest, MergeCountsNew) {
+  const EventRecord a = fac_.internal(0, 1.0);
+  const EventRecord b = fac_.internal(1, 1.0);
+  view_.add(a);
+  EXPECT_EQ(view_.merge({a, b}), 1u);
+}
+
+TEST_F(ViewTest, SyncGraphStructure) {
+  // proc0: s at lt 1; proc1: r at lt 2 then internal at lt 4.
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord r = fac_.receive(1, 2.0, s);
+  const EventRecord x = fac_.internal(1, 4.0);
+  view_.add(s);
+  view_.add(r);
+  view_.add(x);
+  const View::SyncGraph sg = view_.build_sync_graph();
+  EXPECT_EQ(sg.graph.size(), 3u);
+  // Edges: message pair (2, link bounds finite) + proc pair r<->x (2).
+  EXPECT_EQ(sg.graph.edge_count(), 4u);
+}
+
+TEST_F(ViewTest, SyncGraphWeightsMatchDefinition) {
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord r = fac_.receive(1, 2.5, s);
+  view_.add(s);
+  view_.add(r);
+  const View::SyncGraph sg = view_.build_sync_graph();
+  const auto si = sg.index_of.at(s.id);
+  const auto ri = sg.index_of.at(r.id);
+  // Link bounds [0.1, 0.5], vd = 1.5: w(s,r) = 1.5 - 0.1, w(r,s) = 0.5 - 1.5.
+  double w_sr = kNoBound, w_rs = kNoBound;
+  for (const graph::Arc& a : sg.graph.out_edges(si)) {
+    if (a.to == ri) w_sr = a.weight;
+  }
+  for (const graph::Arc& a : sg.graph.out_edges(ri)) {
+    if (a.to == si) w_rs = a.weight;
+  }
+  EXPECT_DOUBLE_EQ(w_sr, 1.4);
+  EXPECT_DOUBLE_EQ(w_rs, -1.0);
+}
+
+TEST_F(ViewTest, SyncGraphOmitsUnboundedEdges) {
+  SystemSpec spec({ClockSpec{0.0}, ClockSpec{1e-4}},
+                  {LinkSpec{0, 1, 0.1, kNoBound}}, 0);
+  View v(&spec);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  const EventRecord r = fac.receive(1, 2.0, s);
+  v.add(s);
+  v.add(r);
+  const View::SyncGraph sg = v.build_sync_graph();
+  EXPECT_EQ(sg.graph.edge_count(), 1u);  // only send->recv
+}
+
+TEST_F(ViewTest, SyncGraphConsistentExecutionHasNoNegativeCycle) {
+  // Simulated-consistent times: both procs near real time.
+  const EventRecord s = fac_.send(0, 1.0, 1);
+  const EventRecord r = fac_.receive(1, 1.2, s);
+  const EventRecord s2 = fac_.send(1, 1.3, 0);
+  const EventRecord r2 = fac_.receive(0, 1.5, s2);
+  view_.merge({s, r, s2, r2});
+  const View::SyncGraph sg = view_.build_sync_graph();
+  EXPECT_TRUE(graph::floyd_warshall(sg.graph).has_value());
+}
+
+TEST_F(ViewTest, CausalOrderPreservesInsertionOrder) {
+  const EventRecord a = fac_.internal(0, 1.0);
+  const EventRecord b = fac_.internal(1, 1.0);
+  const EventRecord c = fac_.internal(0, 2.0);
+  view_.merge({a, b, c});
+  const EventBatch& order = view_.causal_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].id, a.id);
+  EXPECT_EQ(order[1].id, b.id);
+  EXPECT_EQ(order[2].id, c.id);
+}
+
+}  // namespace
+}  // namespace driftsync

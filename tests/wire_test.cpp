@@ -1,0 +1,133 @@
+// Tests for the compact wire encoding of report batches (the Section 3.1
+// bit-complexity remark made concrete).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "common/rng.h"
+#include "core/wire.h"
+#include "test_util.h"
+
+namespace driftsync::wire {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xffffffffull,
+        0xffffffffffffffffull}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    std::size_t offset = 0;
+    EXPECT_EQ(get_varint(buf, offset), v);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedThrows) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 300);
+  buf.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW(get_varint(buf, offset), std::logic_error);
+}
+
+TEST(WireTest, EmptyBatch) {
+  const auto bytes = encode_batch({});
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_TRUE(decode_batch(bytes).empty());
+}
+
+TEST(WireTest, RoundTripAllKinds) {
+  testing::EventFactory fac(4);
+  EventBatch batch;
+  batch.push_back(fac.internal(2, 1.5));
+  const EventRecord s = fac.send(0, 2.25, 3);
+  batch.push_back(s);
+  batch.push_back(fac.receive(3, 3.75, s));
+  const EventRecord s2 = fac.send(0, 4.0, 1);
+  batch.push_back(s2);
+  batch.push_back(fac.loss_decl(0, 5.0, s2));
+  const auto bytes = encode_batch(batch);
+  EXPECT_EQ(decode_batch(bytes), batch);
+  EXPECT_EQ(bytes.size(), encoded_size(batch));
+}
+
+TEST(WireTest, ContiguousRunsCompressWell) {
+  // The history protocol ships contiguous per-processor runs: seq deltas and
+  // proc repeats should collapse to the flag byte.
+  testing::EventFactory fac(2);
+  EventBatch batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(fac.internal(1, 10.0 + i));
+  }
+  const auto bytes = encode_batch(batch);
+  // flags(1) + lt(8) per record after the first, plus tiny header.
+  EXPECT_LE(bytes.size(), 100u * 9u + 8u);
+  EXPECT_LT(bytes.size(), batch.size() * kEventRecordWireBytes / 2);
+  EXPECT_EQ(decode_batch(bytes), batch);
+}
+
+TEST(WireTest, TruncationThrows) {
+  testing::EventFactory fac(2);
+  const auto bytes = encode_batch({fac.internal(0, 1.0)});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode_batch(prefix), std::logic_error) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, TrailingBytesThrow) {
+  testing::EventFactory fac(2);
+  auto bytes = encode_batch({fac.internal(0, 1.0)});
+  bytes.push_back(0);
+  EXPECT_THROW(decode_batch(bytes), std::logic_error);
+}
+
+TEST(WireTest, SpecialDoubleValues) {
+  testing::EventFactory fac(2);
+  EventBatch batch;
+  EventRecord r = fac.internal(0, 0.0);
+  r.lt = -0.0;
+  batch.push_back(r);
+  const auto decoded = decode_batch(encode_batch(batch));
+  EXPECT_EQ(std::signbit(decoded[0].lt), true);
+}
+
+class WirePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WirePropertyTest, RandomBatchesRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) *
+              std::uint64_t{2654435761} + 7);
+  const std::size_t procs = 2 + rng.uniform_index(6);
+  testing::EventFactory fac(procs);
+  std::vector<EventRecord> sends;
+  EventBatch batch;
+  double t = 0.0;
+  const std::size_t n = rng.uniform_index(200);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProcId p = static_cast<ProcId>(rng.uniform_index(procs));
+    t += rng.uniform(0.0, 1.0);
+    const double action = rng.next_double();
+    if (action < 0.4) {
+      ProcId q = static_cast<ProcId>(rng.uniform_index(procs));
+      if (q == p) q = static_cast<ProcId>((q + 1) % procs);
+      sends.push_back(fac.send(p, t, q));
+      batch.push_back(sends.back());
+    } else if (action < 0.6 && !sends.empty()) {
+      const EventRecord s = sends[rng.uniform_index(sends.size())];
+      batch.push_back(fac.receive(s.peer, t, s));
+    } else {
+      batch.push_back(fac.internal(p, t));
+    }
+  }
+  const auto bytes = encode_batch(batch);
+  EXPECT_EQ(bytes.size(), encoded_size(batch));
+  EXPECT_EQ(decode_batch(bytes), batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBatches, WirePropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace driftsync::wire

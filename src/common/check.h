@@ -5,6 +5,12 @@
 // that tests can assert on misuse.  DS_DCHECK compiles away in NDEBUG
 // builds; it guards hot-path invariants (e.g. the Lemma 3.4 assertions in
 // the AGDP update loop).
+//
+// DS_CHECK is NOT for validating untrusted input: rejecting malformed
+// network payloads or checkpoint images is an expected runtime condition,
+// not a bug, and uses the recoverable std::runtime_error-derived taxonomy
+// in common/errors.h (WireError / CheckpointError) instead.  See DESIGN.md
+// §6 "Trust boundary and error taxonomy".
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,47 @@
+// Recoverable error taxonomy for untrusted input.
+//
+// Two failure regimes exist in this codebase and they must stay
+// distinguishable by exception type:
+//
+//  * DS_CHECK / DS_DCHECK (check.h) guard API preconditions and internal
+//    invariants.  A failure means a bug in this process and throws
+//    std::logic_error.
+//  * Decoding a byte buffer — a network payload or a checkpoint image — is
+//    parsing *untrusted input*.  Malformed bytes are an expected runtime
+//    condition, not a bug: the caller recovers (drop the message, refuse
+//    the checkpoint) and the process keeps running.  These paths throw the
+//    std::runtime_error-derived types below, never std::logic_error.
+//
+// DecodeError is the common base so callers at a trust boundary can catch
+// every input-rejection error with one handler while tests pin down the
+// precise origin (wire vs checkpoint).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace driftsync {
+
+/// Base class for all untrusted-input rejection errors (recoverable).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed wire bytes: report batches and the low-level primitives
+/// (core/wire.h).  Thrown by every wire decode path.
+class WireError : public DecodeError {
+ public:
+  explicit WireError(const std::string& what) : DecodeError("wire: " + what) {}
+};
+
+/// Malformed or internally inconsistent checkpoint image (the save/load
+/// paths of HistoryProtocol, SyncEngine and OptimalCsa).  A failed load
+/// leaves the target object in its pre-call state.
+class CheckpointError : public DecodeError {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : DecodeError("checkpoint: " + what) {}
+};
+
+}  // namespace driftsync

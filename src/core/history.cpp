@@ -1,8 +1,10 @@
 #include "core/history.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "core/wire.h"
 
 namespace driftsync {
@@ -207,47 +209,107 @@ void HistoryProtocol::save(std::vector<std::uint8_t>& out) const {
   wire::put_varint(out, gap_dropped_);
 }
 
+namespace {
+
+// Reads a seq_code and rejects values no 32-bit sequence number encodes.
+std::int64_t load_seq(std::span<const std::uint8_t> bytes,
+                      std::size_t& offset) {
+  const std::uint64_t code = wire::get_varint(bytes, offset);
+  if (code > std::uint64_t{1} << 32) {
+    throw CheckpointError("sequence number out of range");
+  }
+  return seq_decode(code);
+}
+
+}  // namespace
+
 void HistoryProtocol::load(std::span<const std::uint8_t> bytes,
                            std::size_t& offset) {
   DS_CHECK_MSG(!opts_.audit, "audit mode cannot be checkpointed");
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == kHistoryMagic,
-               "checkpoint: bad history magic");
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == self_,
-               "checkpoint: wrong processor");
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == known_seq_.size(),
-               "checkpoint: wrong system size");
-  for (std::int64_t& s : known_seq_) {
-    s = seq_decode(wire::get_varint(bytes, offset));
-  }
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == neighbors_.size(),
-               "checkpoint: wrong neighbor count");
-  for (NeighborState& ns : neighbors_) {
-    DS_CHECK_MSG(wire::get_varint(bytes, offset) == ns.id,
-                 "checkpoint: neighbor mismatch");
-    for (std::int64_t& s : ns.c) {
-      s = seq_decode(wire::get_varint(bytes, offset));
+  // A checkpoint image is untrusted input: parse and validate into locals,
+  // commit only once everything checked out — a throw below leaves this
+  // protocol instance exactly as it was.
+  std::size_t cur = offset;
+  const std::size_t num_procs = known_seq_.size();
+  std::vector<std::int64_t> known_seq(num_procs);
+  struct LoadedNeighbor {
+    std::vector<std::int64_t> c;
+    std::vector<std::int64_t> pending_min;
+    std::size_t n_pending = 0;
+  };
+  std::vector<LoadedNeighbor> loaded(neighbors_.size());
+  std::vector<EventRecord> history;
+  std::uint64_t max_history = 0, reports = 0, duplicates = 0, gaps = 0;
+  try {
+    if (wire::get_varint(bytes, cur) != kHistoryMagic) {
+      throw CheckpointError("bad history magic");
     }
-    ns.n_pending = wire::get_varint(bytes, offset);
-    if (ns.n_pending > 0) {
-      DS_CHECK_MSG(opts_.loss_tolerant,
-                   "checkpoint: pending snapshots need loss_tolerant mode");
-      ns.pending_min.resize(known_seq_.size());
-      for (std::int64_t& s : ns.pending_min) {
-        s = seq_decode(wire::get_varint(bytes, offset));
+    if (wire::get_varint(bytes, cur) != self_) {
+      throw CheckpointError("wrong processor");
+    }
+    if (wire::get_varint(bytes, cur) != num_procs) {
+      throw CheckpointError("wrong system size");
+    }
+    for (std::int64_t& s : known_seq) s = load_seq(bytes, cur);
+    if (wire::get_varint(bytes, cur) != neighbors_.size()) {
+      throw CheckpointError("wrong neighbor count");
+    }
+    for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+      if (wire::get_varint(bytes, cur) != neighbors_[i].id) {
+        throw CheckpointError("neighbor mismatch");
       }
-    } else {
-      ns.pending_min.clear();
+      loaded[i].c.resize(num_procs);
+      for (std::int64_t& s : loaded[i].c) s = load_seq(bytes, cur);
+      loaded[i].n_pending = wire::get_varint(bytes, cur);
+      if (loaded[i].n_pending > 0) {
+        if (!opts_.loss_tolerant) {
+          throw CheckpointError("pending snapshots need loss_tolerant mode");
+        }
+        loaded[i].pending_min.resize(num_procs);
+        for (std::int64_t& s : loaded[i].pending_min) s = load_seq(bytes, cur);
+      }
     }
+    const std::uint64_t batch_bytes = wire::get_varint(bytes, cur);
+    if (batch_bytes > bytes.size() - cur) {
+      throw CheckpointError("truncated history batch");
+    }
+    history = wire::decode_batch(bytes.subspan(cur, batch_bytes));
+    cur += batch_bytes;
+    // Every buffered event must be of an in-range processor and already
+    // counted as known — otherwise record_own_event/GC invariants break.
+    for (const EventRecord& r : history) {
+      if (r.id.proc >= num_procs) {
+        throw CheckpointError("history record at out-of-range processor");
+      }
+      if (static_cast<std::int64_t>(r.id.seq) > known_seq[r.id.proc]) {
+        throw CheckpointError("history record beyond known sequence");
+      }
+    }
+    max_history = wire::get_varint(bytes, cur);
+    if (max_history < history.size()) {
+      throw CheckpointError("max history size below buffer size");
+    }
+    reports = wire::get_varint(bytes, cur);
+    duplicates = wire::get_varint(bytes, cur);
+    gaps = wire::get_varint(bytes, cur);
+  } catch (const WireError& e) {
+    throw CheckpointError(std::string("bad embedded wire data (") + e.what() +
+                          ")");
   }
-  const std::uint64_t batch_bytes = wire::get_varint(bytes, offset);
-  DS_CHECK_MSG(offset + batch_bytes <= bytes.size(),
-               "checkpoint: truncated history batch");
-  history_ = wire::decode_batch(bytes.subspan(offset, batch_bytes));
-  offset += batch_bytes;
-  max_history_size_ = wire::get_varint(bytes, offset);
-  reports_sent_ = wire::get_varint(bytes, offset);
-  duplicate_reports_received_ = wire::get_varint(bytes, offset);
-  gap_dropped_ = wire::get_varint(bytes, offset);
+
+  // Everything validated: commit.
+  known_seq_ = std::move(known_seq);
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    neighbors_[i].c = std::move(loaded[i].c);
+    neighbors_[i].pending_min = std::move(loaded[i].pending_min);
+    neighbors_[i].n_pending = loaded[i].n_pending;
+  }
+  history_ = std::move(history);
+  max_history_size_ = max_history;
+  reports_sent_ = reports;
+  duplicate_reports_received_ = duplicates;
+  gap_dropped_ = gaps;
+  offset = cur;
 }
 
 }  // namespace driftsync

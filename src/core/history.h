@@ -131,7 +131,9 @@ class HistoryProtocol {
   /// pending snapshots, counters) to `out`; load() restores it into a
   /// freshly constructed instance bound to the same spec/processor/options
   /// (audit mode cannot be checkpointed).  The format reuses the wire
-  /// primitives and validates on load.
+  /// primitives; load() treats the image as untrusted input, throws
+  /// driftsync::CheckpointError on malformed or inconsistent bytes, and
+  /// leaves the instance unmodified when it throws.
   void save(std::vector<std::uint8_t>& out) const;
   void load(std::span<const std::uint8_t> bytes, std::size_t& offset);
 

@@ -1,8 +1,10 @@
 #include "core/optimal_csa.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "core/wire.h"
 
 namespace driftsync {
@@ -72,12 +74,26 @@ std::vector<std::uint8_t> OptimalCsa::checkpoint() const {
 
 void OptimalCsa::restore(std::span<const std::uint8_t> bytes) {
   DS_CHECK_MSG(history_ && engine_, "init() before restore()");
+  // Load into copies of the freshly init()-ed components and commit only
+  // after the whole image parsed: a rejected checkpoint (CheckpointError)
+  // leaves this instance exactly as it was.
+  HistoryProtocol history = *history_;
+  SyncEngine engine = *engine_;
+  CsaStats stats = stats_;
   std::size_t offset = 0;
-  history_->load(bytes, offset);
-  engine_->load(bytes, offset);
-  stats_.payload_bytes_sent = wire::get_varint(bytes, offset);
-  stats_.payload_bytes_received = wire::get_varint(bytes, offset);
-  DS_CHECK_MSG(offset == bytes.size(), "checkpoint: trailing bytes");
+  history.load(bytes, offset);
+  engine.load(bytes, offset);
+  try {
+    stats.payload_bytes_sent = wire::get_varint(bytes, offset);
+    stats.payload_bytes_received = wire::get_varint(bytes, offset);
+  } catch (const WireError& e) {
+    throw CheckpointError(std::string("bad embedded wire data (") + e.what() +
+                          ")");
+  }
+  if (offset != bytes.size()) throw CheckpointError("trailing bytes");
+  *history_ = std::move(history);
+  *engine_ = std::move(engine);
+  stats_ = stats;
 }
 
 CsaStats OptimalCsa::stats() const {

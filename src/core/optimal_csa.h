@@ -51,7 +51,10 @@ class OptimalCsa : public Csa {
   /// across restarts (the local clock keeps running, so the estimate simply
   /// resumes extrapolating from the last pre-restart event).  `restore`
   /// must be called on a freshly init()-ed instance with the same options,
-  /// spec and processor.
+  /// spec and processor.  The image is untrusted input: restore() throws
+  /// driftsync::CheckpointError on malformed or inconsistent bytes and in
+  /// that case leaves the instance in its pre-call (freshly init()-ed)
+  /// state.
   [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
   void restore(std::span<const std::uint8_t> bytes);
 

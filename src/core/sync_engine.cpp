@@ -1,8 +1,12 @@
 #include "core/sync_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "core/wire.h"
 
 namespace driftsync {
@@ -219,65 +223,140 @@ void SyncEngine::save(std::vector<std::uint8_t>& out) const {
 void SyncEngine::load(std::span<const std::uint8_t> bytes,
                       std::size_t& offset) {
   DS_CHECK_MSG(live_.empty(), "load into a fresh engine");
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == kEngineMagic,
-               "checkpoint: bad engine magic");
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == self_,
-               "checkpoint: wrong processor");
-  DS_CHECK_MSG(wire::get_varint(bytes, offset) == last_id_.size(),
-               "checkpoint: wrong system size");
-  std::vector<std::uint64_t> last_seq(last_id_.size());
-  for (std::uint64_t& code : last_seq) code = wire::get_varint(bytes, offset);
-
-  const std::uint64_t batch_bytes = wire::get_varint(bytes, offset);
-  DS_CHECK_MSG(offset + batch_bytes <= bytes.size(),
-               "checkpoint: truncated live records");
-  const EventBatch records =
-      wire::decode_batch(bytes.subspan(offset, batch_bytes));
-  offset += batch_bytes;
-  const std::size_t n = records.size();
-  DS_CHECK_MSG(offset + n <= bytes.size(), "checkpoint: truncated flags");
-  std::vector<std::uint8_t> flags(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-                                  bytes.begin() + static_cast<std::ptrdiff_t>(offset + n));
-  offset += n;
-  std::vector<std::vector<double>> dist(n, std::vector<double>(n));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      dist[i][j] = wire::get_double(bytes, offset);
+  // A checkpoint image is untrusted input: parse and cross-check everything
+  // into locals first, then commit in one shot at the end — a throw on any
+  // path below leaves this engine exactly as it was.
+  std::size_t cur = offset;
+  const std::size_t num_procs = last_id_.size();
+  EventBatch records;
+  std::vector<std::uint8_t> flags;
+  std::vector<std::vector<double>> dist;
+  std::vector<std::uint64_t> last_seq(num_procs);
+  std::uint64_t max_live = 0;
+  try {
+    if (wire::get_varint(bytes, cur) != kEngineMagic) {
+      throw CheckpointError("bad engine magic");
     }
+    if (wire::get_varint(bytes, cur) != self_) {
+      throw CheckpointError("wrong processor");
+    }
+    if (wire::get_varint(bytes, cur) != num_procs) {
+      throw CheckpointError("wrong system size");
+    }
+    for (std::uint64_t& code : last_seq) {
+      code = wire::get_varint(bytes, cur);
+      // Codes are seq+1 (0 = "no event yet"); sequence numbers are 32-bit.
+      if (code > std::uint64_t{1} << 32) {
+        throw CheckpointError("frontier sequence number out of range");
+      }
+    }
+
+    const std::uint64_t batch_bytes = wire::get_varint(bytes, cur);
+    if (batch_bytes > bytes.size() - cur || cur > bytes.size()) {
+      throw CheckpointError("truncated live records");
+    }
+    records = wire::decode_batch(bytes.subspan(cur, batch_bytes));
+    cur += batch_bytes;
+    const std::size_t n = records.size();
+    if (n > bytes.size() - cur) throw CheckpointError("truncated flags");
+    flags.assign(bytes.begin() + static_cast<std::ptrdiff_t>(cur),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(cur + n));
+    cur += n;
+    // The n*n distance matrix must actually be present before allocating
+    // n*n doubles (the count prefix must not drive the allocation).
+    if (static_cast<std::uint64_t>(n) * n * 8 > bytes.size() - cur) {
+      throw CheckpointError("truncated distance matrix");
+    }
+    dist.assign(n, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = wire::get_double(bytes, cur);
+        // kNoBound (+inf) encodes "unreachable"; anything else must be an
+        // actual distance.  NaN would poison every comparison downstream.
+        if (!std::isfinite(d) && d != kNoBound) {
+          throw CheckpointError("non-finite distance matrix entry");
+        }
+        dist[i][j] = d;
+      }
+    }
+    max_live = wire::get_varint(bytes, cur);
+    if (max_live < n) throw CheckpointError("max live count below live set");
+
+    // Cross-checks: records must be the canonical (sorted, duplicate-free)
+    // live-point order save() emits, refer only to in-range processors, be
+    // consistent with the frontier, and carry flags only a send can carry.
+    for (std::size_t i = 0; i < n; ++i) {
+      const EventRecord& r = records[i];
+      if (i > 0 && !(records[i - 1].id < r.id)) {
+        throw CheckpointError("live records not in canonical order");
+      }
+      if (r.id.proc >= num_procs) {
+        throw CheckpointError("live record at out-of-range processor");
+      }
+      if (r.kind != EventKind::kInternal && r.peer >= num_procs) {
+        throw CheckpointError("live record peer out of range");
+      }
+      if ((r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) &&
+          r.match.proc >= num_procs) {
+        throw CheckpointError("live record match out of range");
+      }
+      const std::uint64_t frontier = last_seq[r.id.proc];
+      if (std::uint64_t{r.id.seq} + 1 > frontier) {
+        throw CheckpointError("live record beyond its processor frontier");
+      }
+      if ((flags[i] & ~std::uint8_t{3}) != 0 ||
+          (flags[i] != 0 && r.kind != EventKind::kSend)) {
+        throw CheckpointError("invalid live-node flags");
+      }
+    }
+    for (std::size_t w = 0; w < num_procs; ++w) {
+      if (last_seq[w] == 0) continue;
+      const EventId frontier_id{static_cast<ProcId>(w),
+                                static_cast<std::uint32_t>(last_seq[w] - 1)};
+      const auto it = std::lower_bound(
+          records.begin(), records.end(), frontier_id,
+          [](const EventRecord& r, const EventId& id) { return r.id < id; });
+      if (it == records.end() || it->id != frontier_id) {
+        throw CheckpointError("frontier event not live");
+      }
+    }
+  } catch (const WireError& e) {
+    throw CheckpointError(std::string("bad embedded wire data (") + e.what() +
+                          ")");
   }
-  max_live_ = wire::get_varint(bytes, offset);
 
-  // Rebuild the APSP structure: insert node i with direct edges carrying the
-  // exact saved distances to/from all previously inserted nodes.  True
-  // distances satisfy the triangle inequality, so the resulting shortest
-  // paths equal the saved matrix entry-for-entry.
-  std::vector<graph::IncrementalApsp::Handle> handles(n);
+  // Rebuild the APSP structure into a local instance, installing the saved
+  // matrix verbatim (recomputing shortest paths here could differ from the
+  // saved entries in the last ulp, breaking save/load byte identity).  A
+  // matrix with a non-zero diagonal or a negative cycle — which real
+  // distances cannot contain — is rejected.
+  const std::size_t n = records.size();
+  graph::IncrementalApsp apsp;
+  if (!apsp.load_matrix(dist)) {
+    throw CheckpointError("inconsistent distance matrix");
+  }
+  std::unordered_map<EventId, LiveNode> live;
+  live.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    std::vector<graph::IncrementalApsp::HalfEdge> ins, outs;
-    for (std::size_t j = 0; j < i; ++j) {
-      if (dist[j][i] != kNoBound) ins.push_back({handles[j], dist[j][i]});
-      if (dist[i][j] != kNoBound) outs.push_back({handles[j], dist[i][j]});
-    }
-    handles[i] = apsp_.insert_node(ins, outs);
-    DS_CHECK_MSG(handles[i] != graph::IncrementalApsp::kNoHandle,
-                 "checkpoint: inconsistent distance matrix");
     LiveNode node;
     node.rec = records[i];
-    node.handle = handles[i];
+    node.handle = static_cast<graph::IncrementalApsp::Handle>(i);
     node.recv_seen = (flags[i] & 1) != 0;
     node.lost = (flags[i] & 2) != 0;
-    live_.emplace(records[i].id, std::move(node));
+    live.emplace(records[i].id, std::move(node));
   }
-  for (std::size_t w = 0; w < last_id_.size(); ++w) {
-    if (last_seq[w] == 0) {
-      last_id_[w] = kInvalidEvent;
-    } else {
-      last_id_[w] = EventId{static_cast<ProcId>(w),
-                            static_cast<std::uint32_t>(last_seq[w] - 1)};
-      DS_CHECK_MSG(live_.contains(last_id_[w]),
-                   "checkpoint: frontier event not live");
-    }
+
+  // Everything validated: commit.
+  apsp_ = std::move(apsp);
+  live_ = std::move(live);
+  for (std::size_t w = 0; w < num_procs; ++w) {
+    last_id_[w] = last_seq[w] == 0
+                      ? kInvalidEvent
+                      : EventId{static_cast<ProcId>(w),
+                                static_cast<std::uint32_t>(last_seq[w] - 1)};
   }
+  max_live_ = max_live;
+  offset = cur;
 }
 
 }  // namespace driftsync

@@ -97,6 +97,12 @@ class SyncEngine {
   /// load() restores it into a freshly constructed instance bound to the
   /// same spec/processor.  Distances are restored exactly (they are saved,
   /// not recomputed).
+  ///
+  /// A checkpoint image is untrusted input: load() fully parses and
+  /// cross-validates it (canonical record order, in-range processors,
+  /// frontier consistency, finite distances, bounded allocations) before
+  /// touching any engine state, and throws driftsync::CheckpointError on
+  /// rejection — a failed load leaves the engine exactly as it was.
   void save(std::vector<std::uint8_t>& out) const;
   void load(std::span<const std::uint8_t> bytes, std::size_t& offset);
 

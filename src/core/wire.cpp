@@ -1,7 +1,9 @@
 #include "core/wire.h"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -11,10 +13,16 @@ namespace driftsync::wire {
 namespace {
 
 // Flag byte layout: bits 0-1 kind, bit 2 "proc is delta-0 from previous
-// record's proc", bit 3 "seq is prev_seq(proc)+1".
+// record's proc", bit 3 "seq is prev_seq(proc)+1".  Bits 4-7 are reserved
+// and must be zero.
 constexpr std::uint8_t kKindMask = 0x03;
 constexpr std::uint8_t kSameProc = 0x04;
 constexpr std::uint8_t kNextSeq = 0x08;
+constexpr std::uint8_t kKnownFlags = kKindMask | kSameProc | kNextSeq;
+
+// Smallest possible record: flag byte + 8-byte local time (both delta flags
+// set, internal kind).  Used to bound count-prefix-driven allocations.
+constexpr std::size_t kMinRecordBytes = 9;
 
 std::size_t varint_size(std::uint64_t value) {
   std::size_t n = 1;
@@ -23,6 +31,26 @@ std::size_t varint_size(std::uint64_t value) {
     ++n;
   }
   return n;
+}
+
+/// Reads a varint that must fit a 32-bit field (proc ids, seq numbers).
+std::uint32_t get_varint32(std::span<const std::uint8_t> bytes,
+                           std::size_t& offset, const char* what) {
+  const std::uint64_t v = get_varint(bytes, offset);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw WireError(std::string(what) + " does not fit 32 bits");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Reads a processor id: 32-bit and not the invalid sentinel.
+ProcId get_proc(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                const char* what) {
+  const ProcId p = get_varint32(bytes, offset, what);
+  if (p == kInvalidProc) {
+    throw WireError(std::string(what) + " is the invalid-processor sentinel");
+  }
+  return p;
 }
 
 }  // namespace
@@ -43,7 +71,9 @@ void put_double(std::vector<std::uint8_t>& out, double v) {
 }
 
 double get_double(std::span<const std::uint8_t> bytes, std::size_t& offset) {
-  DS_CHECK_MSG(offset + 8 <= bytes.size(), "wire: truncated double");
+  if (offset > bytes.size() || bytes.size() - offset < 8) {
+    throw WireError("truncated double");
+  }
   std::uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
     bits |= static_cast<std::uint64_t>(
@@ -57,15 +87,23 @@ double get_double(std::span<const std::uint8_t> bytes, std::size_t& offset) {
 std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
                          std::size_t& offset) {
   std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    DS_CHECK_MSG(offset < bytes.size(), "wire: truncated varint");
-    DS_CHECK_MSG(shift < 64, "wire: varint too long");
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (offset >= bytes.size()) throw WireError("truncated varint");
     const std::uint8_t byte = bytes[offset++];
+    // The tenth byte carries only bit 63: any higher payload bit (or a
+    // continuation bit) silently discarded would break canonicity.
+    if (shift == 63 && (byte & 0xfe) != 0) {
+      throw WireError("varint overflows 64 bits");
+    }
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
+    if ((byte & 0x80) == 0) {
+      // Minimal-length encodings only: a zero continuation byte means the
+      // same value had a shorter encoding the encoder would have produced.
+      if (shift > 0 && byte == 0) throw WireError("over-long varint");
+      return value;
+    }
   }
+  throw WireError("varint longer than 10 bytes");
 }
 
 std::vector<std::uint8_t> encode_batch(const EventBatch& batch) {
@@ -102,43 +140,59 @@ std::vector<std::uint8_t> encode_batch(const EventBatch& batch) {
 EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
   std::size_t offset = 0;
   const std::uint64_t count = get_varint(bytes, offset);
-  DS_CHECK_MSG(count <= bytes.size(), "wire: implausible batch count");
+  // Each record occupies at least kMinRecordBytes, so a count the buffer
+  // cannot possibly hold is rejected before any allocation happens: the
+  // up-front reserve below is bounded by the buffer size.
+  if (count > (bytes.size() - offset) / kMinRecordBytes) {
+    throw WireError("implausible batch count");
+  }
   EventBatch batch;
   batch.reserve(count);
   ProcId prev_proc = kInvalidProc;
   std::unordered_map<ProcId, std::uint32_t> next_seq;
   for (std::uint64_t i = 0; i < count; ++i) {
-    DS_CHECK_MSG(offset < bytes.size(), "wire: truncated record");
+    if (offset >= bytes.size()) throw WireError("truncated record");
     const std::uint8_t flags = bytes[offset++];
+    if ((flags & ~kKnownFlags) != 0) throw WireError("unknown flag bits");
     EventRecord r;
     r.kind = static_cast<EventKind>(flags & kKindMask);
     if (flags & kSameProc) {
-      DS_CHECK_MSG(prev_proc != kInvalidProc, "wire: dangling proc delta");
+      if (prev_proc == kInvalidProc) throw WireError("dangling proc delta");
       r.id.proc = prev_proc;
     } else {
-      r.id.proc = static_cast<ProcId>(get_varint(bytes, offset));
+      r.id.proc = get_proc(bytes, offset, "record processor id");
+      // The encoder always emits the delta flag when it applies; an
+      // explicit equal processor id is a second spelling of the same batch
+      // and would break byte-for-byte re-encoding.
+      if (r.id.proc == prev_proc) {
+        throw WireError("redundant explicit processor id");
+      }
     }
+    const auto seq_it = next_seq.find(r.id.proc);
     if (flags & kNextSeq) {
-      const auto it = next_seq.find(r.id.proc);
-      DS_CHECK_MSG(it != next_seq.end(), "wire: dangling seq delta");
-      r.id.seq = it->second;
+      if (seq_it == next_seq.end()) throw WireError("dangling seq delta");
+      r.id.seq = seq_it->second;
     } else {
-      r.id.seq = static_cast<std::uint32_t>(get_varint(bytes, offset));
+      r.id.seq = get_varint32(bytes, offset, "record sequence number");
+      if (seq_it != next_seq.end() && seq_it->second == r.id.seq) {
+        throw WireError("redundant explicit sequence number");
+      }
     }
     r.lt = get_double(bytes, offset);
+    if (!std::isfinite(r.lt)) throw WireError("non-finite local time");
     if (r.kind == EventKind::kSend || r.kind == EventKind::kReceive ||
         r.kind == EventKind::kLossDecl) {
-      r.peer = static_cast<ProcId>(get_varint(bytes, offset));
+      r.peer = get_proc(bytes, offset, "peer processor id");
     }
     if (r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) {
-      r.match.proc = static_cast<ProcId>(get_varint(bytes, offset));
-      r.match.seq = static_cast<std::uint32_t>(get_varint(bytes, offset));
+      r.match.proc = get_proc(bytes, offset, "match processor id");
+      r.match.seq = get_varint32(bytes, offset, "match sequence number");
     }
     prev_proc = r.id.proc;
     next_seq[r.id.proc] = r.id.seq + 1;
     batch.push_back(r);
   }
-  DS_CHECK_MSG(offset == bytes.size(), "wire: trailing bytes");
+  if (offset != bytes.size()) throw WireError("trailing bytes");
   return batch;
 }
 

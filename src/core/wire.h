@@ -13,15 +13,30 @@
 //   * match references as (processor varint, seq varint), present only for
 //     receive and loss-declaration records.
 //
-// Encoding is fully self-describing and order-preserving, so a decoded
-// batch is byte-for-byte re-encodable; decode throws on any truncation or
-// malformed input (a network payload is untrusted input).
+// Encoding is fully self-describing, order-preserving and *canonical*, so
+// decode is a strict inverse of encode: a buffer either decodes to a batch
+// whose re-encoding reproduces it byte for byte, or it is rejected.
+//
+// A network payload is untrusted input.  Every decode path throws
+// driftsync::WireError (common/errors.h, recoverable — never a DS_CHECK
+// std::logic_error) on:
+//   * truncation anywhere, and trailing bytes after the last record,
+//   * non-canonical varints (over-long encodings, 64-bit overflow),
+//   * values that do not fit their field (processor ids and sequence
+//     numbers are 32-bit),
+//   * unknown flag bits, invalid processor ids, non-finite local times,
+//   * redundant encodings the encoder never emits (an explicit processor
+//     or sequence number where the delta flag would have applied),
+//   * count prefixes implying more records than the buffer could hold
+//     (which also caps the decoder's up-front allocation at the buffer
+//     size).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/errors.h"
 #include "core/event.h"
 
 namespace driftsync::wire {
@@ -29,13 +44,16 @@ namespace driftsync::wire {
 /// Serializes a batch (any record order; the encoder keeps it).
 std::vector<std::uint8_t> encode_batch(const EventBatch& batch);
 
-/// Parses a batch; throws std::logic_error on malformed input.
+/// Parses a batch; throws driftsync::WireError on malformed input.
 EventBatch decode_batch(std::span<const std::uint8_t> bytes);
 
 /// Encoded size without materializing the buffer.
 std::size_t encoded_size(const EventBatch& batch);
 
 // Low-level primitives (exposed for tests and the checkpoint module).
+// The getters throw WireError on truncation; get_varint additionally
+// rejects over-long (non-minimal) and 64-bit-overflowing encodings, so
+// every accepted varint re-encodes to the exact bytes consumed.
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
 std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
                          std::size_t& offset);

@@ -115,6 +115,34 @@ bool IncrementalApsp::insert_edge(Handle from, Handle to, double weight) {
   return true;
 }
 
+bool IncrementalApsp::load_matrix(const std::vector<std::vector<double>>& dist) {
+  DS_CHECK_MSG(slot_to_handle_.empty() && slot_of_.empty(),
+               "load into a fresh structure");
+  const std::size_t n = dist.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    DS_CHECK(dist[i].size() == n);
+    if (dist[i][i] != 0.0) return false;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double out = dist[i][j];
+      const double back = dist[j][i];
+      if (out != kNoBound && back != kNoBound && out + back < 0.0) {
+        return false;
+      }
+    }
+  }
+  if (n > capacity_) grow(n);
+  slot_of_.resize(n);
+  dense_pos_.resize(n);
+  slot_to_handle_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    slot_of_[i] = i;
+    dense_pos_[i] = i;
+    slot_to_handle_[i] = i;
+    for (std::uint32_t j = 0; j < n; ++j) at(i, j) = dist[i][j];
+  }
+  return true;
+}
+
 void IncrementalApsp::remove_node(Handle h) {
   DS_CHECK(is_live(h));
   const std::uint32_t slot = slot_of_[h];

@@ -52,6 +52,16 @@ class IncrementalApsp {
   /// (O(L^2)).  Returns false (no change) on a negative cycle.
   bool insert_edge(Handle from, Handle to, double weight);
 
+  /// Rebuilds the structure from a saved dense distance matrix (row-major,
+  /// dist[i][j] = shortest path i -> j, kNoBound for unreachable).  Entries
+  /// are installed verbatim — no relaxation — so a save/load round trip is
+  /// bit-exact even where recomputation would differ in the last ulp.
+  /// Handles are assigned 0..n-1 in row order.  Must be called on an empty
+  /// structure.  Returns false (leaving the structure empty) if the matrix
+  /// cannot be an APSP closure: a non-zero diagonal entry or a negative
+  /// round trip between any pair (a negative cycle).
+  bool load_matrix(const std::vector<std::vector<double>>& dist);
+
   /// Drops a live node.  O(L); its slot is recycled.
   void remove_node(Handle h);
 

@@ -2,8 +2,11 @@
 // be indistinguishable from one that never restarted.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
+#include "common/errors.h"
+#include "common/rng.h"
 #include "core/optimal_csa.h"
 #include "test_util.h"
 
@@ -111,7 +114,7 @@ TEST(CheckpointTest, WrongProcessorRejected) {
   const auto bytes = a.checkpoint();
   OptimalCsa b;
   b.init(spec, 0);
-  EXPECT_THROW(b.restore(bytes), std::logic_error);
+  EXPECT_THROW(b.restore(bytes), CheckpointError);
 }
 
 TEST(CheckpointTest, WrongSystemRejected) {
@@ -122,7 +125,7 @@ TEST(CheckpointTest, WrongSystemRejected) {
   const auto bytes = a.checkpoint();
   OptimalCsa b;
   b.init(big, 1);
-  EXPECT_THROW(b.restore(bytes), std::logic_error);
+  EXPECT_THROW(b.restore(bytes), CheckpointError);
 }
 
 TEST(CheckpointTest, TruncationRejected) {
@@ -135,7 +138,7 @@ TEST(CheckpointTest, TruncationRejected) {
   bytes.resize(bytes.size() / 2);
   OptimalCsa b;
   b.init(spec, 1);
-  EXPECT_THROW(b.restore(bytes), std::logic_error);
+  EXPECT_THROW(b.restore(bytes), CheckpointError);
 }
 
 TEST(CheckpointTest, TrailingBytesRejected) {
@@ -146,8 +149,93 @@ TEST(CheckpointTest, TrailingBytesRejected) {
   bytes.push_back(0);
   OptimalCsa b;
   b.init(spec, 1);
-  EXPECT_THROW(b.restore(bytes), std::logic_error);
+  EXPECT_THROW(b.restore(bytes), CheckpointError);
 }
+
+TEST(CheckpointTest, FailedRestoreLeavesInstanceUnmodified) {
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  TwoNodeDriver driver(spec);
+  OptimalCsa original;
+  original.init(spec, 1);
+  for (int i = 0; i < 3; ++i) driver.round({&original}, 1.0 + i);
+  const auto bytes = original.checkpoint();
+
+  OptimalCsa target;
+  target.init(spec, 1);
+  // Sample single-byte corruptions across the whole image: each attempt
+  // must either throw the recoverable CheckpointError (anything else —
+  // notably a DS_CHECK logic_error — fails the test) or accept a state the
+  // engine can still query.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto bad = bytes;
+    bad[i] ^= 0xff;
+    OptimalCsa probe;
+    probe.init(spec, 1);
+    try {
+      probe.restore(bad);
+      (void)probe.estimate(std::numeric_limits<double>::max());
+    } catch (const CheckpointError&) {
+      // Rejected: the failed load must have left the instance pristine.
+      EXPECT_EQ(probe.engine().live_count(), 0u) << "byte " << i;
+      EXPECT_EQ(probe.history().history_size(), 0u) << "byte " << i;
+      probe.restore(bytes);  // still a usable fresh instance
+      EXPECT_EQ(probe.checkpoint(), bytes) << "byte " << i;
+    }
+  }
+
+  // Truncation mid-image: target stays fresh and then accepts the good one.
+  auto truncated = bytes;
+  truncated.resize(bytes.size() - 3);
+  EXPECT_THROW(target.restore(truncated), CheckpointError);
+  EXPECT_EQ(target.engine().live_count(), 0u);
+  EXPECT_EQ(target.history().history_size(), 0u);
+  target.restore(bytes);
+  EXPECT_TRUE(intervals_close(target.estimate(driver.now),
+                              original.estimate(driver.now), 1e-12));
+}
+
+/// Round-trip property on randomized engine states: random round counts,
+/// random inter-round gaps, interleaved internal events; checkpoint →
+/// restore → checkpoint must be the identity and the restored instance must
+/// stay in lockstep with the original under further traffic.
+class CheckpointPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointPropertyTest, RandomizedStatesRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * std::uint64_t{0x9E3779B97F4A7C15} + 11);
+  const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);
+  TwoNodeDriver driver(spec);
+  OptimalCsa original;
+  original.init(spec, 1);
+  const int rounds = static_cast<int>(rng.uniform_index(8));
+  double t = 1.0;
+  for (int i = 0; i < rounds; ++i) {
+    t += rng.uniform(0.05, 2.0);
+    driver.round({&original}, t);
+    if (rng.flip(0.3)) {
+      driver.now += 0.001;
+      original.on_internal(driver.fac.internal(1, driver.now));
+    }
+  }
+
+  const auto bytes = original.checkpoint();
+  OptimalCsa restored;
+  restored.init(spec, 1);
+  restored.restore(bytes);
+  EXPECT_EQ(restored.checkpoint(), bytes);
+  const LocalTime q = driver.now + rng.uniform(0.0, 1.0);
+  EXPECT_TRUE(
+      intervals_close(restored.estimate(q), original.estimate(q), 1e-12));
+  EXPECT_EQ(restored.engine().live_points(), original.engine().live_points());
+
+  t += rng.uniform(0.05, 2.0);
+  driver.round({&original, &restored}, t);
+  EXPECT_TRUE(intervals_close(restored.estimate(driver.now),
+                              original.estimate(driver.now), 1e-12));
+  EXPECT_EQ(restored.engine().live_points(), original.engine().live_points());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedStates, CheckpointPropertyTest,
+                         ::testing::Range(0, 25));
 
 TEST(CheckpointTest, LossTolerantStateRoundTrips) {
   const SystemSpec spec = line_spec(2, 1e-4, 0.002, 0.03);

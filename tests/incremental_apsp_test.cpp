@@ -5,6 +5,7 @@
 // accumulated graph restricted to live nodes (the Lemma 3.4 invariant).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_map>
 #include <vector>
 
@@ -155,6 +156,42 @@ TEST(IncrementalApspTest, LiveHandlesTracksSet) {
   EXPECT_EQ(live.size(), 2u);
   EXPECT_TRUE((live[0] == a && live[1] == c) ||
               (live[0] == c && live[1] == a));
+}
+
+TEST(IncrementalApspTest, LoadMatrixInstallsEntriesVerbatim) {
+  // Entries chosen so that relaxation would tighten d(0,2) by one ulp:
+  // load_matrix must keep the saved entry bit-exact anyway.
+  const double loose = std::nextafter(0.1 + 0.2, 1.0);
+  ASSERT_LT(0.1 + 0.2, loose);
+  const std::vector<std::vector<double>> dist = {
+      {0.0, 0.1, loose},
+      {kNoBound, 0.0, 0.2},
+      {kNoBound, kNoBound, 0.0},
+  };
+  IncrementalApsp apsp;
+  ASSERT_TRUE(apsp.load_matrix(dist));
+  EXPECT_EQ(apsp.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(apsp.distance(i, j), dist[i][j]) << i << "," << j;
+    }
+  }
+  // The loaded structure keeps working incrementally.
+  const Handle d = apsp.insert_node({{0, 1.0}}, {{2, -0.05}});
+  EXPECT_DOUBLE_EQ(apsp.distance(0, d), 1.0);
+  EXPECT_DOUBLE_EQ(apsp.distance(d, 2), -0.05);
+}
+
+TEST(IncrementalApspTest, LoadMatrixRejectsImpossibleClosures) {
+  IncrementalApsp bad_diag;
+  EXPECT_FALSE(bad_diag.load_matrix({{0.0, 1.0}, {1.0, -0.5}}));
+  EXPECT_EQ(bad_diag.size(), 0u);
+  IncrementalApsp neg_cycle;
+  EXPECT_FALSE(neg_cycle.load_matrix({{0.0, 1.0}, {-2.0, 0.0}}));
+  EXPECT_EQ(neg_cycle.size(), 0u);
+  // A rejected load leaves the structure usable.
+  EXPECT_TRUE(neg_cycle.load_matrix({{0.0}}));
+  EXPECT_EQ(neg_cycle.size(), 1u);
 }
 
 // ---------------------------------------------------------------- property

@@ -1,0 +1,244 @@
+// Golden corpus of hand-built malformed wire buffers: every rejection path
+// of the untrusted-input layer must throw the *typed* recoverable error
+// (WireError / CheckpointError, common/errors.h), never the DS_CHECK
+// std::logic_error reserved for internal invariant violations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "common/errors.h"
+#include "core/sync_engine.h"
+#include "core/wire.h"
+#include "test_util.h"
+
+namespace driftsync::wire {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// The taxonomy itself: recoverable input errors are runtime errors, share
+// the DecodeError base, and are disjoint from the invariant hierarchy.
+static_assert(std::is_base_of_v<std::runtime_error, DecodeError>);
+static_assert(std::is_base_of_v<DecodeError, WireError>);
+static_assert(std::is_base_of_v<DecodeError, CheckpointError>);
+static_assert(!std::is_base_of_v<std::logic_error, DecodeError>);
+
+/// A batch exercising every record shape: internal, send, receive (match
+/// refs), loss declaration, proc/seq delta flags and explicit fields.
+EventBatch rich_batch() {
+  testing::EventFactory fac(4);
+  EventBatch batch;
+  batch.push_back(fac.internal(2, 1.5));
+  const EventRecord s = fac.send(0, 2.25, 3);
+  batch.push_back(s);
+  batch.push_back(fac.receive(3, 3.75, s));
+  batch.push_back(fac.internal(3, 4.5));
+  const EventRecord s2 = fac.send(0, 5.0, 1);
+  batch.push_back(s2);
+  batch.push_back(fac.loss_decl(0, 6.0, s2));
+  return batch;
+}
+
+TEST(WireCorpusTest, TruncationAtEveryFieldBoundary) {
+  const Bytes bytes = encode_batch(rich_batch());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode_batch(prefix), WireError) << "cut=" << cut;
+  }
+  EXPECT_EQ(decode_batch(bytes), rich_batch());  // the full buffer is fine
+}
+
+TEST(WireCorpusTest, OverLongVarintRejected) {
+  // 0 and 1 each have a one-byte canonical encoding; the two-byte spellings
+  // below decode to the same values and must be rejected.
+  for (const Bytes& buf : {Bytes{0x80, 0x00}, Bytes{0x81, 0x00}}) {
+    std::size_t offset = 0;
+    EXPECT_THROW(get_varint(buf, offset), WireError);
+  }
+}
+
+TEST(WireCorpusTest, VarintOverflowRejected) {
+  // Ten bytes whose final byte carries payload above bit 63.
+  Bytes buf(9, 0xff);
+  buf.push_back(0x02);
+  std::size_t offset = 0;
+  EXPECT_THROW(get_varint(buf, offset), WireError);
+  // Eleven-byte encoding: the tenth byte still has the continuation bit.
+  Bytes eleven(10, 0xff);
+  eleven.push_back(0x01);
+  offset = 0;
+  EXPECT_THROW(get_varint(eleven, offset), WireError);
+}
+
+TEST(WireCorpusTest, MaxVarintStillRoundTrips) {
+  Bytes buf;
+  put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+  std::size_t offset = 0;
+  EXPECT_EQ(get_varint(buf, offset), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(WireCorpusTest, ImplausibleCountRejected) {
+  // A count prefix promising far more records than the buffer could hold
+  // must be rejected before any allocation is sized from it.
+  Bytes buf;
+  put_varint(buf, 1000);
+  EXPECT_THROW(decode_batch(buf), WireError);
+  // Plausible count, but the second record (a send) is cut off before its
+  // peer field: truncated mid-record.
+  Bytes two;
+  put_varint(two, 2);
+  two.push_back(0x02);       // internal, explicit proc+seq
+  put_varint(two, 0);        // proc
+  put_varint(two, 0);        // seq
+  put_double(two, 1.0);      // lt
+  two.push_back(0x0c);       // send, same proc, next seq
+  put_double(two, 2.0);      // lt; peer varint missing
+  EXPECT_THROW(decode_batch(two), WireError);
+}
+
+Bytes single_internal_with_lt(double lt) {
+  Bytes buf;
+  put_varint(buf, 1);
+  buf.push_back(0x02);  // kInternal, explicit proc and seq
+  put_varint(buf, 0);   // proc
+  put_varint(buf, 0);   // seq
+  put_double(buf, lt);
+  return buf;
+}
+
+TEST(WireCorpusTest, NonFiniteLocalTimeRejected) {
+  for (const double lt : {std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW(decode_batch(single_internal_with_lt(lt)), WireError);
+  }
+  EXPECT_EQ(decode_batch(single_internal_with_lt(1.25)).size(), 1u);
+}
+
+TEST(WireCorpusTest, UnknownFlagBitsRejected) {
+  Bytes buf = single_internal_with_lt(1.0);
+  buf[1] = 0x12;  // reserved bit 4 set
+  EXPECT_THROW(decode_batch(buf), WireError);
+}
+
+TEST(WireCorpusTest, RedundantExplicitProcRejected) {
+  // Two records of processor 3, the second spelling the proc explicitly
+  // instead of using the delta flag: decodes to the same batch as the
+  // canonical form, so it must be rejected to keep decode injective.
+  Bytes buf;
+  put_varint(buf, 2);
+  buf.push_back(0x02);
+  put_varint(buf, 3);
+  put_varint(buf, 0);
+  put_double(buf, 1.0);
+  buf.push_back(0x02);  // missing kSameProc
+  put_varint(buf, 3);
+  EXPECT_THROW(decode_batch(buf), WireError);
+}
+
+TEST(WireCorpusTest, RedundantExplicitSeqRejected) {
+  // proc 0, then proc 1, then proc 0 again with the explicit sequence
+  // number the kNextSeq flag would have produced.
+  Bytes buf;
+  put_varint(buf, 3);
+  buf.push_back(0x02);
+  put_varint(buf, 0);
+  put_varint(buf, 0);
+  put_double(buf, 1.0);
+  buf.push_back(0x02);
+  put_varint(buf, 1);
+  put_varint(buf, 0);
+  put_double(buf, 2.0);
+  buf.push_back(0x02);  // missing kNextSeq
+  put_varint(buf, 0);
+  put_varint(buf, 1);
+  put_double(buf, 3.0);
+  EXPECT_THROW(decode_batch(buf), WireError);
+}
+
+TEST(WireCorpusTest, DanglingDeltaFlagsRejected) {
+  // kSameProc on the first record: no previous processor to inherit.
+  Bytes same;
+  put_varint(same, 1);
+  same.push_back(0x06);
+  put_varint(same, 0);
+  put_double(same, 1.0);
+  EXPECT_THROW(decode_batch(same), WireError);
+  // kNextSeq for a processor with no previous record.
+  Bytes next;
+  put_varint(next, 1);
+  next.push_back(0x0a);
+  put_varint(next, 0);
+  put_double(next, 1.0);
+  EXPECT_THROW(decode_batch(next), WireError);
+}
+
+TEST(WireCorpusTest, OutOfRangeIdsRejected) {
+  // The invalid-processor sentinel as a record's processor id.
+  Bytes sentinel;
+  put_varint(sentinel, 1);
+  sentinel.push_back(0x02);
+  put_varint(sentinel, kInvalidProc);
+  put_varint(sentinel, 0);
+  put_double(sentinel, 1.0);
+  EXPECT_THROW(decode_batch(sentinel), WireError);
+  // A processor id that does not fit 32 bits.
+  Bytes wide;
+  put_varint(wide, 1);
+  wide.push_back(0x02);
+  put_varint(wide, std::uint64_t{1} << 32);
+  put_varint(wide, 0);
+  put_double(wide, 1.0);
+  EXPECT_THROW(decode_batch(wide), WireError);
+  // A sequence number that does not fit 32 bits.
+  Bytes wide_seq;
+  put_varint(wide_seq, 1);
+  wide_seq.push_back(0x02);
+  put_varint(wide_seq, 0);
+  put_varint(wide_seq, std::uint64_t{1} << 32);
+  put_double(wide_seq, 1.0);
+  EXPECT_THROW(decode_batch(wide_seq), WireError);
+}
+
+TEST(WireCorpusTest, TrailingBytesRejected) {
+  Bytes buf = single_internal_with_lt(1.0);
+  buf.push_back(0x00);
+  EXPECT_THROW(decode_batch(buf), WireError);
+}
+
+TEST(WireCorpusTest, EngineLoadRejectsCorruptImageUntouched) {
+  // Checkpoint failures carry the checkpoint type, and a failed load leaves
+  // the engine exactly as it was (here: freshly constructed and usable).
+  const SystemSpec spec = testing::line_spec(2, 1e-4, 0.002, 0.03);
+  SyncEngine original(spec, 1);
+  Bytes image;
+  original.save(image);
+
+  Bytes bad_magic = image;
+  bad_magic[0] ^= 0x01;
+  SyncEngine engine(spec, 1);
+  std::size_t offset = 0;
+  EXPECT_THROW(engine.load(bad_magic, offset), CheckpointError);
+  EXPECT_EQ(offset, 0u);
+  EXPECT_EQ(engine.live_count(), 0u);
+
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    std::size_t off = 0;
+    EXPECT_THROW(
+        engine.load(std::span<const std::uint8_t>(image.data(), cut), off),
+        CheckpointError)
+        << "cut=" << cut;
+    EXPECT_EQ(off, 0u);
+  }
+
+  // Still pristine: the untampered image loads fine afterwards.
+  offset = 0;
+  engine.load(image, offset);
+  EXPECT_EQ(offset, image.size());
+}
+
+}  // namespace
+}  // namespace driftsync::wire

@@ -29,7 +29,7 @@ TEST(VarintTest, TruncatedThrows) {
   put_varint(buf, 300);
   buf.pop_back();
   std::size_t offset = 0;
-  EXPECT_THROW(get_varint(buf, offset), std::logic_error);
+  EXPECT_THROW(get_varint(buf, offset), WireError);
 }
 
 TEST(WireTest, EmptyBatch) {
@@ -73,7 +73,7 @@ TEST(WireTest, TruncationThrows) {
   const auto bytes = encode_batch({fac.internal(0, 1.0)});
   for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
     const std::span<const std::uint8_t> prefix(bytes.data(), cut);
-    EXPECT_THROW(decode_batch(prefix), std::logic_error) << "cut=" << cut;
+    EXPECT_THROW(decode_batch(prefix), WireError) << "cut=" << cut;
   }
 }
 
@@ -81,7 +81,7 @@ TEST(WireTest, TrailingBytesThrow) {
   testing::EventFactory fac(2);
   auto bytes = encode_batch({fac.internal(0, 1.0)});
   bytes.push_back(0);
-  EXPECT_THROW(decode_batch(bytes), std::logic_error);
+  EXPECT_THROW(decode_batch(bytes), WireError);
 }
 
 TEST(WireTest, SpecialDoubleValues) {

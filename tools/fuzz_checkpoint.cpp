@@ -1,0 +1,186 @@
+// Structure-aware mutation fuzzer for checkpoint save/load
+// (OptimalCsa::checkpoint/restore, covering HistoryProtocol and SyncEngine
+// images).
+//
+// Contract under test, per scenario:
+//   1. The pristine image restores into an instance that is
+//      replay-equivalent: identical estimates, identical live points, and
+//      re-checkpointing reproduces the image byte for byte.
+//   2. A mutated image must either be rejected with the typed recoverable
+//      CheckpointError — leaving the target instance exactly in its
+//      pre-call (freshly init()-ed) state — or restore a self-consistent
+//      state: queryable, and whose own re-checkpoint loads back to the
+//      identical image (save/load closure).  It must never crash, leak a
+//      DS_CHECK std::logic_error, or allocate beyond what the image holds.
+//
+//   $ ./fuzz_checkpoint [--iterations=N] [--seconds=S] [--seed0=K]
+//
+// Any violation aborts with the reproducer seed.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/optimal_csa.h"
+#include "fuzz_mutate.h"
+#include "sim/simulator.h"
+#include "workloads/apps.h"
+#include "workloads/topology.h"
+
+using namespace driftsync;
+
+namespace {
+
+constexpr std::size_t kMutationsPerScenario = 64;
+
+[[noreturn]] void die(std::uint64_t seed, const char* what) {
+  std::fprintf(stderr, "fuzz_checkpoint FAILURE at seed=%llu: %s\n",
+               static_cast<unsigned long long>(seed), what);
+  std::abort();
+}
+
+/// Runs a short random scenario and returns one processor's checkpoint
+/// image (with the spec kept alive by the caller-owned Network).
+std::vector<std::uint8_t> random_state(std::uint64_t seed,
+                                       workloads::Network& net, ProcId& self,
+                                       OptimalCsa::Options& opts,
+                                       LocalTime& query_time) {
+  Rng rng(seed);
+  workloads::TopoParams params;
+  params.rho = rng.uniform(0.0, 0.01);
+  const double lo = rng.uniform(0.0, 0.02);
+  params.latency =
+      sim::LatencyModel::uniform(lo, lo + rng.uniform(0.001, 0.1));
+  const std::size_t n = 3 + rng.uniform_index(4);
+  switch (rng.uniform_index(3)) {
+    case 0: net = workloads::make_path(n, params); break;
+    case 1: net = workloads::make_star(n, params); break;
+    default: net = workloads::make_random(n, n / 2, seed ^ 0x5eed, params);
+  }
+  sim::SimConfig cfg;
+  cfg.seed = seed * 977 + 3;
+  sim::Simulator simulator(net.spec, net.links, cfg);
+  for (ProcId p = 0; p < net.spec.num_procs(); ++p) {
+    std::vector<std::unique_ptr<Csa>> csas;
+    csas.push_back(std::make_unique<OptimalCsa>(opts));
+    const double rho = net.spec.clock(p).rho;
+    sim::ClockModel clock = sim::ClockModel::constant(0.0, 1.0);
+    if (p != net.spec.source()) {
+      clock = sim::ClockModel::constant(rng.uniform(-500.0, 500.0),
+                                        1.0 + rng.uniform(-rho, rho));
+    }
+    std::unique_ptr<sim::App> app;
+    if (rng.flip(0.5)) {
+      app = std::make_unique<workloads::GossipApp>(workloads::GossipApp::Config{
+          rng.uniform(0.05, 0.5), rng.uniform(0.0, 1.0)});
+    } else {
+      workloads::ProbeApp::Config pc;
+      pc.upstreams = net.upstreams[p];
+      pc.peers = net.peers[p];
+      pc.period = rng.uniform(0.1, 1.0);
+      app = std::make_unique<workloads::ProbeApp>(pc);
+    }
+    simulator.attach_node(p, std::move(clock), std::move(app),
+                          std::move(csas));
+  }
+  simulator.run_until(rng.uniform(0.5, 2.0));
+  self = static_cast<ProcId>(rng.uniform_index(net.spec.num_procs()));
+  auto& csa = dynamic_cast<OptimalCsa&>(simulator.csa(self, 0));
+  // Well past any local time the short run can reach (offsets are within
+  // +/-500 and the run lasts at most 2s of real time).
+  query_time = 1e6 + rng.uniform(0.0, 1.0);
+  return csa.checkpoint();
+}
+
+std::size_t fuzz_once(std::uint64_t seed) {
+  workloads::Network net;
+  ProcId self = 0;
+  OptimalCsa::Options opts;
+  LocalTime query_time = 0.0;
+  const std::vector<std::uint8_t> bytes =
+      random_state(seed, net, self, opts, query_time);
+
+  // 1. Pristine image: replay-equivalent restore.
+  OptimalCsa reference(opts);
+  reference.init(net.spec, self);
+  reference.restore(bytes);
+  if (reference.checkpoint() != bytes) {
+    die(seed, "pristine restore does not re-checkpoint identically");
+  }
+  (void)reference.estimate(query_time);
+
+  // 2. Mutated images: typed rejection (instance untouched) or a
+  //    self-consistent accepted state.
+  Rng rng(seed ^ 0xf0ccedULL);
+  std::size_t iterations = 0;
+  for (std::size_t m = 0; m < kMutationsPerScenario; ++m, ++iterations) {
+    const std::vector<std::uint8_t> mut = fuzzing::mutate(bytes, rng);
+    OptimalCsa target(opts);
+    target.init(net.spec, self);
+    try {
+      target.restore(mut);
+      // Accepted: the state must be queryable and closed under save/load.
+      (void)target.estimate(std::numeric_limits<double>::max());
+      const std::vector<std::uint8_t> resaved = target.checkpoint();
+      OptimalCsa again(opts);
+      again.init(net.spec, self);
+      again.restore(resaved);
+      if (again.checkpoint() != resaved) {
+        die(seed, "accepted mutant state is not closed under save/load");
+      }
+    } catch (const CheckpointError&) {
+      // Typed rejection: the failed restore must have left the instance in
+      // its pre-call state — fresh, and still able to load the pristine
+      // image.
+      if (target.engine().live_count() != 0 ||
+          target.history().history_size() != 0) {
+        die(seed, "failed restore left residual state behind");
+      }
+      target.restore(bytes);
+      if (target.checkpoint() != bytes) {
+        die(seed, "instance unusable after a rejected restore");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wrong exception type: %s\n", e.what());
+      die(seed, "restore threw something other than CheckpointError");
+    }
+  }
+  return iterations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto iterations =
+      static_cast<std::uint64_t>(flags.get_int("iterations", 5000));
+  const double seconds = flags.get_double("seconds", 0.0);
+  const std::uint64_t seed0 = flags.get_seed("seed0", 1);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  std::uint64_t scenario = 0;
+  while (true) {
+    if (seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= seconds) break;
+    } else if (done >= iterations) {
+      break;
+    }
+    done += fuzz_once(seed0 + scenario++);
+  }
+  std::printf(
+      "fuzz_checkpoint: %llu mutations over %llu states, "
+      "0 contract violations\n",
+      static_cast<unsigned long long>(done),
+      static_cast<unsigned long long>(scenario));
+  return 0;
+}

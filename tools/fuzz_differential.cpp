@@ -4,8 +4,10 @@
 // exhausted; any divergence aborts with a reproducer seed.
 //
 //   $ ./fuzz_differential [--iterations=N] [--seconds=S] [--seed0=K]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "baselines/full_view_csa.h"

@@ -1,0 +1,98 @@
+// Shared mutation engine for the structure-aware fuzzers (fuzz_wire,
+// fuzz_checkpoint).  Strategies are chosen to hit the decoder's rejection
+// paths, not just random noise: boundary bytes, continuation-bit runs that
+// probe over-long/overflowing varints, NaN/Inf double patterns, span
+// duplication that desynchronizes count prefixes from content, plus plain
+// bit flips, truncation, insertion and deletion.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace driftsync::fuzzing {
+
+inline std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& in,
+                                        Rng& rng) {
+  std::vector<std::uint8_t> out = in;
+  const auto pos_in = [&](std::size_t n) {
+    return static_cast<std::size_t>(rng.uniform_index(n > 0 ? n : 1));
+  };
+  switch (rng.uniform_index(8)) {
+    case 0: {  // flip 1-8 random bits
+      if (out.empty()) break;
+      const std::size_t flips = 1 + pos_in(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        out[pos_in(out.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+      }
+      break;
+    }
+    case 1: {  // overwrite a random byte with a boundary value
+      if (out.empty()) break;
+      static constexpr std::uint8_t kBoundary[] = {0x00, 0x01, 0x7f,
+                                                   0x80, 0x81, 0xff};
+      out[pos_in(out.size())] = kBoundary[rng.uniform_index(6)];
+      break;
+    }
+    case 2:  // truncate
+      out.resize(pos_in(out.size() + 1));
+      break;
+    case 3: {  // insert 1-9 random bytes
+      const std::size_t at = pos_in(out.size() + 1);
+      const std::size_t n = 1 + pos_in(9);
+      std::vector<std::uint8_t> ins(n);
+      for (std::uint8_t& b : ins) {
+        b = static_cast<std::uint8_t>(rng.uniform_index(256));
+      }
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), ins.begin(),
+                 ins.end());
+      break;
+    }
+    case 4: {  // delete a short span
+      if (out.empty()) break;
+      const std::size_t at = pos_in(out.size());
+      const std::size_t n =
+          1 + pos_in(std::min<std::size_t>(8, out.size() - at));
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+                out.begin() + static_cast<std::ptrdiff_t>(at + n));
+      break;
+    }
+    case 5: {  // splice a continuation-heavy varint run
+      const std::size_t at = pos_in(out.size() + 1);
+      std::vector<std::uint8_t> run(1 + pos_in(11), 0x80);
+      run.back() = rng.flip(0.5) ? 0x00 : 0x01;
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), run.begin(),
+                 run.end());
+      break;
+    }
+    case 6: {  // overwrite 8 bytes with a NaN / Inf double pattern
+      if (out.size() < 8) break;
+      const std::size_t at = pos_in(out.size() - 7);
+      static constexpr std::uint8_t kNaN[8] = {0, 0, 0, 0, 0, 0, 0xf8, 0x7f};
+      static constexpr std::uint8_t kInf[8] = {0, 0, 0, 0, 0, 0, 0xf0, 0x7f};
+      const std::uint8_t* pat = rng.flip(0.5) ? kNaN : kInf;
+      std::copy(pat, pat + 8, out.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+    }
+    default: {  // duplicate a span elsewhere (count/content desync)
+      if (out.empty()) break;
+      const std::size_t at = pos_in(out.size());
+      const std::size_t n =
+          1 + pos_in(std::min<std::size_t>(16, out.size() - at));
+      const std::vector<std::uint8_t> span(
+          out.begin() + static_cast<std::ptrdiff_t>(at),
+          out.begin() + static_cast<std::ptrdiff_t>(at + n));
+      const std::size_t dest = pos_in(out.size() + 1);
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(dest), span.begin(),
+                 span.end());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace driftsync::fuzzing

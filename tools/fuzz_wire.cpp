@@ -1,0 +1,159 @@
+// Structure-aware mutation fuzzer for the wire decoder (core/wire.*).
+//
+// Contract under test: decode_batch over arbitrary bytes must either throw
+// the typed recoverable WireError, or return a batch whose re-encoding
+// reproduces the input byte for byte (decode is a strict inverse of the
+// canonical encoder).  It must never crash, throw anything else (a
+// DS_CHECK std::logic_error escaping here means malformed input reached an
+// invariant check), or allocate more than the input size justifies.
+//
+//   $ ./fuzz_wire [--iterations=N] [--seconds=S] [--seed0=K]
+//
+// Any violation aborts with the reproducer seed.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/wire.h"
+#include "fuzz_mutate.h"
+
+using namespace driftsync;
+
+namespace {
+
+constexpr std::size_t kMutationsPerBatch = 64;
+
+/// Random structurally valid batch: per-processor sequence numbers, sends
+/// matched by later receives, loss declarations, contiguous runs.
+EventBatch random_batch(Rng& rng) {
+  const std::size_t procs = 2 + rng.uniform_index(6);
+  std::vector<std::uint32_t> next_seq(procs, 0);
+  std::vector<EventRecord> pending_sends;
+  EventBatch batch;
+  double t = 0.0;
+  const std::size_t n = rng.uniform_index(200);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProcId p = static_cast<ProcId>(rng.uniform_index(procs));
+    t += rng.uniform(0.0, 1.0);
+    EventRecord r;
+    r.lt = t;
+    const double action = rng.next_double();
+    if (action < 0.35) {
+      ProcId q = static_cast<ProcId>(rng.uniform_index(procs));
+      if (q == p) q = static_cast<ProcId>((q + 1) % procs);
+      r.id = EventId{p, next_seq[p]++};
+      r.kind = EventKind::kSend;
+      r.peer = q;
+      pending_sends.push_back(r);
+    } else if (action < 0.55 && !pending_sends.empty()) {
+      const std::size_t k = rng.uniform_index(pending_sends.size());
+      const EventRecord s = pending_sends[k];
+      pending_sends.erase(pending_sends.begin() +
+                          static_cast<std::ptrdiff_t>(k));
+      r.id = EventId{s.peer, next_seq[s.peer]++};
+      r.kind = rng.flip(0.85) ? EventKind::kReceive : EventKind::kLossDecl;
+      r.peer = s.id.proc;
+      r.match = s.id;
+    } else {
+      r.id = EventId{p, next_seq[p]++};
+      r.kind = EventKind::kInternal;
+    }
+    batch.push_back(r);
+  }
+  return batch;
+}
+
+[[noreturn]] void die(std::uint64_t seed, const char* what) {
+  std::fprintf(stderr, "fuzz_wire FAILURE at seed=%llu: %s\n",
+               static_cast<unsigned long long>(seed), what);
+  std::abort();
+}
+
+std::size_t fuzz_once(std::uint64_t seed) {
+  Rng rng(seed);
+  const EventBatch batch = random_batch(rng);
+  const std::vector<std::uint8_t> bytes = wire::encode_batch(batch);
+
+  // Sanity: the canonical encoding itself must round-trip.
+  if (wire::decode_batch(bytes) != batch) die(seed, "valid batch rejected");
+  if (bytes.size() != wire::encoded_size(batch)) {
+    die(seed, "encoded_size disagrees with encoder");
+  }
+
+  std::size_t iterations = 0;
+  for (std::size_t m = 0; m < kMutationsPerBatch; ++m, ++iterations) {
+    const std::vector<std::uint8_t> mut = fuzzing::mutate(bytes, rng);
+    try {
+      const EventBatch decoded = wire::decode_batch(mut);
+      if (wire::encode_batch(decoded) != mut) {
+        die(seed, "accepted buffer does not re-encode byte-for-byte");
+      }
+    } catch (const WireError&) {
+      // Typed rejection: the expected outcome for malformed bytes.
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wrong exception type: %s\n", e.what());
+      die(seed, "decode threw something other than WireError");
+    }
+  }
+
+  // Primitive-level probe: get_varint over random bytes either throws the
+  // typed error or consumes a canonical encoding of the returned value.
+  for (int k = 0; k < 8; ++k, ++iterations) {
+    std::vector<std::uint8_t> raw(1 + rng.uniform_index(12));
+    for (std::uint8_t& b : raw) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    std::size_t offset = 0;
+    try {
+      const std::uint64_t v = wire::get_varint(raw, offset);
+      std::vector<std::uint8_t> re;
+      wire::put_varint(re, v);
+      if (std::span<const std::uint8_t>(raw.data(), offset).size() !=
+              re.size() ||
+          !std::equal(re.begin(), re.end(), raw.begin())) {
+        die(seed, "accepted varint is not the canonical encoding");
+      }
+    } catch (const WireError&) {
+    } catch (const std::exception&) {
+      die(seed, "get_varint threw something other than WireError");
+    }
+  }
+  return iterations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto iterations =
+      static_cast<std::uint64_t>(flags.get_int("iterations", 10000));
+  const double seconds = flags.get_double("seconds", 0.0);
+  const std::uint64_t seed0 = flags.get_seed("seed0", 1);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  std::uint64_t scenario = 0;
+  while (true) {
+    if (seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= seconds) break;
+    } else if (done >= iterations) {
+      break;
+    }
+    done += fuzz_once(seed0 + scenario++);
+  }
+  std::printf(
+      "fuzz_wire: %llu mutations over %llu batches, 0 contract violations\n",
+      static_cast<unsigned long long>(done),
+      static_cast<unsigned long long>(scenario));
+  return 0;
+}

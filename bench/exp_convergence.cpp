@@ -77,9 +77,10 @@ std::string fmt(double t) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   const double horizon = flags.get_double("horizon", 120.0);
+  flags.reject_unknown("usage: exp_convergence [--horizon=S]");
   std::cout << "EXP-13 (extension): cold-start convergence — first time ALL "
                "nodes reach the width target (poll period 1s)\n\n";
   workloads::TopoParams params;
@@ -110,4 +111,7 @@ int main(int argc, char** argv) {
                "tight targets are reached only by algorithms that fuse all\n"
                "constraints, and depth (path5) costs every algorithm.\n";
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::cerr << e.what() << '\n';
+  return 2;
 }

@@ -4,6 +4,7 @@
 // Sweeps path topologies (diameter = n-1) with a fixed per-processor traffic
 // pattern, measures the observed K1 and the maximum |H_v| over all nodes and
 // times, and compares against the lemma's K1*(D+1) bound.
+#include <cstdint>
 #include <iostream>
 #include <memory>
 
@@ -16,8 +17,11 @@
 
 using namespace driftsync;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed("seed", 11);
+  const double duration = flags.get_double("duration", 40.0);
+  flags.reject_unknown("usage: exp_history_space [--seed=N] [--duration=S]");
   std::cout << "EXP-3: history-buffer space |H_v| = O(K1*D) (Lemma 3.3)\n\n";
   workloads::TopoParams params;
   params.rho = 100e-6;
@@ -29,8 +33,8 @@ int main(int argc, char** argv) {
   for (const std::size_t n : {3u, 5u, 9u, 17u, 25u, 33u}) {
     const workloads::Network net = workloads::make_path(n, params);
     workloads::ScenarioConfig cfg;
-    cfg.seed = flags.get_seed("seed", 11);
-    cfg.duration = flags.get_double("duration", 40.0);
+    cfg.seed = seed;
+    cfg.duration = duration;
     cfg.sample_interval = 1.0;
     std::vector<workloads::CsaSlot> slots{
         {"optimal", [](ProcId) { return std::make_unique<OptimalCsa>(); }}};
@@ -54,4 +58,7 @@ int main(int argc, char** argv) {
                "every processor stays equally active), the lemma predicts\n"
                "slope <= 2 and usage ratio <= 1 throughout.\n";
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::cerr << e.what() << '\n';
+  return 2;
 }

@@ -2,6 +2,7 @@
 // eventually flags lost messages, the algorithm stays correct, the live set
 // stays bounded (lost sends die via loss declarations), and dropped report
 // gaps are recovered by the rollback accounting.
+#include <cstdint>
 #include <iostream>
 #include <memory>
 
@@ -13,8 +14,11 @@
 
 using namespace driftsync;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed("seed", 13);
+  const double duration = flags.get_double("duration", 120.0);
+  flags.reject_unknown("usage: exp_message_loss [--seed=N] [--duration=S]");
   std::cout << "EXP-9: message loss with a detection mechanism "
                "(Section 3.3)\n\n";
   Table table({"loss prob", "messages", "lost", "mean width", "violations",
@@ -26,8 +30,8 @@ int main(int argc, char** argv) {
     params.loss_prob = loss;
     const workloads::Network net = workloads::make_star(6, params);
     workloads::ScenarioConfig cfg;
-    cfg.seed = flags.get_seed("seed", 13);
-    cfg.duration = flags.get_double("duration", 120.0);
+    cfg.seed = seed;
+    cfg.duration = duration;
     cfg.sample_interval = 1.0;
     cfg.warmup = 10.0;
     cfg.detection_timeout = loss > 0.0 ? 0.3 : 0.0;
@@ -52,4 +56,7 @@ int main(int argc, char** argv) {
                "mechanism lets send points die; width degrades gracefully\n"
                "with the information actually delivered.\n";
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::cerr << e.what() << '\n';
+  return 2;
 }

@@ -121,9 +121,10 @@ Row run(const std::string& name, const Network& net, std::uint64_t seed,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   const std::uint64_t seed0 = flags.get_seed("seed", 0);
+  flags.reject_unknown("usage: exp_optimality [--seed=N]");
   std::cout << "EXP-1: optimality — OptimalCsa vs the Section 2.3 general "
                "optimal algorithm (oracle)\n\n";
   TopoParams params;
@@ -157,4 +158,7 @@ int main(int argc, char** argv) {
                "containment violations, and endpoint-attaining executions\n"
                "exist (tight-exec violations 0).\n";
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::cerr << e.what() << '\n';
+  return 2;
 }

@@ -6,6 +6,7 @@
 // shows drift widening and recovery.
 //
 //   --duration=N  --outage-start=S --outage-len=L  --seed=K
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -49,11 +50,15 @@ class OutageProbeApp : public workloads::ProbeApp {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   const double duration = flags.get_double("duration", 60.0);
   const double outage_start = flags.get_double("outage-start", 25.0);
   const double outage_len = flags.get_double("outage-len", 15.0);
+  const std::uint64_t seed = flags.get_seed("seed", 12);
+  flags.reject_unknown(
+      "usage: exp_width_timeline [--duration=S] [--outage-start=S] "
+      "[--outage-len=S] [--seed=N]");
 
   workloads::TopoParams params;
   params.rho = 100e-6;
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
       {2, 4}, 2, true, 5, params);
 
   sim::SimConfig cfg;
-  cfg.seed = flags.get_seed("seed", 12);
+  cfg.seed = seed;
   sim::Simulator simulator(net.spec, net.links, cfg);
   Rng rng(cfg.seed + 1);
   const char* names[] = {"optimal", "interval", "fudge-30s", "ntp",
@@ -122,4 +127,7 @@ int main(int argc, char** argv) {
                "immediate after the outage.  The optimal series is the\n"
                "lower envelope at every instant.\n";
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::cerr << e.what() << '\n';
+  return 2;
 }

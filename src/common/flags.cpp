@@ -1,9 +1,6 @@
 #include "common/flags.h"
 
 #include <cstdlib>
-#include <stdexcept>
-
-#include "common/check.h"
 
 namespace driftsync {
 
@@ -17,64 +14,101 @@ Flags::Flags(int argc, const char* const* argv) {
     const std::string body = arg.substr(2);
     const std::size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      values_[body.substr(0, eq)] = Entry{body.substr(eq + 1)};
     } else {
-      DS_CHECK_MSG(i + 1 < argc, "flag --" + body + " needs a value");
-      values_[body] = argv[++i];
+      if (i + 1 >= argc) {
+        throw FlagError("flag --" + body + " needs a value");
+      }
+      values_[body] = Entry{argv[++i]};
     }
   }
 }
 
+const Flags::Entry* Flags::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return nullptr;
+  it->second.read = true;
+  return &it->second;
+}
+
 bool Flags::has(const std::string& key) const {
-  return values_.contains(key);
+  return find(key) != nullptr;
 }
 
 std::string Flags::get_string(const std::string& key,
                               const std::string& fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  const Entry* e = find(key);
+  return e == nullptr ? fallback : e->value;
 }
 
 double Flags::get_double(const std::string& key, double fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
+  const Entry* e = find(key);
+  if (e == nullptr) return fallback;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  DS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-               "flag --" + key + " is not a number: " + it->second);
+  const double v = std::strtod(e->value.c_str(), &end);
+  if (end == e->value.c_str() || *end != '\0') {
+    throw FlagError("flag --" + key + " is not a number: " + e->value);
+  }
   return v;
 }
 
 std::int64_t Flags::get_int(const std::string& key,
                             std::int64_t fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
+  const Entry* e = find(key);
+  if (e == nullptr) return fallback;
   char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  DS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-               "flag --" + key + " is not an integer: " + it->second);
+  const long long v = std::strtoll(e->value.c_str(), &end, 10);
+  if (end == e->value.c_str() || *end != '\0') {
+    throw FlagError("flag --" + key + " is not an integer: " + e->value);
+  }
   return v;
 }
 
 std::uint64_t Flags::get_seed(const std::string& key,
                               std::uint64_t fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
+  const Entry* e = find(key);
+  if (e == nullptr) return fallback;
   char* end = nullptr;
-  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
-  DS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-               "flag --" + key + " is not a seed: " + it->second);
+  const unsigned long long v = std::strtoull(e->value.c_str(), &end, 0);
+  if (end == e->value.c_str() || *end != '\0') {
+    throw FlagError("flag --" + key + " is not a seed: " + e->value);
+  }
   return v;
 }
 
 bool Flags::get_bool(const std::string& key, bool fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  const std::string& v = it->second;
+  const Entry* e = find(key);
+  if (e == nullptr) return fallback;
+  const std::string& v = e->value;
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
-  DS_CHECK_MSG(false, "flag --" + key + " is not a boolean: " + v);
-  __builtin_unreachable();
+  throw FlagError("flag --" + key + " is not a boolean: " + v);
+}
+
+std::vector<std::string> Flags::unknown_keys() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, entry] : values_) {
+    if (!entry.read) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+void Flags::reject_unknown(const std::string& usage) const {
+  const std::vector<std::string> unknown = unknown_keys();
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag";
+  if (unknown.size() > 1) msg += 's';
+  for (const std::string& key : unknown) msg += " --" + key;
+  std::string known;
+  for (const auto& [key, entry] : values_) {
+    if (!entry.read) continue;
+    if (!known.empty()) known += ' ';
+    known += "--";
+    known += key;
+  }
+  if (!known.empty()) msg += " (recognized here: " + known + ")";
+  if (!usage.empty()) msg += "\n" + usage;
+  throw FlagError(msg);
 }
 
 }  // namespace driftsync

@@ -1,19 +1,37 @@
-// Minimal command-line flag parsing for the experiment harnesses and
-// examples: `--key=value` and `--key value` pairs with typed getters and
+// Minimal command-line flag parsing for the experiment harnesses, tools and
+// daemons: `--key=value` and `--key value` pairs with typed getters and
 // defaults.  Unrecognized positional arguments are kept in order.
+//
+// Misconfiguration must not fail open (a daemon silently ignoring a
+// mistyped flag would run with defaults the operator did not choose), so
+// every syntax or value error throws FlagError — a std::runtime_error the
+// tool's main() catches to print the message plus its usage text and exit
+// non-zero.  Getters record which keys the program understands; after the
+// last getter, call reject_unknown() to turn any leftover (i.e. unknown)
+// flag into a FlagError listing the known flags.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace driftsync {
 
+/// A malformed, unknown or value-less command-line flag.  Deliberately NOT
+/// part of the DecodeError taxonomy (common/errors.h): flags are operator
+/// input at process start, not untrusted runtime bytes, and the recovery is
+/// "print usage and exit", not "drop the message and keep serving".
+class FlagError : public std::runtime_error {
+ public:
+  explicit FlagError(const std::string& what) : std::runtime_error(what) {}
+};
+
 class Flags {
  public:
-  /// Parses argv; throws std::logic_error on a malformed flag (e.g. a
-  /// trailing `--key` with no value).
+  /// Parses argv; throws FlagError on a malformed flag (e.g. a trailing
+  /// `--key` with no value).
   Flags(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& key) const;
@@ -32,8 +50,26 @@ class Flags {
     return positional_;
   }
 
+  /// Keys given on the command line that no getter (or has()) ever asked
+  /// about, in lexicographic order.
+  [[nodiscard]] std::vector<std::string> unknown_keys() const;
+
+  /// Throws FlagError when the command line contained flags the program
+  /// never read, listing them and every key the program did ask about.
+  /// Call after the last getter; `usage` (if non-empty) is appended to the
+  /// message verbatim.
+  void reject_unknown(const std::string& usage = "") const;
+
  private:
-  std::unordered_map<std::string, std::string> values_;
+  struct Entry {
+    std::string value;
+    mutable bool read = false;
+  };
+
+  const Entry* find(const std::string& key) const;
+
+  // Ordered so that error listings are deterministic.
+  std::map<std::string, Entry> values_;
   std::vector<std::string> positional_;
 };
 

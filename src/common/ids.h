@@ -43,7 +43,14 @@ struct EventId {
   }
 
   [[nodiscard]] std::string str() const {
-    return "(" + std::to_string(proc) + "," + std::to_string(seq) + ")";
+    // Appends (not operator+ chains): GCC 12's -Wrestrict misfires on
+    // char* + std::string concatenation under heavy inlining.
+    std::string s = "(";
+    s += std::to_string(proc);
+    s += ',';
+    s += std::to_string(seq);
+    s += ')';
+    return s;
   }
 };
 

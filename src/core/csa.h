@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/errors.h"
 #include "common/interval.h"
 #include "core/event.h"
 #include "core/spec.h"
@@ -31,6 +34,8 @@ struct CsaPayload {
     return reports.size() * kEventRecordWireBytes +
            scalars.size() * sizeof(double);
   }
+
+  friend bool operator==(const CsaPayload&, const CsaPayload&) = default;
 };
 
 /// Context handed to a CSA when its processor sends a message.  The send
@@ -94,6 +99,38 @@ class Csa {
   /// reported as a kLossDecl event via on_internal instead.)  Default:
   /// ignore.
   virtual void on_delivery_confirmed(ProcId dest) { (void)dest; }
+
+  /// Periodic housekeeping tick.  A hosting driver (the simulator's probe
+  /// loop or a runtime Node's poll loop) calls this at its own cadence with
+  /// the current local clock reading; CSAs that need time-driven work
+  /// override it.  Default: ignore.
+  virtual void on_tick(LocalTime now) { (void)now; }
+
+  /// Section 3.3 support for real transports (driftsync_runtime): false
+  /// once this CSA knows the message sent at `send_id` (an own send event)
+  /// was received — i.e. its matching receive is already in the view.  A
+  /// transport whose loss detection times out uses this to decide between a
+  /// loss declaration and a (late) delivery confirmation.  Stateless CSAs
+  /// keep the default.
+  [[nodiscard]] virtual bool send_unmatched(EventId send_id) const {
+    (void)send_id;
+    return true;
+  }
+
+  /// Restart persistence.  checkpoint() returns a byte image a hosting
+  /// runtime can persist; an EMPTY image means "this CSA does not support
+  /// checkpointing" and the host must not persist anything.  restore()
+  /// loads such an image into a freshly init()-ed instance and throws
+  /// driftsync::CheckpointError on malformed or inconsistent bytes, leaving
+  /// the instance unchanged (the image is untrusted input).
+  [[nodiscard]] virtual std::vector<std::uint8_t> checkpoint() const {
+    return {};
+  }
+  virtual void restore(std::span<const std::uint8_t> bytes) {
+    (void)bytes;
+    throw CheckpointError(std::string(name()) +
+                          " does not support checkpoint restore");
+  }
 
   /// The external-synchronization output (Section 2.1): an interval that is
   /// guaranteed to contain the source clock's current value, queried when

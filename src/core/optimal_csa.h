@@ -40,6 +40,13 @@ class OptimalCsa : public Csa {
   /// mechanism; see sim/simulator.h).
   void on_delivery_confirmed(ProcId dest) override;
 
+  /// Runtime loss-detection support: false once the matching receive of the
+  /// own send at `send_id` is in the view (the send is no longer pending).
+  [[nodiscard]] bool send_unmatched(EventId send_id) const override {
+    DS_CHECK(engine_.has_value());
+    return engine_->send_pending(send_id);
+  }
+
   /// Internal-synchronization-style query: bounds on processor w's current
   /// clock reading (see SyncEngine::peer_clock_estimate).
   [[nodiscard]] Interval peer_clock_estimate(ProcId w, LocalTime now) const {
@@ -55,8 +62,8 @@ class OptimalCsa : public Csa {
   /// driftsync::CheckpointError on malformed or inconsistent bytes and in
   /// that case leaves the instance in its pre-call (freshly init()-ed)
   /// state.
-  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
-  void restore(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const override;
+  void restore(std::span<const std::uint8_t> bytes) override;
 
   /// Direct access for white-box tests and experiments.
   [[nodiscard]] const SyncEngine& engine() const { return *engine_; }

@@ -75,6 +75,16 @@ class SyncEngine {
   [[nodiscard]] bool is_live(EventId id) const {
     return live_.contains(id);
   }
+
+  /// True while `id` is a live own/foreign send whose fate is open: no
+  /// matching receive ingested and no loss declaration.  Used by runtime
+  /// transports to decide whether a timed-out message may still be declared
+  /// lost (Section 3.3) or must be treated as delivered.
+  [[nodiscard]] bool send_pending(EventId id) const {
+    const auto it = live_.find(id);
+    return it != live_.end() && it->second.rec.kind == EventKind::kSend &&
+           !it->second.recv_seen && !it->second.lost;
+  }
   [[nodiscard]] std::vector<EventId> live_points() const;
   [[nodiscard]] std::size_t live_count() const { return live_.size(); }
   [[nodiscard]] std::size_t max_live_count() const { return max_live_; }

@@ -196,6 +196,53 @@ EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
   return batch;
 }
 
+void append_payload(std::vector<std::uint8_t>& out, const CsaPayload& payload) {
+  const std::vector<std::uint8_t> reports = encode_batch(payload.reports);
+  put_varint(out, reports.size());
+  out.insert(out.end(), reports.begin(), reports.end());
+  put_varint(out, payload.scalars.size());
+  for (const double s : payload.scalars) {
+    DS_CHECK_MSG(!std::isnan(s), "NaN scalar in CSA payload");
+    put_double(out, s);
+  }
+}
+
+std::vector<std::uint8_t> encode_payload(const CsaPayload& payload) {
+  std::vector<std::uint8_t> out;
+  append_payload(out, payload);
+  return out;
+}
+
+CsaPayload decode_payload(std::span<const std::uint8_t> bytes,
+                          std::size_t& offset) {
+  CsaPayload payload;
+  const std::uint64_t reports_len = get_varint(bytes, offset);
+  if (reports_len > bytes.size() - offset) {
+    throw WireError("payload report batch overruns buffer");
+  }
+  payload.reports = decode_batch(
+      bytes.subspan(offset, static_cast<std::size_t>(reports_len)));
+  offset += static_cast<std::size_t>(reports_len);
+  const std::uint64_t scalar_count = get_varint(bytes, offset);
+  if (scalar_count > (bytes.size() - offset) / 8) {
+    throw WireError("implausible payload scalar count");
+  }
+  payload.scalars.reserve(static_cast<std::size_t>(scalar_count));
+  for (std::uint64_t i = 0; i < scalar_count; ++i) {
+    const double s = get_double(bytes, offset);
+    if (std::isnan(s)) throw WireError("NaN payload scalar");
+    payload.scalars.push_back(s);
+  }
+  return payload;
+}
+
+CsaPayload decode_payload(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  CsaPayload payload = decode_payload(bytes, offset);
+  if (offset != bytes.size()) throw WireError("trailing bytes after payload");
+  return payload;
+}
+
 std::size_t encoded_size(const EventBatch& batch) {
   std::size_t size = varint_size(batch.size());
   ProcId prev_proc = kInvalidProc;

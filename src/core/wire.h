@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/errors.h"
+#include "core/csa.h"
 #include "core/event.h"
 
 namespace driftsync::wire {
@@ -49,6 +50,23 @@ EventBatch decode_batch(std::span<const std::uint8_t> bytes);
 
 /// Encoded size without materializing the buffer.
 std::size_t encoded_size(const EventBatch& batch);
+
+/// Serializes a full CSA payload (report batch + scalar slots) so that any
+/// CSA — view-propagating or classic baseline — can ride a real transport:
+/// a byte-length-prefixed encode_batch image followed by a count-prefixed
+/// run of 64-bit IEEE scalars.  Scalars may be infinite (open error bounds)
+/// but never NaN.  Canonical like the batch encoding: decode is a strict
+/// inverse and rejects anything the encoder could not have produced.
+std::vector<std::uint8_t> encode_payload(const CsaPayload& payload);
+void append_payload(std::vector<std::uint8_t>& out, const CsaPayload& payload);
+
+/// Parses a payload starting at `offset`, advancing it past the payload
+/// (the caller owns trailing data); throws driftsync::WireError on
+/// malformed input.  The single-argument overload requires the payload to
+/// consume the whole buffer.
+CsaPayload decode_payload(std::span<const std::uint8_t> bytes,
+                          std::size_t& offset);
+CsaPayload decode_payload(std::span<const std::uint8_t> bytes);
 
 // Low-level primitives (exposed for tests and the checkpoint module).
 // The getters throw WireError on truncation; get_varint additionally

@@ -1,0 +1,203 @@
+#include "runtime/datagram.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/errors.h"
+#include "core/wire.h"
+
+namespace driftsync::runtime {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'D';
+constexpr std::uint8_t kMagic1 = 'S';
+constexpr std::uint8_t kVersion = 1;
+
+enum class Type : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kSkip = 2,
+  kProbeReq = 3,
+  kProbeResp = 4,
+};
+constexpr std::uint8_t kMaxType = 4;
+
+void put_header(std::vector<std::uint8_t>& out, Type type) {
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                      const char* what) {
+  const std::uint64_t v = wire::get_varint(bytes, offset);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw WireError(std::string(what) + " does not fit 32 bits");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+ProcId get_proc(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                const char* what) {
+  const ProcId p = get_u32(bytes, offset, what);
+  if (p == kInvalidProc) {
+    throw WireError(std::string(what) + " is the invalid-processor sentinel");
+  }
+  return p;
+}
+
+/// (processed_hw, seen_hw) pair with the seen >= processed invariant.
+void get_hw_pair(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                 std::uint64_t& processed_hw, std::uint64_t& seen_hw) {
+  processed_hw = wire::get_varint(bytes, offset);
+  seen_hw = wire::get_varint(bytes, offset);
+  if (seen_hw < processed_hw) {
+    throw WireError("ack seen high-water below processed high-water");
+  }
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const DataMsg& m) {
+  put_header(out, Type::kData);
+  wire::put_varint(out, m.from);
+  wire::put_varint(out, m.dgram_seq);
+  wire::put_varint(out, m.processed_hw);
+  wire::put_varint(out, m.seen_hw);
+  wire::put_varint(out, m.app_tag);
+  wire::put_varint(out, m.send_seq);
+  wire::put_double(out, m.send_lt);
+  wire::append_payload(out, m.payload);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const AckMsg& m) {
+  put_header(out, Type::kAck);
+  wire::put_varint(out, m.from);
+  wire::put_varint(out, m.processed_hw);
+  wire::put_varint(out, m.seen_hw);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const SkipMsg& m) {
+  put_header(out, Type::kSkip);
+  wire::put_varint(out, m.from);
+  wire::put_varint(out, m.skip_to);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const ProbeReq& m) {
+  put_header(out, Type::kProbeReq);
+  wire::put_varint(out, m.nonce);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const ProbeResp& m) {
+  put_header(out, Type::kProbeResp);
+  wire::put_varint(out, m.nonce);
+  wire::put_varint(out, m.from);
+  wire::put_double(out, m.local_time);
+  wire::put_double(out, m.lo);
+  wire::put_double(out, m.hi);
+  wire::put_varint(out, m.stats_json.size());
+  out.insert(out.end(), m.stats_json.begin(), m.stats_json.end());
+}
+
+DataMsg decode_data(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  DataMsg m;
+  m.from = get_proc(bytes, offset, "data sender");
+  m.dgram_seq = wire::get_varint(bytes, offset);
+  if (m.dgram_seq == 0) throw WireError("zero data datagram sequence");
+  get_hw_pair(bytes, offset, m.processed_hw, m.seen_hw);
+  m.app_tag = get_u32(bytes, offset, "application tag");
+  m.send_seq = get_u32(bytes, offset, "send-event sequence");
+  m.send_lt = wire::get_double(bytes, offset);
+  if (!std::isfinite(m.send_lt)) throw WireError("non-finite send local time");
+  m.payload = wire::decode_payload(bytes, offset);
+  return m;
+}
+
+AckMsg decode_ack(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  AckMsg m;
+  m.from = get_proc(bytes, offset, "ack sender");
+  get_hw_pair(bytes, offset, m.processed_hw, m.seen_hw);
+  return m;
+}
+
+SkipMsg decode_skip(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  SkipMsg m;
+  m.from = get_proc(bytes, offset, "skip sender");
+  m.skip_to = wire::get_varint(bytes, offset);
+  if (m.skip_to == 0) throw WireError("zero skip target");
+  return m;
+}
+
+ProbeReq decode_probe_req(std::span<const std::uint8_t> bytes,
+                          std::size_t& offset) {
+  ProbeReq m;
+  m.nonce = wire::get_varint(bytes, offset);
+  return m;
+}
+
+ProbeResp decode_probe_resp(std::span<const std::uint8_t> bytes,
+                            std::size_t& offset) {
+  ProbeResp m;
+  m.nonce = wire::get_varint(bytes, offset);
+  m.from = get_proc(bytes, offset, "probe responder");
+  m.local_time = wire::get_double(bytes, offset);
+  if (!std::isfinite(m.local_time)) {
+    throw WireError("non-finite probe local time");
+  }
+  m.lo = wire::get_double(bytes, offset);
+  m.hi = wire::get_double(bytes, offset);
+  if (std::isnan(m.lo) || std::isnan(m.hi)) {
+    throw WireError("NaN probe estimate bound");
+  }
+  if (m.lo > m.hi) throw WireError("inverted probe estimate");
+  const std::uint64_t len = wire::get_varint(bytes, offset);
+  if (len > bytes.size() - offset) {
+    throw WireError("probe stats overrun buffer");
+  }
+  m.stats_json.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(offset) +
+                          static_cast<std::ptrdiff_t>(len));
+  offset += static_cast<std::size_t>(len);
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_datagram(const Datagram& dgram) {
+  std::vector<std::uint8_t> out;
+  std::visit([&out](const auto& m) { encode_body(out, m); }, dgram);
+  return out;
+}
+
+Datagram decode_datagram(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) throw WireError("truncated datagram header");
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    throw WireError("bad datagram magic");
+  }
+  if (bytes[2] != kVersion) throw WireError("unknown datagram version");
+  if (bytes[3] > kMaxType) throw WireError("unknown datagram type");
+  const auto type = static_cast<Type>(bytes[3]);
+  std::size_t offset = 4;
+  Datagram dgram;
+  switch (type) {
+    case Type::kData:
+      dgram = decode_data(bytes, offset);
+      break;
+    case Type::kAck:
+      dgram = decode_ack(bytes, offset);
+      break;
+    case Type::kSkip:
+      dgram = decode_skip(bytes, offset);
+      break;
+    case Type::kProbeReq:
+      dgram = decode_probe_req(bytes, offset);
+      break;
+    case Type::kProbeResp:
+      dgram = decode_probe_resp(bytes, offset);
+      break;
+  }
+  if (offset != bytes.size()) throw WireError("trailing bytes after datagram");
+  return dgram;
+}
+
+}  // namespace driftsync::runtime

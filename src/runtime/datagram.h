@@ -1,0 +1,105 @@
+// Datagram framing for the runtime transports (DESIGN.md S7).
+//
+// Everything a Node puts on the wire is one of five self-describing
+// datagram types behind a 3-byte header (magic "DS" + version).  The codec
+// follows the core/wire.h contract: canonical encodings only, and every
+// decode path treats its input as untrusted — malformed bytes throw
+// driftsync::WireError (never a DS_CHECK std::logic_error), which the Node
+// turns into a counted drop.  See DESIGN.md §6: a UDP socket is the second
+// untrusted-input surface of the system after checkpoint files.
+//
+// The kData / kAck / kSkip trio implements the skip-commit fate protocol
+// that realizes the paper's Section 3.3 detection mechanism on a transport
+// that cannot know message fates:
+//
+//   * data datagrams carry a per-direction sequence number (from 1) and
+//     piggyback the cumulative acknowledgment of the reverse direction;
+//   * an ack reports (processed_hw, seen_hw): the highest datagram sequence
+//     processed, and the highest seen OR renounced via a skip commit;
+//   * when the sender's timeout expires it sends kSkip(n); the receiver
+//     commits to never process datagram n (persistently, before replying),
+//     after which the sender resolves the fate from the next ack:
+//     delivered iff processed_hw >= n, lost iff seen_hw >= n > processed_hw.
+//
+// A loss is therefore declared only once the receiver has durably renounced
+// the datagram — a false loss declaration (the Section 3.3 soundness
+// requirement) is impossible; the price is liveness on a link whose
+// reverse direction is permanently dead, where the skip retries forever.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time_types.h"
+#include "core/csa.h"
+
+namespace driftsync::runtime {
+
+/// One application/CSA message with the link-layer header the Node driver
+/// needs to reconstruct the matching send event at the receiver.
+struct DataMsg {
+  ProcId from = kInvalidProc;
+  std::uint64_t dgram_seq = 0;     ///< Per-direction counter, starts at 1.
+  std::uint64_t processed_hw = 0;  ///< Piggybacked ack, reverse direction.
+  std::uint64_t seen_hw = 0;       ///< >= processed_hw (includes skips).
+  std::uint32_t app_tag = 0;       ///< See SendContext::app_tag.
+  std::uint32_t send_seq = 0;      ///< Sender's send-event sequence number.
+  LocalTime send_lt = 0.0;         ///< Sender's local time of the send.
+  CsaPayload payload;
+
+  friend bool operator==(const DataMsg&, const DataMsg&) = default;
+};
+
+/// Cumulative acknowledgment for the data direction `from` receives on.
+struct AckMsg {
+  ProcId from = kInvalidProc;
+  std::uint64_t processed_hw = 0;
+  std::uint64_t seen_hw = 0;  ///< >= processed_hw.
+
+  friend bool operator==(const AckMsg&, const AckMsg&) = default;
+};
+
+/// Fate-abort request: "commit to never processing my datagrams <= skip_to
+/// that you have not already processed, then ack".
+struct SkipMsg {
+  ProcId from = kInvalidProc;
+  std::uint64_t skip_to = 0;  ///< >= 1.
+
+  friend bool operator==(const SkipMsg&, const SkipMsg&) = default;
+};
+
+/// Estimate query (driftsync_probe).  Stateless at the responding node.
+struct ProbeReq {
+  std::uint64_t nonce = 0;
+
+  friend bool operator==(const ProbeReq&, const ProbeReq&) = default;
+};
+
+/// Reply to ProbeReq: the node's current interval estimate and a stats
+/// snapshot as one JSON line.  lo/hi may be infinite (unbounded estimate)
+/// but never NaN.
+struct ProbeResp {
+  std::uint64_t nonce = 0;
+  ProcId from = kInvalidProc;
+  LocalTime local_time = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::string stats_json;
+
+  friend bool operator==(const ProbeResp&, const ProbeResp&) = default;
+};
+
+using Datagram = std::variant<DataMsg, AckMsg, SkipMsg, ProbeReq, ProbeResp>;
+
+std::vector<std::uint8_t> encode_datagram(const Datagram& dgram);
+
+/// Parses one datagram; throws driftsync::WireError on anything malformed
+/// (bad magic/version/type, truncation, trailing bytes, non-canonical
+/// varints, seen_hw < processed_hw, zero sequence numbers, NaN times, ...).
+Datagram decode_datagram(std::span<const std::uint8_t> bytes);
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,556 @@
+#include "runtime/node.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <variant>
+
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/errors.h"
+#include "core/wire.h"
+
+namespace driftsync::runtime {
+
+namespace {
+
+constexpr char kCkptMagic[4] = {'D', 'S', 'N', 'D'};
+constexpr std::uint64_t kCkptVersion = 1;
+
+/// Two events of one processor must have distinct, increasing local times
+/// (the paper's clocks are strictly increasing); a coarse TimeSource can
+/// return equal readings back to back, so we nudge by this much.
+constexpr double kMinTimeStep = 1e-9;
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no infinity; null marks an unbounded value.
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_json_u64(std::string& out, const char* key, std::uint64_t v,
+                     bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
+           std::unique_ptr<TimeSource> time_source,
+           std::unique_ptr<Transport> transport)
+    : cfg_(std::move(config)),
+      csa_(std::move(csa)),
+      time_source_(std::move(time_source)),
+      transport_(std::move(transport)) {
+  DS_CHECK(csa_ && time_source_ && transport_);
+  DS_CHECK(cfg_.self < cfg_.spec.num_procs());
+  DS_CHECK(cfg_.poll_period > 0.0 && cfg_.fate_timeout > 0.0 &&
+           cfg_.skip_retry > 0.0);
+  if (cfg_.peers.empty()) cfg_.peers = cfg_.spec.neighbors(cfg_.self);
+  for (const ProcId p : cfg_.peers) {
+    DS_CHECK_MSG(cfg_.spec.are_neighbors(cfg_.self, p),
+                 "peer is not a neighbor in the spec");
+  }
+}
+
+Node::~Node() { stop(); }
+
+void Node::start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  DS_CHECK_MSG(!running_, "node started twice");
+  csa_->init(cfg_.spec, cfg_.self);
+  for (const ProcId p : cfg_.peers) peers_[p];
+  if (!cfg_.checkpoint_path.empty()) {
+    checkpoint_supported_ = !csa_->checkpoint().empty();
+    if (!checkpoint_supported_) {
+      throw CheckpointError(std::string(csa_->name()) +
+                            " does not support checkpointing; start without "
+                            "a checkpoint path");
+    }
+    if (FILE* f = std::fopen(cfg_.checkpoint_path.c_str(), "rb")) {
+      std::vector<std::uint8_t> bytes;
+      std::uint8_t buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        bytes.insert(bytes.end(), buf, buf + n);
+      }
+      std::fclose(f);
+      load_checkpoint(bytes);  // Throws CheckpointError on a bad image.
+    }
+  }
+  // Stagger initial polls so an n-node restart does not burst.
+  const double now = steady_seconds();
+  std::size_t i = 0;
+  for (auto& [p, state] : peers_) {
+    state.next_poll =
+        now + cfg_.poll_period * static_cast<double>(++i) /
+                  static_cast<double>(peers_.size() + 1);
+  }
+  running_ = true;
+  lock.unlock();
+  transport_->start(
+      [this](std::span<const std::uint8_t> bytes) { on_datagram(bytes); });
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+void Node::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  timer_.join();
+  transport_->stop();
+}
+
+Interval Node::estimate() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return csa_->estimate(query_time_locked());
+}
+
+LocalTime Node::local_time() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return query_time_locked();
+}
+
+NodeStats Node::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  NodeStats s = stats_;
+  s.width = csa_->estimate(query_time_locked()).width();
+  return s;
+}
+
+std::string Node::stats_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_json_locked();
+}
+
+LocalTime Node::query_time_locked() const {
+  // estimate() requires now >= the last event's local time; a coarse or
+  // scaled clock could otherwise read an instant below it.
+  const LocalTime now = time_source_->now();
+  return now > last_event_lt_ ? now : last_event_lt_;
+}
+
+std::string Node::stats_json_locked() const {
+  const LocalTime now = query_time_locked();
+  const Interval est = csa_->estimate(now);
+  std::string out = "{";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%u", cfg_.self);
+  out += "\"proc\":";
+  out += buf;
+  out += ",\"algo\":\"";
+  out += csa_->name();
+  out += "\",\"lt\":";
+  append_json_number(out, now);
+  out += ",\"lo\":";
+  append_json_number(out, est.lo);
+  out += ",\"hi\":";
+  append_json_number(out, est.hi);
+  out += ",\"width\":";
+  append_json_number(out, est.width());
+  append_json_u64(out, "dgrams_in", stats_.dgrams_in);
+  append_json_u64(out, "dgrams_out", stats_.dgrams_out);
+  append_json_u64(out, "bytes_in", stats_.bytes_in);
+  append_json_u64(out, "bytes_out", stats_.bytes_out);
+  append_json_u64(out, "decode_drops", stats_.decode_drops);
+  append_json_u64(out, "ignored_dgrams", stats_.ignored_dgrams);
+  append_json_u64(out, "loss_declarations", stats_.loss_declarations);
+  append_json_u64(out, "deliveries_confirmed", stats_.deliveries_confirmed);
+  append_json_u64(out, "skips_sent", stats_.skips_sent);
+  append_json_u64(out, "checkpoints_written", stats_.checkpoints_written);
+  append_json_u64(out, "checkpoint_failures", stats_.checkpoint_failures);
+  append_json_u64(out, "events", stats_.events);
+  out += '}';
+  return out;
+}
+
+EventRecord Node::make_own_event(EventKind kind, ProcId peer, EventId match) {
+  EventRecord rec;
+  rec.id = EventId{cfg_.self, next_event_seq_++};
+  const LocalTime now = time_source_->now();
+  rec.lt = now > last_event_lt_ ? now : last_event_lt_ + kMinTimeStep;
+  last_event_lt_ = rec.lt;
+  rec.kind = kind;
+  rec.peer = peer;
+  rec.match = match;
+  ++stats_.events;
+  return rec;
+}
+
+void Node::transmit(ProcId to, const Datagram& dgram) {
+  std::vector<std::uint8_t> bytes = encode_datagram(dgram);
+  ++stats_.dgrams_out;
+  stats_.bytes_out += bytes.size();
+  transport_->send(to, std::move(bytes));
+}
+
+void Node::poll_peer(ProcId peer, PeerState& state) {
+  DS_CHECK(state.fate == Fate::kNone);
+  const EventRecord send_event = make_own_event(
+      EventKind::kSend, peer, kInvalidEvent);
+  const SendContext ctx{cfg_.self, peer, send_event, 0};
+  CsaPayload payload = csa_->on_send(ctx);
+  state.fate = Fate::kAwaitingAck;
+  state.pending_seq = state.out_seq_next++;
+  state.pending_send_seq = send_event.id.seq;
+  state.fate_deadline = steady_seconds() + cfg_.fate_timeout;
+  persist();  // Write-ahead: the event exists durably before it is visible.
+  DataMsg msg;
+  msg.from = cfg_.self;
+  msg.dgram_seq = state.pending_seq;
+  msg.processed_hw = state.last_processed;
+  msg.seen_hw = state.last_seen;
+  msg.app_tag = 0;
+  msg.send_seq = send_event.id.seq;
+  msg.send_lt = send_event.lt;
+  msg.payload = std::move(payload);
+  transmit(peer, Datagram{std::move(msg)});
+}
+
+void Node::send_skip(ProcId peer, PeerState& state) {
+  DS_CHECK(state.fate == Fate::kAborting);
+  state.fate_deadline = steady_seconds() + cfg_.skip_retry;
+  ++stats_.skips_sent;
+  transmit(peer, Datagram{SkipMsg{cfg_.self, state.pending_seq}});
+}
+
+void Node::send_ack(ProcId peer, const PeerState& state) {
+  transmit(peer,
+           Datagram{AckMsg{cfg_.self, state.last_processed, state.last_seen}});
+}
+
+void Node::on_datagram(std::span<const std::uint8_t> bytes) {
+  Datagram dgram;
+  try {
+    dgram = decode_datagram(bytes);
+  } catch (const WireError&) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.decode_drops;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.dgrams_in;
+  stats_.bytes_in += bytes.size();
+  if (const auto* data = std::get_if<DataMsg>(&dgram)) {
+    handle_data(*data);
+  } else if (const auto* ack = std::get_if<AckMsg>(&dgram)) {
+    if (peers_.find(ack->from) == peers_.end()) {
+      ++stats_.ignored_dgrams;
+    } else {
+      handle_ack(ack->from, ack->processed_hw, ack->seen_hw);
+    }
+  } else if (const auto* skip = std::get_if<SkipMsg>(&dgram)) {
+    handle_skip(*skip);
+  } else if (const auto* probe = std::get_if<ProbeReq>(&dgram)) {
+    handle_probe(*probe);
+  } else {
+    ++stats_.ignored_dgrams;  // ProbeResp: nodes never consume one.
+  }
+}
+
+void Node::handle_data(const DataMsg& msg) {
+  const auto it = peers_.find(msg.from);
+  if (it == peers_.end()) {
+    ++stats_.ignored_dgrams;
+    return;
+  }
+  PeerState& state = it->second;
+  // The piggybacked cumulative ack first: it may resolve our own fate.
+  handle_ack(msg.from, msg.processed_hw, msg.seen_hw);
+  if (msg.dgram_seq <= state.last_seen) {
+    // Already processed, or renounced via a skip commit.  Never process it
+    // now — but re-ack, since our previous ack may have been lost.
+    ++stats_.ignored_dgrams;
+    send_ack(msg.from, state);
+    return;
+  }
+  state.last_seen = msg.dgram_seq;
+  state.last_processed = msg.dgram_seq;
+  const EventRecord recv_event =
+      make_own_event(EventKind::kReceive, msg.from,
+                     EventId{msg.from, msg.send_seq});
+  EventRecord send_event;
+  send_event.id = EventId{msg.from, msg.send_seq};
+  send_event.lt = msg.send_lt;
+  send_event.kind = EventKind::kSend;
+  send_event.peer = cfg_.self;
+  const RecvContext ctx{cfg_.self, msg.from, recv_event, send_event,
+                        msg.app_tag};
+  csa_->on_receive(ctx, msg.payload);
+  persist();  // Write-ahead: before the ack makes the receive visible.
+  send_ack(msg.from, state);
+}
+
+void Node::handle_ack(ProcId from, std::uint64_t processed_hw,
+                      std::uint64_t seen_hw) {
+  PeerState& state = peers_.at(from);
+  if (state.fate == Fate::kNone) return;
+  const std::uint64_t n = state.pending_seq;
+  if (processed_hw >= n) {
+    // Processed: the Section 3.3 fate is "delivered".
+    csa_->on_delivery_confirmed(from);
+    ++stats_.deliveries_confirmed;
+  } else if (seen_hw >= n) {
+    // Seen (or renounced) but never processed: the fate is "lost" — the
+    // receiver has durably committed to never processing it.  Guard with
+    // send_unmatched: if the matching receive somehow already reached the
+    // view (it cannot under this protocol, but a CSA is the authority on
+    // its own state), a loss declaration would be unsound.
+    if (csa_->send_unmatched(EventId{cfg_.self, state.pending_send_seq})) {
+      const EventRecord decl =
+          make_own_event(EventKind::kLossDecl, from,
+                         EventId{cfg_.self, state.pending_send_seq});
+      csa_->on_internal(decl);
+      ++stats_.loss_declarations;
+    } else {
+      csa_->on_delivery_confirmed(from);
+      ++stats_.deliveries_confirmed;
+    }
+  } else {
+    return;  // Stale ack: fate still unknown, keep waiting.
+  }
+  state.fate = Fate::kNone;
+  persist();
+}
+
+void Node::handle_skip(const SkipMsg& msg) {
+  const auto it = peers_.find(msg.from);
+  if (it == peers_.end()) {
+    ++stats_.ignored_dgrams;
+    return;
+  }
+  PeerState& state = it->second;
+  if (msg.skip_to > state.last_seen) {
+    // Commit: datagrams up to skip_to will never be processed here.  The
+    // commit must be durable before the ack that announces it.
+    state.last_seen = msg.skip_to;
+    persist();
+  }
+  send_ack(msg.from, state);
+}
+
+void Node::handle_probe(const ProbeReq& msg) {
+  const LocalTime now = query_time_locked();
+  const Interval est = csa_->estimate(now);
+  ProbeResp resp;
+  resp.nonce = msg.nonce;
+  resp.from = cfg_.self;
+  resp.local_time = now;
+  resp.lo = est.lo;
+  resp.hi = est.hi;
+  resp.stats_json = stats_json_locked();
+  // No state changed, so no checkpoint; the requester is not a configured
+  // peer, so the reply addresses the transport's reply slot (kReplyPeer =
+  // "origin of the datagram being handled").
+  transmit(kReplyPeer, Datagram{std::move(resp)});
+}
+
+void Node::timer_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    const double now = steady_seconds();
+    double next = now + 3600.0;
+    for (auto& [peer, state] : peers_) {
+      switch (state.fate) {
+        case Fate::kAwaitingAck:
+          if (now >= state.fate_deadline) {
+            // Timeout: abort the datagram's fate via a skip commit.  No
+            // persist needed — a restart maps kAwaitingAck to kAborting.
+            state.fate = Fate::kAborting;
+            send_skip(peer, state);
+          }
+          next = std::min(next, state.fate_deadline);
+          break;
+        case Fate::kAborting:
+          if (now >= state.fate_deadline) send_skip(peer, state);
+          next = std::min(next, state.fate_deadline);
+          break;
+        case Fate::kNone:
+          if (now >= state.next_poll) {
+            state.next_poll = now + cfg_.poll_period;
+            poll_peer(peer, state);
+            next = std::min(next, state.fate_deadline);
+          } else {
+            next = std::min(next, state.next_poll);
+          }
+          break;
+      }
+    }
+    csa_->on_tick(query_time_locked());
+    const double wait = next - steady_seconds();
+    if (wait > 0.0) {
+      cv_.wait_for(lock, std::chrono::duration<double>(wait));
+    }
+  }
+}
+
+std::vector<std::uint8_t> Node::encode_checkpoint() const {
+  std::vector<std::uint8_t> out(kCkptMagic, kCkptMagic + 4);
+  wire::put_varint(out, kCkptVersion);
+  wire::put_varint(out, cfg_.self);
+  wire::put_varint(out, cfg_.spec.num_procs());
+  wire::put_varint(out, next_event_seq_);
+  wire::put_double(out, last_event_lt_);
+  wire::put_varint(out, peers_.size());
+  for (const auto& [peer, state] : peers_) {  // Ascending: canonical image.
+    wire::put_varint(out, peer);
+    wire::put_varint(out, state.out_seq_next);
+    wire::put_varint(out, state.last_processed);
+    wire::put_varint(out, state.last_seen);
+    out.push_back(static_cast<std::uint8_t>(state.fate));
+    if (state.fate != Fate::kNone) {
+      wire::put_varint(out, state.pending_seq);
+      wire::put_varint(out, state.pending_send_seq);
+    }
+  }
+  const std::vector<std::uint8_t> csa_image = csa_->checkpoint();
+  wire::put_varint(out, csa_image.size());
+  out.insert(out.end(), csa_image.begin(), csa_image.end());
+  return out;
+}
+
+void Node::load_checkpoint(std::span<const std::uint8_t> bytes) {
+  // Parse everything into locals and commit only at the end: a rejected
+  // image (CheckpointError) leaves the node exactly as it was.
+  std::uint32_t next_event_seq = 0;
+  LocalTime last_event_lt = 0.0;
+  std::map<ProcId, PeerState> peers = peers_;
+  try {
+    if (bytes.size() < 4 || std::memcmp(bytes.data(), kCkptMagic, 4) != 0) {
+      throw CheckpointError("bad node checkpoint magic");
+    }
+    std::size_t offset = 4;
+    if (wire::get_varint(bytes, offset) != kCkptVersion) {
+      throw CheckpointError("unknown node checkpoint version");
+    }
+    if (wire::get_varint(bytes, offset) != cfg_.self) {
+      throw CheckpointError("checkpoint belongs to another processor");
+    }
+    if (wire::get_varint(bytes, offset) != cfg_.spec.num_procs()) {
+      throw CheckpointError("checkpoint system size mismatch");
+    }
+    const std::uint64_t seq = wire::get_varint(bytes, offset);
+    if (seq > std::numeric_limits<std::uint32_t>::max()) {
+      throw CheckpointError("event sequence does not fit 32 bits");
+    }
+    next_event_seq = static_cast<std::uint32_t>(seq);
+    last_event_lt = wire::get_double(bytes, offset);
+    if (!std::isfinite(last_event_lt)) {
+      throw CheckpointError("non-finite last event time");
+    }
+    const std::uint64_t num_peers = wire::get_varint(bytes, offset);
+    ProcId prev_peer = 0;
+    bool first = true;
+    for (std::uint64_t i = 0; i < num_peers; ++i) {
+      const std::uint64_t peer64 = wire::get_varint(bytes, offset);
+      if (peer64 >= kInvalidProc) throw CheckpointError("bad peer id");
+      const ProcId peer = static_cast<ProcId>(peer64);
+      if (!first && peer <= prev_peer) {
+        throw CheckpointError("peers out of order");
+      }
+      first = false;
+      prev_peer = peer;
+      const auto it = peers.find(peer);
+      if (it == peers.end()) {
+        throw CheckpointError("checkpoint names an unconfigured peer");
+      }
+      PeerState& state = it->second;
+      state.out_seq_next = wire::get_varint(bytes, offset);
+      if (state.out_seq_next == 0) {
+        throw CheckpointError("zero outbound sequence");
+      }
+      state.last_processed = wire::get_varint(bytes, offset);
+      state.last_seen = wire::get_varint(bytes, offset);
+      if (state.last_seen < state.last_processed) {
+        throw CheckpointError("seen high-water below processed");
+      }
+      if (offset >= bytes.size()) throw CheckpointError("truncated fate");
+      const std::uint8_t fate = bytes[offset++];
+      if (fate > 2) throw CheckpointError("unknown fate value");
+      state.fate = static_cast<Fate>(fate);
+      if (state.fate != Fate::kNone) {
+        state.pending_seq = wire::get_varint(bytes, offset);
+        if (state.pending_seq == 0 ||
+            state.pending_seq >= state.out_seq_next) {
+          throw CheckpointError("pending sequence out of range");
+        }
+        const std::uint64_t ps = wire::get_varint(bytes, offset);
+        if (ps >= next_event_seq) {
+          throw CheckpointError("pending send event out of range");
+        }
+        state.pending_send_seq = static_cast<std::uint32_t>(ps);
+        // Whatever the pre-crash state, the datagram's fate is unresolved:
+        // resume by aborting it (skip commit), immediately.
+        state.fate = Fate::kAborting;
+        state.fate_deadline = 0.0;
+      }
+    }
+    const std::uint64_t csa_len = wire::get_varint(bytes, offset);
+    if (csa_len > bytes.size() - offset) {
+      throw CheckpointError("CSA image overruns buffer");
+    }
+    if (offset + csa_len != bytes.size()) {
+      throw CheckpointError("trailing bytes after CSA image");
+    }
+    // The estimate contract needs the local clock ahead of every recorded
+    // event: CLOCK_MONOTONIC restarts at boot, so this rejects stale
+    // images from a previous boot (or the wrong machine).
+    if (time_source_->now() < last_event_lt) {
+      throw CheckpointError("local clock is behind the checkpoint");
+    }
+    csa_->restore(bytes.subspan(offset));  // Transactional on its own.
+  } catch (const WireError& e) {
+    throw CheckpointError(std::string("bad node checkpoint encoding (") +
+                          e.what() + ")");
+  }
+  next_event_seq_ = next_event_seq;
+  last_event_lt_ = last_event_lt;
+  peers_ = std::move(peers);
+}
+
+void Node::persist() {
+  if (cfg_.checkpoint_path.empty() || !checkpoint_supported_) return;
+  const std::vector<std::uint8_t> bytes = encode_checkpoint();
+  const std::string tmp = cfg_.checkpoint_path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    ++stats_.checkpoint_failures;
+    return;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), cfg_.checkpoint_path.c_str()) != 0) {
+    ++stats_.checkpoint_failures;
+    return;
+  }
+  ++stats_.checkpoints_written;
+}
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,166 @@
+// Node: hosts one CSA on a real transport (DESIGN.md S7).
+//
+// The driver mirrors what the simulator does for a simulated processor —
+// mint send/receive/loss-declaration events, route payloads through the
+// CSA, run the Section 3.3 detection mechanism — but against a Transport
+// and a TimeSource instead of an event queue, and with the two things a
+// real deployment adds:
+//
+//  * Fate resolution without an oracle.  The simulator knows each
+//    message's fate; a transport does not.  The Node runs the skip-commit
+//    protocol (see runtime/datagram.h): stop-and-wait per peer, cumulative
+//    acks, and a timeout that aborts an unresolved datagram by making the
+//    receiver durably renounce it.  Loss declarations are therefore sound
+//    (never issued for a message the receiver processed), which is what
+//    keeps the CSA's history accounting and every peer's view consistent.
+//
+//  * Write-ahead checkpointing.  A restarted process must never re-issue
+//    an event id with different content — peers that already ingested the
+//    original would be corrupted.  The Node therefore persists its state
+//    (own counters + fate machine + the CSA's checkpoint image) after every
+//    own event and BEFORE externalizing anything derived from it: persist,
+//    then transmit; persist, then ack.  A crash at any point restarts into
+//    a prefix of the externalized history; outstanding fates resume in the
+//    aborting state, and the local clock (CLOCK_MONOTONIC) supplies the
+//    continuity the estimates extrapolate over.  A checkpoint that would
+//    require the local clock to have gone backwards is rejected.
+//
+// Threading: one mutex guards the CSA and all protocol state.  The
+// transport's delivery thread and the Node's timer thread (polls, fate
+// timeouts) both take it; neither holds it while blocking.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/interval.h"
+#include "core/csa.h"
+#include "core/spec.h"
+#include "runtime/datagram.h"
+#include "runtime/time_source.h"
+#include "runtime/transport.h"
+
+namespace driftsync::runtime {
+
+struct NodeConfig {
+  ProcId self = kInvalidProc;
+  SystemSpec spec;
+  /// Neighbors this node polls (defaults to spec.neighbors(self)).
+  std::vector<ProcId> peers;
+  double poll_period = 0.5;   ///< Seconds between data sends, per peer.
+  double fate_timeout = 2.0;  ///< Section 3.3 detection timeout.
+  double skip_retry = 1.0;    ///< Resend cadence for unacked skip commits.
+  /// Persistence file; empty disables checkpointing.  Requires a CSA that
+  /// supports checkpoint() (a non-empty image).
+  std::string checkpoint_path;
+};
+
+/// Observability counters; stats_json() renders them as one JSON line.
+struct NodeStats {
+  std::uint64_t dgrams_in = 0;
+  std::uint64_t dgrams_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t decode_drops = 0;    ///< Malformed datagrams (WireError).
+  std::uint64_t ignored_dgrams = 0;  ///< Well-formed but stale/unknown.
+  std::uint64_t loss_declarations = 0;
+  std::uint64_t deliveries_confirmed = 0;
+  std::uint64_t skips_sent = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t events = 0;  ///< Own events minted (send/recv/internal).
+  double width = 0.0;        ///< Estimate width at snapshot time.
+};
+
+class Node {
+ public:
+  Node(NodeConfig config, std::unique_ptr<Csa> csa,
+       std::unique_ptr<TimeSource> time_source,
+       std::unique_ptr<Transport> transport);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Initializes the CSA, restores the checkpoint if one exists (throwing
+  /// driftsync::CheckpointError on a rejected image — a node must not
+  /// silently restart fresh next to peers that remember it), then starts
+  /// the transport and the poll/timeout timer.
+  void start();
+
+  /// Stops the timer and the transport; idempotent.  The destructor calls
+  /// it too.
+  void stop();
+
+  /// The external-synchronization output at the current local time.
+  [[nodiscard]] Interval estimate() const;
+
+  [[nodiscard]] LocalTime local_time() const;
+
+  [[nodiscard]] NodeStats stats() const;
+
+  /// One line of JSON, e.g. for a SIGUSR1 dump or the probe response.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  /// Fate of the one in-flight data datagram to a peer (stop-and-wait).
+  enum class Fate : std::uint8_t {
+    kNone = 0,         ///< Nothing outstanding.
+    kAwaitingAck = 1,  ///< Data sent, ack pending, timeout armed.
+    kAborting = 2,     ///< Timeout fired: skip sent, commit pending.
+  };
+
+  struct PeerState {
+    std::uint64_t out_seq_next = 1;
+    std::uint64_t last_processed = 0;  ///< Inbound: highest processed.
+    std::uint64_t last_seen = 0;       ///< Inbound: highest seen/renounced.
+    Fate fate = Fate::kNone;
+    std::uint64_t pending_seq = 0;       ///< Outstanding dgram_seq.
+    std::uint32_t pending_send_seq = 0;  ///< Its send event's seq.
+    double fate_deadline = 0.0;          ///< steady-clock seconds.
+    double next_poll = 0.0;
+  };
+
+  void on_datagram(std::span<const std::uint8_t> bytes);
+  void handle_data(const DataMsg& msg);
+  void handle_ack(ProcId from, std::uint64_t processed_hw,
+                  std::uint64_t seen_hw);
+  void handle_skip(const SkipMsg& msg);
+  void handle_probe(const ProbeReq& msg);
+  void poll_peer(ProcId peer, PeerState& state);
+  void send_skip(ProcId peer, PeerState& state);
+  void send_ack(ProcId peer, const PeerState& state);
+  void transmit(ProcId to, const Datagram& dgram);
+  EventRecord make_own_event(EventKind kind, ProcId peer, EventId match);
+  void persist();
+  [[nodiscard]] std::vector<std::uint8_t> encode_checkpoint() const;
+  void load_checkpoint(std::span<const std::uint8_t> bytes);
+  void timer_loop();
+  [[nodiscard]] std::string stats_json_locked() const;
+  [[nodiscard]] LocalTime query_time_locked() const;
+
+  NodeConfig cfg_;
+  std::unique_ptr<Csa> csa_;
+  std::unique_ptr<TimeSource> time_source_;
+  std::unique_ptr<Transport> transport_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool checkpoint_supported_ = false;
+  std::map<ProcId, PeerState> peers_;  ///< Ordered: canonical checkpoints.
+  std::uint32_t next_event_seq_ = 0;
+  LocalTime last_event_lt_ = 0.0;
+  NodeStats stats_;
+  std::thread timer_;
+};
+
+}  // namespace driftsync::runtime

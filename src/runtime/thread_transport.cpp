@@ -1,0 +1,190 @@
+#include "runtime/thread_transport.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace driftsync::runtime {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Endpoint handed to a Node; all real work happens in the hub.
+class HubEndpoint : public Transport {
+ public:
+  HubEndpoint(ThreadHub* hub, ProcId self) : hub_(hub), self_(self) {}
+  ~HubEndpoint() override { stop(); }
+
+  void start(DatagramHandler handler) override {
+    DS_CHECK_MSG(!started_, "endpoint started twice");
+    hub_->register_endpoint(self_, std::move(handler));
+    started_ = true;
+  }
+
+  void stop() override {
+    if (!started_) return;
+    hub_->unregister_endpoint(self_);
+    started_ = false;
+  }
+
+  void send(ProcId to, std::vector<std::uint8_t> bytes) override {
+    hub_->send_from(self_, to, std::move(bytes));
+  }
+
+ private:
+  ThreadHub* hub_;
+  ProcId self_;
+  bool started_ = false;
+};
+
+ThreadHub::ThreadHub(std::uint64_t seed) : rng_(seed) {
+  worker_ = std::thread([this] { worker(); });
+}
+
+ThreadHub::~ThreadHub() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void ThreadHub::set_link(ProcId a, ProcId b, double min_latency,
+                         double max_latency, double loss) {
+  set_directed(a, b, min_latency, max_latency, loss);
+  set_directed(b, a, min_latency, max_latency, loss);
+}
+
+void ThreadHub::set_directed(ProcId from, ProcId to, double min_latency,
+                             double max_latency, double loss) {
+  DS_CHECK(min_latency >= 0.0 && max_latency >= min_latency);
+  DS_CHECK(loss >= 0.0 && loss < 1.0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  DirLink& link = links_[dir_key(from, to)];
+  link.min_latency = min_latency;
+  link.max_latency = max_latency;
+  link.loss = loss;
+}
+
+void ThreadHub::drop_next(ProcId from, ProcId to, std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = links_.find(dir_key(from, to));
+  DS_CHECK_MSG(it != links_.end(), "drop_next on an unconfigured direction");
+  it->second.force_drop += n;
+}
+
+std::unique_ptr<Transport> ThreadHub::endpoint(ProcId p) {
+  return std::make_unique<HubEndpoint>(this, p);
+}
+
+std::uint64_t ThreadHub::delivered() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+std::uint64_t ThreadHub::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void ThreadHub::register_endpoint(ProcId p, DatagramHandler handler) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Sink& sink = sinks_[p];
+  DS_CHECK_MSG(!sink.handler, "two endpoints registered for one processor");
+  sink.handler = std::move(handler);
+}
+
+void ThreadHub::unregister_endpoint(ProcId p) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = sinks_.find(p);
+  if (it == sinks_.end()) return;
+  // The worker calls handlers outside mu_ with `delivering` set; wait for
+  // any in-flight call so the handler's captures can be destroyed safely.
+  cv_.wait(lock, [&] { return !it->second.delivering; });
+  sinks_.erase(it);
+}
+
+void ThreadHub::send_from(ProcId from, ProcId to,
+                          std::vector<std::uint8_t> bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (to == kReplyPeer) {
+      // Resolve "reply to the datagram being handled": only meaningful
+      // while the sender's sink is mid-delivery (i.e. this call came from
+      // inside its handler, on the worker thread).
+      const auto sink_it = sinks_.find(from);
+      if (sink_it == sinks_.end() || !sink_it->second.delivering) {
+        ++dropped_;
+        return;
+      }
+      to = sink_it->second.current_from;
+    }
+    const auto it = links_.find(dir_key(from, to));
+    if (it == links_.end()) {
+      ++dropped_;  // No link configured: a partition, not an error.
+      return;
+    }
+    DirLink& link = it->second;
+    if (link.force_drop > 0) {
+      --link.force_drop;
+      ++dropped_;
+      return;
+    }
+    if (link.loss > 0.0 && rng_.flip(link.loss)) {
+      ++dropped_;
+      return;
+    }
+    const double now = steady_seconds();
+    double due = now + rng_.uniform(link.min_latency, link.max_latency);
+    if (due < link.last_due) due = link.last_due;  // FIFO per direction.
+    link.last_due = due;
+    queue_.push(Pending{due, next_order_++, from, to, std::move(bytes)});
+  }
+  cv_.notify_all();
+}
+
+void ThreadHub::worker() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!running_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const double now = steady_seconds();
+    const double due = queue_.top().due;
+    if (due > now) {
+      cv_.wait_for(lock, std::chrono::duration<double>(due - now));
+      continue;
+    }
+    Pending item = queue_.top();
+    queue_.pop();
+    const auto it = sinks_.find(item.to);
+    if (it == sinks_.end() || !it->second.handler) {
+      ++dropped_;  // Destination down (stopped or never started).
+      continue;
+    }
+    it->second.delivering = true;
+    it->second.current_from = item.from;
+    ++delivered_;
+    // Call outside mu_ so the handler can send (which re-enters the hub)
+    // without deadlock.  `delivering` keeps the sink alive meanwhile.
+    lock.unlock();
+    it->second.handler(std::span<const std::uint8_t>(item.bytes));
+    lock.lock();
+    it->second.delivering = false;
+    it->second.current_from = kInvalidProc;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,112 @@
+// In-process datagram network (DESIGN.md S7): per-processor Transport
+// endpoints joined by a hub that models per-direction latency and loss.
+//
+// This is the runtime analogue of the simulator's LatencyModel, but over
+// real threads and real time: a single worker thread delivers datagrams
+// after a uniformly drawn latency, clamped to FIFO order per direction (a
+// later send is never delivered before an earlier one — matching the UDP
+// loopback behavior the rest of the runtime is tested against).  Loss is
+// either probabilistic (`loss` parameter, seeded Rng, for soak-style tests)
+// or deterministic (`drop_next`, for pinning down the loss-declaration
+// path in unit tests).
+//
+// Directions without a configured link drop everything, so a hub is also a
+// cheap partition/outage injector: nodes keep running, their skip-commit
+// timers fire, and reconnection is a matter of re-adding the link.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "runtime/transport.h"
+
+namespace driftsync::runtime {
+
+class ThreadHub {
+ public:
+  explicit ThreadHub(std::uint64_t seed = 1);
+  ~ThreadHub();
+
+  ThreadHub(const ThreadHub&) = delete;
+  ThreadHub& operator=(const ThreadHub&) = delete;
+
+  /// Configures both directions with the same latency range and loss
+  /// probability.  Latencies are in (real) seconds.
+  void set_link(ProcId a, ProcId b, double min_latency, double max_latency,
+                double loss = 0.0);
+  void set_directed(ProcId from, ProcId to, double min_latency,
+                    double max_latency, double loss = 0.0);
+
+  /// Force-drops the next `n` datagrams sent from->to, ahead of any
+  /// probabilistic loss.  Deterministic loss injection for tests.
+  void drop_next(ProcId from, ProcId to, std::uint64_t n);
+
+  /// Creates the Transport endpoint for processor `p`.  The endpoint keeps
+  /// a pointer to this hub: the hub must outlive it.
+  [[nodiscard]] std::unique_ptr<Transport> endpoint(ProcId p);
+
+  [[nodiscard]] std::uint64_t delivered() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  friend class HubEndpoint;
+
+  struct DirLink {
+    double min_latency = 0.0;
+    double max_latency = 0.0;
+    double loss = 0.0;
+    double last_due = 0.0;  ///< FIFO clamp: next delivery not before this.
+    std::uint64_t force_drop = 0;
+  };
+
+  struct Pending {
+    double due = 0.0;
+    std::uint64_t order = 0;  ///< Tie-break: queue insertion order.
+    ProcId from = kInvalidProc;
+    ProcId to = kInvalidProc;
+    std::vector<std::uint8_t> bytes;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.due != b.due ? a.due > b.due : a.order > b.order;
+    }
+  };
+
+  struct Sink {
+    DatagramHandler handler;
+    bool delivering = false;
+    /// Origin of the datagram currently being handled (kReplyPeer target).
+    ProcId current_from = kInvalidProc;
+  };
+
+  static std::uint64_t dir_key(ProcId from, ProcId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  void register_endpoint(ProcId p, DatagramHandler handler);
+  void unregister_endpoint(ProcId p);  ///< Waits out an in-flight delivery.
+  void send_from(ProcId from, ProcId to, std::vector<std::uint8_t> bytes);
+  void worker();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = true;
+  Rng rng_;
+  std::map<std::uint64_t, DirLink> links_;
+  std::map<ProcId, Sink> sinks_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
+  std::uint64_t next_order_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::thread worker_;  // Last: joins in ~ThreadHub before members die.
+};
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,50 @@
+// Datagram transport abstraction for the runtime (DESIGN.md S7).
+//
+// A Transport moves opaque byte buffers between processors, addressed by
+// ProcId, with datagram semantics: unordered in principle, unreliable
+// always (messages may be dropped silently, which is precisely the
+// Section 3.3 setting the loss-declaration machinery exists for).  The
+// Node driver owns all framing and fate tracking; transports never parse
+// the bytes they carry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace driftsync::runtime {
+
+/// Receive callback.  Invoked from the transport's delivery thread, one
+/// call at a time (never concurrently with itself); the span is valid only
+/// for the duration of the call.
+using DatagramHandler = std::function<void(std::span<const std::uint8_t>)>;
+
+/// Reserved destination for send(): while a handler invocation is running,
+/// it addresses the origin of the datagram being handled (UDP: the source
+/// address; hub: the sending endpoint).  Probe replies use it — a probe
+/// requester is not a configured peer.  Outside a handler call, sends to
+/// kReplyPeer are dropped.
+inline constexpr ProcId kReplyPeer = kInvalidProc - 1;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers the receive handler and starts delivery.  Called once,
+  /// before the first send().
+  virtual void start(DatagramHandler handler) = 0;
+
+  /// Stops delivery and returns only after any in-flight handler call has
+  /// completed (so the handler's captures may be destroyed afterwards).
+  /// Idempotent.
+  virtual void stop() = 0;
+
+  /// Best-effort datagram to `to`.  Never blocks for long; may drop the
+  /// datagram silently (unknown peer, full queue, down link).
+  virtual void send(ProcId to, std::vector<std::uint8_t> bytes) = 0;
+};
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,204 @@
+#include "runtime/udp_transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace driftsync::runtime {
+
+namespace {
+
+/// Largest UDP payload we ever receive; send-side payloads are bounded by
+/// the CSA's O(K1*D) report batches, far below this.
+constexpr std::size_t kMaxDatagram = 65536;
+
+/// One backlog queue never holds more than this many unsent datagrams;
+/// beyond it new sends are dropped (the fate protocol absorbs the loss).
+constexpr std::size_t kMaxBacklog = 256;
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("udp: unparsable IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const std::string& bind_host,
+                           std::uint16_t bind_port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("udp: socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr = make_addr(bind_host, bind_port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("udp: bind: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe2(wake_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("udp: pipe: ") + std::strerror(err));
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_[0] >= 0) ::close(wake_[0]);
+  if (wake_[1] >= 0) ::close(wake_[1]);
+}
+
+void UdpTransport::add_peer(ProcId proc, const std::string& host,
+                            std::uint16_t port) {
+  DS_CHECK_MSG(!started_, "add_peer after start");
+  peers_[proc].addr = make_addr(host, port);
+}
+
+void UdpTransport::start(DatagramHandler handler) {
+  DS_CHECK_MSG(!started_, "transport started twice");
+  handler_ = std::move(handler);
+  running_.store(true);
+  started_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void UdpTransport::stop() {
+  if (!started_) return;
+  running_.store(false);
+  const char byte = 0;
+  // A full pipe already guarantees a pending wakeup; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(wake_[1], &byte, 1);
+  thread_.join();
+  started_ = false;
+}
+
+bool UdpTransport::try_send(const sockaddr_in& addr,
+                            const std::vector<std::uint8_t>& bytes) {
+  const ssize_t n =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n >= 0) return true;
+  if (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS) {
+    return false;  // Retry via backlog.
+  }
+  ++send_drops_;  // Hard error (e.g. EMSGSIZE): drop, fate protocol copes.
+  return true;    // "Done with this datagram."
+}
+
+void UdpTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
+  bool need_wake = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (to == kReplyPeer) {
+      // Reply to the source of the datagram being handled.  Best-effort
+      // and unqueued: if the socket would block, the requester retries.
+      if (!reply_valid_ || !try_send(reply_addr_, bytes)) ++send_drops_;
+      return;
+    }
+    const auto it = peers_.find(to);
+    if (it == peers_.end()) {
+      ++send_drops_;
+      return;
+    }
+    PeerState& peer = it->second;
+    if (peer.backlog.empty() && try_send(peer.addr, bytes)) return;
+    if (peer.backlog.size() >= kMaxBacklog) {
+      ++send_drops_;
+      return;
+    }
+    peer.backlog.push_back(std::move(bytes));
+    need_wake = true;
+  }
+  if (need_wake) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_[1], &byte, 1);
+  }
+}
+
+void UdpTransport::loop() {
+  std::vector<std::uint8_t> buf(kMaxDatagram);
+  while (running_.load()) {
+    bool want_write = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [proc, peer] : peers_) {
+        if (!peer.backlog.empty()) {
+          want_write = true;
+          break;
+        }
+      }
+    }
+    pollfd fds[2];
+    fds[0].fd = fd_;
+    fds[0].events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    fds[0].revents = 0;
+    fds[1].fd = wake_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;  // Unrecoverable poll failure: stop serving.
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        sockaddr_in src{};
+        socklen_t src_len = sizeof(src);
+        const ssize_t n =
+            ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                       reinterpret_cast<sockaddr*>(&src), &src_len);
+        if (n < 0) break;  // EWOULDBLOCK or transient error: poll again.
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          reply_addr_ = src;
+          reply_valid_ = true;
+        }
+        handler_(std::span<const std::uint8_t>(buf.data(),
+                                               static_cast<std::size_t>(n)));
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          reply_valid_ = false;
+        }
+      }
+    }
+    if (fds[0].revents & POLLOUT) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [proc, peer] : peers_) {
+        while (!peer.backlog.empty()) {
+          if (!try_send(peer.addr, peer.backlog.front())) break;
+          peer.backlog.pop_front();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,82 @@
+// Nonblocking IPv4/UDP transport (DESIGN.md S7).
+//
+// One event-loop thread services a single bound socket: inbound datagrams
+// go to the handler; outbound datagrams that would block queue per peer
+// (bounded) and flush when the socket becomes writable.  Peers are static
+// (ProcId -> address), fixed before start(); the datagram's own `from`
+// field — not the UDP source address — identifies the sender, which makes
+// the socket an untrusted-input surface in full (DESIGN.md §6): any host
+// that can reach the port can inject bytes, and the Node above survives
+// arbitrary garbage by construction (WireError => counted drop).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+
+#include "common/ids.h"
+#include "runtime/transport.h"
+
+namespace driftsync::runtime {
+
+class UdpTransport : public Transport {
+ public:
+  /// Binds `bind_host:bind_port` (IPv4 dotted quad; port 0 picks an
+  /// ephemeral port, see local_port()).  Throws std::runtime_error on
+  /// socket/bind failure — callers that can run without a network (tests)
+  /// catch and skip.
+  UdpTransport(const std::string& bind_host, std::uint16_t bind_port);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Registers a peer's address.  Must be called before start(); throws
+  /// std::runtime_error on an unparsable host.
+  void add_peer(ProcId proc, const std::string& host, std::uint16_t port);
+
+  void start(DatagramHandler handler) override;
+  void stop() override;
+  void send(ProcId to, std::vector<std::uint8_t> bytes) override;
+
+  /// The actually bound port (resolves a bind_port of 0).
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+  /// Outbound datagrams dropped (unknown peer, full queue, send error).
+  [[nodiscard]] std::uint64_t send_drops() const { return send_drops_; }
+
+ private:
+  struct PeerState {
+    sockaddr_in addr{};
+    std::deque<std::vector<std::uint8_t>> backlog;  ///< EWOULDBLOCK queue.
+  };
+
+  void loop();
+  [[nodiscard]] bool try_send(const sockaddr_in& addr,
+                              const std::vector<std::uint8_t>& bytes);
+
+  /// Source address of the datagram currently in the handler (kReplyPeer
+  /// routing).  Written by the loop thread under mu_.
+  sockaddr_in reply_addr_{};
+  bool reply_valid_ = false;
+
+  int fd_ = -1;
+  int wake_[2] = {-1, -1};  ///< self-pipe: wakes the loop for stop/flush.
+  std::uint16_t local_port_ = 0;
+  std::map<ProcId, PeerState> peers_;
+  DatagramHandler handler_;
+  std::thread thread_;
+  std::mutex mu_;  ///< Guards peer backlogs (send() vs loop flush).
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::atomic<std::uint64_t> send_drops_{0};
+};
+
+}  // namespace driftsync::runtime

@@ -50,12 +50,61 @@ TEST(FlagsTest, HexSeed) {
 }
 
 TEST(FlagsTest, MalformedThrows) {
-  EXPECT_THROW(make({"--dangling"}), std::logic_error);
+  EXPECT_THROW(make({"--dangling"}), FlagError);
   const Flags f = make({"--n=abc"});
-  EXPECT_THROW((void)f.get_int("n", 0), std::logic_error);
-  EXPECT_THROW((void)f.get_double("n", 0), std::logic_error);
+  EXPECT_THROW((void)f.get_int("n", 0), FlagError);
+  EXPECT_THROW((void)f.get_double("n", 0), FlagError);
   const Flags g = make({"--b=maybe"});
-  EXPECT_THROW((void)g.get_bool("b", false), std::logic_error);
+  EXPECT_THROW((void)g.get_bool("b", false), FlagError);
+  const Flags h = make({"--seed=zzz"});
+  EXPECT_THROW((void)h.get_seed("seed", 0), FlagError);
+}
+
+TEST(FlagsTest, MalformedValueIsNotSilentlyIgnored) {
+  // A trailing-garbage numeric value must error, not round down.
+  const Flags f = make({"--poll=0.25s"});
+  EXPECT_THROW((void)f.get_double("poll", 0.0), FlagError);
+}
+
+TEST(FlagsTest, RejectUnknownPassesWhenAllRead) {
+  const Flags f = make({"--a=1", "--b=2"});
+  (void)f.get_int("a", 0);
+  EXPECT_TRUE(f.has("b"));
+  EXPECT_TRUE(f.unknown_keys().empty());
+  EXPECT_NO_THROW(f.reject_unknown());
+}
+
+TEST(FlagsTest, RejectUnknownThrowsOnUnreadFlag) {
+  const Flags f = make({"--a=1", "--typo=2", "--bogus=3"});
+  (void)f.get_int("a", 0);
+  EXPECT_EQ(f.unknown_keys(), (std::vector<std::string>{"bogus", "typo"}));
+  try {
+    f.reject_unknown("usage: prog --a=N");
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--typo"), std::string::npos) << what;
+    EXPECT_NE(what.find("--bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("usage: prog --a=N"), std::string::npos) << what;
+  }
+}
+
+TEST(FlagsTest, RejectUnknownWithNothingPassed) {
+  const Flags f = make({});
+  EXPECT_NO_THROW(f.reject_unknown("usage"));
+}
+
+TEST(FlagsTest, FlagErrorIsRuntimeNotLogicError) {
+  // Misconfiguration is operator input, not a programming bug: it must not
+  // be conflated with DS_CHECK failures.
+  const Flags f = make({"--n=abc"});
+  try {
+    (void)f.get_int("n", 0);
+    FAIL() << "expected FlagError";
+  } catch (const std::runtime_error&) {
+  } catch (...) {
+    FAIL() << "FlagError must derive from std::runtime_error";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// driftsync_probe — queries a running driftsyncd node for its current
+// interval estimate and stats (DESIGN.md S7).
+//
+//   driftsync_probe --target=127.0.0.1:7700 [--timeout=2] [--tries=3]
+//
+// Sends a ProbeReq datagram and prints the reply as one JSON line:
+//   {"proc":1,"local_time":...,"lo":...,"hi":...,"width":...,"stats":{...}}
+// Exit status: 0 reply received, 1 timeout, 2 bad flags.
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/errors.h"
+#include "common/flags.h"
+#include "runtime/datagram.h"
+
+using namespace driftsync;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: driftsync_probe --target=HOST:PORT [--timeout=2] [--tries=3]";
+
+void print_number(double v) {
+  if (std::isfinite(v)) {
+    std::printf("%.9f", v);
+  } else {
+    std::printf("null");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  const std::string target = flags.get_string("target", "");
+  const double timeout = flags.get_double("timeout", 2.0);
+  const auto tries = static_cast<int>(flags.get_int("tries", 3));
+  flags.reject_unknown(kUsage);
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw FlagError("bad --target (need HOST:PORT): " + target);
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(target.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    throw FlagError("bad --target port: " + target);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, target.substr(0, colon).c_str(), &addr.sin_addr) !=
+      1) {
+    throw FlagError("bad --target host: " + target);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "probe: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  timespec seed{};
+  clock_gettime(CLOCK_MONOTONIC, &seed);
+  const std::uint64_t nonce =
+      (static_cast<std::uint64_t>(seed.tv_sec) << 30) ^
+      static_cast<std::uint64_t>(seed.tv_nsec) ^
+      (static_cast<std::uint64_t>(getpid()) << 48);
+
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    const std::vector<std::uint8_t> req =
+        runtime::encode_datagram(runtime::ProbeReq{nonce});
+    if (::sendto(fd, req.data(), req.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+      std::fprintf(stderr, "probe: sendto: %s\n", std::strerror(errno));
+      continue;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout * 1000.0 /
+                                         static_cast<double>(tries)));
+    if (ready <= 0) continue;
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) continue;
+    runtime::Datagram dgram;
+    try {
+      dgram = runtime::decode_datagram(
+          std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    } catch (const WireError& e) {
+      std::fprintf(stderr, "probe: malformed reply: %s\n", e.what());
+      continue;
+    }
+    const auto* resp = std::get_if<runtime::ProbeResp>(&dgram);
+    if (resp == nullptr || resp->nonce != nonce) continue;
+    ::close(fd);
+    std::printf("{\"proc\":%u,\"local_time\":%.9f,\"lo\":", resp->from,
+                resp->local_time);
+    print_number(resp->lo);
+    std::printf(",\"hi\":");
+    print_number(resp->hi);
+    std::printf(",\"width\":");
+    print_number(resp->hi - resp->lo);
+    // The embedded stats are already one JSON object; splice verbatim.
+    std::printf(",\"stats\":%s}\n",
+                resp->stats_json.empty() ? "null" : resp->stats_json.c_str());
+    return 0;
+  }
+  ::close(fd);
+  std::fprintf(stderr, "probe: no reply from %s\n", target.c_str());
+  return 1;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n%s\n", e.what(), kUsage);
+  return 2;
+}

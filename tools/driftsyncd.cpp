@@ -1,0 +1,320 @@
+// driftsyncd — hosts one CSA on a real UDP transport (DESIGN.md S7).
+//
+// One daemon per processor; all daemons of a deployment share the same
+// system description flags (--procs/--source/--rho/--links) so every CSA
+// derives the same bounds mapping, exactly as the paper assumes the
+// real-time specification is common knowledge.  Mixed --algo deployments
+// are unsupported: view-propagating and scalar-payload CSAs do not speak
+// the same payload dialect.
+//
+//   terminal 1:
+//     driftsyncd --self=0 --procs=2 --links=0-1:0.0001,0.05
+//         --bind=127.0.0.1:7700 --peers=1=127.0.0.1:7701
+//   terminal 2:
+//     driftsyncd --self=1 --procs=2 --links=0-1:0.0001,0.05
+//         --bind=127.0.0.1:7701 --peers=0=127.0.0.1:7700
+//   anywhere:
+//     driftsync_probe --target=127.0.0.1:7701
+//
+// SIGUSR1 dumps one JSON stats line to stdout; --stats-interval dumps
+// periodically; SIGINT/SIGTERM shut down cleanly.  --checkpoint makes the
+// node persist its state (write-ahead, see runtime/node.h) and restore it
+// on restart.  --selftest runs a self-contained 3-node in-process network
+// and exits 0 iff containment and convergence hold.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cristian_csa.h"
+#include "baselines/full_view_csa.h"
+#include "baselines/interval_csa.h"
+#include "baselines/ntp_csa.h"
+#include "common/errors.h"
+#include "common/flags.h"
+#include "core/optimal_csa.h"
+#include "core/spec.h"
+#include "runtime/node.h"
+#include "runtime/thread_transport.h"
+#include "runtime/time_source.h"
+#include "runtime/udp_transport.h"
+
+using namespace driftsync;
+using runtime::Node;
+using runtime::NodeConfig;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: driftsyncd --self=P --procs=N [--source=0] [--rho=1e-4]\n"
+    "         --links='0-1:min,max[,min,max][;...]'   (per-direction bounds)\n"
+    "         --bind=HOST:PORT --peers='P=HOST:PORT[;...]'\n"
+    "         [--algo=optimal|fullview|interval|ntp|cristian]\n"
+    "         [--poll=0.5] [--timeout=2.0] [--skip-retry=1.0]\n"
+    "         [--checkpoint=PATH] [--stats-interval=0] [--duration=0]\n"
+    "         [--selftest]";
+
+volatile std::sig_atomic_t g_terminate = 0;
+volatile std::sig_atomic_t g_dump_stats = 0;
+
+void on_terminate(int) { g_terminate = 1; }
+void on_usr1(int) { g_dump_stats = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_terminate;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = on_usr1;
+  sigaction(SIGUSR1, &sa, nullptr);
+}
+
+std::uint16_t parse_port(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v > 65535) {
+    throw FlagError("bad port: " + text);
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+/// "HOST:PORT" for --bind and --peers entries.
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw FlagError("bad endpoint (need HOST:PORT): " + text);
+  }
+  return {text.substr(0, colon), parse_port(text.substr(colon + 1))};
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      if (start < text.size()) parts.push_back(text.substr(start));
+      break;
+    }
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+double parse_number(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw FlagError(std::string("bad ") + what + ": " + text);
+  }
+  return v;
+}
+
+ProcId parse_proc(const std::string& text, std::size_t num_procs) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v >= num_procs) {
+    throw FlagError("bad processor id: " + text);
+  }
+  return static_cast<ProcId>(v);
+}
+
+/// "0-1:min,max" (symmetric) or "0-1:min_ab,max_ab,min_ba,max_ba".
+std::vector<LinkSpec> parse_links(const std::string& text,
+                                  std::size_t num_procs) {
+  std::vector<LinkSpec> links;
+  for (const std::string& part : split(text, ';')) {
+    const std::size_t colon = part.find(':');
+    const std::size_t dash = part.find('-');
+    if (colon == std::string::npos || dash == std::string::npos ||
+        dash > colon) {
+      throw FlagError("bad link (need A-B:min,max[,min,max]): " + part);
+    }
+    const ProcId a = parse_proc(part.substr(0, dash), num_procs);
+    const ProcId b = parse_proc(part.substr(dash + 1, colon - dash - 1),
+                                num_procs);
+    const std::vector<std::string> nums =
+        split(part.substr(colon + 1), ',');
+    if (nums.size() != 2 && nums.size() != 4) {
+      throw FlagError("bad link bounds (need 2 or 4 numbers): " + part);
+    }
+    const double min_ab = parse_number(nums[0], "link bound");
+    const double max_ab = parse_number(nums[1], "link bound");
+    if (nums.size() == 2) {
+      links.emplace_back(a, b, min_ab, max_ab);
+    } else {
+      links.emplace_back(a, b, min_ab, max_ab,
+                         parse_number(nums[2], "link bound"),
+                         parse_number(nums[3], "link bound"));
+    }
+  }
+  if (links.empty()) throw FlagError("no links given");
+  return links;
+}
+
+std::unique_ptr<Csa> make_csa(const std::string& algo) {
+  if (algo == "optimal") {
+    OptimalCsa::Options opts;
+    opts.loss_tolerant = true;  // Real transports lose messages.
+    return std::make_unique<OptimalCsa>(opts);
+  }
+  if (algo == "fullview") return std::make_unique<FullViewCsa>();
+  if (algo == "interval") return std::make_unique<IntervalCsa>();
+  if (algo == "ntp") return std::make_unique<NtpCsa>();
+  if (algo == "cristian") return std::make_unique<CristianCsa>();
+  throw FlagError("unknown --algo: " + algo);
+}
+
+/// --selftest: a 3-node path over the in-process hub with drifting clocks,
+/// asymmetric latency and loss; passes iff every node's estimate contains
+/// the true source time and the non-source widths converge.
+int run_selftest() {
+  const double rho = 5e-4;
+  std::vector<ClockSpec> clocks{{0.0}, {rho}, {rho}};
+  std::vector<LinkSpec> links;
+  links.emplace_back(0, 1, 0.0, 0.05);
+  links.emplace_back(1, 2, 0.0, 0.05);
+  const SystemSpec spec(clocks, links, 0);
+
+  runtime::ThreadHub hub(7);
+  hub.set_link(0, 1, 0.0005, 0.004, 0.05);
+  hub.set_link(1, 2, 0.001, 0.008, 0.05);
+
+  const double offsets[3] = {0.0, 41.5, -13.25};
+  const double rates[3] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (ProcId p = 0; p < 3; ++p) {
+    NodeConfig cfg;
+    cfg.self = p;
+    cfg.spec = spec;
+    cfg.poll_period = 0.05;
+    cfg.fate_timeout = 0.25;
+    cfg.skip_retry = 0.1;
+    OptimalCsa::Options opts;
+    opts.loss_tolerant = true;
+    nodes.push_back(std::make_unique<Node>(
+        cfg, std::make_unique<OptimalCsa>(opts),
+        std::make_unique<runtime::ScaledTimeSource>(offsets[p], rates[p]),
+        hub.endpoint(p)));
+  }
+  for (auto& node : nodes) node->start();
+  const timespec nap{2, 0};
+  nanosleep(&nap, nullptr);
+
+  int failures = 0;
+  const runtime::SystemTimeSource truth;  // Source: offset 0, rate 1.
+  for (ProcId p = 0; p < 3; ++p) {
+    const double t0 = truth.now();
+    const Interval est = nodes[p]->estimate();
+    const double t1 = truth.now();
+    const bool contained = est.lo <= t1 && est.hi >= t0;
+    const bool converged = p == 0 || est.width() < 0.5;
+    if (!contained || !converged) ++failures;
+    std::printf("selftest node %u: [%.6f, %.6f] width %.6f %s\n", p, est.lo,
+                est.hi, est.width(),
+                contained && converged ? "ok" : "FAIL");
+    std::printf("%s\n", nodes[p]->stats_json().c_str());
+  }
+  for (auto& node : nodes) node->stop();
+  std::printf(failures == 0 ? "selftest PASS\n" : "selftest FAIL\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  // A bare `--selftest` (no value) would trip the Flags constructor's
+  // missing-value check, so recognize it before general flag parsing.
+  if (argc == 2 && std::string(argv[1]) == "--selftest") {
+    return run_selftest();
+  }
+  const Flags flags(argc, argv);
+  if (flags.get_bool("selftest", false)) {
+    flags.reject_unknown(kUsage);
+    return run_selftest();
+  }
+
+  const auto num_procs = static_cast<std::size_t>(flags.get_int("procs", 0));
+  if (num_procs < 2) throw FlagError("--procs must be >= 2");
+  const ProcId self = parse_proc(flags.get_string("self", ""), num_procs);
+  const ProcId source = parse_proc(flags.get_string("source", "0"), num_procs);
+  const double rho = flags.get_double("rho", 1e-4);
+  if (rho < 0.0 || rho >= 1.0) throw FlagError("--rho must be in [0, 1)");
+  std::vector<ClockSpec> clocks(num_procs, ClockSpec{rho});
+  clocks[source].rho = 0.0;  // The source runs at the rate of real time.
+  const SystemSpec spec(clocks,
+                        parse_links(flags.get_string("links", ""), num_procs),
+                        source);
+
+  const auto [bind_host, bind_port] =
+      parse_endpoint(flags.get_string("bind", ""));
+  auto transport =
+      std::make_unique<runtime::UdpTransport>(bind_host, bind_port);
+  NodeConfig cfg;
+  cfg.self = self;
+  cfg.spec = spec;
+  for (const std::string& part : split(flags.get_string("peers", ""), ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw FlagError("bad peer (need P=HOST:PORT): " + part);
+    }
+    const ProcId peer = parse_proc(part.substr(0, eq), num_procs);
+    const auto [host, port] = parse_endpoint(part.substr(eq + 1));
+    transport->add_peer(peer, host, port);
+    cfg.peers.push_back(peer);
+  }
+  if (cfg.peers.empty()) throw FlagError("no peers given");
+  cfg.poll_period = flags.get_double("poll", 0.5);
+  cfg.fate_timeout = flags.get_double("timeout", 2.0);
+  cfg.skip_retry = flags.get_double("skip-retry", 1.0);
+  cfg.checkpoint_path = flags.get_string("checkpoint", "");
+  const double stats_interval = flags.get_double("stats-interval", 0.0);
+  const double duration = flags.get_double("duration", 0.0);
+  const std::string algo = flags.get_string("algo", "optimal");
+  flags.reject_unknown(kUsage);
+
+  Node node(cfg, make_csa(algo), std::make_unique<runtime::SystemTimeSource>(),
+            std::move(transport));
+  install_signal_handlers();
+  node.start();  // Throws CheckpointError on a rejected checkpoint.
+  std::fprintf(stderr, "driftsyncd: node %u up (%s), %zu peer(s)\n", self,
+               algo.c_str(), cfg.peers.size());
+
+  const runtime::SystemTimeSource wall;
+  const double started = wall.now();
+  double next_stats =
+      stats_interval > 0.0 ? started + stats_interval : 0.0;
+  while (g_terminate == 0) {
+    const timespec nap{0, 200'000'000};
+    nanosleep(&nap, nullptr);
+    if (g_dump_stats != 0) {
+      g_dump_stats = 0;
+      std::printf("%s\n", node.stats_json().c_str());
+      std::fflush(stdout);
+    }
+    const double now = wall.now();
+    if (next_stats > 0.0 && now >= next_stats) {
+      next_stats += stats_interval;
+      std::printf("%s\n", node.stats_json().c_str());
+      std::fflush(stdout);
+    }
+    if (duration > 0.0 && now - started >= duration) break;
+  }
+  node.stop();
+  std::printf("%s\n", node.stats_json().c_str());
+  return 0;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n%s\n", e.what(), kUsage);
+  return 2;
+} catch (const driftsync::DecodeError& e) {
+  std::fprintf(stderr, "driftsyncd: %s\n", e.what());
+  return 1;
+} catch (const std::runtime_error& e) {
+  std::fprintf(stderr, "driftsyncd: %s\n", e.what());
+  return 1;
+}

@@ -108,12 +108,14 @@ std::size_t fuzz_once(std::uint64_t seed) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   const auto iterations =
       static_cast<std::uint64_t>(flags.get_int("iterations", 50));
   const double seconds = flags.get_double("seconds", 0.0);
   const std::uint64_t seed0 = flags.get_seed("seed0", 1);
+  flags.reject_unknown(
+      "usage: fuzz_differential [--iterations=N] [--seconds=S] [--seed0=N]");
 
   const auto start = std::chrono::steady_clock::now();
   std::size_t total_events = 0;
@@ -133,4 +135,7 @@ int main(int argc, char** argv) {
   std::printf("fuzzed %llu scenarios, %zu events, 0 divergences\n",
               static_cast<unsigned long long>(i), total_events);
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n", e.what());
+  return 2;
 }

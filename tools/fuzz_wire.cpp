@@ -129,12 +129,14 @@ std::size_t fuzz_once(std::uint64_t seed) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   const auto iterations =
       static_cast<std::uint64_t>(flags.get_int("iterations", 10000));
   const double seconds = flags.get_double("seconds", 0.0);
   const std::uint64_t seed0 = flags.get_seed("seed0", 1);
+  flags.reject_unknown(
+      "usage: fuzz_wire [--iterations=N] [--seconds=S] [--seed0=N]");
 
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t done = 0;
@@ -156,4 +158,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(done),
       static_cast<unsigned long long>(scenario));
   return 0;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n", e.what());
+  return 2;
 }

@@ -117,6 +117,28 @@ class Csa {
     return true;
   }
 
+  /// Spec-violation screen (runtime quarantine support).  A message from
+  /// neighbor `from`, stamped `send_lt` at the sender and arriving while
+  /// this processor's clock reads `now`, is *infeasible* when no execution
+  /// satisfying the real-time specification could have produced it given
+  /// everything already in the view — i.e. ingesting it would make the
+  /// synchronization graph's constraint system inconsistent (a negative
+  /// cycle).  The paper assumes the spec always holds; a real deployment
+  /// cannot: a peer with an insane clock emits exactly such observations,
+  /// and ingesting them silently poisons every estimate derived from the
+  /// view.  A hosting runtime calls this BEFORE on_receive and, on false,
+  /// renounces the message instead of processing it (see runtime/node.h's
+  /// quarantine state machine).  Must not mutate state.  The default —
+  /// everything is feasible — keeps baselines and the simulator unchanged.
+  [[nodiscard]] virtual bool observation_feasible(ProcId from,
+                                                  LocalTime send_lt,
+                                                  LocalTime now) const {
+    (void)from;
+    (void)send_lt;
+    (void)now;
+    return true;
+  }
+
   /// Restart persistence.  checkpoint() returns a byte image a hosting
   /// runtime can persist; an EMPTY image means "this CSA does not support
   /// checkpointing" and the host must not persist anything.  restore()

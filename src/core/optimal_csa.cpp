@@ -1,6 +1,7 @@
 #include "core/optimal_csa.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -10,6 +11,8 @@
 namespace driftsync {
 
 void OptimalCsa::init(const SystemSpec& spec, ProcId self) {
+  spec_ = &spec;
+  self_ = self;
   HistoryProtocol::Options hopts;
   hopts.audit = opts_.audit_reports;
   hopts.loss_tolerant = opts_.loss_tolerant;
@@ -17,6 +20,38 @@ void OptimalCsa::init(const SystemSpec& spec, ProcId self) {
   SyncEngine::Options eopts;
   eopts.keep_dead_nodes = opts_.ablate_keep_dead_nodes;
   engine_.emplace(spec, self, eopts);
+}
+
+bool OptimalCsa::observation_feasible(ProcId from, LocalTime send_lt,
+                                      LocalTime now) const {
+  DS_CHECK(engine_ && spec_);
+  if (from >= spec_->num_procs()) return false;
+  const LinkSpec* link = spec_->link_between(self_, from);
+  if (link == nullptr) return false;
+  // Bounds on `from`'s current clock reading, derived from the view (its
+  // own past observations plus every constraint connecting the two
+  // timelines).  everything() means "no usable knowledge yet": with nothing
+  // to contradict, any observation is feasible.
+  const Interval peer_now = engine_->peer_clock_estimate(from, now);
+  const ClockSpec& peer_clock = spec_->clock(from);
+  const double slack = opts_.feasibility_slack;
+  // The message was stamped at or before its arrival — except on virtual
+  // reference links (negative lower transit bound), where a reading may
+  // legitimately lie up to |min| real seconds "ahead".
+  const double ahead = std::max(0.0, -link->min_from(from));
+  if (std::isfinite(peer_now.hi) &&
+      send_lt > peer_now.hi + ahead * peer_clock.max_rate() + slack) {
+    return false;
+  }
+  // ... and at most max-transit real seconds before it, during which the
+  // peer's clock advanced at most u * (1 + rho).
+  const double u = link->max_from(from);
+  if (std::isfinite(peer_now.lo) && u != kNoBound &&
+      send_lt < peer_now.lo - std::max(0.0, u) * peer_clock.max_rate() -
+                    slack) {
+    return false;
+  }
+  return true;
 }
 
 CsaPayload OptimalCsa::on_send(const SendContext& ctx) {

@@ -23,6 +23,12 @@ class OptimalCsa : public Csa {
     /// ABLATION ONLY: disable AGDP dead-node garbage collection (see
     /// SyncEngine::Options::keep_dead_nodes).
     bool ablate_keep_dead_nodes = false;
+    /// Tolerance of observation_feasible() (seconds): an observation is
+    /// declared infeasible only when it lies beyond the spec-derived
+    /// envelope by more than this slack.  Generous by default — the screen
+    /// exists to catch insane clocks (steps of seconds, grossly wrong
+    /// rates), and a false positive quarantines a sane peer.
+    double feasibility_slack = 5e-3;
   };
 
   OptimalCsa() = default;
@@ -32,6 +38,8 @@ class OptimalCsa : public Csa {
   CsaPayload on_send(const SendContext& ctx) override;
   void on_receive(const RecvContext& ctx, const CsaPayload& payload) override;
   void on_internal(const EventRecord& event) override;
+  [[nodiscard]] bool observation_feasible(ProcId from, LocalTime send_lt,
+                                          LocalTime now) const override;
   [[nodiscard]] Interval estimate(LocalTime now) const override;
   [[nodiscard]] CsaStats stats() const override;
   [[nodiscard]] const char* name() const override { return "optimal"; }
@@ -71,6 +79,9 @@ class OptimalCsa : public Csa {
 
  private:
   Options opts_;
+  const SystemSpec* spec_ = nullptr;  ///< Bound by init(); outlives the CSA's
+                                      ///< host (NodeConfig/Scenario own it).
+  ProcId self_ = kInvalidProc;
   std::optional<HistoryProtocol> history_;
   std::optional<SyncEngine> engine_;
   CsaStats stats_;

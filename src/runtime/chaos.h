@@ -1,0 +1,172 @@
+// Deterministic fault injection for the runtime (DESIGN.md S7).
+//
+// The simulator can explore adversarial schedules because it owns the event
+// queue; the runtime cannot — real threads, real sockets, real clocks.  The
+// chaos layer closes that gap with two decorators that sit between a Node
+// and the primitives it trusts:
+//
+//  * ChaosTransport wraps any Transport and perturbs the SEND path with a
+//    seeded fault mix: partitions (total or per-peer), burst loss,
+//    independent drops, duplication, reordering beyond the per-direction
+//    FIFO the hub otherwise guarantees, and byte corruption.  Faults are
+//    injected sender-side only, so wrapping every endpoint of a ThreadHub
+//    covers both directions of every link and the hub's own FIFO/latency
+//    model stays intact underneath.
+//
+//  * FaultyTimeSource wraps any TimeSource and perturbs the clock: a rate
+//    multiplier (within-spec drift wobble or a spec-violating rate) and
+//    step faults (spec-violating jumps).  Readings stay non-decreasing —
+//    a negative step freezes the clock until real time catches up — so the
+//    TimeSource contract the Node depends on survives every fault.
+//
+// Every injected fault is reported to a shared ChaosEventLog as one JSON
+// line, and every stochastic choice flows through a seeded driftsync::Rng:
+// a failing chaos run is replayed from its --seed alone (the fault
+// schedule is bit-identical; thread scheduling may differ, which is why
+// the oracle asserts invariants, not exact traces).
+//
+// Corruption is always *detectable*: at least one flipped bit lands in the
+// datagram header (magic/version), so the receiver counts a decode drop
+// instead of ingesting plausible-but-wrong timestamps.  Undetectable
+// corruption is indistinguishable from a spec-violating peer — that case
+// is exercised separately through FaultyTimeSource and the quarantine
+// machinery (runtime/node.h).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "runtime/time_source.h"
+#include "runtime/transport.h"
+
+namespace driftsync::runtime {
+
+/// Thread-safe journal of injected faults.  Each entry is one JSON line
+/// `{"chaos":"<fault>","node":N,"peer":P,"t":<steady-seconds>,"value":V}`
+/// written to `out` (pass nullptr to only count).  The per-fault counters
+/// feed scenario verdicts and the oracle's loss-soundness bookkeeping.
+class ChaosEventLog {
+ public:
+  explicit ChaosEventLog(std::FILE* out = nullptr) : out_(out) {}
+
+  void log(const char* fault, ProcId node, ProcId peer, double value = 0.0);
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t count(const std::string& fault) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* out_;
+  std::uint64_t total_ = 0;
+  std::map<std::string, std::uint64_t> per_fault_;
+};
+
+/// Per-send fault probabilities (each drawn independently, in the order
+/// burst, drop, corrupt, duplicate, reorder).  All default to "no fault".
+struct ChaosFaults {
+  double drop = 0.0;       ///< Drop this datagram silently.
+  double burst = 0.0;      ///< Start a burst: this and the next burst_len-1
+                           ///< sends (any peer) are dropped.
+  double corrupt = 0.0;    ///< Flip bits (header included: always rejected).
+  double duplicate = 0.0;  ///< Deliver the datagram twice.
+  double reorder = 0.0;    ///< Hold it; release it AFTER the next send to
+                           ///< the same peer (breaks FIFO).
+  std::uint32_t burst_len = 8;
+  /// Oldest a held datagram may get before it is dropped instead of
+  /// released.  A reorder is only a FIFO violation while the total transit
+  /// (hold + link latency) stays inside the spec's [min, max] transit
+  /// bound; past that it silently becomes a spec violation, which the
+  /// engine is *entitled* to fail hard on (DESIGN.md S7).  Longer delays
+  /// are modeled explicitly by drop/burst/partition faults, so stale holds
+  /// decay into a logged "hold-drop".  Keep this below the spec's max
+  /// transit minus the underlying transport's worst-case latency.
+  double max_hold = 0.02;
+};
+
+class ChaosTransport : public Transport {
+ public:
+  /// Wraps `inner` (typically a ThreadHub endpoint) for processor `self`.
+  /// `log` may be nullptr; it must outlive this transport otherwise.
+  ChaosTransport(std::unique_ptr<Transport> inner, ProcId self,
+                 ChaosFaults faults, std::uint64_t seed,
+                 ChaosEventLog* log = nullptr);
+  ~ChaosTransport() override;
+
+  void start(DatagramHandler handler) override;
+  void stop() override;
+  void send(ProcId to, std::vector<std::uint8_t> bytes) override;
+
+  /// Partition control (deterministic, schedule-driven): while set, every
+  /// send to `peer` (or to anyone, for the total variant) is dropped.
+  /// Inbound traffic is cut by the peer's own ChaosTransport, so a
+  /// symmetric partition needs the flag set on both sides.
+  void set_partitioned(ProcId peer, bool on);
+  void set_partitioned_all(bool on);
+
+  /// Total faults this transport injected (drops, dups, holds, flips).
+  [[nodiscard]] std::uint64_t injected() const;
+
+ private:
+  void record(const char* fault, ProcId peer, double value = 0.0);
+
+  std::unique_ptr<Transport> inner_;
+  const ProcId self_;
+  const ChaosFaults faults_;
+  ChaosEventLog* log_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  bool partitioned_all_ = false;
+  std::set<ProcId> partitioned_;
+  std::uint32_t burst_remaining_ = 0;
+  /// One held-back datagram per destination (the reorder fault).
+  struct Held {
+    double since = 0.0;  ///< steady_seconds() at hold time (max_hold cap).
+    std::vector<std::uint8_t> bytes;
+  };
+  std::map<ProcId, Held> held_;
+  std::uint64_t injected_ = 0;
+};
+
+/// TimeSource decorator injecting clock faults.  Thread-safe: the chaos
+/// schedule pokes it while the Node reads it.
+class FaultyTimeSource : public TimeSource {
+ public:
+  explicit FaultyTimeSource(std::unique_ptr<TimeSource> inner);
+
+  /// Non-decreasing by construction: a fault that would move the reading
+  /// backwards freezes it until the underlying clock catches up.
+  [[nodiscard]] LocalTime now() const override;
+
+  /// Instantaneous jump by `delta` seconds (spec-violating: the rate is
+  /// momentarily unbounded).  Negative deltas freeze (see now()).
+  void inject_step(double delta);
+
+  /// Scales the underlying clock's rate from this instant on.  Values
+  /// within [1 - rho, 1 + rho] of the processor's spec model legal drift
+  /// churn; values outside it are spec violations.  1.0 restores.
+  void set_rate_multiplier(double mult);
+
+  /// Ground-truth introspection for the harness/oracle.
+  [[nodiscard]] double fault_offset() const;     ///< Sum of injected steps.
+  [[nodiscard]] double rate_multiplier() const;  ///< Current multiplier.
+
+ private:
+  std::unique_ptr<TimeSource> inner_;
+  mutable std::mutex mu_;
+  double base_ = 0.0;        ///< Inner reading at the last fault change.
+  double acc_ = 0.0;         ///< Our reading at the last fault change.
+  double mult_ = 1.0;
+  double step_total_ = 0.0;
+  mutable double last_ = 0.0;  ///< Monotonicity clamp.
+};
+
+}  // namespace driftsync::runtime

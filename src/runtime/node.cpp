@@ -68,6 +68,14 @@ Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
   DS_CHECK(cfg_.self < cfg_.spec.num_procs());
   DS_CHECK(cfg_.poll_period > 0.0 && cfg_.fate_timeout > 0.0 &&
            cfg_.skip_retry > 0.0);
+  DS_CHECK(cfg_.quarantine_probe_factor >= 1.0);
+  DS_CHECK(cfg_.backoff_cap < 32);
+  // Jitter decorrelates peers' retry storms; it never touches protocol
+  // state, so an arbitrary per-process seed is fine.
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+  jitter_seed ^= static_cast<std::uint64_t>(cfg_.self) << 32;
+  jitter_seed ^= static_cast<std::uint64_t>(::getpid());
+  jitter_rng_.reseed(jitter_seed);
   if (cfg_.peers.empty()) cfg_.peers = cfg_.spec.neighbors(cfg_.self);
   for (const ProcId p : cfg_.peers) {
     DS_CHECK_MSG(cfg_.spec.are_neighbors(cfg_.self, p),
@@ -131,6 +139,14 @@ Interval Node::estimate() const {
   return csa_->estimate(query_time_locked());
 }
 
+NodeSample Node::sample() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  NodeSample s;
+  s.lt = query_time_locked();
+  s.est = csa_->estimate(s.lt);
+  return s;
+}
+
 LocalTime Node::local_time() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return query_time_locked();
@@ -140,6 +156,12 @@ NodeStats Node::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   NodeStats s = stats_;
   s.width = csa_->estimate(query_time_locked()).width();
+  const double now = steady_seconds();
+  for (const auto& [peer, state] : peers_) {
+    s.last_heard[peer] = state.last_heard < 0.0 ? -1.0
+                                                : now - state.last_heard;
+    if (state.quarantined) s.quarantined.push_back(peer);
+  }
   return s;
 }
 
@@ -179,13 +201,43 @@ std::string Node::stats_json_locked() const {
   append_json_u64(out, "bytes_out", stats_.bytes_out);
   append_json_u64(out, "decode_drops", stats_.decode_drops);
   append_json_u64(out, "ignored_dgrams", stats_.ignored_dgrams);
+  append_json_u64(out, "duplicate_dgrams", stats_.duplicate_dgrams);
   append_json_u64(out, "loss_declarations", stats_.loss_declarations);
   append_json_u64(out, "deliveries_confirmed", stats_.deliveries_confirmed);
   append_json_u64(out, "skips_sent", stats_.skips_sent);
   append_json_u64(out, "checkpoints_written", stats_.checkpoints_written);
   append_json_u64(out, "checkpoint_failures", stats_.checkpoint_failures);
   append_json_u64(out, "events", stats_.events);
-  out += '}';
+  append_json_u64(out, "infeasible_rejected", stats_.infeasible_rejected);
+  append_json_u64(out, "peer_quarantines", stats_.peer_quarantines);
+  append_json_u64(out, "peer_readmissions", stats_.peer_readmissions);
+  append_json_u64(out, "backoff_resets", stats_.backoff_resets);
+  // Per-peer health: seconds since last heard (null = never), plus the
+  // quarantine roster.
+  const double steady_now = steady_seconds();
+  out += ",\"last_heard\":{";
+  bool first_peer = true;
+  for (const auto& [peer, state] : peers_) {
+    if (!first_peer) out += ',';
+    first_peer = false;
+    std::snprintf(buf, sizeof(buf), "\"%u\":", peer);
+    out += buf;
+    if (state.last_heard < 0.0) {
+      out += "null";
+    } else {
+      append_json_number(out, steady_now - state.last_heard);
+    }
+  }
+  out += "},\"quarantined\":[";
+  first_peer = true;
+  for (const auto& [peer, state] : peers_) {
+    if (!state.quarantined) continue;
+    if (!first_peer) out += ',';
+    first_peer = false;
+    std::snprintf(buf, sizeof(buf), "%u", peer);
+    out += buf;
+  }
+  out += "]}";
   return out;
 }
 
@@ -234,9 +286,15 @@ void Node::poll_peer(ProcId peer, PeerState& state) {
 
 void Node::send_skip(ProcId peer, PeerState& state) {
   DS_CHECK(state.fate == Fate::kAborting);
-  state.fate_deadline = steady_seconds() + cfg_.skip_retry;
+  state.fate_deadline = steady_seconds() + backed_off(cfg_.skip_retry, state);
   ++stats_.skips_sent;
   transmit(peer, Datagram{SkipMsg{cfg_.self, state.pending_seq}});
+}
+
+double Node::backed_off(double base, const PeerState& state) {
+  const double factor =
+      static_cast<double>(std::uint64_t{1} << state.backoff_exp);
+  return base * factor * (0.85 + 0.3 * jitter_rng_.next_double());
 }
 
 void Node::send_ack(ProcId peer, const PeerState& state) {
@@ -285,9 +343,45 @@ void Node::handle_data(const DataMsg& msg) {
   if (msg.dgram_seq <= state.last_seen) {
     // Already processed, or renounced via a skip commit.  Never process it
     // now — but re-ack, since our previous ack may have been lost.
-    ++stats_.ignored_dgrams;
+    if (msg.dgram_seq <= state.last_processed) {
+      ++stats_.duplicate_dgrams;  // Redelivery of a processed datagram.
+    } else {
+      ++stats_.ignored_dgrams;
+    }
     send_ack(msg.from, state);
     return;
+  }
+  // Spec-violation screen (see NodeConfig).  An infeasible observation is
+  // renounced BEFORE ingestion, so the view is never poisoned and the
+  // sender soundly resolves the datagram as a loss; streaks of verdicts
+  // drive the quarantine state machine.
+  if (cfg_.quarantine_threshold > 0) {
+    if (!csa_->observation_feasible(msg.from, msg.send_lt,
+                                    query_time_locked())) {
+      ++stats_.infeasible_rejected;
+      state.feasible_streak = 0;
+      if (!state.quarantined &&
+          ++state.infeasible_streak >= cfg_.quarantine_threshold) {
+        state.quarantined = true;
+        state.infeasible_streak = 0;
+        ++stats_.peer_quarantines;
+      }
+      renounce_data(msg, state);
+      return;
+    }
+    state.infeasible_streak = 0;
+    if (state.quarantined) {
+      if (++state.feasible_streak < cfg_.quarantine_threshold) {
+        // Feasible, but the peer has not re-earned trust yet: renounce,
+        // keep probing.
+        renounce_data(msg, state);
+        return;
+      }
+      state.quarantined = false;
+      state.feasible_streak = 0;
+      ++stats_.peer_readmissions;
+      // Fall through: this observation is the first one readmitted.
+    }
   }
   state.last_seen = msg.dgram_seq;
   state.last_processed = msg.dgram_seq;
@@ -306,9 +400,16 @@ void Node::handle_data(const DataMsg& msg) {
   send_ack(msg.from, state);
 }
 
+void Node::renounce_data(const DataMsg& msg, PeerState& state) {
+  state.last_seen = msg.dgram_seq;
+  persist();  // The renunciation must be durable before the ack announces it.
+  send_ack(msg.from, state);
+}
+
 void Node::handle_ack(ProcId from, std::uint64_t processed_hw,
                       std::uint64_t seen_hw) {
   PeerState& state = peers_.at(from);
+  state.last_heard = steady_seconds();
   if (state.fate == Fate::kNone) return;
   const std::uint64_t n = state.pending_seq;
   if (processed_hw >= n) {
@@ -334,6 +435,13 @@ void Node::handle_ack(ProcId from, std::uint64_t processed_hw,
   } else {
     return;  // Stale ack: fate still unknown, keep waiting.
   }
+  if (state.fate == Fate::kAwaitingAck && state.backoff_exp > 0) {
+    // One clean round trip (no timeout) resets the backoff; a fate that
+    // resolved only through the abort path keeps the peer backed off until
+    // it manages one.
+    state.backoff_exp = 0;
+    ++stats_.backoff_resets;
+  }
   state.fate = Fate::kNone;
   persist();
 }
@@ -345,6 +453,7 @@ void Node::handle_skip(const SkipMsg& msg) {
     return;
   }
   PeerState& state = it->second;
+  state.last_heard = steady_seconds();
   if (msg.skip_to > state.last_seen) {
     // Commit: datagrams up to skip_to will never be processed here.  The
     // commit must be durable before the ack that announces it.
@@ -381,6 +490,7 @@ void Node::timer_loop() {
           if (now >= state.fate_deadline) {
             // Timeout: abort the datagram's fate via a skip commit.  No
             // persist needed — a restart maps kAwaitingAck to kAborting.
+            if (state.backoff_exp < cfg_.backoff_cap) ++state.backoff_exp;
             state.fate = Fate::kAborting;
             send_skip(peer, state);
           }
@@ -392,7 +502,10 @@ void Node::timer_loop() {
           break;
         case Fate::kNone:
           if (now >= state.next_poll) {
-            state.next_poll = now + cfg_.poll_period;
+            const double period =
+                cfg_.poll_period *
+                (state.quarantined ? cfg_.quarantine_probe_factor : 1.0);
+            state.next_poll = now + backed_off(period, state);
             poll_peer(peer, state);
             next = std::min(next, state.fate_deadline);
           } else {

@@ -25,6 +25,18 @@
 //    continuity the estimates extrapolate over.  A checkpoint that would
 //    require the local clock to have gone backwards is rejected.
 //
+//  * Peer health.  The paper assumes the spec always holds; a deployment
+//    cannot.  The Node tracks per-peer liveness (last-heard watermarks),
+//    backs its poll/skip cadences off exponentially (with jitter) while a
+//    peer keeps timing out, and screens every inbound data message through
+//    csa->observation_feasible: a message no spec-conforming execution
+//    could have produced is RENOUNCED (durably, via the skip-commit path,
+//    so the sender soundly resolves it as a loss) instead of processed,
+//    and a peer producing a streak of them is quarantined — excluded from
+//    the view, probed at low rate, readmitted after a feasible streak.
+//    One insane clock therefore costs its own link's accuracy, not the
+//    containment of every estimate downstream.  See NodeConfig.
+//
 // Threading: one mutex guards the CSA and all protocol state.  The
 // transport's delivery thread and the Node's timer thread (polls, fate
 // timeouts) both take it; neither holds it while blocking.
@@ -42,6 +54,7 @@
 
 #include "common/ids.h"
 #include "common/interval.h"
+#include "common/rng.h"
 #include "core/csa.h"
 #include "core/spec.h"
 #include "runtime/datagram.h"
@@ -58,6 +71,17 @@ struct NodeConfig {
   double poll_period = 0.5;   ///< Seconds between data sends, per peer.
   double fate_timeout = 2.0;  ///< Section 3.3 detection timeout.
   double skip_retry = 1.0;    ///< Resend cadence for unacked skip commits.
+  /// Peer health.  The poll and skip-retry cadences back off exponentially
+  /// (with jitter) while a peer keeps timing out, up to 2^backoff_cap; a
+  /// clean ack resets them.  A peer whose data messages are infeasible
+  /// under the spec (csa->observation_feasible) for quarantine_threshold
+  /// consecutive messages is quarantined: its observations are renounced
+  /// instead of processed and it is polled quarantine_probe_factor times
+  /// slower until the same number of consecutive feasible messages readmit
+  /// it.  quarantine_threshold = 0 disables the screen entirely.
+  std::uint32_t quarantine_threshold = 2;
+  double quarantine_probe_factor = 16.0;
+  std::uint32_t backoff_cap = 6;
   /// Persistence file; empty disables checkpointing.  Requires a CSA that
   /// supports checkpoint() (a non-empty image).
   std::string checkpoint_path;
@@ -71,13 +95,32 @@ struct NodeStats {
   std::uint64_t bytes_out = 0;
   std::uint64_t decode_drops = 0;    ///< Malformed datagrams (WireError).
   std::uint64_t ignored_dgrams = 0;  ///< Well-formed but stale/unknown.
+  std::uint64_t duplicate_dgrams = 0;  ///< Data redelivered after processing.
   std::uint64_t loss_declarations = 0;
   std::uint64_t deliveries_confirmed = 0;
   std::uint64_t skips_sent = 0;
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoint_failures = 0;
   std::uint64_t events = 0;  ///< Own events minted (send/recv/internal).
+  std::uint64_t infeasible_rejected = 0;  ///< Observations renounced as
+                                          ///< spec-violating (quarantine).
+  std::uint64_t peer_quarantines = 0;   ///< Quarantine entries, total.
+  std::uint64_t peer_readmissions = 0;  ///< Quarantine exits, total.
+  std::uint64_t backoff_resets = 0;  ///< Backed-off peers that recovered.
   double width = 0.0;        ///< Estimate width at snapshot time.
+  /// Seconds since each configured peer was last heard from (any
+  /// well-formed datagram); negative = never heard.
+  std::map<ProcId, double> last_heard;
+  /// Currently quarantined peers.
+  std::vector<ProcId> quarantined;
+};
+
+/// One atomic (lock-coherent) estimate reading: the interval and the local
+/// time it was queried at.  The chaos oracle's width-dynamics invariant
+/// needs both from under one lock (runtime/oracle.h).
+struct NodeSample {
+  LocalTime lt = 0.0;
+  Interval est;
 };
 
 class Node {
@@ -103,6 +146,9 @@ class Node {
   /// The external-synchronization output at the current local time.
   [[nodiscard]] Interval estimate() const;
 
+  /// estimate() plus the local time it was queried at, under one lock.
+  [[nodiscard]] NodeSample sample() const;
+
   [[nodiscard]] LocalTime local_time() const;
 
   [[nodiscard]] NodeStats stats() const;
@@ -127,6 +173,14 @@ class Node {
     std::uint32_t pending_send_seq = 0;  ///< Its send event's seq.
     double fate_deadline = 0.0;          ///< steady-clock seconds.
     double next_poll = 0.0;
+    // Peer health (soft state: deliberately NOT checkpointed — a restarted
+    // node re-learns liveness and re-derives quarantine from fresh
+    // observations, so a stale verdict can never outlive its evidence).
+    double last_heard = -1.0;       ///< steady-clock seconds; < 0 = never.
+    std::uint32_t backoff_exp = 0;  ///< Consecutive-timeout doublings.
+    bool quarantined = false;
+    std::uint32_t infeasible_streak = 0;
+    std::uint32_t feasible_streak = 0;
   };
 
   void on_datagram(std::span<const std::uint8_t> bytes);
@@ -139,6 +193,11 @@ class Node {
   void send_skip(ProcId peer, PeerState& state);
   void send_ack(ProcId peer, const PeerState& state);
   void transmit(ProcId to, const Datagram& dgram);
+  /// Durably commit to never processing `msg` (advance last_seen, persist,
+  /// ack) without touching the CSA — the sender resolves it as a loss.
+  void renounce_data(const DataMsg& msg, PeerState& state);
+  /// Multiplies a cadence by the peer's backoff factor and ±15% jitter.
+  [[nodiscard]] double backed_off(double base, const PeerState& state);
   EventRecord make_own_event(EventKind kind, ProcId peer, EventId match);
   void persist();
   [[nodiscard]] std::vector<std::uint8_t> encode_checkpoint() const;
@@ -160,6 +219,7 @@ class Node {
   std::uint32_t next_event_seq_ = 0;
   LocalTime last_event_lt_ = 0.0;
   NodeStats stats_;
+  Rng jitter_rng_;  ///< Backoff jitter only; never touches protocol state.
   std::thread timer_;
 };
 

@@ -1,0 +1,133 @@
+#include "runtime/oracle.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "runtime/chaos.h"
+
+namespace driftsync::runtime {
+
+namespace {
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+InvariantOracle::InvariantOracle(Options opts) : opts_(opts) {
+  DS_CHECK(opts_.tolerance >= 0.0);
+  DS_CHECK(opts_.source_rate > 0.0);
+}
+
+double InvariantOracle::truth() const {
+  return opts_.source_offset + opts_.source_rate * mono_seconds();
+}
+
+void InvariantOracle::track(const std::string& name, const Node* node,
+                            double rho) {
+  DS_CHECK(node != nullptr);
+  DS_CHECK(rho >= 0.0 && rho < 1.0);
+  Tracked& t = nodes_[name];
+  DS_CHECK_MSG(t.node == nullptr, "name tracked twice");
+  t.node = node;
+  t.rho = rho;
+}
+
+void InvariantOracle::mark_clock_violated(const std::string& name) {
+  nodes_.at(name).clock_violated = true;
+}
+
+void InvariantOracle::mark_lossish(const std::string& name) {
+  nodes_.at(name).lossish = true;
+}
+
+void InvariantOracle::note_restart(const std::string& name, const Node* node) {
+  DS_CHECK(node != nullptr);
+  Tracked& t = nodes_.at(name);
+  t.node = node;
+  // The baseline survives on purpose: the next observe() checks the
+  // restarted estimate against the pre-restart one (invariant 3).  A
+  // restart aborts in-flight fates on both ends, so losses become legal.
+  t.lossish = true;
+}
+
+void InvariantOracle::violation(const std::string& name, const char* invariant,
+                                const std::string& detail) {
+  ++violations_;
+  if (opts_.out != nullptr) {
+    std::fprintf(opts_.out,
+                 "{\"oracle\":\"violation\",\"invariant\":\"%s\","
+                 "\"node\":\"%s\",\"detail\":\"%s\"}\n",
+                 invariant, name.c_str(), detail.c_str());
+  }
+}
+
+void InvariantOracle::observe() {
+  for (auto& [name, t] : nodes_) {
+    if (t.clock_violated) continue;  // The paper promises nothing here.
+    const double t0 = truth();
+    const NodeSample s = t.node->sample();
+    const double t1 = truth();
+    const double tol = opts_.tolerance;
+
+    ++checks_;
+    if (s.est.empty()) {
+      violation(name, "containment",
+                "empty estimate " + s.est.str() +
+                    " (contradictory constraints ingested)");
+    } else if (s.est.lo > t1 + tol || s.est.hi < t0 - tol) {
+      violation(name, "containment",
+                "estimate " + s.est.str() + " misses true source time in [" +
+                    std::to_string(t0) + ", " + std::to_string(t1) + "]");
+    }
+
+    if (t.has_baseline && !s.est.empty() && s.lt >= t.baseline.lt) {
+      ++checks_;
+      // Extrapolate the baseline over the drift envelope; anything the node
+      // learned since can only have shrunk the interval further.
+      const double dlt = s.lt - t.baseline.lt;
+      const double env_lo = t.baseline.est.lo + dlt / (1.0 + t.rho);
+      const double env_hi = t.baseline.est.hi + dlt / (1.0 - t.rho);
+      if (s.est.lo < env_lo - tol || s.est.hi > env_hi + tol) {
+        violation(name, "width-dynamics",
+                  "estimate " + s.est.str() + " escapes envelope [" +
+                      std::to_string(env_lo) + ", " + std::to_string(env_hi) +
+                      "] extrapolated over dlt=" + std::to_string(dlt));
+      }
+    }
+    t.baseline = s;
+    t.has_baseline = true;
+  }
+}
+
+void InvariantOracle::check_loss_soundness() {
+  for (const auto& [name, t] : nodes_) {
+    if (t.lossish) continue;
+    ++checks_;
+    const NodeStats stats = t.node->stats();
+    if (stats.loss_declarations > 0) {
+      violation(name, "loss-soundness",
+                std::to_string(stats.loss_declarations) +
+                    " loss declarations on fault-free links");
+    }
+  }
+}
+
+void InvariantOracle::dump_context(const ChaosEventLog* log) const {
+  if (opts_.out == nullptr) return;
+  for (const auto& [name, t] : nodes_) {
+    std::fprintf(opts_.out, "{\"oracle\":\"node\",\"name\":\"%s\",\"stats\":%s}\n",
+                 name.c_str(), t.node->stats_json().c_str());
+  }
+  if (log != nullptr) {
+    std::fprintf(opts_.out,
+                 "{\"oracle\":\"faults\",\"total\":%llu}\n",
+                 static_cast<unsigned long long>(log->total()));
+  }
+}
+
+}  // namespace driftsync::runtime

@@ -1,0 +1,130 @@
+// Ground-truth invariant oracle for chaos runs (DESIGN.md S7).
+//
+// A chaos run cannot assert exact traces — thread scheduling differs between
+// replays even with an identical fault schedule — so it asserts the
+// *invariants* the paper guarantees whenever the spec holds, against the
+// ground truth only the harness has (every node's clock is a ScaledTimeSource
+// or FaultyTimeSource over CLOCK_MONOTONIC, so true source time is knowable):
+//
+//  1. Containment (Theorem 3.1): a node whose own clock never violated its
+//     drift spec must output an estimate containing true source time.  The
+//     check is bracketed — truth is read before and after the sample, and a
+//     violation is flagged only when the estimate misses the whole bracket —
+//     so it never false-positives on sampling latency.
+//
+//  2. Width dynamics (knowledge monotonicity): between two samples of the
+//     same node at local times lt1 < lt2, the estimate is the old one
+//     extrapolated over the drift envelope, intersected with whatever new
+//     information arrived.  Information only shrinks intervals, so
+//     est2 must be a subset of [lo1 + dlt/(1+rho), hi1 + dlt/(1-rho)].
+//     A wider-than-envelope estimate means knowledge was LOST; an empty one
+//     means contradictory constraints were ingested.
+//
+//  3. Checkpoint-prefix consistency: the Node persists write-ahead (every
+//     own event is durable before anything derived from it is visible), so
+//     a restarted node resumes with exactly the knowledge it had.  The
+//     oracle keeps the pre-restart baseline across note_restart() and
+//     applies check 2 straight through the restart boundary: a restart that
+//     forgot anything shows up as a width-dynamics violation.
+//
+//  4. Loss soundness: the skip-commit protocol declares a loss only after
+//     the receiver durably renounced the datagram.  On links where the
+//     chaos schedule injected nothing that can cost a datagram or delay an
+//     ack past its fate timeout, a node must declare zero losses.  The
+//     harness marks nodes whose links saw such faults via mark_lossish().
+//
+// Violations are dumped as JSON lines (the fault journal and per-node stats
+// alongside them, so a failure is diagnosable from its log alone) and
+// counted; the runner turns a nonzero count into a hard failure.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/interval.h"
+#include "runtime/node.h"
+
+namespace driftsync::runtime {
+
+class ChaosEventLog;
+
+class InvariantOracle {
+ public:
+  struct Options {
+    /// Slack (seconds) applied to every comparison.  Must cover the
+    /// feasibility slack of the quarantine screen (an infeasible-by-less
+    /// observation may legally be ingested) plus scheduling noise.
+    double tolerance = 0.02;
+    /// Ground truth: true source time = source_offset + source_rate * mono.
+    /// The defaults match the harness convention of running the source on
+    /// ScaledTimeSource(0, 1).
+    double source_offset = 0.0;
+    double source_rate = 1.0;
+    /// Violation / verdict sink; nullptr silences output (counts only).
+    std::FILE* out = stderr;
+  };
+
+  InvariantOracle() : InvariantOracle(Options{}) {}
+  explicit InvariantOracle(Options opts);
+
+  /// Registers `node` under `name`.  `rho` is the drift bound of the node's
+  /// clock spec (width dynamics extrapolate with it).  The pointer must stay
+  /// valid until untracked or rebound via note_restart().
+  void track(const std::string& name, const Node* node, double rho);
+
+  /// Marks the node's own clock as having violated its spec (a step fault,
+  /// or a rate outside [1-rho, 1+rho]).  Sticky: containment and width
+  /// dynamics are skipped for it from here on — the paper promises nothing
+  /// once the spec breaks.
+  void mark_clock_violated(const std::string& name);
+
+  /// Marks the node as having a link that saw lossish faults (drops,
+  /// bursts, corruption, partition, a peer crash or restart): loss
+  /// declarations by it are legitimate.  Sticky.
+  void mark_lossish(const std::string& name);
+
+  /// Rebinds `name` to the post-restart Node instance.  The pre-restart
+  /// baseline sample is KEPT, which is what turns the next observe() into
+  /// the checkpoint-prefix check (invariant 3).  Restarting implies
+  /// in-flight datagrams may abort, so the node is also marked lossish.
+  void note_restart(const std::string& name, const Node* node);
+
+  /// Samples every tracked node and runs containment + width dynamics.
+  /// Call periodically and once after the scenario settles.
+  void observe();
+
+  /// Runs the loss-soundness check (invariant 4) over final node stats.
+  /// Call once, after the scenario's last observe().
+  void check_loss_soundness();
+
+  /// Dumps per-node stats and the fault journal's totals to `out` — the
+  /// context a violation needs to be diagnosed offline.  `log` may be null.
+  void dump_context(const ChaosEventLog* log) const;
+
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  struct Tracked {
+    const Node* node = nullptr;
+    double rho = 0.0;
+    bool clock_violated = false;
+    bool lossish = false;
+    bool has_baseline = false;
+    NodeSample baseline;
+  };
+
+  void violation(const std::string& name, const char* invariant,
+                 const std::string& detail);
+
+  [[nodiscard]] double truth() const;
+
+  Options opts_;
+  std::map<std::string, Tracked> nodes_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace driftsync::runtime

@@ -1,6 +1,7 @@
 #include "runtime/thread_transport.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -66,8 +67,12 @@ void ThreadHub::set_link(ProcId a, ProcId b, double min_latency,
 
 void ThreadHub::set_directed(ProcId from, ProcId to, double min_latency,
                              double max_latency, double loss) {
-  DS_CHECK(min_latency >= 0.0 && max_latency >= min_latency);
-  DS_CHECK(loss >= 0.0 && loss < 1.0);
+  DS_CHECK_MSG(from != to, "a processor has no link to itself");
+  DS_CHECK_MSG(std::isfinite(min_latency) && min_latency >= 0.0,
+               "min latency must be finite and non-negative");
+  DS_CHECK_MSG(std::isfinite(max_latency) && max_latency >= min_latency,
+               "max latency must be finite and >= min latency");
+  DS_CHECK_MSG(loss >= 0.0 && loss <= 1.0, "loss must be in [0, 1]");
   const std::lock_guard<std::mutex> lock(mu_);
   DirLink& link = links_[dir_key(from, to)];
   link.min_latency = min_latency;

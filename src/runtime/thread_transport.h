@@ -39,7 +39,10 @@ class ThreadHub {
   ThreadHub& operator=(const ThreadHub&) = delete;
 
   /// Configures both directions with the same latency range and loss
-  /// probability.  Latencies are in (real) seconds.
+  /// probability.  Latencies are in (real) seconds and must be finite;
+  /// loss is in [0, 1], where 1.0 blackholes the direction while keeping
+  /// it "configured" (unlike a missing link, drop_next still works).
+  /// Bad values fail a DS_CHECK (std::logic_error).
   void set_link(ProcId a, ProcId b, double min_latency, double max_latency,
                 double loss = 0.0);
   void set_directed(ProcId from, ProcId to, double min_latency,

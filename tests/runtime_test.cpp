@@ -22,6 +22,7 @@
 #include "core/csa.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
+#include "runtime/chaos.h"
 #include "runtime/datagram.h"
 #include "runtime/node.h"
 #include "runtime/thread_transport.h"
@@ -462,12 +463,188 @@ TEST(NodeCheckpoint, StatsJsonIsWellShaped) {
   for (const char* key :
        {"\"proc\"", "\"algo\"", "\"lt\"", "\"lo\"", "\"hi\"", "\"width\"",
         "\"dgrams_in\"", "\"dgrams_out\"", "\"bytes_in\"", "\"bytes_out\"",
-        "\"decode_drops\"", "\"ignored_dgrams\"", "\"loss_declarations\"",
-        "\"deliveries_confirmed\"", "\"skips_sent\"",
-        "\"checkpoints_written\"", "\"checkpoint_failures\"", "\"events\""}) {
+        "\"decode_drops\"", "\"ignored_dgrams\"", "\"duplicate_dgrams\"",
+        "\"loss_declarations\"", "\"deliveries_confirmed\"", "\"skips_sent\"",
+        "\"checkpoints_written\"", "\"checkpoint_failures\"", "\"events\"",
+        "\"infeasible_rejected\"", "\"peer_quarantines\"",
+        "\"peer_readmissions\"", "\"backoff_resets\"", "\"last_heard\"",
+        "\"quarantined\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   EXPECT_EQ(json.find('\n'), std::string::npos) << "must be one line";
+}
+
+// ---------------------------------------------------------------------------
+// Chaos layer and peer health
+
+TEST(ThreadHubValidation, RejectsBadLatencyAndLoss) {
+  ThreadHub hub(5);
+  EXPECT_THROW(hub.set_directed(0, 0, 0.0, 0.001), std::logic_error);
+  EXPECT_THROW(hub.set_directed(0, 1, -0.001, 0.001), std::logic_error);
+  EXPECT_THROW(hub.set_directed(0, 1, 0.002, 0.001), std::logic_error);
+  EXPECT_THROW(
+      hub.set_directed(0, 1, 0.0, std::numeric_limits<double>::infinity()),
+      std::logic_error);
+  EXPECT_THROW(hub.set_directed(0, 1, 0.0,
+                                std::numeric_limits<double>::quiet_NaN()),
+               std::logic_error);
+  EXPECT_THROW(hub.set_directed(0, 1, 0.0, 0.001, -0.1), std::logic_error);
+  EXPECT_THROW(hub.set_directed(0, 1, 0.0, 0.001, 1.5), std::logic_error);
+
+  // loss == 1.0 is legal: a configured-but-blackholed direction, which
+  // counts drops (unlike a missing link it also supports drop_next).
+  hub.set_directed(0, 1, 0.0, 0.001, 1.0);
+  auto a = hub.endpoint(0);
+  auto b = hub.endpoint(1);
+  a->start([](std::span<const std::uint8_t>) {});
+  b->start([](std::span<const std::uint8_t>) {});
+  a->send(1, {7});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(hub.delivered(), 0u);
+  EXPECT_EQ(hub.dropped(), 1u);
+  a->stop();
+  b->stop();
+}
+
+TEST(FaultyTimeSourceTest, StepsScaleAndNeverRunBackwards) {
+  FaultyTimeSource clock(std::make_unique<ScaledTimeSource>(100.0, 1.0));
+  const double t1 = clock.now();
+  clock.inject_step(5.0);
+  const double t2 = clock.now();
+  EXPECT_GE(t2, t1 + 5.0);
+  EXPECT_DOUBLE_EQ(clock.fault_offset(), 5.0);
+
+  // A large negative step freezes the reading (the TimeSource contract
+  // forbids running backwards) until the inner clock catches up.
+  clock.inject_step(-1000.0);
+  EXPECT_DOUBLE_EQ(clock.fault_offset(), 5.0 - 1000.0);
+  const double t3 = clock.now();
+  EXPECT_GE(t3, t2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(clock.now(), t3);
+  EXPECT_LT(clock.now(), t3 + 0.001);  // Still frozen, ~1000 s to thaw.
+
+  clock.set_rate_multiplier(0.0);
+  EXPECT_DOUBLE_EQ(clock.rate_multiplier(), 0.0);
+  clock.set_rate_multiplier(2.0);
+  EXPECT_DOUBLE_EQ(clock.rate_multiplier(), 2.0);
+}
+
+TEST(NodeIntegration, DuplicateDeliveryIsIdempotent) {
+  TestNet net;
+  net.hub.set_link(0, 1, 0.0005, 0.002);
+  NodeConfig cfg0 = net.config(0);
+  cfg0.peers = {1};
+  NodeConfig cfg1 = net.config(1);
+  cfg1.peers = {0};
+  // Every datagram node 0 sends is delivered twice; the receiver must
+  // process each exactly once (counting the echoes) and the duplicated
+  // acks must never confuse node 0's fate machine into a loss.
+  ChaosFaults faults;
+  faults.duplicate = 1.0;
+  OptimalCsa::Options opts;
+  opts.loss_tolerant = true;
+  auto n0 = std::make_unique<Node>(
+      std::move(cfg0), std::make_unique<OptimalCsa>(opts),
+      std::make_unique<ScaledTimeSource>(0.0, 1.0),
+      std::make_unique<ChaosTransport>(net.hub.endpoint(0), 0, faults, 9));
+  auto n1 = net.make_node(std::move(cfg1), 7.5, 1.0 + 2e-4);
+  n0->start();
+  n1->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+
+  EXPECT_GE(n1->stats().duplicate_dgrams, 1u);
+  EXPECT_EQ(n0->stats().loss_declarations, 0u);
+  EXPECT_TRUE(contains_truth(*n0));
+  EXPECT_TRUE(contains_truth(*n1));
+  n0->stop();
+  n1->stop();
+}
+
+TEST(NodeIntegration, PartitionHealReconvergesUnderChaosTransport) {
+  TestNet net;
+  net.hub.set_link(0, 1, 0.0005, 0.003);
+  net.hub.set_link(1, 2, 0.001, 0.004);
+  const double offsets[3] = {0.0, 11.0, -4.5};
+  const double rates[3] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
+  OptimalCsa::Options opts;
+  opts.loss_tolerant = true;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<ChaosTransport*> chaos(3, nullptr);
+  for (ProcId p = 0; p < 3; ++p) {
+    auto transport = std::make_unique<ChaosTransport>(
+        net.hub.endpoint(p), p, ChaosFaults{}, 100 + p);
+    chaos[p] = transport.get();
+    nodes.push_back(std::make_unique<Node>(
+        net.config(p), std::make_unique<OptimalCsa>(opts),
+        std::make_unique<ScaledTimeSource>(offsets[p], rates[p]),
+        std::move(transport)));
+  }
+  for (auto& n : nodes) n->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_TRUE(contains_truth(*nodes[1]));
+
+  // Sever 0 <-> 1: the whole 1-2 side loses the source.  Containment
+  // cannot break while partitioned — estimates only widen with drift.
+  chaos[0]->set_partitioned(1, true);
+  chaos[1]->set_partitioned(0, true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_TRUE(contains_truth(*nodes[1]));
+  EXPECT_TRUE(contains_truth(*nodes[2]));
+  EXPECT_GT(chaos[0]->injected() + chaos[1]->injected(), 0u);
+
+  chaos[0]->set_partitioned(1, false);
+  chaos[1]->set_partitioned(0, false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  for (ProcId p = 0; p < 3; ++p) {
+    SCOPED_TRACE("node " + std::to_string(p));
+    EXPECT_TRUE(contains_truth(*nodes[p]));
+  }
+  EXPECT_LT(nodes[1]->estimate().width(), 0.05);
+  EXPECT_LT(nodes[2]->estimate().width(), 0.10);
+  for (auto& n : nodes) n->stop();
+}
+
+TEST(NodeIntegration, SpecViolatingClockIsQuarantinedExactly) {
+  TestNet net;
+  net.hub.set_link(0, 1, 0.0005, 0.003);
+  net.hub.set_link(1, 2, 0.001, 0.004);
+  const double offsets[3] = {0.0, 11.0, -4.5};
+  const double rates[3] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
+  OptimalCsa::Options opts;
+  opts.loss_tolerant = true;
+  std::vector<std::unique_ptr<Node>> nodes;
+  FaultyTimeSource* bad_clock = nullptr;
+  for (ProcId p = 0; p < 3; ++p) {
+    auto clock = std::make_unique<FaultyTimeSource>(
+        std::make_unique<ScaledTimeSource>(offsets[p], rates[p]));
+    if (p == 2) bad_clock = clock.get();
+    nodes.push_back(std::make_unique<Node>(
+        net.config(p), std::make_unique<OptimalCsa>(opts),
+        std::move(clock), net.hub.endpoint(p)));
+  }
+  for (auto& n : nodes) n->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  // +0.5 s is far outside the rho = 5e-4 drift spec: node 2's subsequent
+  // timestamps are infeasible, so node 1 must renounce them (no estimate
+  // poisoning) and quarantine node 2 — and ONLY node 2.
+  bad_clock->inject_step(0.5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+
+  const NodeStats s1 = nodes[1]->stats();
+  EXPECT_GE(s1.infeasible_rejected, 1u);
+  EXPECT_GE(s1.peer_quarantines, 1u);
+  ASSERT_EQ(s1.quarantined.size(), 1u);
+  EXPECT_EQ(s1.quarantined[0], 2u);
+  EXPECT_EQ(s1.last_heard.size(), 2u);  // Both peers heard from.
+  for (const auto& [peer, age] : s1.last_heard) EXPECT_GE(age, 0.0);
+  // The survivors keep containing true source time at tight width; the
+  // faulty node's output is forfeit (its own clock broke the spec).
+  EXPECT_TRUE(contains_truth(*nodes[0]));
+  EXPECT_TRUE(contains_truth(*nodes[1]));
+  EXPECT_LT(nodes[1]->estimate().width(), 0.05);
+  for (auto& n : nodes) n->stop();
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+// driftsync_chaos — seeded fault-injection scenarios with a ground-truth
+// oracle (DESIGN.md S7).
+//
+// Runs a 3-node triangle (source 0; all links specced [0, 50ms]) over the
+// in-process hub, wraps every endpoint in a ChaosTransport and every clock
+// in a FaultyTimeSource, drives a named fault schedule against it, and
+// checks the paper's invariants with an InvariantOracle the whole time.
+// Every stochastic choice flows through --seed, so a failing run is
+// replayed bit-identically (fault-schedule-wise) from its verdict line
+// alone; the fault journal streams to stderr as JSON for offline diagnosis
+// (--quiet silences the journal; oracle violations still print).
+//
+// Scenarios:
+//   partition-heal   cut the 0-1 link both ways mid-run, heal it, require
+//                    containment throughout and re-convergence after.
+//   clock-step       step node 2's clock +0.5 s (a spec violation): nodes
+//                    0 and 1 must quarantine exactly node 2 and keep
+//                    containing true source time; node 2's own output is
+//                    forfeit (and skipped by the oracle).
+//   crash-restart    kill node 1 mid-run and restart it from its write-
+//                    ahead checkpoint: the oracle keeps the pre-crash
+//                    baseline, so a restart that forgot anything fails the
+//                    width-dynamics envelope (checkpoint-prefix check).
+//   random           probabilistic drop/burst/corrupt/duplicate/reorder on
+//                    every endpoint (intensity --faults), plus one random
+//                    partition-and-heal; invariants must survive all of it.
+//
+// Exit 0 iff zero oracle violations and every scenario expectation held;
+// the last stdout line is a JSON verdict either way.
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/errors.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/optimal_csa.h"
+#include "core/spec.h"
+#include "runtime/chaos.h"
+#include "runtime/node.h"
+#include "runtime/oracle.h"
+#include "runtime/thread_transport.h"
+#include "runtime/time_source.h"
+
+using namespace driftsync;
+using namespace driftsync::runtime;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: driftsync_chaos [--scenario=partition-heal|clock-step|"
+    "crash-restart|random]\n"
+    "         [--seed=1] [--duration=3.0] [--faults=0.2] [--quiet]";
+
+constexpr double kRho = 5e-4;
+constexpr std::size_t kProcs = 3;
+constexpr double kOffsets[kProcs] = {0.0, 41.5, -13.25};
+constexpr double kRates[kProcs] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
+
+void nap(double seconds) {
+  const timespec ts{static_cast<time_t>(seconds),
+                    static_cast<long>((seconds - static_cast<double>(
+                                                     static_cast<time_t>(
+                                                         seconds))) *
+                                      1e9)};
+  nanosleep(&ts, nullptr);
+}
+
+SystemSpec make_spec() {
+  std::vector<ClockSpec> clocks{{0.0}, {kRho}, {kRho}};
+  std::vector<LinkSpec> links;
+  links.emplace_back(0, 1, 0.0, 0.05);
+  links.emplace_back(0, 2, 0.0, 0.05);
+  links.emplace_back(1, 2, 0.0, 0.05);
+  return SystemSpec(clocks, links, 0);
+}
+
+/// The triangle under test, with non-owning handles into each node's chaos
+/// decorators (the nodes own them).
+struct Harness {
+  SystemSpec spec = make_spec();
+  ThreadHub hub;
+  ChaosEventLog log;
+  InvariantOracle oracle;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<ChaosTransport*> chaos{kProcs, nullptr};
+  std::vector<FaultyTimeSource*> clocks{kProcs, nullptr};
+  std::uint64_t seed;
+
+  explicit Harness(std::uint64_t s, bool quiet = false,
+                   InvariantOracle::Options oracle_opts = {})
+      : hub(s ^ 0xC0FFEEULL),
+        log(quiet ? nullptr : stderr),
+        oracle(oracle_opts),
+        seed(s) {}
+
+  std::unique_ptr<Node> build_node(ProcId p, const ChaosFaults& faults,
+                                   const std::string& checkpoint = "") {
+    NodeConfig cfg;
+    cfg.self = p;
+    cfg.spec = spec;
+    cfg.poll_period = 0.04;
+    cfg.fate_timeout = 0.25;
+    cfg.skip_retry = 0.08;
+    cfg.checkpoint_path = checkpoint;
+    OptimalCsa::Options opts;
+    opts.loss_tolerant = true;
+    auto chaos_transport = std::make_unique<ChaosTransport>(
+        hub.endpoint(p), p, faults, seed + 1000 * (p + 1), &log);
+    auto clock = std::make_unique<FaultyTimeSource>(
+        std::make_unique<ScaledTimeSource>(kOffsets[p], kRates[p]));
+    chaos[p] = chaos_transport.get();
+    clocks[p] = clock.get();
+    return std::make_unique<Node>(cfg, std::make_unique<OptimalCsa>(opts),
+                                  std::move(clock),
+                                  std::move(chaos_transport));
+  }
+
+  void start(const ChaosFaults& faults, const std::string& node1_ckpt = "") {
+    hub.set_link(0, 1, 0.0005, 0.004);
+    hub.set_link(0, 2, 0.0005, 0.004);
+    hub.set_link(1, 2, 0.001, 0.008);
+    for (ProcId p = 0; p < kProcs; ++p) {
+      nodes.push_back(build_node(p, faults, p == 1 ? node1_ckpt : ""));
+      oracle.track("node" + std::to_string(p), nodes.back().get(),
+                   spec.clock(p).rho);
+    }
+    for (auto& node : nodes) node->start();
+  }
+
+  void stop() {
+    for (auto& node : nodes) {
+      if (node) node->stop();
+    }
+  }
+
+  /// Sleeps `seconds` in ~100 ms slices, sampling the oracle each slice.
+  void observe_for(double seconds) {
+    for (double t = 0.0; t < seconds; t += 0.1) {
+      nap(0.1);
+      oracle.observe();
+    }
+  }
+};
+
+/// Prints a scenario-expectation failure as a JSON line; returns 1.
+std::uint64_t expect_failed(const char* what, const std::string& detail) {
+  std::fprintf(stderr,
+               "{\"oracle\":\"violation\",\"invariant\":\"scenario\","
+               "\"expectation\":\"%s\",\"detail\":\"%s\"}\n",
+               what, detail.c_str());
+  return 1;
+}
+
+/// Expect `node`'s quarantine roster to be exactly {bad}.
+std::uint64_t expect_quarantined(const Harness& h, ProcId node, ProcId bad) {
+  const NodeStats s = h.nodes[node]->stats();
+  if (s.quarantined.size() == 1 && s.quarantined[0] == bad &&
+      s.peer_quarantines >= 1) {
+    return 0;
+  }
+  std::string roster;
+  for (const ProcId p : s.quarantined) {
+    roster += (roster.empty() ? "" : ",") + std::to_string(p);
+  }
+  return expect_failed("quarantine-exactly",
+                       "node " + std::to_string(node) + " quarantined [" +
+                           roster + "], want [" + std::to_string(bad) + "]");
+}
+
+std::uint64_t expect_converged(const Harness& h, ProcId node, double bound) {
+  const double width = h.nodes[node]->estimate().width();
+  if (width < bound) return 0;
+  return expect_failed("converged", "node " + std::to_string(node) +
+                                        " width " + std::to_string(width) +
+                                        " >= " + std::to_string(bound));
+}
+
+std::uint64_t run_partition_heal(Harness& h, double duration) {
+  h.start(ChaosFaults{});
+  h.observe_for(duration * 0.25);
+  // Cut 0-1 both ways.  1 still reaches the source through 2, so its
+  // estimate keeps converging; fates across the cut abort into losses.
+  h.chaos[0]->set_partitioned(1, true);
+  h.chaos[1]->set_partitioned(0, true);
+  h.oracle.mark_lossish("node0");
+  h.oracle.mark_lossish("node1");
+  h.observe_for(duration * 0.25);
+  h.chaos[0]->set_partitioned(1, false);
+  h.chaos[1]->set_partitioned(0, false);
+  h.observe_for(duration * 0.5);
+  h.oracle.observe();
+  h.oracle.check_loss_soundness();  // Node 2's links never faulted.
+  std::uint64_t failed = 0;
+  failed += expect_converged(h, 1, 0.5);
+  failed += expect_converged(h, 2, 0.5);
+  return failed;
+}
+
+std::uint64_t run_clock_step(Harness& h, double duration) {
+  h.start(ChaosFaults{});
+  h.observe_for(duration * 0.4);
+  // A +0.5 s jump is far outside the rho = 5e-4 drift spec: node 2's
+  // subsequent send timestamps are infeasible under every conforming
+  // execution, so 0 and 1 must renounce them and quarantine node 2 —
+  // and must NOT quarantine each other.
+  h.clocks[2]->inject_step(0.5);
+  h.oracle.mark_clock_violated("node2");
+  // Renounced datagrams resolve as losses on every edge of the triangle.
+  h.oracle.mark_lossish("node0");
+  h.oracle.mark_lossish("node1");
+  h.oracle.mark_lossish("node2");
+  h.observe_for(duration * 0.6);
+  h.oracle.observe();
+  std::uint64_t failed = 0;
+  failed += expect_quarantined(h, 0, 2);
+  failed += expect_quarantined(h, 1, 2);
+  failed += expect_converged(h, 1, 0.5);
+  return failed;
+}
+
+std::uint64_t run_crash_restart(Harness& h, double duration,
+                                const std::string& ckpt) {
+  h.start(ChaosFaults{}, ckpt);
+  h.observe_for(duration * 0.4);
+  // Kill node 1 (its endpoint unregisters; neighbors' fates fire into the
+  // void) and restart it from the write-ahead checkpoint.  The oracle keeps
+  // node 1's pre-crash baseline: if the restart forgot any knowledge, the
+  // restarted estimate escapes the drift envelope and the run fails.
+  h.nodes[1]->stop();
+  h.nodes[1].reset();
+  h.oracle.mark_lossish("node0");
+  h.oracle.mark_lossish("node2");
+  nap(0.3);
+  h.nodes[1] = h.build_node(1, ChaosFaults{}, ckpt);
+  h.nodes[1]->start();
+  h.oracle.note_restart("node1", h.nodes[1].get());
+  h.observe_for(duration * 0.6);
+  h.oracle.observe();
+  h.oracle.check_loss_soundness();
+  std::uint64_t failed = 0;
+  failed += expect_converged(h, 1, 0.5);
+  failed += expect_converged(h, 2, 0.5);
+  return failed;
+}
+
+std::uint64_t run_random(Harness& h, double duration, double intensity) {
+  ChaosFaults faults;
+  faults.drop = 0.30 * intensity;
+  faults.burst = 0.04 * intensity;
+  faults.burst_len = 5;
+  faults.corrupt = 0.20 * intensity;
+  faults.duplicate = 0.30 * intensity;
+  faults.reorder = 0.25 * intensity;
+  h.start(faults);
+  for (ProcId p = 0; p < kProcs; ++p) {
+    h.oracle.mark_lossish("node" + std::to_string(p));
+  }
+  // One scripted partition of a random edge, on top of the probabilistic
+  // mix.  Rng(seed) keeps the choice replayable.
+  Rng rng(h.seed);
+  const ProcId ends[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+  const auto& edge = ends[rng.uniform_index(3)];
+  h.observe_for(duration * 0.4);
+  h.chaos[edge[0]]->set_partitioned(edge[1], true);
+  h.chaos[edge[1]]->set_partitioned(edge[0], true);
+  h.observe_for(duration * 0.15);
+  h.chaos[edge[0]]->set_partitioned(edge[1], false);
+  h.chaos[edge[1]]->set_partitioned(edge[0], false);
+  h.observe_for(duration * 0.45);
+  h.oracle.observe();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  // Flags wants key=value; accept a bare `--quiet` for ergonomics (same
+  // accommodation driftsyncd makes for `--selftest`).
+  bool quiet = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quiet") {
+      quiet = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const Flags flags(static_cast<int>(args.size()), args.data());
+  const std::string scenario = flags.get_string("scenario", "random");
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  const double duration = flags.get_double("duration", 3.0);
+  const double intensity = flags.get_double("faults", 0.2);
+  quiet = flags.get_bool("quiet", quiet);
+  flags.reject_unknown(kUsage);
+  if (duration <= 0.0) throw FlagError("--duration must be > 0");
+  if (intensity < 0.0 || intensity > 1.0) {
+    throw FlagError("--faults must be in [0, 1]");
+  }
+
+  Harness harness(seed, quiet);
+  std::uint64_t expectation_failures = 0;
+  std::string ckpt;
+  if (scenario == "partition-heal") {
+    expectation_failures = run_partition_heal(harness, duration);
+  } else if (scenario == "clock-step") {
+    expectation_failures = run_clock_step(harness, duration);
+  } else if (scenario == "crash-restart") {
+    ckpt = "/tmp/driftsync_chaos." + std::to_string(::getpid()) + ".ckpt";
+    expectation_failures = run_crash_restart(harness, duration, ckpt);
+  } else if (scenario == "random") {
+    expectation_failures = run_random(harness, duration, intensity);
+  } else {
+    throw FlagError("unknown --scenario: " + scenario);
+  }
+  harness.stop();
+  if (!ckpt.empty()) std::remove(ckpt.c_str());
+
+  const std::uint64_t violations =
+      harness.oracle.violations() + expectation_failures;
+  if (violations > 0) harness.oracle.dump_context(&harness.log);
+  std::printf(
+      "{\"tool\":\"driftsync_chaos\",\"scenario\":\"%s\",\"seed\":%llu,"
+      "\"duration\":%g,\"faults_injected\":%llu,\"oracle_checks\":%llu,"
+      "\"violations\":%llu,\"verdict\":\"%s\"}\n",
+      scenario.c_str(), static_cast<unsigned long long>(seed), duration,
+      static_cast<unsigned long long>(harness.log.total()),
+      static_cast<unsigned long long>(harness.oracle.checks()),
+      static_cast<unsigned long long>(violations),
+      violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n%s\n", e.what(), kUsage);
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "driftsync_chaos: %s\n", e.what());
+  return 1;
+}

@@ -5,6 +5,10 @@
 //
 // Sends a ProbeReq datagram and prints the reply as one JSON line:
 //   {"proc":1,"local_time":...,"lo":...,"hi":...,"width":...,"stats":{...}}
+// The stats object is spliced verbatim from the node's stats_json(), so
+// everything the node exports — including the peer-health block
+// (last_heard ages, quarantined peers, backoff/duplicate/infeasible
+// counters; runtime/node.h) — shows up here with no probe-side changes.
 // Exit status: 0 reply received, 1 timeout, 2 bad flags.
 #include <cerrno>
 #include <cmath>

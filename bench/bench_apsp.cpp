@@ -1,9 +1,8 @@
-// Micro-benchmark: the IncrementalApsp kernel (google-benchmark).
+// Micro-benchmark: the IncrementalApsp kernel.
 // Complements exp_agdp_complexity with steady-state per-operation numbers.
-#include <benchmark/benchmark.h>
-
 #include <deque>
 
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "graph/incremental_apsp.h"
 
@@ -24,7 +23,7 @@ void window_step(IncrementalApsp& apsp,
   live.push_back(apsp.insert_node(ins, outs));
 }
 
-void BM_InsertNodeAtWindow(benchmark::State& state) {
+void BM_InsertNodeAtWindow(bench::State& state) {
   const auto window = static_cast<std::size_t>(state.range(0));
   Rng rng(99);
   IncrementalApsp apsp;
@@ -36,11 +35,10 @@ void BM_InsertNodeAtWindow(benchmark::State& state) {
     apsp.remove_node(live.front());
     live.pop_front();
   }
-  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_InsertNodeAtWindow)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+DS_BENCHMARK(apsp, BM_InsertNodeAtWindow)->arg(8)->arg(32)->arg(128)->arg(512);
 
-void BM_InsertEdge(benchmark::State& state) {
+void BM_InsertEdge(bench::State& state) {
   const auto window = static_cast<std::size_t>(state.range(0));
   Rng rng(7);
   IncrementalApsp apsp;
@@ -51,13 +49,13 @@ void BM_InsertEdge(benchmark::State& state) {
     const auto u = live[rng.uniform_index(live.size())];
     const auto v = live[rng.uniform_index(live.size())];
     if (u != v) {
-      benchmark::DoNotOptimize(apsp.insert_edge(u, v, rng.uniform(0.5, 1.0)));
+      bench::do_not_optimize(apsp.insert_edge(u, v, rng.uniform(0.5, 1.0)));
     }
   }
 }
-BENCHMARK(BM_InsertEdge)->Arg(32)->Arg(128)->Arg(512);
+DS_BENCHMARK(apsp, BM_InsertEdge)->arg(32)->arg(128)->arg(512);
 
-void BM_DistanceQuery(benchmark::State& state) {
+void BM_DistanceQuery(bench::State& state) {
   Rng rng(11);
   IncrementalApsp apsp;
   std::deque<IncrementalApsp::Handle> live;
@@ -66,12 +64,10 @@ void BM_DistanceQuery(benchmark::State& state) {
   for (auto _ : state) {
     const auto u = live[rng.uniform_index(live.size())];
     const auto v = live[rng.uniform_index(live.size())];
-    benchmark::DoNotOptimize(apsp.distance(u, v));
+    bench::do_not_optimize(apsp.distance(u, v));
   }
 }
-BENCHMARK(BM_DistanceQuery);
+DS_BENCHMARK(apsp, BM_DistanceQuery);
 
 }  // namespace
 }  // namespace driftsync::graph
-
-BENCHMARK_MAIN();

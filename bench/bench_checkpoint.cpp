@@ -1,10 +1,9 @@
 // Micro-benchmark: checkpoint/restore of the optimal CSA at varying state
 // sizes (the restore path rebuilds the APSP matrix in O(L^3), which is
 // where the cost lives).
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
+#include "bench/harness.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
 
@@ -54,7 +53,7 @@ std::unique_ptr<OptimalCsa> loaded_center(const SystemSpec& spec,
   return center;
 }
 
-void BM_Checkpoint(benchmark::State& state) {
+void BM_Checkpoint(bench::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const SystemSpec spec = star_spec(n);
   const auto center = loaded_center(spec, 4);
@@ -62,15 +61,15 @@ void BM_Checkpoint(benchmark::State& state) {
   for (auto _ : state) {
     const auto snapshot = center->checkpoint();
     bytes = snapshot.size();
-    benchmark::DoNotOptimize(snapshot);
+    bench::do_not_optimize(snapshot);
   }
   state.counters["bytes"] = static_cast<double>(bytes);
   state.counters["live"] =
       static_cast<double>(center->stats().live_points);
 }
-BENCHMARK(BM_Checkpoint)->Arg(4)->Arg(16)->Arg(64);
+DS_BENCHMARK(checkpoint, BM_Checkpoint)->arg(4)->arg(16)->arg(64);
 
-void BM_Restore(benchmark::State& state) {
+void BM_Restore(bench::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const SystemSpec spec = star_spec(n);
   const auto center = loaded_center(spec, 4);
@@ -79,12 +78,10 @@ void BM_Restore(benchmark::State& state) {
     OptimalCsa restored;
     restored.init(spec, 0);
     restored.restore(snapshot);
-    benchmark::DoNotOptimize(restored.stats().live_points);
+    bench::do_not_optimize(restored.stats().live_points);
   }
 }
-BENCHMARK(BM_Restore)->Arg(4)->Arg(16)->Arg(64);
+DS_BENCHMARK(checkpoint, BM_Restore)->arg(4)->arg(16)->arg(64);
 
 }  // namespace
 }  // namespace driftsync
-
-BENCHMARK_MAIN();

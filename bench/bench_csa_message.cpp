@@ -2,13 +2,12 @@
 // The oracle's cost grows with execution length (the problem the paper
 // solves); the optimal algorithm's cost stays flat (O(L^2), L bounded by
 // the communication pattern).
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "baselines/full_view_csa.h"
 #include "baselines/interval_csa.h"
 #include "baselines/ntp_csa.h"
+#include "bench/harness.h"
 #include "core/optimal_csa.h"
 #include "workloads/scenario.h"
 #include "workloads/topology.h"
@@ -25,7 +24,7 @@ workloads::Network make_net() {
 
 template <typename MakeCsa>
 void run_once(const workloads::Network& net, RealTime duration,
-              MakeCsa make_csa, benchmark::State& state) {
+              MakeCsa make_csa, bench::State& state) {
   std::size_t messages = 0;
   for (auto _ : state) {
     workloads::ScenarioConfig cfg;
@@ -36,43 +35,44 @@ void run_once(const workloads::Network& net, RealTime duration,
     const auto report = workloads::run_scenario(
         net, workloads::periodic_probe_apps(net, 0.25), slots, cfg);
     messages = report.messages_sent;
-    benchmark::DoNotOptimize(report.total_events);
+    bench::do_not_optimize(report.total_events);
   }
   state.counters["msgs"] = static_cast<double>(messages);
-  state.counters["us_per_msg"] = benchmark::Counter(
-      static_cast<double>(messages) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  const double total_msgs =
+      static_cast<double>(messages) * static_cast<double>(state.iterations());
+  if (total_msgs > 0.0) {
+    state.counters["us_per_msg"] =
+        state.elapsed_seconds() * 1e6 / total_msgs;
+  }
 }
 
-void BM_OptimalCsa(benchmark::State& state) {
+void BM_OptimalCsa(bench::State& state) {
   const auto net = make_net();
   run_once(net, static_cast<double>(state.range(0)),
            [](ProcId) { return std::make_unique<OptimalCsa>(); }, state);
 }
-BENCHMARK(BM_OptimalCsa)->Arg(5)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+DS_BENCHMARK(csa_message, BM_OptimalCsa)->arg(5)->arg(20)->arg(80);
 
-void BM_FullViewOracle(benchmark::State& state) {
+void BM_FullViewOracle(bench::State& state) {
   const auto net = make_net();
   run_once(net, static_cast<double>(state.range(0)),
            [](ProcId) { return std::make_unique<FullViewCsa>(); }, state);
 }
-BENCHMARK(BM_FullViewOracle)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+DS_BENCHMARK(csa_message, BM_FullViewOracle)->arg(5)->arg(20);
 
-void BM_IntervalCsa(benchmark::State& state) {
+void BM_IntervalCsa(bench::State& state) {
   const auto net = make_net();
   run_once(net, static_cast<double>(state.range(0)),
            [](ProcId) { return std::make_unique<IntervalCsa>(); }, state);
 }
-BENCHMARK(BM_IntervalCsa)->Arg(5)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+DS_BENCHMARK(csa_message, BM_IntervalCsa)->arg(5)->arg(20)->arg(80);
 
-void BM_NtpCsa(benchmark::State& state) {
+void BM_NtpCsa(bench::State& state) {
   const auto net = make_net();
   run_once(net, static_cast<double>(state.range(0)),
            [](ProcId) { return std::make_unique<NtpCsa>(); }, state);
 }
-BENCHMARK(BM_NtpCsa)->Arg(5)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+DS_BENCHMARK(csa_message, BM_NtpCsa)->arg(5)->arg(20)->arg(80);
 
 }  // namespace
 }  // namespace driftsync
-
-BENCHMARK_MAIN();

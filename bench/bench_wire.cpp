@@ -1,7 +1,6 @@
 // Micro-benchmark: wire encoding/decoding of report batches, and the
 // compression ratio over the naive fixed-size record layout.
-#include <benchmark/benchmark.h>
-
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "core/wire.h"
 
@@ -36,14 +35,13 @@ EventBatch make_batch(std::size_t records, std::size_t procs, Rng& rng) {
   return batch;
 }
 
-void BM_EncodeBatch(benchmark::State& state) {
+void BM_EncodeBatch(bench::State& state) {
   Rng rng(3);
   const auto batch =
       make_batch(static_cast<std::size_t>(state.range(0)), 8, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(encode_batch(batch));
+    bench::do_not_optimize(encode_batch(batch));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
   state.counters["bytes_per_record"] =
       static_cast<double>(encoded_size(batch)) /
       static_cast<double>(batch.size());
@@ -51,21 +49,18 @@ void BM_EncodeBatch(benchmark::State& state) {
       static_cast<double>(encoded_size(batch)) /
       static_cast<double>(batch.size() * kEventRecordWireBytes);
 }
-BENCHMARK(BM_EncodeBatch)->Arg(16)->Arg(256)->Arg(4096);
+DS_BENCHMARK(wire, BM_EncodeBatch)->arg(16)->arg(256)->arg(4096);
 
-void BM_DecodeBatch(benchmark::State& state) {
+void BM_DecodeBatch(bench::State& state) {
   Rng rng(4);
   const auto batch =
       make_batch(static_cast<std::size_t>(state.range(0)), 8, rng);
   const auto bytes = encode_batch(batch);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(decode_batch(bytes));
+    bench::do_not_optimize(decode_batch(bytes));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_DecodeBatch)->Arg(16)->Arg(256)->Arg(4096);
+DS_BENCHMARK(wire, BM_DecodeBatch)->arg(16)->arg(256)->arg(4096);
 
 }  // namespace
 }  // namespace driftsync::wire
-
-BENCHMARK_MAIN();

@@ -1,0 +1,371 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/alloc_stats.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace driftsync::bench {
+
+namespace {
+
+double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Registry as a function-local static so registration from static
+/// initializers in other TUs never races the registry's own construction.
+std::vector<Benchmark*>& registry() {
+  static std::vector<Benchmark*> benchmarks;
+  return benchmarks;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool StateIterator::operator!=(const StateIterator& /*end*/) {
+  State* s = state_;
+  if (s->left_ > 0) {
+    --s->left_;
+    return true;
+  }
+  // Loop exhausted: this comparison is the first statement after the last
+  // body execution, so stopping the clock here excludes loop teardown.
+  s->elapsed_ = now_seconds() - s->start_time_;
+  s->allocs_ = alloc_stats::allocations() - s->start_allocs_;
+  s->alloc_bytes_ = alloc_stats::allocated_bytes() - s->start_alloc_bytes_;
+  s->timing_ = false;
+  return false;
+}
+
+}  // namespace detail
+
+detail::StateIterator State::begin() {
+  // begin() runs after the case's setup code, so the timed region starts
+  // here, not at function entry.
+  left_ = iters_;
+  timing_ = true;
+  start_allocs_ = alloc_stats::allocations();
+  start_alloc_bytes_ = alloc_stats::allocated_bytes();
+  start_time_ = now_seconds();
+  return detail::StateIterator(this);
+}
+
+std::int64_t State::range(std::size_t i) const {
+  DS_CHECK_MSG(i < args_.size(), "state.range() index out of registered args");
+  return args_[i];
+}
+
+Benchmark::Benchmark(std::string group, std::string name, BenchFn fn)
+    : group_(std::move(group)), name_(std::move(name)), fn_(fn) {}
+
+Benchmark* Benchmark::arg(std::int64_t a) {
+  args_.push_back(a);
+  return this;
+}
+
+Benchmark* register_benchmark(const char* group, const char* name,
+                              BenchFn fn) {
+  auto* b = new Benchmark(group, name, fn);  // Lives for the process.
+  registry().push_back(b);
+  return b;
+}
+
+struct Runner {
+  /// Expands every registered Benchmark into its per-arg cases, filters,
+  /// measures, and returns the rows in registration order.
+  static std::vector<CaseResult> run(const RunOptions& opts) {
+    DS_CHECK_MSG(opts.reps >= 1, "bench reps must be >= 1");
+    std::vector<CaseResult> results;
+    for (Benchmark* b : registry()) {
+      // A benchmark with no arg() calls is one case with no argument.
+      const std::size_t case_count = b->args_.empty() ? 1 : b->args_.size();
+      for (std::size_t c = 0; c < case_count; ++c) {
+        std::string name = b->name_;
+        std::vector<std::int64_t> args;
+        if (!b->args_.empty()) {
+          args.push_back(b->args_[c]);
+          name += '/';
+          name += std::to_string(b->args_[c]);
+        }
+        const std::string full = b->group_ + '/' + name;
+        if (!opts.filter.empty() &&
+            full.find(opts.filter) == std::string::npos) {
+          continue;
+        }
+        results.push_back(measure(b, std::move(name), std::move(args), opts));
+      }
+    }
+    return results;
+  }
+
+  /// Case names only, without measuring anything (--list).
+  static std::vector<CaseResult> describe_all() {
+    std::vector<CaseResult> out;
+    for (Benchmark* b : registry()) {
+      const std::size_t case_count = b->args_.empty() ? 1 : b->args_.size();
+      for (std::size_t c = 0; c < case_count; ++c) {
+        CaseResult r;
+        r.group = b->group_;
+        r.name = b->name_;
+        if (!b->args_.empty()) {
+          r.name += '/';
+          r.name += std::to_string(b->args_[c]);
+        }
+        out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }
+
+  static CaseResult measure(Benchmark* b, std::string name,
+                            std::vector<std::int64_t> args,
+                            const RunOptions& opts) {
+    const double min_time = opts.min_time_ms / 1e3;
+
+    // Calibration doubles the iteration count until one repetition fills
+    // the time budget; these runs double as warmup (caches, allocator
+    // pools, branch predictors).  The cap keeps a sub-nanosecond-loop bug
+    // from spinning forever.
+    std::size_t iters = 1;
+    for (int round = 0; round < 40; ++round) {
+      State state;
+      state.args_ = args;
+      state.iters_ = iters;
+      b->fn_(state);
+      DS_CHECK_MSG(!state.timing_,
+                   "benchmark function returned without draining the "
+                   "for (auto _ : state) loop");
+      if (state.elapsed_ >= min_time) break;
+      // Aim directly for the budget once the elapsed time is measurable,
+      // otherwise just double.
+      std::size_t next = iters * 2;
+      if (state.elapsed_ > 1e-6) {
+        const double scale = 1.4 * min_time / state.elapsed_;
+        if (scale > 2.0) {
+          next = static_cast<std::size_t>(static_cast<double>(iters) *
+                                          std::min(scale, 1024.0));
+        }
+      }
+      iters = std::max(next, iters + 1);
+    }
+
+    CaseResult r;
+    r.group = b->group_;
+    r.name = std::move(name);
+    r.iters = iters;
+    r.reps = opts.reps;
+    r.alloc_hooked = alloc_stats::hooked();
+
+    std::vector<double> ns_per_op;
+    std::vector<double> allocs_per_op;
+    std::vector<double> bytes_per_op;
+    ns_per_op.reserve(opts.reps);
+    State last_state;
+    for (std::size_t rep = 0; rep < opts.reps; ++rep) {
+      State state;
+      state.args_ = args;
+      state.iters_ = iters;
+      b->fn_(state);
+      const double ops = static_cast<double>(iters);
+      ns_per_op.push_back(state.elapsed_ * 1e9 / ops);
+      allocs_per_op.push_back(static_cast<double>(state.allocs_) / ops);
+      bytes_per_op.push_back(static_cast<double>(state.alloc_bytes_) / ops);
+      last_state = std::move(state);
+    }
+    r.ns_per_op_median = percentile(ns_per_op, 0.5);
+    r.ns_per_op_p99 = percentile(ns_per_op, 0.99);
+    r.ns_per_op_min = percentile(ns_per_op, 0.0);
+    r.allocs_per_op = percentile(allocs_per_op, 0.5);
+    r.alloc_bytes_per_op = percentile(bytes_per_op, 0.5);
+    r.counters = std::move(last_state.counters);
+    return r;
+  }
+};
+
+std::vector<CaseResult> run_registered(const RunOptions& opts) {
+  return Runner::run(opts);
+}
+
+std::vector<CaseResult> describe() {
+  return Runner::describe_all();
+}
+
+namespace {
+
+std::string case_json(const CaseResult& r) {
+  std::string out = "{\"group\":";
+  out += json::quote(r.group);
+  out += ",\"name\":";
+  out += json::quote(r.name);
+  out += ",\"iters\":" + std::to_string(r.iters);
+  out += ",\"reps\":" + std::to_string(r.reps);
+  out += ",\"ns_per_op_median\":" + json::number(r.ns_per_op_median);
+  out += ",\"ns_per_op_p99\":" + json::number(r.ns_per_op_p99);
+  out += ",\"ns_per_op_min\":" + json::number(r.ns_per_op_min);
+  out += ",\"allocs_per_op\":" + json::number(r.allocs_per_op);
+  out += ",\"alloc_bytes_per_op\":" + json::number(r.alloc_bytes_per_op);
+  out += ",\"alloc_hook\":";
+  out += r.alloc_hooked ? "true" : "false";
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : r.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(key);
+    out += ':';
+    out += json::number(value);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+std::string format_results(const std::vector<CaseResult>& results,
+                           bool as_json) {
+  std::string out;
+  if (as_json) {
+    for (const CaseResult& r : results) {
+      out += case_json(r);
+      out += '\n';
+    }
+    return out;
+  }
+  // Human table: fixed columns, one row per case.
+  std::size_t name_width = 4;
+  for (const CaseResult& r : results) {
+    name_width = std::max(name_width, r.group.size() + 1 + r.name.size());
+  }
+  char line[512];
+  std::snprintf(line, sizeof line, "%-*s %14s %14s %12s %10s\n",
+                static_cast<int>(name_width), "case", "median ns/op",
+                "p99 ns/op", "allocs/op", "iters");
+  out += line;
+  for (const CaseResult& r : results) {
+    const std::string full = r.group + '/' + r.name;
+    std::snprintf(line, sizeof line, "%-*s %14.1f %14.1f %12.2f %10zu\n",
+                  static_cast<int>(name_width), full.c_str(),
+                  r.ns_per_op_median, r.ns_per_op_p99, r.allocs_per_op,
+                  r.iters);
+    out += line;
+  }
+  if (!results.empty() && !results.front().alloc_hooked) {
+    out += "(alloc hook not linked: allocs/op columns are zeros)\n";
+  }
+  return out;
+}
+
+std::string report_json(const std::vector<CaseResult>& results,
+                        const RunOptions& opts) {
+  std::string out = "{\"schema\":\"driftsync-bench-v1\"";
+  out += ",\"reps\":" + std::to_string(opts.reps);
+  out += ",\"min_time_ms\":" + json::number(opts.min_time_ms);
+  out += ",\"cases\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ',';
+    out += case_json(results[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::vector<CaseResult> parse_report_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  const json::Value& schema = doc.at("schema");
+  if (schema.as_string() != "driftsync-bench-v1") {
+    throw json::JsonError("bench report schema mismatch: got \"" +
+                          schema.as_string() +
+                          "\", want \"driftsync-bench-v1\"");
+  }
+  std::vector<CaseResult> results;
+  for (const json::Value& c : doc.at("cases").as_array()) {
+    CaseResult r;
+    r.group = c.at("group").as_string();
+    r.name = c.at("name").as_string();
+    r.iters = static_cast<std::size_t>(c.at("iters").as_number());
+    r.reps = static_cast<std::size_t>(c.at("reps").as_number());
+    r.ns_per_op_median = c.at("ns_per_op_median").as_number();
+    r.ns_per_op_p99 = c.at("ns_per_op_p99").as_number();
+    r.ns_per_op_min = c.at("ns_per_op_min").as_number();
+    r.allocs_per_op = c.at("allocs_per_op").as_number();
+    r.alloc_bytes_per_op = c.at("alloc_bytes_per_op").as_number();
+    r.alloc_hooked = c.at("alloc_hook").as_bool();
+    if (const json::Value* counters = c.find("counters")) {
+      for (const auto& [key, value] : counters->as_object()) {
+        r.counters[key] = value.as_number();
+      }
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+int bench_main(int argc, const char* const* argv) {
+  constexpr const char kUsage[] =
+      "usage: bench_* [--filter=substr] [--reps=N] [--min-time-ms=T]\n"
+      "               [--json] [--list]";
+  try {
+    // Flags wants key=value; accept bare `--json` / `--list` for ergonomics
+    // (same accommodation driftsyncd makes for `--selftest`).
+    bool as_json = false;
+    bool list_only = false;
+    std::vector<const char*> args;
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        as_json = true;
+      } else if (arg == "--list") {
+        list_only = true;
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+    const Flags flags(static_cast<int>(args.size()), args.data());
+    RunOptions opts;
+    opts.reps = static_cast<std::size_t>(
+        flags.get_uint("reps", static_cast<std::uint64_t>(opts.reps)));
+    if (opts.reps == 0) {
+      throw FlagError("flag --reps must be >= 1");
+    }
+    opts.min_time_ms = flags.get_double("min-time-ms", opts.min_time_ms);
+    opts.filter = flags.get_string("filter", "");
+    as_json = flags.get_bool("json", as_json);
+    list_only = flags.get_bool("list", list_only);
+    flags.reject_unknown(kUsage);
+
+    if (list_only) {
+      std::string out;
+      for (const CaseResult& r : describe()) {
+        out += r.group + '/' + r.name + '\n';
+      }
+      std::fputs(out.c_str(), stdout);
+      return 0;
+    }
+
+    const std::vector<CaseResult> results = run_registered(opts);
+    const std::string out = format_results(results, as_json);
+    std::fputs(out.c_str(), stdout);
+    if (results.empty()) {
+      std::fprintf(stderr, "no benchmark matched filter \"%s\"\n",
+                   opts.filter.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const FlagError& e) {
+    std::fprintf(stderr, "%s\n%s\n", e.what(), kUsage);
+    return 2;
+  }
+}
+
+}  // namespace driftsync::bench

@@ -1,0 +1,187 @@
+// Shared micro-benchmark harness (replaces google-benchmark for the
+// bench_* binaries).
+//
+// What the five micro-benches need — and what the repo's perf trajectory
+// needs from them — is narrower than a general benchmark library and wider
+// in one dimension: every case must produce a machine-comparable record
+// (ns/op median and p99, heap allocations per op, free-form counters) that
+// driftsync_benchall can consolidate into one BENCH_*.json and diff against
+// a committed baseline.  So the harness:
+//
+//  * times only the `for (auto _ : state)` region (setup before the loop is
+//    free, exactly like google-benchmark's State protocol);
+//  * calibrates the iteration count until one repetition fills the time
+//    budget, runs the calibration as warmup, then takes `reps` independent
+//    repetitions and reports median/p99/min over them;
+//  * counts heap allocations inside the timed region via the counting
+//    operator-new hook (bench/alloc_hook.cpp; zero and flagged "unhooked"
+//    when a binary does not link it);
+//  * emits one JSON object per case (--json), a human table otherwise.
+//
+// Registration mirrors the google-benchmark macro shape so the bench files
+// port mechanically:
+//
+//   void BM_EncodeBatch(bench::State& state) {
+//     ... setup ...
+//     for (auto _ : state) { ... timed ... }
+//     state.counters["bytes_per_record"] = ...;
+//   }
+//   DS_BENCHMARK(wire, BM_EncodeBatch)->arg(16)->arg(256);
+//
+// The group name (first macro argument) keys the consolidated report; each
+// registered arg() produces one case named "BM_EncodeBatch/16" etc.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace driftsync::bench {
+
+/// Keeps the optimizer from eliding a computed value (the DoNotOptimize
+/// idiom).
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <typename T>
+inline void do_not_optimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+class State;
+
+namespace detail {
+/// What `for (auto _ : state)` binds: empty, but with a user-provided
+/// destructor so -Wunused-variable accepts the never-read loop variable.
+struct Ignored {
+  ~Ignored() {}
+};
+
+/// Range-for sentinel protocol: the timer starts when the loop is entered
+/// and stops when the final comparison fails, so only the loop body is
+/// measured.
+class StateIterator {
+ public:
+  explicit StateIterator(State* state) : state_(state) {}
+  bool operator!=(const StateIterator& /*end*/);
+  void operator++() {}
+  Ignored operator*() const { return Ignored{}; }
+
+ private:
+  State* state_;
+};
+}  // namespace detail
+
+class State {
+ public:
+  detail::StateIterator begin();
+  detail::StateIterator end() { return detail::StateIterator(nullptr); }
+
+  /// The i-th registered argument of this case (0 when none registered —
+  /// matching google-benchmark's tolerance is NOT provided: asking for an
+  /// argument a case was registered without is a bug).
+  [[nodiscard]] std::int64_t range(std::size_t i = 0) const;
+
+  /// Number of timed iterations in the current repetition.
+  [[nodiscard]] std::size_t iterations() const { return iters_; }
+
+  /// Wall-clock seconds of the last finished timed region (valid after the
+  /// range-for loop; used by cases that derive rate counters).
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_; }
+
+  /// Free-form per-case metrics, copied into the report verbatim.  Set them
+  /// after the timed loop.
+  std::map<std::string, double> counters;
+
+ private:
+  friend class detail::StateIterator;
+  friend struct Runner;
+
+  std::vector<std::int64_t> args_;
+  std::size_t iters_ = 1;
+  std::size_t left_ = 0;
+  bool timing_ = false;
+  double start_time_ = 0.0;
+  double elapsed_ = 0.0;
+  std::uint64_t start_allocs_ = 0;
+  std::uint64_t start_alloc_bytes_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t alloc_bytes_ = 0;
+};
+
+using BenchFn = void (*)(State&);
+
+/// One registered benchmark function; arg() appends a case per value.
+class Benchmark {
+ public:
+  Benchmark(std::string group, std::string name, BenchFn fn);
+  Benchmark* arg(std::int64_t a);
+
+ private:
+  friend struct Runner;
+  std::string group_;
+  std::string name_;
+  BenchFn fn_;
+  std::vector<std::int64_t> args_;  ///< Empty: single case, no argument.
+};
+
+/// Registers a benchmark (static-initializer time); the returned pointer is
+/// only for arg() chaining.
+Benchmark* register_benchmark(const char* group, const char* name,
+                              BenchFn fn);
+
+#define DS_BENCHMARK(group, fn)                            \
+  [[maybe_unused]] static ::driftsync::bench::Benchmark*   \
+      ds_benchmark_##fn = ::driftsync::bench::register_benchmark(#group, \
+                                                                 #fn, fn)
+
+/// Measurement knobs.  The defaults target a developer laptop; CI passes a
+/// tiny budget.
+struct RunOptions {
+  std::size_t reps = 5;         ///< Timed repetitions per case (>= 1).
+  double min_time_ms = 50.0;    ///< Budget one repetition must fill.
+  std::string filter;           ///< Substring of "group/name/arg"; empty=all.
+};
+
+/// One measured case, schema-stable: this struct is what BENCH_*.json rows
+/// serialize.
+struct CaseResult {
+  std::string group;
+  std::string name;  ///< "BM_Foo" or "BM_Foo/128".
+  std::size_t iters = 0;
+  std::size_t reps = 0;
+  double ns_per_op_median = 0.0;
+  double ns_per_op_p99 = 0.0;
+  double ns_per_op_min = 0.0;
+  double allocs_per_op = 0.0;       ///< Median over repetitions.
+  double alloc_bytes_per_op = 0.0;  ///< Median over repetitions.
+  bool alloc_hooked = false;  ///< False: alloc numbers are meaningless zeros.
+  std::map<std::string, double> counters;
+};
+
+/// Runs every registered case matching opts.filter, in registration order.
+std::vector<CaseResult> run_registered(const RunOptions& opts);
+
+/// Names of every registered case (group/name rows, nothing measured).
+std::vector<CaseResult> describe();
+
+/// Renders results: one JSON object per line (json=true) or an aligned
+/// human table.
+std::string format_results(const std::vector<CaseResult>& results, bool json);
+
+/// Serializes a full consolidated report (the BENCH_*.json schema):
+/// {"schema":"driftsync-bench-v1","reps":...,"min_time_ms":...,"cases":[...]}
+std::string report_json(const std::vector<CaseResult>& results,
+                        const RunOptions& opts);
+
+/// Parses a report produced by report_json back into rows (schema checked).
+/// Throws driftsync::json::JsonError on malformed input.
+std::vector<CaseResult> parse_report_json(const std::string& text);
+
+/// Standard main() for a single bench binary: --filter / --reps /
+/// --min-time-ms / --json / --list, FlagError => exit 2.
+int bench_main(int argc, const char* const* argv);
+
+}  // namespace driftsync::bench

@@ -1,0 +1,7 @@
+// Shared main() for the individual bench_* binaries; the cases themselves
+// register through DS_BENCHMARK at static-init time.
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  return driftsync::bench::bench_main(argc, argv);
+}

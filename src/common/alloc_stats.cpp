@@ -1,0 +1,30 @@
+#include "common/alloc_stats.h"
+
+#include <atomic>
+
+namespace driftsync::alloc_stats {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_hooked{false};
+}  // namespace
+
+bool hooked() { return g_hooked.load(std::memory_order_relaxed); }
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t allocated_bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+void note(std::size_t bytes) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void set_hooked() { g_hooked.store(true, std::memory_order_relaxed); }
+
+}  // namespace driftsync::alloc_stats

@@ -1,8 +1,31 @@
 #include "common/flags.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace driftsync {
+
+namespace {
+
+// The strto* family fails open in three ways a flag parser must not: it
+// skips leading whitespace, accepts trailing garbage only via the end
+// pointer (which callers must check), and signals overflow by *saturating*
+// the result with errno=ERANGE — silently truncating "--budget=1e999"-style
+// typos into a huge-but-valid value.  These helpers close all three holes.
+
+/// A numeric flag value must start with the number itself: strtod/strtoll
+/// would silently skip leading whitespace, letting "--x= 5" parse.
+bool bad_lead(const std::string& v) {
+  return v.empty() || std::isspace(static_cast<unsigned char>(v[0])) != 0;
+}
+
+[[noreturn]] void bad_value(const std::string& key, const char* kind,
+                            const std::string& value) {
+  throw FlagError("flag --" + key + " is not " + kind + ": " + value);
+}
+
+}  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -44,10 +67,15 @@ std::string Flags::get_string(const std::string& key,
 double Flags::get_double(const std::string& key, double fallback) const {
   const Entry* e = find(key);
   if (e == nullptr) return fallback;
+  if (bad_lead(e->value)) bad_value(key, "a number", e->value);
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(e->value.c_str(), &end);
   if (end == e->value.c_str() || *end != '\0') {
-    throw FlagError("flag --" + key + " is not a number: " + e->value);
+    bad_value(key, "a number", e->value);
+  }
+  if (errno == ERANGE) {
+    throw FlagError("flag --" + key + " overflows a double: " + e->value);
   }
   return v;
 }
@@ -56,10 +84,36 @@ std::int64_t Flags::get_int(const std::string& key,
                             std::int64_t fallback) const {
   const Entry* e = find(key);
   if (e == nullptr) return fallback;
+  if (bad_lead(e->value)) bad_value(key, "an integer", e->value);
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(e->value.c_str(), &end, 10);
   if (end == e->value.c_str() || *end != '\0') {
-    throw FlagError("flag --" + key + " is not an integer: " + e->value);
+    bad_value(key, "an integer", e->value);
+  }
+  if (errno == ERANGE) {
+    throw FlagError("flag --" + key + " overflows 64 bits: " + e->value);
+  }
+  return v;
+}
+
+std::uint64_t Flags::get_uint(const std::string& key,
+                              std::uint64_t fallback) const {
+  const Entry* e = find(key);
+  if (e == nullptr) return fallback;
+  if (bad_lead(e->value) || e->value[0] == '-' || e->value[0] == '+') {
+    // strtoull quietly wraps "-1" to 2^64-1; an unsigned flag must reject
+    // a negative value instead of truncating it.
+    bad_value(key, "a non-negative integer", e->value);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(e->value.c_str(), &end, 10);
+  if (end == e->value.c_str() || *end != '\0') {
+    bad_value(key, "a non-negative integer", e->value);
+  }
+  if (errno == ERANGE) {
+    throw FlagError("flag --" + key + " overflows 64 bits: " + e->value);
   }
   return v;
 }
@@ -68,10 +122,18 @@ std::uint64_t Flags::get_seed(const std::string& key,
                               std::uint64_t fallback) const {
   const Entry* e = find(key);
   if (e == nullptr) return fallback;
+  if (bad_lead(e->value) || e->value[0] == '-' || e->value[0] == '+') {
+    bad_value(key, "a seed", e->value);
+  }
   char* end = nullptr;
+  errno = 0;
+  // Base 0: seeds may be written in hex ("0xdead...").
   const unsigned long long v = std::strtoull(e->value.c_str(), &end, 0);
   if (end == e->value.c_str() || *end != '\0') {
-    throw FlagError("flag --" + key + " is not a seed: " + e->value);
+    bad_value(key, "a seed", e->value);
+  }
+  if (errno == ERANGE) {
+    throw FlagError("flag --" + key + " overflows 64 bits: " + e->value);
   }
   return v;
 }

@@ -36,12 +36,20 @@ class Flags {
 
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Numeric getters reject what the strto* family fails open on: leading
+  /// whitespace, trailing garbage, and out-of-range values (which strtoll
+  /// and friends silently saturate with errno=ERANGE).  The unsigned
+  /// getters additionally reject a sign — "-1" must not wrap to 2^64-1.
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& fallback) const;
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
+  /// Unsigned decimal flag (counts, budgets, sizes).
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
+  /// Unsigned flag accepting hex/octal prefixes (base 0) for RNG seeds.
   [[nodiscard]] std::uint64_t get_seed(const std::string& key,
                                        std::uint64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;

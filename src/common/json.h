@@ -1,0 +1,91 @@
+// Minimal JSON reader/writer helpers for the tooling layer.
+//
+// The repo emits JSON in several places (Node::stats_json, the chaos fault
+// journal, the bench harness) but until now never *consumed* any:
+// driftsync_benchall must read a committed BENCH_baseline.json back to gate
+// perf regressions, and the harness tests must verify that emitted reports
+// round-trip.  This is a deliberately small recursive-descent parser for
+// exactly the JSON we produce — objects, arrays, strings (with \uXXXX
+// escapes decoded to UTF-8), finite doubles, booleans, null — not a
+// general-purpose library.
+//
+// A baseline file is operator-supplied input, so malformed text throws
+// JsonError (a std::runtime_error, same recovery posture as FlagError:
+// print and exit non-zero), never a DS_CHECK logic error.  Nesting depth is
+// capped so a hostile file cannot overflow the parser's stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace driftsync::json {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  explicit Value(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw JsonError when the value has another kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup: nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Object member that must exist; throws JsonError when missing.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses one JSON document (must consume the whole input apart from
+/// trailing whitespace).  Throws JsonError on malformed text.
+Value parse(std::string_view text);
+
+/// Writer helpers, shared by every JSON emitter in the tooling layer.
+/// Escapes `"`, `\`, and control characters; the result excludes the
+/// surrounding quotes.
+std::string escape(std::string_view raw);
+/// escape() wrapped in the surrounding quotes: a complete JSON string.
+std::string quote(std::string_view raw);
+/// Shortest round-trip decimal for a finite double; non-finite values
+/// render as null (JSON has no infinity).
+std::string number(double v);
+
+}  // namespace driftsync::json

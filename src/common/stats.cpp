@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace driftsync {
 
 void RunningStats::add(double x) {
@@ -33,10 +35,14 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return std::nan("");
+  // An empty sample has no order statistics: asking for one is a caller
+  // bug, not a value (the old NaN return silently propagated into reports).
+  DS_CHECK_MSG(!values.empty(), "percentile of an empty sample");
+  DS_CHECK_MSG(!std::isnan(q), "percentile rank must not be NaN");
+  q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
-  if (q <= 0.0) return values.front();
-  if (q >= 1.0) return values.back();
+  // Linear interpolation between the order statistics that bracket the
+  // fractional position q*(n-1) (the "linear"/C=1 convention).
   const double pos = q * static_cast<double>(values.size() - 1);
   const auto idx = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(idx);

@@ -30,8 +30,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// q-th percentile (q in [0,1]) by linear interpolation; the input vector is
-/// copied and sorted.  Returns NaN on empty input.
+/// q-th percentile by linear interpolation between order statistics (the
+/// fractional-position q*(n-1) convention); the input vector is copied and
+/// sorted.  q is clamped to [0,1]; a NaN q or an empty sample is a caller
+/// bug and fails a DS_CHECK (std::logic_error).
 double percentile(std::vector<double> values, double q);
 
 /// Ordinary least squares y = a + b*x.  Returns {a, b}.  Requires >= 2

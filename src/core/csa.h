@@ -72,6 +72,12 @@ struct CsaStats {
   std::size_t payload_bytes_received = 0;
   std::size_t reports_sent = 0;      ///< Event records attached, total.
   std::size_t state_bytes = 0;       ///< Approximate resident state size.
+  /// Pair-relaxation attempts in the AGDP distance structure (the O(L^2)
+  /// inner loops of Lemma 3.5) — the algorithm's dominant per-message work.
+  std::uint64_t apsp_relaxations = 0;
+  /// History-buffer GC sweeps actually performed (see
+  /// HistoryProtocol::Options::gc_batch).
+  std::uint64_t gc_passes = 0;
 };
 
 class Csa {

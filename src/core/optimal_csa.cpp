@@ -16,6 +16,7 @@ void OptimalCsa::init(const SystemSpec& spec, ProcId self) {
   HistoryProtocol::Options hopts;
   hopts.audit = opts_.audit_reports;
   hopts.loss_tolerant = opts_.loss_tolerant;
+  hopts.gc_batch = opts_.history_gc_batch;
   history_.emplace(spec, self, hopts);
   SyncEngine::Options eopts;
   eopts.keep_dead_nodes = opts_.ablate_keep_dead_nodes;
@@ -137,12 +138,14 @@ CsaStats OptimalCsa::stats() const {
     s.live_points = engine_->live_count();
     s.max_live_points = engine_->max_live_count();
     s.state_bytes = engine_->matrix_bytes();
+    s.apsp_relaxations = engine_->apsp_relaxations();
   }
   if (history_) {
     s.history_events = history_->history_size();
     s.max_history_events = history_->max_history_size();
     s.reports_sent = history_->reports_sent();
     s.state_bytes += history_->state_bytes();
+    s.gc_passes = history_->gc_passes();
   }
   return s;
 }

@@ -29,6 +29,10 @@ class OptimalCsa : public Csa {
     /// exists to catch insane clocks (steps of seconds, grossly wrong
     /// rates), and a false positive quarantines a sane peer.
     double feasibility_slack = 5e-3;
+    /// History-buffer GC batch (HistoryProtocol::Options::gc_batch): > 1
+    /// amortizes the per-message sweep at the cost of up to that many
+    /// extra buffered records.  Estimates and messages are unaffected.
+    std::size_t history_gc_batch = 1;
   };
 
   OptimalCsa() = default;

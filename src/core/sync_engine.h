@@ -91,6 +91,10 @@ class SyncEngine {
   [[nodiscard]] std::size_t matrix_bytes() const {
     return apsp_.matrix_bytes();
   }
+  /// Total pair-relaxation attempts in the distance structure (CsaStats).
+  [[nodiscard]] std::uint64_t apsp_relaxations() const {
+    return apsp_.relaxations();
+  }
 
   /// Last known event of a processor (invalid EventId when none).
   [[nodiscard]] EventId last_event_of(ProcId p) const {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 
@@ -51,6 +51,44 @@ ProcId get_proc(std::span<const std::uint8_t> bytes, std::size_t& offset,
     throw WireError(std::string(what) + " is the invalid-processor sentinel");
   }
   return p;
+}
+
+/// Per-processor next-sequence-number tracker for the delta flags.  A flat
+/// array with linear scan: a batch touches at most a handful of distinct
+/// processors (the history protocol emits contiguous per-processor runs),
+/// so this beats a hash map — and, held in a thread_local reused across
+/// calls, it costs the encode/decode hot path zero heap allocations, where
+/// the unordered_map it replaced paid several per message.
+class SeqTracker {
+ public:
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const std::uint32_t* find(ProcId p) const {
+    for (const auto& [proc, next] : entries_) {
+      if (proc == p) return &next;
+    }
+    return nullptr;
+  }
+
+  void set(ProcId p, std::uint32_t next) {
+    for (auto& [proc, n] : entries_) {
+      if (proc == p) {
+        n = next;
+        return;
+      }
+    }
+    entries_.push_back({p, next});
+  }
+
+ private:
+  std::vector<std::pair<ProcId, std::uint32_t>> entries_;
+};
+
+/// Cleared-on-entry scratch reused by every encode/decode on this thread.
+SeqTracker& seq_scratch() {
+  thread_local SeqTracker tracker;
+  tracker.clear();
+  return tracker;
 }
 
 }  // namespace
@@ -106,17 +144,16 @@ std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
   throw WireError("varint longer than 10 bytes");
 }
 
-std::vector<std::uint8_t> encode_batch(const EventBatch& batch) {
-  std::vector<std::uint8_t> out;
-  out.reserve(batch.size() * 12 + 4);
+void encode_batch_into(std::vector<std::uint8_t>& out,
+                       const EventBatch& batch) {
   put_varint(out, batch.size());
   ProcId prev_proc = kInvalidProc;
-  std::unordered_map<ProcId, std::uint32_t> next_seq;
+  SeqTracker& next_seq = seq_scratch();
   for (const EventRecord& r : batch) {
     std::uint8_t flags = static_cast<std::uint8_t>(r.kind) & kKindMask;
     const bool same_proc = r.id.proc == prev_proc;
-    const auto seq_it = next_seq.find(r.id.proc);
-    const bool next = seq_it != next_seq.end() && seq_it->second == r.id.seq;
+    const std::uint32_t* expected = next_seq.find(r.id.proc);
+    const bool next = expected != nullptr && *expected == r.id.seq;
     if (same_proc) flags |= kSameProc;
     if (next) flags |= kNextSeq;
     out.push_back(flags);
@@ -132,12 +169,20 @@ std::vector<std::uint8_t> encode_batch(const EventBatch& batch) {
       put_varint(out, r.match.seq);
     }
     prev_proc = r.id.proc;
-    next_seq[r.id.proc] = r.id.seq + 1;
+    next_seq.set(r.id.proc, r.id.seq + 1);
   }
+}
+
+std::vector<std::uint8_t> encode_batch(const EventBatch& batch) {
+  std::vector<std::uint8_t> out;
+  out.reserve(batch.size() * 12 + 4);
+  encode_batch_into(out, batch);
   return out;
 }
 
-EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
+void decode_batch_into(EventBatch& batch,
+                       std::span<const std::uint8_t> bytes) {
+  batch.clear();
   std::size_t offset = 0;
   const std::uint64_t count = get_varint(bytes, offset);
   // Each record occupies at least kMinRecordBytes, so a count the buffer
@@ -146,10 +191,9 @@ EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
   if (count > (bytes.size() - offset) / kMinRecordBytes) {
     throw WireError("implausible batch count");
   }
-  EventBatch batch;
   batch.reserve(count);
   ProcId prev_proc = kInvalidProc;
-  std::unordered_map<ProcId, std::uint32_t> next_seq;
+  SeqTracker& next_seq = seq_scratch();
   for (std::uint64_t i = 0; i < count; ++i) {
     if (offset >= bytes.size()) throw WireError("truncated record");
     const std::uint8_t flags = bytes[offset++];
@@ -168,13 +212,13 @@ EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
         throw WireError("redundant explicit processor id");
       }
     }
-    const auto seq_it = next_seq.find(r.id.proc);
+    const std::uint32_t* expected = next_seq.find(r.id.proc);
     if (flags & kNextSeq) {
-      if (seq_it == next_seq.end()) throw WireError("dangling seq delta");
-      r.id.seq = seq_it->second;
+      if (expected == nullptr) throw WireError("dangling seq delta");
+      r.id.seq = *expected;
     } else {
       r.id.seq = get_varint32(bytes, offset, "record sequence number");
-      if (seq_it != next_seq.end() && seq_it->second == r.id.seq) {
+      if (expected != nullptr && *expected == r.id.seq) {
         throw WireError("redundant explicit sequence number");
       }
     }
@@ -189,17 +233,24 @@ EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
       r.match.seq = get_varint32(bytes, offset, "match sequence number");
     }
     prev_proc = r.id.proc;
-    next_seq[r.id.proc] = r.id.seq + 1;
+    next_seq.set(r.id.proc, r.id.seq + 1);
     batch.push_back(r);
   }
   if (offset != bytes.size()) throw WireError("trailing bytes");
+}
+
+EventBatch decode_batch(std::span<const std::uint8_t> bytes) {
+  EventBatch batch;
+  decode_batch_into(batch, bytes);
   return batch;
 }
 
 void append_payload(std::vector<std::uint8_t>& out, const CsaPayload& payload) {
-  const std::vector<std::uint8_t> reports = encode_batch(payload.reports);
-  put_varint(out, reports.size());
-  out.insert(out.end(), reports.begin(), reports.end());
+  // Sizing pass first, then encode straight into `out`: no intermediate
+  // buffer, and the length prefix is exact by the canonicity of the
+  // encoding (encoded_size() and encode_batch_into() walk the same logic).
+  put_varint(out, encoded_size(payload.reports));
+  encode_batch_into(out, payload.reports);
   put_varint(out, payload.scalars.size());
   for (const double s : payload.scalars) {
     DS_CHECK_MSG(!std::isnan(s), "NaN scalar in CSA payload");
@@ -246,12 +297,12 @@ CsaPayload decode_payload(std::span<const std::uint8_t> bytes) {
 std::size_t encoded_size(const EventBatch& batch) {
   std::size_t size = varint_size(batch.size());
   ProcId prev_proc = kInvalidProc;
-  std::unordered_map<ProcId, std::uint32_t> next_seq;
+  SeqTracker& next_seq = seq_scratch();
   for (const EventRecord& r : batch) {
     size += 1 + 8;  // flags + local time
     if (r.id.proc != prev_proc) size += varint_size(r.id.proc);
-    const auto it = next_seq.find(r.id.proc);
-    if (it == next_seq.end() || it->second != r.id.seq) {
+    const std::uint32_t* expected = next_seq.find(r.id.proc);
+    if (expected == nullptr || *expected != r.id.seq) {
       size += varint_size(r.id.seq);
     }
     if (r.kind == EventKind::kSend || r.kind == EventKind::kReceive ||
@@ -262,7 +313,7 @@ std::size_t encoded_size(const EventBatch& batch) {
       size += varint_size(r.match.proc) + varint_size(r.match.seq);
     }
     prev_proc = r.id.proc;
-    next_seq[r.id.proc] = r.id.seq + 1;
+    next_seq.set(r.id.proc, r.id.seq + 1);
   }
   return size;
 }

@@ -45,8 +45,19 @@ namespace driftsync::wire {
 /// Serializes a batch (any record order; the encoder keeps it).
 std::vector<std::uint8_t> encode_batch(const EventBatch& batch);
 
+/// Appends the batch encoding to `out` without clearing it — the
+/// allocation-free path: a caller that reuses `out` across messages pays
+/// no heap traffic once its capacity has grown to the working-set size.
+void encode_batch_into(std::vector<std::uint8_t>& out,
+                       const EventBatch& batch);
+
 /// Parses a batch; throws driftsync::WireError on malformed input.
 EventBatch decode_batch(std::span<const std::uint8_t> bytes);
+
+/// decode_batch into a caller-owned batch (cleared first, capacity
+/// reused).  On WireError the batch holds the records decoded so far and
+/// must not be interpreted.
+void decode_batch_into(EventBatch& out, std::span<const std::uint8_t> bytes);
 
 /// Encoded size without materializing the buffer.
 std::size_t encoded_size(const EventBatch& batch);

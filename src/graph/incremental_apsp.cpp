@@ -1,6 +1,7 @@
 #include "graph/incremental_apsp.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace driftsync::graph {
 
@@ -8,10 +9,8 @@ void IncrementalApsp::grow(std::size_t min_capacity) {
   std::size_t new_capacity = std::max<std::size_t>(8, capacity_ * 2);
   while (new_capacity < min_capacity) new_capacity *= 2;
   std::vector<double> fresh(new_capacity * new_capacity, kNoBound);
-  for (const Handle hx : slot_to_handle_) {
-    const std::uint32_t sx = slot_of_[hx];
-    for (const Handle hy : slot_to_handle_) {
-      const std::uint32_t sy = slot_of_[hy];
+  for (const std::uint32_t sx : live_slots_) {
+    for (const std::uint32_t sy : live_slots_) {
       fresh[static_cast<std::size_t>(sx) * new_capacity + sy] = at(sx, sy);
     }
   }
@@ -36,21 +35,38 @@ IncrementalApsp::Handle IncrementalApsp::insert_node(
     slot = static_cast<std::uint32_t>(slot_to_handle_.size());
   }
 
+  // Resolve edge endpoints to slots once; the per-x loop below would
+  // otherwise chase handle -> slot for every (x, edge) pair.  Thread-local
+  // scratch keeps this allocation-free in steady state.
+  thread_local std::vector<std::pair<std::uint32_t, double>> in_slots;
+  thread_local std::vector<std::pair<std::uint32_t, double>> out_slots;
+  in_slots.clear();
+  out_slots.clear();
+  for (const HalfEdge& e : in_edges) {
+    in_slots.push_back({slot_of_[e.node], e.weight});
+  }
+  for (const HalfEdge& e : out_edges) {
+    out_slots.push_back({slot_of_[e.node], e.weight});
+  }
+
   // Distances from each live node x to the new node: every path ends with an
   // in-edge (a, new); its prefix cannot revisit the new node, so it is an
   // old distance.  Symmetrically for distances from the new node.
-  for (const Handle hx : slot_to_handle_) {
-    const std::uint32_t sx = slot_of_[hx];
+  for (const std::uint32_t sx : live_slots_) {
+    const double* const row_x = &matrix_[static_cast<std::size_t>(sx) *
+                                         capacity_];
     double to_new = kNoBound;
-    for (const HalfEdge& e : in_edges) {
-      const double via = (e.node == hx ? 0.0 : at(sx, slot_of_[e.node]));
-      if (via != kNoBound && via + e.weight < to_new) to_new = via + e.weight;
+    for (const auto& [es, weight] : in_slots) {
+      const double via = (es == sx ? 0.0 : row_x[es]);
+      if (via != kNoBound && via + weight < to_new) to_new = via + weight;
     }
     double from_new = kNoBound;
-    for (const HalfEdge& e : out_edges) {
-      const double via = (e.node == hx ? 0.0 : at(slot_of_[e.node], sx));
-      if (via != kNoBound && e.weight + via < from_new) {
-        from_new = e.weight + via;
+    for (const auto& [es, weight] : out_slots) {
+      const double via =
+          (es == sx ? 0.0
+                    : matrix_[static_cast<std::size_t>(es) * capacity_ + sx]);
+      if (via != kNoBound && weight + via < from_new) {
+        from_new = weight + via;
       }
     }
     at(sx, slot) = to_new;
@@ -58,8 +74,7 @@ IncrementalApsp::Handle IncrementalApsp::insert_node(
   }
 
   // A negative cycle through the new node shows up as a negative round trip.
-  for (const Handle hx : slot_to_handle_) {
-    const std::uint32_t sx = slot_of_[hx];
+  for (const std::uint32_t sx : live_slots_) {
     const double out = at(slot, sx);
     const double back = at(sx, slot);
     if (out != kNoBound && back != kNoBound && out + back < 0.0) {
@@ -69,17 +84,20 @@ IncrementalApsp::Handle IncrementalApsp::insert_node(
   }
 
   // Relax every existing pair through the new node (Ausiello et al. [2]).
-  for (const Handle hx : slot_to_handle_) {
-    const std::uint32_t sx = slot_of_[hx];
+  // Row pointers hoist the slot*capacity index math out of the inner loop.
+  const double* const row_new =
+      &matrix_[static_cast<std::size_t>(slot) * capacity_];
+  for (const std::uint32_t sx : live_slots_) {
     const double xs = at(sx, slot);
     if (xs == kNoBound) continue;
-    for (const Handle hy : slot_to_handle_) {
-      const std::uint32_t sy = slot_of_[hy];
-      const double sy_dist = at(slot, sy);
+    double* const row_x = &matrix_[static_cast<std::size_t>(sx) * capacity_];
+    for (const std::uint32_t sy : live_slots_) {
+      const double sy_dist = row_new[sy];
       if (sy_dist == kNoBound) continue;
       const double through = xs + sy_dist;
-      if (through < at(sx, sy)) at(sx, sy) = through;
+      if (through < row_x[sy]) row_x[sy] = through;
     }
+    relaxations_ += live_slots_.size();
   }
   at(slot, slot) = 0.0;
 
@@ -87,6 +105,7 @@ IncrementalApsp::Handle IncrementalApsp::insert_node(
   slot_of_.push_back(slot);
   dense_pos_.push_back(static_cast<std::uint32_t>(slot_to_handle_.size()));
   slot_to_handle_.push_back(handle);
+  live_slots_.push_back(slot);
   return handle;
 }
 
@@ -100,17 +119,19 @@ bool IncrementalApsp::insert_edge(Handle from, Handle to, double weight) {
   // In-place relaxation is safe: entries (x,from) and (to,y) cannot improve
   // through the new edge absent a negative cycle, so stale reads are
   // impossible.
-  for (const Handle hx : slot_to_handle_) {
-    const std::uint32_t sx = slot_of_[hx];
+  const double* const row_v =
+      &matrix_[static_cast<std::size_t>(sv) * capacity_];
+  for (const std::uint32_t sx : live_slots_) {
     const double xu = at(sx, su);
     if (xu == kNoBound) continue;
     const double head = xu + weight;
-    for (const Handle hy : slot_to_handle_) {
-      const std::uint32_t sy = slot_of_[hy];
-      const double vy = at(sv, sy);
+    double* const row_x = &matrix_[static_cast<std::size_t>(sx) * capacity_];
+    for (const std::uint32_t sy : live_slots_) {
+      const double vy = row_v[sy];
       if (vy == kNoBound) continue;
-      if (head + vy < at(sx, sy)) at(sx, sy) = head + vy;
+      if (head + vy < row_x[sy]) row_x[sy] = head + vy;
     }
+    relaxations_ += live_slots_.size();
   }
   return true;
 }
@@ -134,10 +155,12 @@ bool IncrementalApsp::load_matrix(const std::vector<std::vector<double>>& dist) 
   slot_of_.resize(n);
   dense_pos_.resize(n);
   slot_to_handle_.resize(n);
+  live_slots_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     slot_of_[i] = i;
     dense_pos_[i] = i;
     slot_to_handle_[i] = i;
+    live_slots_[i] = i;
     for (std::uint32_t j = 0; j < n; ++j) at(i, j) = dist[i][j];
   }
   return true;
@@ -151,6 +174,8 @@ void IncrementalApsp::remove_node(Handle h) {
   slot_to_handle_[pos] = moved;
   dense_pos_[moved] = pos;
   slot_to_handle_.pop_back();
+  live_slots_[pos] = live_slots_.back();
+  live_slots_.pop_back();
   slot_of_[h] = kNoHandle;
   free_slots_.push_back(slot);
   // Hygiene: wipe the slot so stale distances can never leak into a future

@@ -89,6 +89,11 @@ class IncrementalApsp {
     return matrix_.capacity() * sizeof(double);
   }
 
+  /// Total pair-relaxation attempts performed by insert_node/insert_edge
+  /// since construction — the algorithm's O(L^2) work term, exported so
+  /// the runtime can report how much APSP work a node has actually done.
+  [[nodiscard]] std::uint64_t relaxations() const { return relaxations_; }
+
  private:
   [[nodiscard]] double& at(std::uint32_t slot_from, std::uint32_t slot_to) {
     return matrix_[static_cast<std::size_t>(slot_from) * capacity_ + slot_to];
@@ -104,12 +109,17 @@ class IncrementalApsp {
   // meaningful.  slot_of_[handle] -> slot (kNoHandle when dead);
   // slot_to_handle_ is the dense list of live handles, indexed by "dense
   // position" which is NOT the slot — slots are looked up via slot_of_.
+  // live_slots_ mirrors slot_to_handle_ entry-for-entry with the handles'
+  // slots, so the O(L^2) relaxation loops iterate slots directly instead
+  // of chasing handle -> slot per matrix access.
   std::vector<double> matrix_;
   std::size_t capacity_ = 0;
   std::vector<std::uint32_t> slot_of_;        // handle -> slot
   std::vector<std::uint32_t> dense_pos_;      // handle -> index in dense list
   std::vector<Handle> slot_to_handle_;        // dense list of live handles
+  std::vector<std::uint32_t> live_slots_;     // dense list of live slots
   std::vector<std::uint32_t> free_slots_;
+  std::uint64_t relaxations_ = 0;
 };
 
 }  // namespace driftsync::graph

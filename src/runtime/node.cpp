@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include "common/alloc_stats.h"
 #include "common/check.h"
 #include "common/errors.h"
 #include "core/wire.h"
@@ -212,6 +213,18 @@ std::string Node::stats_json_locked() const {
   append_json_u64(out, "peer_quarantines", stats_.peer_quarantines);
   append_json_u64(out, "peer_readmissions", stats_.peer_readmissions);
   append_json_u64(out, "backoff_resets", stats_.backoff_resets);
+  append_json_u64(out, "msg_path_allocs", stats_.msg_path_allocs);
+  append_json_u64(out, "msg_path_alloc_bytes", stats_.msg_path_alloc_bytes);
+  // CSA-level counters (zeros where the algorithm has no such notion).
+  const CsaStats cs = csa_->stats();
+  append_json_u64(out, "payload_bytes_sent", cs.payload_bytes_sent);
+  append_json_u64(out, "payload_bytes_received", cs.payload_bytes_received);
+  append_json_u64(out, "reports_sent", cs.reports_sent);
+  append_json_u64(out, "history_events", cs.history_events);
+  append_json_u64(out, "live_points", cs.live_points);
+  append_json_u64(out, "apsp_relaxations", cs.apsp_relaxations);
+  append_json_u64(out, "gc_passes", cs.gc_passes);
+  append_json_u64(out, "state_bytes", cs.state_bytes);
   // Per-peer health: seconds since last heard (null = never), plus the
   // quarantine roster.
   const double steady_now = steady_seconds();
@@ -312,6 +325,8 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
     return;
   }
   const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t allocs_before = alloc_stats::allocations();
+  const std::uint64_t alloc_bytes_before = alloc_stats::allocated_bytes();
   ++stats_.dgrams_in;
   stats_.bytes_in += bytes.size();
   if (const auto* data = std::get_if<DataMsg>(&dgram)) {
@@ -329,6 +344,9 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
   } else {
     ++stats_.ignored_dgrams;  // ProbeResp: nodes never consume one.
   }
+  stats_.msg_path_allocs += alloc_stats::allocations() - allocs_before;
+  stats_.msg_path_alloc_bytes +=
+      alloc_stats::allocated_bytes() - alloc_bytes_before;
 }
 
 void Node::handle_data(const DataMsg& msg) {

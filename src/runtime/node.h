@@ -107,6 +107,13 @@ struct NodeStats {
   std::uint64_t peer_quarantines = 0;   ///< Quarantine entries, total.
   std::uint64_t peer_readmissions = 0;  ///< Quarantine exits, total.
   std::uint64_t backoff_resets = 0;  ///< Backed-off peers that recovered.
+  /// Heap allocations (count / requested bytes) attributed to inbound
+  /// datagram processing.  Stays 0 unless the counting operator-new hook
+  /// (driftsync_allochook) is linked; deltas are taken under the node
+  /// mutex, so concurrent allocations by non-protocol threads are a
+  /// documented approximation (common/alloc_stats.h).
+  std::uint64_t msg_path_allocs = 0;
+  std::uint64_t msg_path_alloc_bytes = 0;
   double width = 0.0;        ///< Estimate width at snapshot time.
   /// Seconds since each configured peer was last heard from (any
   /// well-formed datagram); negative = never heard.

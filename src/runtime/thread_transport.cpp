@@ -16,6 +16,11 @@ double steady_seconds() {
       .count();
 }
 
+/// A direction's in-flight queue never holds more than this many datagrams;
+/// beyond it new sends are dropped (a real NIC queue is bounded too, and
+/// the fate protocol absorbs the loss).  Matches UdpTransport's kMaxBacklog.
+constexpr std::size_t kMaxBacklog = 256;
+
 }  // namespace
 
 /// Endpoint handed to a Node; all real work happens in the hub.
@@ -101,6 +106,19 @@ std::uint64_t ThreadHub::dropped() const {
   return dropped_;
 }
 
+std::size_t ThreadHub::backlog_depth(ProcId from, ProcId to) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = links_.find(dir_key(from, to));
+  return it == links_.end() ? 0 : it->second.backlog;
+}
+
+std::size_t ThreadHub::backlog_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, link] : links_) total += link.backlog;
+  return total;
+}
+
 void ThreadHub::register_endpoint(ProcId p, DatagramHandler handler) {
   const std::lock_guard<std::mutex> lock(mu_);
   Sink& sink = sinks_[p];
@@ -148,10 +166,15 @@ void ThreadHub::send_from(ProcId from, ProcId to,
       ++dropped_;
       return;
     }
+    if (link.backlog >= kMaxBacklog) {
+      ++dropped_;  // Direction queue full: the fate protocol copes.
+      return;
+    }
     const double now = steady_seconds();
     double due = now + rng_.uniform(link.min_latency, link.max_latency);
     if (due < link.last_due) due = link.last_due;  // FIFO per direction.
     link.last_due = due;
+    ++link.backlog;
     queue_.push(Pending{due, next_order_++, from, to, std::move(bytes)});
   }
   cv_.notify_all();
@@ -173,6 +196,13 @@ void ThreadHub::worker() {
     }
     Pending item = queue_.top();
     queue_.pop();
+    // The pop is the single point where a datagram leaves the queue —
+    // decrement here so BOTH exit paths (delivery below, destination-down
+    // drop) keep the per-direction backlog exact.
+    const auto link_it = links_.find(dir_key(item.from, item.to));
+    DS_CHECK_MSG(link_it != links_.end() && link_it->second.backlog > 0,
+                 "backlog accounting leak");
+    --link_it->second.backlog;
     const auto it = sinks_.find(item.to);
     if (it == sinks_.end() || !it->second.handler) {
       ++dropped_;  // Destination down (stopped or never started).

@@ -59,6 +59,14 @@ class ThreadHub {
   [[nodiscard]] std::uint64_t delivered() const;
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Datagrams currently queued (sent, not yet delivered or dropped) on the
+  /// from->to direction; 0 for unconfigured directions.  Every datagram that
+  /// enters the queue leaves it through exactly one of delivery or
+  /// destination-down drop, so after a quiescent flood this returns to 0.
+  [[nodiscard]] std::size_t backlog_depth(ProcId from, ProcId to) const;
+  /// Sum of backlog_depth over all directions.
+  [[nodiscard]] std::size_t backlog_depth() const;
+
  private:
   friend class HubEndpoint;
 
@@ -68,6 +76,7 @@ class ThreadHub {
     double loss = 0.0;
     double last_due = 0.0;  ///< FIFO clamp: next delivery not before this.
     std::uint64_t force_drop = 0;
+    std::size_t backlog = 0;  ///< Queued, not yet delivered or dropped.
   };
 
   struct Pending {

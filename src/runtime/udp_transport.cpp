@@ -96,6 +96,13 @@ void UdpTransport::stop() {
   started_ = false;
 }
 
+std::size_t UdpTransport::backlog_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [proc, peer] : peers_) total += peer.backlog.size();
+  return total;
+}
+
 bool UdpTransport::try_send(const sockaddr_in& addr,
                             const std::vector<std::uint8_t>& bytes) {
   const ssize_t n =

@@ -52,6 +52,11 @@ class UdpTransport : public Transport {
   /// Outbound datagrams dropped (unknown peer, full queue, send error).
   [[nodiscard]] std::uint64_t send_drops() const { return send_drops_; }
 
+  /// Datagrams queued behind a blocked socket, summed over peers.  Every
+  /// queued datagram leaves via the flush path (sent, or consumed by a hard
+  /// send error), so this returns to 0 once the socket drains.
+  [[nodiscard]] std::size_t backlog_depth() const;
+
  private:
   struct PeerState {
     sockaddr_in addr{};
@@ -73,7 +78,7 @@ class UdpTransport : public Transport {
   std::map<ProcId, PeerState> peers_;
   DatagramHandler handler_;
   std::thread thread_;
-  std::mutex mu_;  ///< Guards peer backlogs (send() vs loop flush).
+  mutable std::mutex mu_;  ///< Guards peer backlogs (send() vs loop flush).
   std::atomic<bool> running_{false};
   bool started_ = false;
   std::atomic<std::uint64_t> send_drops_{0};

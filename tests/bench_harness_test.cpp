@@ -1,0 +1,153 @@
+// Tests for the shared micro-benchmark harness (bench/harness.h): the
+// BENCH_*.json schema round-trips losslessly, and alloc counting is exact
+// on a synthetic workload (this binary links driftsync_allochook).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/alloc_stats.h"
+#include "common/json.h"
+
+namespace driftsync::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Report JSON round-trip
+
+std::vector<CaseResult> sample_results() {
+  CaseResult a;
+  a.group = "wire";
+  a.name = "BM_EncodeBatch/16";
+  a.iters = 12345;
+  a.reps = 5;
+  a.ns_per_op_median = 705.25;
+  a.ns_per_op_p99 = 819.5;
+  a.ns_per_op_min = 650.125;
+  a.allocs_per_op = 1.0;
+  a.alloc_bytes_per_op = 232.5;
+  a.alloc_hooked = true;
+  a.counters["bytes_per_record"] = 11.9375;
+  a.counters["vs_naive"] = 0.25;
+  CaseResult b;
+  b.group = "apsp";
+  b.name = "BM_InsertEdge/512";  // No counters, unhooked.
+  b.iters = 1;
+  b.reps = 1;
+  b.ns_per_op_median = 2.5e6;
+  b.ns_per_op_p99 = 2.5e6;
+  b.ns_per_op_min = 2.5e6;
+  return {a, b};
+}
+
+TEST(BenchReportJson, RoundTripsLosslessly) {
+  const std::vector<CaseResult> in = sample_results();
+  RunOptions opts;
+  opts.reps = 5;
+  opts.min_time_ms = 50.0;
+  const std::string text = report_json(in, opts);
+  const std::vector<CaseResult> out = parse_report_json(text);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].group, in[i].group);
+    EXPECT_EQ(out[i].name, in[i].name);
+    EXPECT_EQ(out[i].iters, in[i].iters);
+    EXPECT_EQ(out[i].reps, in[i].reps);
+    EXPECT_DOUBLE_EQ(out[i].ns_per_op_median, in[i].ns_per_op_median);
+    EXPECT_DOUBLE_EQ(out[i].ns_per_op_p99, in[i].ns_per_op_p99);
+    EXPECT_DOUBLE_EQ(out[i].ns_per_op_min, in[i].ns_per_op_min);
+    EXPECT_DOUBLE_EQ(out[i].allocs_per_op, in[i].allocs_per_op);
+    EXPECT_DOUBLE_EQ(out[i].alloc_bytes_per_op, in[i].alloc_bytes_per_op);
+    EXPECT_EQ(out[i].alloc_hooked, in[i].alloc_hooked);
+    EXPECT_EQ(out[i].counters, in[i].counters);
+  }
+}
+
+TEST(BenchReportJson, SecondSerializationIsStable) {
+  // Serialize -> parse -> serialize must be byte-identical: CI diffs depend
+  // on the encoding being canonical.
+  RunOptions opts;
+  const std::string once = report_json(sample_results(), opts);
+  const std::string twice = report_json(parse_report_json(once), opts);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(BenchReportJson, RejectsWrongSchemaAndGarbage) {
+  EXPECT_THROW((void)parse_report_json("not json"), json::JsonError);
+  EXPECT_THROW((void)parse_report_json("{}"), json::JsonError);
+  EXPECT_THROW(
+      (void)parse_report_json(R"({"schema":"other-v9","cases":[]})"),
+      json::JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// Exact alloc counting on a synthetic workload
+
+/// Exactly three heap allocations (8 + 96 + 8 requested bytes) per
+/// iteration, nothing else.
+void BM_ThreeAllocs(State& state) {
+  for (auto _ : state) {
+    auto* a = new std::uint64_t(1);
+    auto* b = new std::array<char, 96>();
+    auto* c = new std::uint64_t(2);
+    do_not_optimize(a);
+    do_not_optimize(b);
+    do_not_optimize(c);
+    delete a;
+    delete b;
+    delete c;
+  }
+  state.counters["iters_counter"] = static_cast<double>(state.iterations());
+}
+DS_BENCHMARK(harness_selftest, BM_ThreeAllocs);
+
+/// Allocation-free loop: the hook must report exactly zero.
+void BM_NoAllocs(State& state) {
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    do_not_optimize(acc);
+  }
+}
+DS_BENCHMARK(harness_selftest, BM_NoAllocs);
+
+TEST(BenchAllocCounting, ExactOnSyntheticWorkload) {
+  ASSERT_TRUE(alloc_stats::hooked())
+      << "this test binary must link driftsync_allochook";
+  RunOptions opts;
+  opts.reps = 3;
+  opts.min_time_ms = 1.0;
+  opts.filter = "harness_selftest/BM_ThreeAllocs";
+  const std::vector<CaseResult> results = run_registered(opts);
+  ASSERT_EQ(results.size(), 1u);
+  const CaseResult& r = results[0];
+  EXPECT_TRUE(r.alloc_hooked);
+  EXPECT_GE(r.iters, 1u);
+  EXPECT_GT(r.ns_per_op_min, 0.0);
+  // Per-op attribution is exact, not approximate: 3 allocations of
+  // 8 + 96 + 8 requested bytes, every iteration, nothing untimed.
+  EXPECT_DOUBLE_EQ(r.allocs_per_op, 3.0);
+  EXPECT_DOUBLE_EQ(r.alloc_bytes_per_op, 112.0);
+  // Counters set after the loop reach the report.
+  ASSERT_TRUE(r.counters.contains("iters_counter"));
+  EXPECT_DOUBLE_EQ(r.counters.at("iters_counter"),
+                   static_cast<double>(r.iters));
+}
+
+TEST(BenchAllocCounting, ZeroOnAllocationFreeLoop) {
+  ASSERT_TRUE(alloc_stats::hooked());
+  RunOptions opts;
+  opts.reps = 2;
+  opts.min_time_ms = 1.0;
+  opts.filter = "harness_selftest/BM_NoAllocs";
+  const std::vector<CaseResult> results = run_registered(opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].allocs_per_op, 0.0);
+  EXPECT_DOUBLE_EQ(results[0].alloc_bytes_per_op, 0.0);
+}
+
+}  // namespace
+}  // namespace driftsync::bench

@@ -2,7 +2,9 @@
 // statistics and the table printer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <unordered_set>
 
@@ -218,6 +220,51 @@ TEST(PercentileTest, Basics) {
 TEST(PercentileTest, Interpolates) {
   std::vector<double> v{0.0, 10.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.35), 3.5);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeQ) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 3.0);
+}
+
+TEST(PercentileTest, EmptyInputIsACallerBug) {
+  EXPECT_THROW(percentile({}, 0.5), std::logic_error);
+  EXPECT_THROW(percentile({1.0}, std::nan("")), std::logic_error);
+}
+
+/// Independent reference: sort, split the fractional position q*(n-1) into
+/// integer part and remainder with floor, and blend the two neighbors.
+double percentile_reference(std::vector<double> v, double q) {
+  q = std::max(0.0, std::min(1.0, q));
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = pos - std::floor(pos);
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
+/// Property test: random samples and quantiles agree with the reference,
+/// the result is monotone in q, and always lies within [min, max].
+TEST(PercentileTest, MatchesReferenceOnRandomInputs) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(40);
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(-1e6, 1e6);
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const double q :
+         {-0.2, 0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0, 1.7}) {
+      const double got = percentile(v, q);
+      EXPECT_NEAR(got, percentile_reference(v, q), 1e-6)
+          << "n=" << n << " q=" << q;
+      EXPECT_GE(got + 1e-9, prev) << "not monotone in q at q=" << q;
+      prev = got;
+      EXPECT_GE(got, *std::min_element(v.begin(), v.end()));
+      EXPECT_LE(got, *std::max_element(v.begin(), v.end()));
+    }
+  }
 }
 
 TEST(LinearFitTest, ExactLine) {

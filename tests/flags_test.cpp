@@ -66,6 +66,44 @@ TEST(FlagsTest, MalformedValueIsNotSilentlyIgnored) {
   EXPECT_THROW((void)f.get_double("poll", 0.0), FlagError);
 }
 
+TEST(FlagsTest, GetUintParsesDecimalCounts) {
+  const Flags f = make({"--reps=7", "--budget=18446744073709551615"});
+  EXPECT_EQ(f.get_uint("reps", 0), 7u);
+  // The full uint64 range is representable.
+  EXPECT_EQ(f.get_uint("budget", 0), 18446744073709551615ull);
+  EXPECT_EQ(f.get_uint("absent", 3), 3u);
+}
+
+TEST(FlagsTest, UnsignedGettersRejectNegatives) {
+  // "-1" must error, not wrap to 2^64 - 1 (strtoull fails open here).
+  const Flags f = make({"--n=-1"});
+  EXPECT_THROW((void)f.get_uint("n", 0), FlagError);
+  EXPECT_THROW((void)f.get_seed("n", 0), FlagError);
+}
+
+TEST(FlagsTest, NumericGettersRejectTrailingGarbage) {
+  const Flags f = make({"--n=12x", "--m=0x10zz"});
+  EXPECT_THROW((void)f.get_uint("n", 0), FlagError);
+  EXPECT_THROW((void)f.get_int("n", 0), FlagError);
+  EXPECT_THROW((void)f.get_seed("m", 0), FlagError);
+}
+
+TEST(FlagsTest, NumericGettersRejectOverflow) {
+  // One past the respective maxima: strto* would saturate silently.
+  const Flags f = make({"--u=18446744073709551616", "--i=9223372036854775808"});
+  EXPECT_THROW((void)f.get_uint("u", 0), FlagError);
+  EXPECT_THROW((void)f.get_int("i", 0), FlagError);
+  const Flags g = make({"--d=1e999"});
+  EXPECT_THROW((void)g.get_double("d", 0.0), FlagError);
+}
+
+TEST(FlagsTest, NumericGettersRejectWhitespaceAndEmpty) {
+  const Flags f = make({"--n= 5", "--e="});
+  EXPECT_THROW((void)f.get_uint("n", 0), FlagError);
+  EXPECT_THROW((void)f.get_int("e", 0), FlagError);
+  EXPECT_THROW((void)f.get_double("e", 0.0), FlagError);
+}
+
 TEST(FlagsTest, RejectUnknownPassesWhenAllRead) {
   const Flags f = make({"--a=1", "--b=2"});
   (void)f.get_int("a", 0);

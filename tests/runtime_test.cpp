@@ -6,6 +6,7 @@
 // (containment of ground truth, counter inequalities) rather than exact.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -202,6 +203,44 @@ TEST(ThreadHub, DeliversInFifoOrderAndCountsDrops) {
   EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4}));
   EXPECT_EQ(hub.dropped(), 1u);
   EXPECT_EQ(hub.delivered(), 4u);
+  tx->stop();
+  rx->stop();
+}
+
+// Regression test for backlog accounting: flood a lossy link and check
+// that every datagram leaves the in-flight queue through exactly one exit
+// path (delivery, loss, overflow, destination-down drop) — the backlog
+// must return to zero and the counters must add up to the flood size.
+TEST(ThreadHub, FloodedLossyLinkBacklogReturnsToZero) {
+  ThreadHub hub(11);
+  hub.set_link(0, 1, 0.0, 0.001, /*loss=*/0.5);
+
+  std::atomic<std::uint64_t> received{0};
+  auto rx = hub.endpoint(1);
+  rx->start([&](std::span<const std::uint8_t>) { ++received; });
+  auto tx = hub.endpoint(0);
+  tx->start([](std::span<const std::uint8_t>) {});
+
+  constexpr std::uint64_t kFlood = 2000;
+  for (std::uint64_t i = 0; i < kFlood; ++i) {
+    tx->send(1, {static_cast<std::uint8_t>(i)});
+    // The per-direction bound caps the queue no matter how fast we flood.
+    EXPECT_LE(hub.backlog_depth(0, 1), 256u);
+  }
+  for (int spins = 0; spins < 1000; ++spins) {
+    if (hub.backlog_depth() == 0 && hub.delivered() + hub.dropped() == kFlood) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(hub.backlog_depth(0, 1), 0u);
+  EXPECT_EQ(hub.backlog_depth(), 0u);
+  // Every flooded datagram was either delivered or dropped — none leaked.
+  EXPECT_EQ(hub.delivered() + hub.dropped(), kFlood);
+  EXPECT_EQ(hub.delivered(), received.load());
+  // loss=0.5 makes both outcomes overwhelmingly likely in 2000 tries.
+  EXPECT_GT(hub.delivered(), 0u);
+  EXPECT_GT(hub.dropped(), 0u);
   tx->stop();
   rx->stop();
 }

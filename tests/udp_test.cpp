@@ -123,7 +123,33 @@ TEST(UdpTransport, SendToUnknownPeerCountsAsDrop) {
   a->start([](std::span<const std::uint8_t>) {});
   a->send(7, {1, 2, 3});
   EXPECT_EQ(a->send_drops(), 1u);
+  // The dropped datagram must not linger in any backlog queue.
+  EXPECT_EQ(a->backlog_depth(), 0u);
   a->stop();
+}
+
+/// Backlog accounting under a flood: loopback sends rarely block, so the
+/// backlog should drain to zero once the flood ends, with every datagram
+/// accounted for as sent or dropped (never leaked in a queue).
+TEST(UdpTransport, FloodBacklogReturnsToZero) {
+  auto a = try_bind();
+  REQUIRE_SOCKETS(a);
+  auto b = try_bind();
+  REQUIRE_SOCKETS(b);
+  a->add_peer(1, kHost, b->local_port());
+  b->start([](std::span<const std::uint8_t>) {});
+  a->start([](std::span<const std::uint8_t>) {});
+
+  const std::vector<std::uint8_t> payload(512, 0xab);
+  for (int i = 0; i < 2000; ++i) a->send(1, payload);
+  bool drained = false;
+  for (int spins = 0; spins < 400 && !drained; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    drained = a->backlog_depth() == 0;
+  }
+  EXPECT_TRUE(drained);
+  a->stop();
+  b->stop();
 }
 
 /// Two driftsyncd-style nodes on loopback ephemeral ports: the non-source

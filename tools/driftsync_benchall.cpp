@@ -1,0 +1,159 @@
+// Runs every micro-benchmark case (the same TUs the individual bench_*
+// binaries are built from, linked here all at once) and writes one
+// consolidated machine-readable report.  With --baseline it additionally
+// compares median ns/op against a previously committed report and exits
+// non-zero on a regression past the threshold — this is the CI perf gate.
+//
+// Typical use:
+//   driftsync_benchall --out=BENCH_pr4.json
+//   driftsync_benchall --baseline=BENCH_baseline.json --threshold=0.25
+//
+// The threshold is deliberately generous (default +25% on the median) and
+// is paired with an absolute floor: cases in the low-nanosecond range
+// jitter by whole multiples on shared CI runners, so a relative test alone
+// would page on noise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/json.h"
+
+namespace driftsync {
+
+constexpr const char kUsage[] =
+    "usage: driftsync_benchall [--out=BENCH_pr4.json] [--filter=substr]\n"
+    "         [--reps=N] [--min-time-ms=T]\n"
+    "         [--baseline=FILE] [--threshold=0.25] [--abs-floor-ns=25]";
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FlagError("cannot read baseline file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Compares `fresh` against `base` case-by-case; returns the number of
+/// regressions (median ns/op above threshold AND above the absolute
+/// floor).  Cases present on only one side are reported but never fail the
+/// gate — adding or retiring a benchmark must not require touching the
+/// committed baseline in the same change.
+int compare(const std::vector<bench::CaseResult>& base,
+            const std::vector<bench::CaseResult>& fresh, double threshold,
+            double abs_floor_ns) {
+  int regressions = 0;
+  for (const bench::CaseResult& f : fresh) {
+    const bench::CaseResult* b = nullptr;
+    for (const bench::CaseResult& candidate : base) {
+      if (candidate.group == f.group && candidate.name == f.name) {
+        b = &candidate;
+        break;
+      }
+    }
+    const std::string full = f.group + '/' + f.name;
+    if (b == nullptr) {
+      std::printf("  new   %-44s %10.1f ns/op (no baseline)\n", full.c_str(),
+                  f.ns_per_op_median);
+      continue;
+    }
+    const double delta = f.ns_per_op_median - b->ns_per_op_median;
+    const double rel = b->ns_per_op_median > 0.0
+                           ? delta / b->ns_per_op_median
+                           : 0.0;
+    const bool regressed =
+        rel > threshold && delta > abs_floor_ns;
+    if (regressed) ++regressions;
+    std::printf("  %s %-44s %10.1f -> %10.1f ns/op (%+.1f%%)\n",
+                regressed ? "REGR " : "ok   ", full.c_str(),
+                b->ns_per_op_median, f.ns_per_op_median, rel * 100.0);
+  }
+  for (const bench::CaseResult& b : base) {
+    bool found = false;
+    for (const bench::CaseResult& f : fresh) {
+      found = found || (f.group == b.group && f.name == b.name);
+    }
+    if (!found) {
+      std::printf("  gone  %s/%s (in baseline only)\n", b.group.c_str(),
+                  b.name.c_str());
+    }
+  }
+  return regressions;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::RunOptions opts;
+  opts.reps = static_cast<std::size_t>(
+      flags.get_uint("reps", static_cast<std::uint64_t>(opts.reps)));
+  if (opts.reps == 0) throw FlagError("flag --reps must be >= 1");
+  opts.min_time_ms = flags.get_double("min-time-ms", opts.min_time_ms);
+  opts.filter = flags.get_string("filter", "");
+  const std::string out_path = flags.get_string("out", "BENCH_pr4.json");
+  const std::string baseline_path = flags.get_string("baseline", "");
+  const double threshold = flags.get_double("threshold", 0.25);
+  const double abs_floor_ns = flags.get_double("abs-floor-ns", 25.0);
+  flags.reject_unknown(kUsage);
+  if (threshold <= 0.0) throw FlagError("--threshold must be > 0");
+
+  // Load (and validate) the baseline before spending minutes measuring.
+  std::vector<bench::CaseResult> base;
+  if (!baseline_path.empty()) {
+    try {
+      base = bench::parse_report_json(read_file(baseline_path));
+    } catch (const json::JsonError& e) {
+      std::fprintf(stderr, "malformed baseline %s: %s\n",
+                   baseline_path.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  const std::vector<bench::CaseResult> results =
+      bench::run_registered(opts);
+  if (results.empty()) {
+    std::fprintf(stderr, "no benchmark matched filter \"%s\"\n",
+                 opts.filter.c_str());
+    return 2;
+  }
+  std::fputs(bench::format_results(results, false).c_str(), stdout);
+
+  const std::string report = bench::report_json(results, opts);
+  {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+  std::printf("wrote %s (%zu cases)\n", out_path.c_str(), results.size());
+
+  if (!baseline_path.empty()) {
+    std::printf("comparing against %s (threshold +%.0f%%, floor %.0f ns):\n",
+                baseline_path.c_str(), threshold * 100.0, abs_floor_ns);
+    const int regressions =
+        compare(base, results, threshold, abs_floor_ns);
+    if (regressions > 0) {
+      std::fprintf(stderr, "%d case(s) regressed past the threshold\n",
+                   regressions);
+      return 1;
+    }
+    std::printf("no regressions\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace driftsync
+
+int main(int argc, char** argv) try {
+  return driftsync::run(argc, argv);
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n%s\n", e.what(), driftsync::kUsage);
+  return 2;
+}

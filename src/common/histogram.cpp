@@ -1,0 +1,139 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace driftsync {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  DS_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    DS_CHECK_MSG(std::isfinite(bounds_[i]), "histogram bound must be finite");
+    if (i > 0) {
+      DS_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+Histogram Histogram::exponential(double lo, double factor, std::size_t n) {
+  DS_CHECK_MSG(lo > 0.0 && factor > 1.0 && n >= 1,
+               "exponential histogram needs lo > 0, factor > 1, n >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  DS_CHECK_MSG(bounds_ == other.bounds_,
+               "merging histograms with different bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  DS_CHECK_MSG(i < counts_.size(), "histogram bucket index out of range");
+  return counts_[i];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank under the same fractional-position convention as
+  // stats.h percentile(): position q*(n-1) in the sorted sample, i.e. rank
+  // target+1 counting from 1.
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double first = static_cast<double>(below);
+    const double last = static_cast<double>(below + counts_[i] - 1);
+    if (target <= last) {
+      // Interpolate within the bucket between its effective edges.  The
+      // observed min/max tighten the extreme buckets; the +Inf bucket has
+      // no upper bound, so max_ stands in.
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo || last <= first) return std::clamp(lo, min_, max_);
+      // A target in the fractional gap just below this bucket's first rank
+      // would make frac negative; clamping keeps the estimate inside the
+      // bucket's effective edges.
+      const double frac =
+          std::clamp((target - first) / (last - first), 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    below += counts_[i];
+  }
+  return max_;  // q == 1 lands past the last occupied bucket edge.
+}
+
+void append_prometheus(std::string& out, const std::string& name,
+                       const std::string& labels, const Histogram& hist) {
+  // Empty label sets render without braces (OpenMetrics forbids `{}`).
+  const std::string bucket_prefix =
+      labels.empty() ? std::string("{le=\"")
+                     : std::string("{") + labels + ",le=\"";
+  const std::string plain_labels =
+      labels.empty() ? std::string() : std::string("{") + labels + "}";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= hist.bounds().size(); ++i) {
+    cumulative += hist.bucket_count(i);
+    out += name;
+    out += "_bucket";
+    out += bucket_prefix;
+    out += i < hist.bounds().size() ? json::number(hist.bounds()[i]) : "+Inf";
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_sum";
+  out += plain_labels;
+  out += ' ';
+  out += json::number(hist.sum());
+  out += '\n';
+  out += name;
+  out += "_count";
+  out += plain_labels;
+  out += ' ';
+  out += std::to_string(hist.count());
+  out += '\n';
+}
+
+}  // namespace driftsync

@@ -1,0 +1,65 @@
+// Fixed-bucket histogram for latency/width distributions (DESIGN.md §8).
+//
+// Prometheus-shaped on purpose: buckets are cumulative upper bounds
+// (le-inclusive) plus an implicit +Inf bucket, so exposition is a straight
+// dump and two histograms with identical bounds merge by adding counts.
+// add() is O(log buckets) with no allocation — it runs inside Node's hot
+// receive path under mu_, so it must stay cheap.  Quantiles are estimated
+// by linear interpolation within the bucket containing the target rank
+// (the standard Prometheus histogram_quantile rule), with the observed
+// min/max tightening the first and last occupied buckets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace driftsync {
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing, finite upper bounds; the +Inf bucket
+  /// is implicit.  Violations are caller bugs (DS_CHECK).
+  explicit Histogram(std::vector<double> bounds);
+
+  /// n buckets spanning [lo, lo*factor, lo*factor^2, ...); lo > 0,
+  /// factor > 1, n >= 1.
+  static Histogram exponential(double lo, double factor, std::size_t n);
+
+  void add(double x);
+
+  /// Adds other's counts into this; the bound vectors must be identical
+  /// (DS_CHECK — merging mismatched histograms is a caller bug).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (non-cumulative); i == bounds().size() is the +Inf
+  /// bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+
+  /// Estimated q-quantile (q clamped to [0,1]); 0.0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (+Inf last).
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Appends the Prometheus text exposition of `hist` to `out`:
+/// name_bucket{<labels,>le="..."} lines (cumulative, ending le="+Inf"),
+/// then name_sum and name_count.  `labels` is either empty or a
+/// comma-separated list like `node="2"` (no surrounding braces).
+void append_prometheus(std::string& out, const std::string& name,
+                       const std::string& labels, const Histogram& hist);
+
+}  // namespace driftsync

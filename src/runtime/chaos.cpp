@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/datagram.h"
 
 namespace driftsync::runtime {
 
@@ -22,15 +24,15 @@ double steady_seconds() {
 // ChaosEventLog
 
 void ChaosEventLog::log(const char* fault, ProcId node, ProcId peer,
-                        double value) {
+                        double value, std::uint64_t trace_id) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++total_;
   ++per_fault_[fault];
   if (out_ != nullptr) {
     std::fprintf(out_,
                  "{\"chaos\":\"%s\",\"node\":%u,\"peer\":%u,\"t\":%.6f,"
-                 "\"value\":%g}\n",
-                 fault, node, peer, steady_seconds(), value);
+                 "\"value\":%g,\"trace\":\"0x%" PRIx64 "\"}\n",
+                 fault, node, peer, steady_seconds(), value, trace_id);
   }
 }
 
@@ -77,18 +79,32 @@ void ChaosTransport::stop() {
     // the journal's accounting stays closed.
     const std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [peer, held] : held_) {
-      (void)held;
       ++injected_;
-      if (log_ != nullptr) log_->log("hold-drop", self_, peer);
+      if (log_ != nullptr) {
+        log_->log("hold-drop", self_, peer, 0.0, held.trace_id);
+      }
+      trace_fault_drop(held.trace_id, peer);
     }
     held_.clear();
   }
   inner_->stop();
 }
 
-void ChaosTransport::record(const char* fault, ProcId peer, double value) {
+void ChaosTransport::set_tracer(Tracer* tracer) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+}
+
+void ChaosTransport::record(const char* fault, ProcId peer, double value,
+                            std::uint64_t trace_id) {
   ++injected_;
-  if (log_ != nullptr) log_->log(fault, self_, peer, value);
+  if (log_ != nullptr) log_->log(fault, self_, peer, value, trace_id);
+}
+
+void ChaosTransport::trace_fault_drop(std::uint64_t trace_id, ProcId peer) {
+  if (tracer_ != nullptr) {
+    tracer_->record(TraceEventKind::kDrop, trace_id, self_, peer);
+  }
 }
 
 void ChaosTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
@@ -96,23 +112,31 @@ void ChaosTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
   // back into the chaos layer, so holding mu_ across inner_->send is safe
   // and keeps the per-send fault draws atomic (seed-replayable).
   const std::lock_guard<std::mutex> lock(mu_);
+  // Peek the causal id before corruption can mutate the bytes; skip the
+  // decode entirely when nobody consumes it.
+  const std::uint64_t tid =
+      (log_ != nullptr || tracer_ != nullptr) ? peek_trace_id(bytes) : 0;
   if (to != kReplyPeer &&
       (partitioned_all_ || partitioned_.count(to) > 0)) {
-    record("partition-drop", to);
+    record("partition-drop", to, 0.0, tid);
+    trace_fault_drop(tid, to);
     return;
   }
   if (burst_remaining_ > 0) {
     --burst_remaining_;
-    record("burst-drop", to);
+    record("burst-drop", to, 0.0, tid);
+    trace_fault_drop(tid, to);
     return;
   }
   if (faults_.burst > 0.0 && rng_.flip(faults_.burst)) {
     burst_remaining_ = faults_.burst_len - 1;
-    record("burst-drop", to, static_cast<double>(faults_.burst_len));
+    record("burst-drop", to, static_cast<double>(faults_.burst_len), tid);
+    trace_fault_drop(tid, to);
     return;
   }
   if (faults_.drop > 0.0 && rng_.flip(faults_.drop)) {
-    record("drop", to);
+    record("drop", to, 0.0, tid);
+    trace_fault_drop(tid, to);
     return;
   }
   if (faults_.corrupt > 0.0 && !bytes.empty() && rng_.flip(faults_.corrupt)) {
@@ -126,11 +150,12 @@ void ChaosTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
       bytes[rng_.uniform_index(bytes.size())] ^=
           static_cast<std::uint8_t>(1u << rng_.uniform_index(8));
     }
-    record("corrupt", to, static_cast<double>(1 + extra));
+    record("corrupt", to, static_cast<double>(1 + extra), tid);
   }
   // Reorder: a kReplyPeer send is only routable while the handler that
   // triggered it is running, so it can never be held back.
   std::vector<std::uint8_t> released;
+  std::uint64_t released_tid = 0;
   if (to != kReplyPeer) {
     const auto held = held_.find(to);
     if (held != held_.end()) {
@@ -139,19 +164,21 @@ void ChaosTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
       // (see ChaosFaults::max_hold).
       const double age = steady_seconds() - held->second.since;
       if (age > faults_.max_hold) {
-        record("hold-drop", to, age);
+        record("hold-drop", to, age, held->second.trace_id);
+        trace_fault_drop(held->second.trace_id, to);
       } else {
         released = std::move(held->second.bytes);
+        released_tid = held->second.trace_id;
       }
       held_.erase(held);
     } else if (faults_.reorder > 0.0 && rng_.flip(faults_.reorder)) {
-      held_[to] = Held{steady_seconds(), std::move(bytes)};
-      record("hold", to);
+      held_[to] = Held{steady_seconds(), tid, std::move(bytes)};
+      record("hold", to, 0.0, tid);
       return;
     }
   }
   if (faults_.duplicate > 0.0 && rng_.flip(faults_.duplicate)) {
-    record("duplicate", to);
+    record("duplicate", to, 0.0, tid);
     std::vector<std::uint8_t> copy = bytes;
     inner_->send(to, std::move(copy));
   }
@@ -159,7 +186,7 @@ void ChaosTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
   inner_->send(to, std::move(bytes));
   // Releasing the held datagram AFTER the newer one is what breaks FIFO.
   if (release) {
-    record("reorder", to);
+    record("reorder", to, 0.0, released_tid);
     inner_->send(to, std::move(released));
   }
 }

@@ -44,20 +44,25 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "runtime/time_source.h"
 #include "runtime/transport.h"
 
 namespace driftsync::runtime {
 
 /// Thread-safe journal of injected faults.  Each entry is one JSON line
-/// `{"chaos":"<fault>","node":N,"peer":P,"t":<steady-seconds>,"value":V}`
-/// written to `out` (pass nullptr to only count).  The per-fault counters
-/// feed scenario verdicts and the oracle's loss-soundness bookkeeping.
+/// `{"chaos":"<fault>","node":N,"peer":P,"t":<steady-seconds>,"value":V,
+/// "trace":"0x..."}` written to `out` (pass nullptr to only count).  The
+/// trace field is the causal trace id of the datagram the fault hit ("0x0"
+/// when it carried none), so a fault journal cross-references the Tracer's
+/// event streams.  The per-fault counters feed scenario verdicts and the
+/// oracle's loss-soundness bookkeeping.
 class ChaosEventLog {
  public:
   explicit ChaosEventLog(std::FILE* out = nullptr) : out_(out) {}
 
-  void log(const char* fault, ProcId node, ProcId peer, double value = 0.0);
+  void log(const char* fault, ProcId node, ProcId peer, double value = 0.0,
+           std::uint64_t trace_id = 0);
 
   [[nodiscard]] std::uint64_t total() const;
   [[nodiscard]] std::uint64_t count(const std::string& fault) const;
@@ -114,13 +119,23 @@ class ChaosTransport : public Transport {
   /// Total faults this transport injected (drops, dups, holds, flips).
   [[nodiscard]] std::uint64_t injected() const;
 
+  /// Records a kDrop trace event for every fault that loses a datagram
+  /// (partition-drop, burst-drop, drop, hold-drop).  Non-drop faults
+  /// (corrupt, duplicate, hold/reorder) appear only in the journal.  Null
+  /// disables.  Not owned; must outlive this transport.
+  void set_tracer(Tracer* tracer);
+
  private:
-  void record(const char* fault, ProcId peer, double value = 0.0);
+  void record(const char* fault, ProcId peer, double value = 0.0,
+              std::uint64_t trace_id = 0);
+  /// kDrop trace hook for datagram-losing faults (mu_ held).
+  void trace_fault_drop(std::uint64_t trace_id, ProcId peer);
 
   std::unique_ptr<Transport> inner_;
   const ProcId self_;
   const ChaosFaults faults_;
   ChaosEventLog* log_;
+  Tracer* tracer_ = nullptr;
 
   mutable std::mutex mu_;
   Rng rng_;
@@ -130,6 +145,7 @@ class ChaosTransport : public Transport {
   /// One held-back datagram per destination (the reorder fault).
   struct Held {
     double since = 0.0;  ///< steady_seconds() at hold time (max_hold cap).
+    std::uint64_t trace_id = 0;  ///< Peeked at hold time (bytes move away).
     std::vector<std::uint8_t> bytes;
   };
   std::map<ProcId, Held> held_;

@@ -20,8 +20,17 @@ enum class Type : std::uint8_t {
   kSkip = 2,
   kProbeReq = 3,
   kProbeResp = 4,
+  kMetricsReq = 5,
+  kMetricsResp = 6,
 };
-constexpr std::uint8_t kMaxType = 4;
+constexpr std::uint8_t kMaxType = 6;
+
+/// Extension-block flag bits (kData only).  The block is appended after the
+/// payload; each set bit contributes its field in bit order.  An absent
+/// block means "no extensions" — the only canonical encoding of a message
+/// with no extension fields, so flags == 0 on the wire is rejected.
+constexpr std::uint8_t kExtTraceId = 0x01;
+constexpr std::uint8_t kExtKnownMask = kExtTraceId;
 
 void put_header(std::vector<std::uint8_t>& out, Type type) {
   out.push_back(kMagic0);
@@ -68,6 +77,10 @@ void encode_body(std::vector<std::uint8_t>& out, const DataMsg& m) {
   wire::put_varint(out, m.send_seq);
   wire::put_double(out, m.send_lt);
   wire::append_payload(out, m.payload);
+  if (m.trace_id != 0) {
+    out.push_back(kExtTraceId);
+    wire::put_varint(out, m.trace_id);
+  }
 }
 
 void encode_body(std::vector<std::uint8_t>& out, const AckMsg& m) {
@@ -88,6 +101,24 @@ void encode_body(std::vector<std::uint8_t>& out, const ProbeReq& m) {
   wire::put_varint(out, m.nonce);
 }
 
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  wire::put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string get_string(std::span<const std::uint8_t> bytes,
+                       std::size_t& offset, const char* what) {
+  const std::uint64_t len = wire::get_varint(bytes, offset);
+  if (len > bytes.size() - offset) {
+    throw WireError(std::string(what) + " overruns buffer");
+  }
+  std::string s(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                bytes.begin() + static_cast<std::ptrdiff_t>(offset) +
+                    static_cast<std::ptrdiff_t>(len));
+  offset += static_cast<std::size_t>(len);
+  return s;
+}
+
 void encode_body(std::vector<std::uint8_t>& out, const ProbeResp& m) {
   put_header(out, Type::kProbeResp);
   wire::put_varint(out, m.nonce);
@@ -95,8 +126,21 @@ void encode_body(std::vector<std::uint8_t>& out, const ProbeResp& m) {
   wire::put_double(out, m.local_time);
   wire::put_double(out, m.lo);
   wire::put_double(out, m.hi);
-  wire::put_varint(out, m.stats_json.size());
-  out.insert(out.end(), m.stats_json.begin(), m.stats_json.end());
+  put_string(out, m.stats_json);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const MetricsReq& m) {
+  put_header(out, Type::kMetricsReq);
+  wire::put_varint(out, m.nonce);
+  wire::put_varint(out, m.max_trace_events);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const MetricsResp& m) {
+  put_header(out, Type::kMetricsResp);
+  wire::put_varint(out, m.nonce);
+  wire::put_varint(out, m.from);
+  put_string(out, m.metrics);
+  put_string(out, m.trace_json);
 }
 
 DataMsg decode_data(std::span<const std::uint8_t> bytes, std::size_t& offset) {
@@ -110,6 +154,22 @@ DataMsg decode_data(std::span<const std::uint8_t> bytes, std::size_t& offset) {
   m.send_lt = wire::get_double(bytes, offset);
   if (!std::isfinite(m.send_lt)) throw WireError("non-finite send local time");
   m.payload = wire::decode_payload(bytes, offset);
+  if (offset < bytes.size()) {
+    // Optional extension block.  Canonical rules: a zero flag byte encodes
+    // nothing (the canonical form is omission), unknown bits are rejected
+    // (we cannot skip fields we cannot size), and a zero trace id must be
+    // encoded by omission.  A duplicated block trips the trailing-bytes
+    // check in decode_datagram.
+    const std::uint8_t flags = bytes[offset++];
+    if (flags == 0) throw WireError("empty datagram extension flags");
+    if ((flags & ~kExtKnownMask) != 0) {
+      throw WireError("unknown datagram extension flags");
+    }
+    if ((flags & kExtTraceId) != 0) {
+      m.trace_id = wire::get_varint(bytes, offset);
+      if (m.trace_id == 0) throw WireError("redundant zero trace id");
+    }
+  }
   return m;
 }
 
@@ -150,14 +210,25 @@ ProbeResp decode_probe_resp(std::span<const std::uint8_t> bytes,
     throw WireError("NaN probe estimate bound");
   }
   if (m.lo > m.hi) throw WireError("inverted probe estimate");
-  const std::uint64_t len = wire::get_varint(bytes, offset);
-  if (len > bytes.size() - offset) {
-    throw WireError("probe stats overrun buffer");
-  }
-  m.stats_json.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-                      bytes.begin() + static_cast<std::ptrdiff_t>(offset) +
-                          static_cast<std::ptrdiff_t>(len));
-  offset += static_cast<std::size_t>(len);
+  m.stats_json = get_string(bytes, offset, "probe stats");
+  return m;
+}
+
+MetricsReq decode_metrics_req(std::span<const std::uint8_t> bytes,
+                              std::size_t& offset) {
+  MetricsReq m;
+  m.nonce = wire::get_varint(bytes, offset);
+  m.max_trace_events = get_u32(bytes, offset, "trace event cap");
+  return m;
+}
+
+MetricsResp decode_metrics_resp(std::span<const std::uint8_t> bytes,
+                                std::size_t& offset) {
+  MetricsResp m;
+  m.nonce = wire::get_varint(bytes, offset);
+  m.from = get_proc(bytes, offset, "metrics responder");
+  m.metrics = get_string(bytes, offset, "metrics text");
+  m.trace_json = get_string(bytes, offset, "trace snapshot");
   return m;
 }
 
@@ -195,9 +266,27 @@ Datagram decode_datagram(std::span<const std::uint8_t> bytes) {
     case Type::kProbeResp:
       dgram = decode_probe_resp(bytes, offset);
       break;
+    case Type::kMetricsReq:
+      dgram = decode_metrics_req(bytes, offset);
+      break;
+    case Type::kMetricsResp:
+      dgram = decode_metrics_resp(bytes, offset);
+      break;
   }
   if (offset != bytes.size()) throw WireError("trailing bytes after datagram");
   return dgram;
+}
+
+std::uint64_t peek_trace_id(std::span<const std::uint8_t> bytes) noexcept {
+  try {
+    const Datagram dgram = decode_datagram(bytes);
+    if (const auto* data = std::get_if<DataMsg>(&dgram)) {
+      return data->trace_id;
+    }
+  } catch (...) {
+    // Garbage (e.g. post-corruption bytes) simply has no trace id.
+  }
+  return 0;
 }
 
 }  // namespace driftsync::runtime

@@ -50,6 +50,11 @@ struct DataMsg {
   std::uint32_t send_seq = 0;      ///< Sender's send-event sequence number.
   LocalTime send_lt = 0.0;         ///< Sender's local time of the send.
   CsaPayload payload;
+  /// Causal trace id (common/trace.h), 0 = untraced.  Carried in the
+  /// optional extension block after the payload: absent when 0, so
+  /// pre-extension encoders interoperate and the canonical-encoding rule
+  /// (exactly one byte string per message) is preserved in both directions.
+  std::uint64_t trace_id = 0;
 
   friend bool operator==(const DataMsg&, const DataMsg&) = default;
 };
@@ -93,7 +98,30 @@ struct ProbeResp {
   friend bool operator==(const ProbeResp&, const ProbeResp&) = default;
 };
 
-using Datagram = std::variant<DataMsg, AckMsg, SkipMsg, ProbeReq, ProbeResp>;
+/// Metrics/trace query (driftsync_probe --metrics / --trace).  Stateless at
+/// the responding node, like ProbeReq.
+struct MetricsReq {
+  std::uint64_t nonce = 0;
+  /// Cap on trace events in the reply; 0 = metrics only, no trace.  The
+  /// responder additionally clamps to what fits a UDP datagram.
+  std::uint32_t max_trace_events = 0;
+
+  friend bool operator==(const MetricsReq&, const MetricsReq&) = default;
+};
+
+/// Reply to MetricsReq: Prometheus text exposition plus (optionally) a
+/// Chrome-trace JSON snapshot of the node's most recent trace events.
+struct MetricsResp {
+  std::uint64_t nonce = 0;
+  ProcId from = kInvalidProc;
+  std::string metrics;     ///< Prometheus text exposition.
+  std::string trace_json;  ///< Empty when no trace was requested/available.
+
+  friend bool operator==(const MetricsResp&, const MetricsResp&) = default;
+};
+
+using Datagram = std::variant<DataMsg, AckMsg, SkipMsg, ProbeReq, ProbeResp,
+                              MetricsReq, MetricsResp>;
 
 std::vector<std::uint8_t> encode_datagram(const Datagram& dgram);
 
@@ -101,5 +129,11 @@ std::vector<std::uint8_t> encode_datagram(const Datagram& dgram);
 /// (bad magic/version/type, truncation, trailing bytes, non-canonical
 /// varints, seen_hw < processed_hw, zero sequence numbers, NaN times, ...).
 Datagram decode_datagram(std::span<const std::uint8_t> bytes);
+
+/// Best-effort trace id of an encoded datagram: the DataMsg trace id when
+/// `bytes` decodes to a traced DataMsg, otherwise 0.  Never throws — fault
+/// paths (chaos journal, transport drop hooks) call this on bytes that may
+/// be garbage.
+std::uint64_t peek_trace_id(std::span<const std::uint8_t> bytes) noexcept;
 
 }  // namespace driftsync::runtime

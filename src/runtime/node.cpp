@@ -15,6 +15,7 @@
 #include "common/alloc_stats.h"
 #include "common/check.h"
 #include "common/errors.h"
+#include "common/json.h"
 #include "core/wire.h"
 
 namespace driftsync::runtime {
@@ -56,6 +57,14 @@ void append_json_u64(std::string& out, const char* key, std::uint64_t v,
   out += buf;
 }
 
+/// Prometheus sample value: the text format spells non-finite values out
+/// (JSON, by contrast, has no infinity — json::number would emit null).
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  return json::number(v);
+}
+
 }  // namespace
 
 Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
@@ -64,7 +73,11 @@ Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
     : cfg_(std::move(config)),
       csa_(std::move(csa)),
       time_source_(std::move(time_source)),
-      transport_(std::move(transport)) {
+      transport_(std::move(transport)),
+      // 100 µs .. ~26 s: spans loopback widths through badly diverged ones.
+      width_hist_(Histogram::exponential(1e-4, 4.0, 10)),
+      // 1 µs .. ~0.26 s: datagram handling including persist().
+      handle_hist_(Histogram::exponential(1e-6, 4.0, 10)) {
   DS_CHECK(csa_ && time_source_ && transport_);
   DS_CHECK(cfg_.self < cfg_.spec.num_procs());
   DS_CHECK(cfg_.poll_period > 0.0 && cfg_.fate_timeout > 0.0 &&
@@ -135,9 +148,19 @@ void Node::stop() {
   transport_->stop();
 }
 
+void Node::note_externalize(double width) const {
+  // An unbounded estimate (infinite width) is still an externalization
+  // event, but poisoning the histogram's sum with inf would break the
+  // Prometheus exposition — only finite widths are binned.
+  if (std::isfinite(width)) width_hist_.add(width);
+  trace(TraceEventKind::kExternalize, 0, kInvalidProc, width);
+}
+
 Interval Node::estimate() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return csa_->estimate(query_time_locked());
+  const Interval est = csa_->estimate(query_time_locked());
+  note_externalize(est.width());
+  return est;
 }
 
 NodeSample Node::sample() const {
@@ -145,6 +168,7 @@ NodeSample Node::sample() const {
   NodeSample s;
   s.lt = query_time_locked();
   s.est = csa_->estimate(s.lt);
+  note_externalize(s.est.width());
   return s;
 }
 
@@ -254,6 +278,71 @@ std::string Node::stats_json_locked() const {
   return out;
 }
 
+std::string Node::metrics_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metrics_text_locked();
+}
+
+std::string Node::metrics_text_locked() const {
+  char labelbuf[24];
+  std::snprintf(labelbuf, sizeof(labelbuf), "node=\"%u\"", cfg_.self);
+  const std::string labels = labelbuf;
+  std::string out;
+  const auto counter = [&out, &labels](const char* name, std::uint64_t v) {
+    out += name;
+    out += '{';
+    out += labels;
+    out += "} ";
+    out += std::to_string(v);
+    out += '\n';
+  };
+  const auto gauge = [&out, &labels](const char* name, double v) {
+    out += name;
+    out += '{';
+    out += labels;
+    out += "} ";
+    out += prom_number(v);
+    out += '\n';
+  };
+  counter("driftsync_dgrams_in", stats_.dgrams_in);
+  counter("driftsync_dgrams_out", stats_.dgrams_out);
+  counter("driftsync_bytes_in", stats_.bytes_in);
+  counter("driftsync_bytes_out", stats_.bytes_out);
+  counter("driftsync_decode_drops", stats_.decode_drops);
+  counter("driftsync_ignored_dgrams", stats_.ignored_dgrams);
+  counter("driftsync_duplicate_dgrams", stats_.duplicate_dgrams);
+  counter("driftsync_loss_declarations", stats_.loss_declarations);
+  counter("driftsync_deliveries_confirmed", stats_.deliveries_confirmed);
+  counter("driftsync_skips_sent", stats_.skips_sent);
+  counter("driftsync_checkpoints_written", stats_.checkpoints_written);
+  counter("driftsync_checkpoint_failures", stats_.checkpoint_failures);
+  counter("driftsync_events", stats_.events);
+  counter("driftsync_infeasible_rejected", stats_.infeasible_rejected);
+  counter("driftsync_peer_quarantines", stats_.peer_quarantines);
+  counter("driftsync_peer_readmissions", stats_.peer_readmissions);
+  counter("driftsync_backoff_resets", stats_.backoff_resets);
+  const CsaStats cs = csa_->stats();
+  counter("driftsync_payload_bytes_sent", cs.payload_bytes_sent);
+  counter("driftsync_payload_bytes_received", cs.payload_bytes_received);
+  counter("driftsync_history_events", cs.history_events);
+  counter("driftsync_live_points", cs.live_points);
+  counter("driftsync_apsp_relaxations", cs.apsp_relaxations);
+  counter("driftsync_gc_passes", cs.gc_passes);
+  const LocalTime now = query_time_locked();
+  const Interval est = csa_->estimate(now);
+  gauge("driftsync_local_time_seconds", now);
+  gauge("driftsync_estimate_lo_seconds", est.lo);
+  gauge("driftsync_estimate_hi_seconds", est.hi);
+  gauge("driftsync_estimate_width_seconds", est.width());
+  if (cfg_.tracer != nullptr) {
+    counter("driftsync_trace_recorded", cfg_.tracer->recorded());
+    counter("driftsync_trace_dropped", cfg_.tracer->dropped());
+  }
+  append_prometheus(out, "driftsync_width_seconds", labels, width_hist_);
+  append_prometheus(out, "driftsync_handle_seconds", labels, handle_hist_);
+  return out;
+}
+
 EventRecord Node::make_own_event(EventKind kind, ProcId peer, EventId match) {
   EventRecord rec;
   rec.id = EventId{cfg_.self, next_event_seq_++};
@@ -294,6 +383,13 @@ void Node::poll_peer(ProcId peer, PeerState& state) {
   msg.send_seq = send_event.id.seq;
   msg.send_lt = send_event.lt;
   msg.payload = std::move(payload);
+  if (cfg_.tracer != nullptr) {
+    // The id is a pure function of (sender, receiver, dgram_seq), so a node
+    // restarting from a checkpoint re-mints the same id when it aborts the
+    // same datagram — trace continuity needs no extra persisted state.
+    msg.trace_id = mint_trace_id(cfg_.self, peer, state.pending_seq);
+    trace(TraceEventKind::kSend, msg.trace_id, peer);
+  }
   transmit(peer, Datagram{std::move(msg)});
 }
 
@@ -327,6 +423,7 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
   const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t allocs_before = alloc_stats::allocations();
   const std::uint64_t alloc_bytes_before = alloc_stats::allocated_bytes();
+  const double handle_start = steady_seconds();
   ++stats_.dgrams_in;
   stats_.bytes_in += bytes.size();
   if (const auto* data = std::get_if<DataMsg>(&dgram)) {
@@ -341,9 +438,12 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
     handle_skip(*skip);
   } else if (const auto* probe = std::get_if<ProbeReq>(&dgram)) {
     handle_probe(*probe);
+  } else if (const auto* metrics = std::get_if<MetricsReq>(&dgram)) {
+    handle_metrics(*metrics);
   } else {
-    ++stats_.ignored_dgrams;  // ProbeResp: nodes never consume one.
+    ++stats_.ignored_dgrams;  // Responses: nodes never consume them.
   }
+  handle_hist_.add(steady_seconds() - handle_start);
   stats_.msg_path_allocs += alloc_stats::allocations() - allocs_before;
   stats_.msg_path_alloc_bytes +=
       alloc_stats::allocated_bytes() - alloc_bytes_before;
@@ -383,6 +483,7 @@ void Node::handle_data(const DataMsg& msg) {
         state.quarantined = true;
         state.infeasible_streak = 0;
         ++stats_.peer_quarantines;
+        trace(TraceEventKind::kQuarantineEnter, msg.trace_id, msg.from);
       }
       renounce_data(msg, state);
       return;
@@ -398,6 +499,7 @@ void Node::handle_data(const DataMsg& msg) {
       state.quarantined = false;
       state.feasible_streak = 0;
       ++stats_.peer_readmissions;
+      trace(TraceEventKind::kQuarantineExit, msg.trace_id, msg.from);
       // Fall through: this observation is the first one readmitted.
     }
   }
@@ -414,12 +516,14 @@ void Node::handle_data(const DataMsg& msg) {
   const RecvContext ctx{cfg_.self, msg.from, recv_event, send_event,
                         msg.app_tag};
   csa_->on_receive(ctx, msg.payload);
+  trace(TraceEventKind::kDeliver, msg.trace_id, msg.from);
   persist();  // Write-ahead: before the ack makes the receive visible.
   send_ack(msg.from, state);
 }
 
 void Node::renounce_data(const DataMsg& msg, PeerState& state) {
   state.last_seen = msg.dgram_seq;
+  trace(TraceEventKind::kRenounce, msg.trace_id, msg.from);
   persist();  // The renunciation must be durable before the ack announces it.
   send_ack(msg.from, state);
 }
@@ -446,6 +550,12 @@ void Node::handle_ack(ProcId from, std::uint64_t processed_hw,
                          EventId{cfg_.self, state.pending_send_seq});
       csa_->on_internal(decl);
       ++stats_.loss_declarations;
+      if (cfg_.tracer != nullptr) {
+        // Re-mint rather than store: same (self, from, seq) → same id the
+        // datagram carried on the wire.
+        trace(TraceEventKind::kDrop,
+              mint_trace_id(cfg_.self, from, state.pending_seq), from);
+      }
     } else {
       csa_->on_delivery_confirmed(from);
       ++stats_.deliveries_confirmed;
@@ -476,6 +586,12 @@ void Node::handle_skip(const SkipMsg& msg) {
     // Commit: datagrams up to skip_to will never be processed here.  The
     // commit must be durable before the ack that announces it.
     state.last_seen = msg.skip_to;
+    if (cfg_.tracer != nullptr) {
+      // The committed datagram's id is recomputable from the sender's view.
+      trace(TraceEventKind::kSkipCommit,
+            mint_trace_id(msg.from, cfg_.self, msg.skip_to), msg.from,
+            static_cast<double>(msg.skip_to));
+    }
     persist();
   }
   send_ack(msg.from, state);
@@ -491,9 +607,30 @@ void Node::handle_probe(const ProbeReq& msg) {
   resp.lo = est.lo;
   resp.hi = est.hi;
   resp.stats_json = stats_json_locked();
+  note_externalize(est.width());
   // No state changed, so no checkpoint; the requester is not a configured
   // peer, so the reply addresses the transport's reply slot (kReplyPeer =
   // "origin of the datagram being handled").
+  transmit(kReplyPeer, Datagram{std::move(resp)});
+}
+
+void Node::handle_metrics(const MetricsReq& msg) {
+  MetricsResp resp;
+  resp.nonce = msg.nonce;
+  resp.from = cfg_.self;
+  resp.metrics = metrics_text_locked();
+  if (msg.max_trace_events > 0 && cfg_.tracer != nullptr) {
+    std::vector<TraceEvent> events = cfg_.tracer->snapshot();
+    // Clamp so the reply stays under the 64 KiB UDP datagram ceiling
+    // (each exported event is ~110 bytes of JSON).
+    const std::size_t cap =
+        std::min<std::size_t>(msg.max_trace_events, 400);
+    if (events.size() > cap) {
+      events.erase(events.begin(),
+                   events.end() - static_cast<std::ptrdiff_t>(cap));
+    }
+    resp.trace_json = trace_to_chrome_json(events);
+  }
   transmit(kReplyPeer, Datagram{std::move(resp)});
 }
 
@@ -682,6 +819,8 @@ void Node::persist() {
     return;
   }
   ++stats_.checkpoints_written;
+  trace(TraceEventKind::kCheckpoint, 0, kInvalidProc,
+        static_cast<double>(bytes.size()));
 }
 
 }  // namespace driftsync::runtime

@@ -52,9 +52,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/ids.h"
 #include "common/interval.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/csa.h"
 #include "core/spec.h"
 #include "runtime/datagram.h"
@@ -85,6 +87,13 @@ struct NodeConfig {
   /// Persistence file; empty disables checkpointing.  Requires a CSA that
   /// supports checkpoint() (a non-empty image).
   std::string checkpoint_path;
+  /// Causal tracer (common/trace.h); null disables tracing (the default —
+  /// every hook then costs one pointer test).  Not owned; must outlive the
+  /// node.  Several in-process nodes may share one tracer: events carry the
+  /// recording node's id, and a shared ring shows cross-node causality in
+  /// one timeline.  When set, outbound data datagrams carry a minted trace
+  /// id on the wire.
+  Tracer* tracer = nullptr;
 };
 
 /// Observability counters; stats_json() renders them as one JSON line.
@@ -163,6 +172,12 @@ class Node {
   /// One line of JSON, e.g. for a SIGUSR1 dump or the probe response.
   [[nodiscard]] std::string stats_json() const;
 
+  /// Prometheus text exposition of the counters plus the latency/width
+  /// histograms (what a MetricsReq datagram returns).
+  [[nodiscard]] std::string metrics_text() const;
+
+  [[nodiscard]] ProcId self() const { return cfg_.self; }
+
  private:
   /// Fate of the one in-flight data datagram to a peer (stop-and-wait).
   enum class Fate : std::uint8_t {
@@ -196,6 +211,16 @@ class Node {
                   std::uint64_t seen_hw);
   void handle_skip(const SkipMsg& msg);
   void handle_probe(const ProbeReq& msg);
+  void handle_metrics(const MetricsReq& msg);
+  /// Records one trace event at this node; no-op without a tracer.
+  void trace(TraceEventKind kind, std::uint64_t trace_id, ProcId peer,
+             double value = 0.0) const {
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->record(kind, trace_id, cfg_.self, peer, value);
+    }
+  }
+  /// Externalization bookkeeping: width histogram + kExternalize event.
+  void note_externalize(double width) const;
   void poll_peer(ProcId peer, PeerState& state);
   void send_skip(ProcId peer, PeerState& state);
   void send_ack(ProcId peer, const PeerState& state);
@@ -211,6 +236,7 @@ class Node {
   void load_checkpoint(std::span<const std::uint8_t> bytes);
   void timer_loop();
   [[nodiscard]] std::string stats_json_locked() const;
+  [[nodiscard]] std::string metrics_text_locked() const;
   [[nodiscard]] LocalTime query_time_locked() const;
 
   NodeConfig cfg_;
@@ -226,6 +252,11 @@ class Node {
   std::uint32_t next_event_seq_ = 0;
   LocalTime last_event_lt_ = 0.0;
   NodeStats stats_;
+  /// Estimate-width distribution over externalizations (seconds); mutable
+  /// because estimate()/sample() are logically const reads.  Guarded by mu_.
+  mutable Histogram width_hist_;
+  /// Inbound-datagram handling latency (seconds), measured inside mu_.
+  Histogram handle_hist_;
   Rng jitter_rng_;  ///< Backoff jitter only; never touches protocol state.
   std::thread timer_;
 };

@@ -55,15 +55,38 @@ void InvariantOracle::note_restart(const std::string& name, const Node* node) {
   t.lossish = true;
 }
 
+void InvariantOracle::attach_tracer(const Tracer* tracer, std::size_t last_k) {
+  tracer_ = tracer;
+  trace_last_k_ = last_k;
+}
+
 void InvariantOracle::violation(const std::string& name, const char* invariant,
                                 const std::string& detail) {
   ++violations_;
-  if (opts_.out != nullptr) {
+  if (opts_.out == nullptr) return;
+  std::fprintf(opts_.out,
+               "{\"oracle\":\"violation\",\"invariant\":\"%s\","
+               "\"node\":\"%s\",\"detail\":\"%s\"}\n",
+               invariant, name.c_str(), detail.c_str());
+  if (tracer_ == nullptr) return;
+  // The last few causal events at the offending node answer "what message
+  // sequence led here" without re-running the scenario.
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end() || it->second.node == nullptr) return;
+  const std::vector<TraceEvent> events =
+      tracer_->last_for(it->second.node->self(), trace_last_k_);
+  std::fprintf(opts_.out, "{\"oracle\":\"trace\",\"node\":\"%s\",\"events\":[",
+               name.c_str());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
     std::fprintf(opts_.out,
-                 "{\"oracle\":\"violation\",\"invariant\":\"%s\","
-                 "\"node\":\"%s\",\"detail\":\"%s\"}\n",
-                 invariant, name.c_str(), detail.c_str());
+                 "%s{\"kind\":\"%s\",\"id\":\"0x%llx\",\"peer\":%u,"
+                 "\"t\":%.6f,\"value\":%g}",
+                 i == 0 ? "" : ",", trace_event_kind_name(e.kind),
+                 static_cast<unsigned long long>(e.trace_id), e.peer, e.t,
+                 e.value);
   }
+  std::fprintf(opts_.out, "]}\n");
 }
 
 void InvariantOracle::observe() {

@@ -44,6 +44,7 @@
 #include <string>
 
 #include "common/interval.h"
+#include "common/trace.h"
 #include "runtime/node.h"
 
 namespace driftsync::runtime {
@@ -99,6 +100,12 @@ class InvariantOracle {
   /// Call once, after the scenario's last observe().
   void check_loss_soundness();
 
+  /// Attaches a causal tracer: every violation dump then includes the last
+  /// `last_k` trace events recorded at the offending node (one JSON line,
+  /// Chrome-trace shaped), so "which message sequence led here" is
+  /// answerable from the log alone.  Null detaches.  Not owned.
+  void attach_tracer(const Tracer* tracer, std::size_t last_k = 16);
+
   /// Dumps per-node stats and the fault journal's totals to `out` — the
   /// context a violation needs to be diagnosed offline.  `log` may be null.
   void dump_context(const ChaosEventLog* log) const;
@@ -123,6 +130,8 @@ class InvariantOracle {
 
   Options opts_;
   std::map<std::string, Tracked> nodes_;
+  const Tracer* tracer_ = nullptr;
+  std::size_t trace_last_k_ = 16;
   std::uint64_t checks_ = 0;
   std::uint64_t violations_ = 0;
 };

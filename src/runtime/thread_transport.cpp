@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/datagram.h"
 
 namespace driftsync::runtime {
 
@@ -119,6 +120,18 @@ std::size_t ThreadHub::backlog_depth() const {
   return total;
 }
 
+void ThreadHub::set_tracer(Tracer* tracer) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+}
+
+void ThreadHub::trace_drop(ProcId from, ProcId to,
+                           const std::vector<std::uint8_t>& bytes) {
+  if (tracer_ == nullptr) return;
+  // peek_trace_id fully decodes — only worth it when someone is watching.
+  tracer_->record(TraceEventKind::kDrop, peek_trace_id(bytes), from, to);
+}
+
 void ThreadHub::register_endpoint(ProcId p, DatagramHandler handler) {
   const std::lock_guard<std::mutex> lock(mu_);
   Sink& sink = sinks_[p];
@@ -147,6 +160,7 @@ void ThreadHub::send_from(ProcId from, ProcId to,
       const auto sink_it = sinks_.find(from);
       if (sink_it == sinks_.end() || !sink_it->second.delivering) {
         ++dropped_;
+        trace_drop(from, to, bytes);
         return;
       }
       to = sink_it->second.current_from;
@@ -154,20 +168,24 @@ void ThreadHub::send_from(ProcId from, ProcId to,
     const auto it = links_.find(dir_key(from, to));
     if (it == links_.end()) {
       ++dropped_;  // No link configured: a partition, not an error.
+      trace_drop(from, to, bytes);
       return;
     }
     DirLink& link = it->second;
     if (link.force_drop > 0) {
       --link.force_drop;
       ++dropped_;
+      trace_drop(from, to, bytes);
       return;
     }
     if (link.loss > 0.0 && rng_.flip(link.loss)) {
       ++dropped_;
+      trace_drop(from, to, bytes);
       return;
     }
     if (link.backlog >= kMaxBacklog) {
       ++dropped_;  // Direction queue full: the fate protocol copes.
+      trace_drop(from, to, bytes);
       return;
     }
     const double now = steady_seconds();
@@ -206,6 +224,7 @@ void ThreadHub::worker() {
     const auto it = sinks_.find(item.to);
     if (it == sinks_.end() || !it->second.handler) {
       ++dropped_;  // Destination down (stopped or never started).
+      trace_drop(item.from, item.to, item.bytes);
       continue;
     }
     it->second.delivering = true;

@@ -26,6 +26,7 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "runtime/transport.h"
 
 namespace driftsync::runtime {
@@ -67,6 +68,12 @@ class ThreadHub {
   /// Sum of backlog_depth over all directions.
   [[nodiscard]] std::size_t backlog_depth() const;
 
+  /// Records a kDrop trace event (with the dropped datagram's trace id, if
+  /// any) whenever the hub drops a datagram: missing link, force_drop,
+  /// probabilistic loss, full backlog, destination down.  Null disables
+  /// (the default).  Not owned; must outlive the hub.
+  void set_tracer(Tracer* tracer);
+
  private:
   friend class HubEndpoint;
 
@@ -107,10 +114,14 @@ class ThreadHub {
   void unregister_endpoint(ProcId p);  ///< Waits out an in-flight delivery.
   void send_from(ProcId from, ProcId to, std::vector<std::uint8_t> bytes);
   void worker();
+  /// Records a transport-level drop (mu_ held by the caller).
+  void trace_drop(ProcId from, ProcId to,
+                  const std::vector<std::uint8_t>& bytes);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool running_ = true;
+  Tracer* tracer_ = nullptr;
   Rng rng_;
   std::map<std::uint64_t, DirLink> links_;
   std::map<ProcId, Sink> sinks_;

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/check.h"
+#include "runtime/datagram.h"
 
 namespace driftsync::runtime {
 
@@ -103,8 +104,22 @@ std::size_t UdpTransport::backlog_depth() const {
   return total;
 }
 
+void UdpTransport::set_tracer(Tracer* tracer, ProcId self) {
+  DS_CHECK_MSG(!started_, "set_tracer after start");
+  tracer_ = tracer;
+  trace_self_ = self;
+}
+
+void UdpTransport::trace_drop(ProcId to,
+                              const std::vector<std::uint8_t>& bytes) {
+  if (tracer_ == nullptr) return;
+  tracer_->record(TraceEventKind::kDrop, peek_trace_id(bytes), trace_self_,
+                  to);
+}
+
 bool UdpTransport::try_send(const sockaddr_in& addr,
-                            const std::vector<std::uint8_t>& bytes) {
+                            const std::vector<std::uint8_t>& bytes,
+                            ProcId to) {
   const ssize_t n =
       ::sendto(fd_, bytes.data(), bytes.size(), 0,
                reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
@@ -113,7 +128,8 @@ bool UdpTransport::try_send(const sockaddr_in& addr,
     return false;  // Retry via backlog.
   }
   ++send_drops_;  // Hard error (e.g. EMSGSIZE): drop, fate protocol copes.
-  return true;    // "Done with this datagram."
+  trace_drop(to, bytes);
+  return true;  // "Done with this datagram."
 }
 
 void UdpTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
@@ -123,18 +139,23 @@ void UdpTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
     if (to == kReplyPeer) {
       // Reply to the source of the datagram being handled.  Best-effort
       // and unqueued: if the socket would block, the requester retries.
-      if (!reply_valid_ || !try_send(reply_addr_, bytes)) ++send_drops_;
+      if (!reply_valid_ || !try_send(reply_addr_, bytes, to)) {
+        ++send_drops_;
+        trace_drop(to, bytes);
+      }
       return;
     }
     const auto it = peers_.find(to);
     if (it == peers_.end()) {
       ++send_drops_;
+      trace_drop(to, bytes);
       return;
     }
     PeerState& peer = it->second;
-    if (peer.backlog.empty() && try_send(peer.addr, bytes)) return;
+    if (peer.backlog.empty() && try_send(peer.addr, bytes, to)) return;
     if (peer.backlog.size() >= kMaxBacklog) {
       ++send_drops_;
+      trace_drop(to, bytes);
       return;
     }
     peer.backlog.push_back(std::move(bytes));
@@ -200,7 +221,7 @@ void UdpTransport::loop() {
       const std::lock_guard<std::mutex> lock(mu_);
       for (auto& [proc, peer] : peers_) {
         while (!peer.backlog.empty()) {
-          if (!try_send(peer.addr, peer.backlog.front())) break;
+          if (!try_send(peer.addr, peer.backlog.front(), proc)) break;
           peer.backlog.pop_front();
         }
       }

@@ -22,6 +22,7 @@
 #include <netinet/in.h>
 
 #include "common/ids.h"
+#include "common/trace.h"
 #include "runtime/transport.h"
 
 namespace driftsync::runtime {
@@ -57,6 +58,11 @@ class UdpTransport : public Transport {
   /// send error), so this returns to 0 once the socket drains.
   [[nodiscard]] std::size_t backlog_depth() const;
 
+  /// Records a kDrop trace event for every send-side drop, attributed to
+  /// `self` (the transport does not otherwise know which node it serves).
+  /// Must be called before start(); null disables.  Not owned.
+  void set_tracer(Tracer* tracer, ProcId self);
+
  private:
   struct PeerState {
     sockaddr_in addr{};
@@ -65,7 +71,10 @@ class UdpTransport : public Transport {
 
   void loop();
   [[nodiscard]] bool try_send(const sockaddr_in& addr,
-                              const std::vector<std::uint8_t>& bytes);
+                              const std::vector<std::uint8_t>& bytes,
+                              ProcId to);
+  /// Records a send-side drop (mu_ held by the caller).
+  void trace_drop(ProcId to, const std::vector<std::uint8_t>& bytes);
 
   /// Source address of the datagram currently in the handler (kReplyPeer
   /// routing).  Written by the loop thread under mu_.
@@ -82,6 +91,8 @@ class UdpTransport : public Transport {
   std::atomic<bool> running_{false};
   bool started_ = false;
   std::atomic<std::uint64_t> send_drops_{0};
+  Tracer* tracer_ = nullptr;
+  ProcId trace_self_ = kInvalidProc;
 };
 
 }  // namespace driftsync::runtime

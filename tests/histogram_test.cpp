@@ -1,0 +1,176 @@
+// Histogram tests (DESIGN.md §8): bucket assignment (le-inclusive upper
+// bounds), merge semantics, the Prometheus text exposition shape, and a
+// property test pinning the interpolated quantile against the exact
+// order-statistic percentile from common/stats.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace driftsync {
+namespace {
+
+TEST(Histogram, BucketsAreLeInclusive) {
+  Histogram hist(std::vector<double>{1.0, 2.0, 4.0});
+  hist.add(0.5);   // <= 1.0
+  hist.add(1.0);   // == bound: belongs to the le="1" bucket.
+  hist.add(1.5);   // <= 2.0
+  hist.add(4.0);   // == last finite bound
+  hist.add(100.0); // +Inf bucket
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);  // Implicit +Inf.
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+}
+
+TEST(Histogram, ExponentialBoundsAndValidation) {
+  const Histogram hist = Histogram::exponential(1e-4, 4.0, 3);
+  ASSERT_EQ(hist.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(hist.bounds()[0], 1e-4);
+  EXPECT_DOUBLE_EQ(hist.bounds()[1], 4e-4);
+  EXPECT_DOUBLE_EQ(hist.bounds()[2], 16e-4);
+  EXPECT_THROW(Histogram::exponential(0.0, 4.0, 3), std::logic_error);
+  EXPECT_THROW(Histogram::exponential(1.0, 1.0, 3), std::logic_error);
+  EXPECT_THROW(Histogram::exponential(1.0, 4.0, 0), std::logic_error);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), std::logic_error);
+}
+
+TEST(Histogram, MergeAddsCountsAndRejectsMismatchedBounds) {
+  Histogram a(std::vector<double>{1.0, 2.0});
+  Histogram b(std::vector<double>{1.0, 2.0});
+  a.add(0.5);
+  a.add(3.0);
+  b.add(1.5);
+  b.add(0.25);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket_count(0), 2u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 3.0 + 1.5 + 0.25);
+
+  Histogram c(std::vector<double>{1.0, 4.0});
+  EXPECT_THROW(a.merge(c), std::logic_error);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram hist(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);  // Empty.
+  hist.add(1.5);
+  // A single sample: every quantile collapses to it (min/max clamp).
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1.5);
+  // Out-of-range q clamps instead of faulting.
+  EXPECT_DOUBLE_EQ(hist.quantile(-3.0), 1.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(7.0), 1.5);
+}
+
+/// Property test: the interpolated quantile always lands inside the bucket
+/// containing the target rank ceil(q*(n-1)) — the same fractional-position
+/// convention as stats.h percentile() — so for exponential buckets with
+/// factor f it stays within a factor f of the order statistic at that rank.
+TEST(Histogram, QuantileTracksExactPercentile) {
+  Rng rng(2026);
+  const double factor = 2.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram hist = Histogram::exponential(1e-6, factor, 24);
+    std::vector<double> values;
+    const std::size_t n = 50 + rng.uniform_index(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Log-uniform over ~6 decades, inside the finite bucket range.
+      const double v = 1e-6 * std::pow(10.0, rng.uniform(0.0, 6.0));
+      values.push_back(v);
+      hist.add(v);
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const double target = q * static_cast<double>(n - 1);
+      const double anchor =
+          sorted[static_cast<std::size_t>(std::ceil(target))];
+      const double est = hist.quantile(q);
+      EXPECT_GT(est, 0.0);
+      EXPECT_LE(est, anchor * factor)
+          << "trial " << trial << " q " << q << " n " << n;
+      EXPECT_GE(est, anchor / factor)
+          << "trial " << trial << " q " << q << " n " << n;
+    }
+    // The extremes are exact thanks to the min/max clamp, and they agree
+    // with the order-statistic percentile from common/stats.h.
+    EXPECT_DOUBLE_EQ(hist.quantile(0.0), percentile(values, 0.0));
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), percentile(values, 1.0));
+  }
+}
+
+TEST(Prometheus, ExpositionShape) {
+  Histogram hist(std::vector<double>{0.5, 1.0});
+  hist.add(0.25);
+  hist.add(0.75);
+  hist.add(2.0);
+  std::string out;
+  append_prometheus(out, "driftsync_width_seconds", "node=\"2\"", hist);
+  EXPECT_EQ(out,
+            "driftsync_width_seconds_bucket{node=\"2\",le=\"0.5\"} 1\n"
+            "driftsync_width_seconds_bucket{node=\"2\",le=\"1\"} 2\n"
+            "driftsync_width_seconds_bucket{node=\"2\",le=\"+Inf\"} 3\n"
+            "driftsync_width_seconds_sum{node=\"2\"} 3\n"
+            "driftsync_width_seconds_count{node=\"2\"} 3\n");
+}
+
+TEST(Prometheus, EmptyLabelsRenderWithoutBraces) {
+  Histogram hist(std::vector<double>{1.0});
+  hist.add(0.5);
+  std::string out;
+  append_prometheus(out, "m", "", hist);
+  EXPECT_EQ(out,
+            "m_bucket{le=\"1\"} 1\n"
+            "m_bucket{le=\"+Inf\"} 1\n"
+            "m_sum 0.5\n"
+            "m_count 1\n");
+  // OpenMetrics forbids an empty label set `{}`.
+  EXPECT_EQ(out.find("{}"), std::string::npos);
+}
+
+TEST(Prometheus, BucketCountsAreCumulative) {
+  Histogram hist = Histogram::exponential(0.001, 10.0, 4);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) hist.add(rng.uniform(0.0, 20.0));
+  std::string out;
+  append_prometheus(out, "x", "", hist);
+  // Parse the bucket lines back and require a non-decreasing sequence that
+  // ends at the total count.
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  std::size_t buckets = 0;
+  while ((pos = out.find("} ", pos)) != std::string::npos) {
+    const std::size_t line_start = out.rfind('\n', pos);
+    const std::size_t start =
+        line_start == std::string::npos ? 0 : line_start + 1;
+    if (out.compare(start, 9, "x_bucket{") != 0) break;
+    const std::uint64_t v = std::stoull(out.substr(pos + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++buckets;
+    pos += 2;
+  }
+  EXPECT_EQ(buckets, hist.bounds().size() + 1);
+  EXPECT_EQ(prev, hist.count());
+}
+
+}  // namespace
+}  // namespace driftsync

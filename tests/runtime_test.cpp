@@ -29,9 +29,13 @@
 #include "runtime/thread_transport.h"
 #include "runtime/time_source.h"
 #include "runtime/transport.h"
+#include "test_util.h"
 
 namespace driftsync::runtime {
 namespace {
+
+using driftsync::testing::contains_truth;
+using TestNet = driftsync::testing::ThreeNodeNet;
 
 // ---------------------------------------------------------------------------
 // Datagram codec
@@ -261,51 +265,7 @@ TEST(ThreadHub, UnlinkedDirectionDropsEverything) {
 }
 
 // ---------------------------------------------------------------------------
-// Node integration over ThreadHub
-
-struct TestNet {
-  SystemSpec spec;
-  ThreadHub hub;
-
-  TestNet()
-      : spec(std::vector<ClockSpec>{{0.0}, {5e-4}, {5e-4}},
-             std::vector<LinkSpec>{{0, 1, 0.0, 0.05}, {1, 2, 0.0, 0.05}}, 0),
-        hub(11) {}
-
-  NodeConfig config(ProcId self) const {
-    NodeConfig cfg;
-    cfg.self = self;
-    cfg.spec = spec;
-    cfg.poll_period = 0.04;
-    cfg.fate_timeout = 0.2;
-    cfg.skip_retry = 0.08;
-    return cfg;
-  }
-
-  std::unique_ptr<Node> make_node(NodeConfig cfg, double offset,
-                                  double rate) {
-    OptimalCsa::Options opts;
-    opts.loss_tolerant = true;
-    const ProcId self = cfg.self;
-    return std::make_unique<Node>(
-        std::move(cfg), std::make_unique<OptimalCsa>(opts),
-        std::make_unique<ScaledTimeSource>(offset, rate), hub.endpoint(self));
-  }
-};
-
-/// Bracketed containment check: the estimate queried between two readings
-/// of the ground-truth clock must overlap [t0, t1].  The source node runs
-/// ScaledTimeSource(0, 1), so true source time == SystemTimeSource::now().
-::testing::AssertionResult contains_truth(const Node& node) {
-  const SystemTimeSource truth;
-  const double t0 = truth.now();
-  const Interval est = node.estimate();
-  const double t1 = truth.now();
-  if (est.lo <= t1 && est.hi >= t0) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "estimate [" << est.lo << ", " << est.hi
-         << "] misses true source time in [" << t0 << ", " << t1 << "]";
-}
+// Node integration over ThreadHub (fixtures: tests/test_util.h)
 
 TEST(NodeIntegration, ThreeNodePathConvergesUnderLatencyAndLoss) {
   TestNet net;

@@ -1,11 +1,23 @@
 // Shared helpers for the driftsync test suites: compact builders for
-// specifications and hand-crafted event sequences.
+// specifications and hand-crafted event sequences, plus the runtime-layer
+// fixtures (specs, NodeConfigs, the 3-node ThreadHub net, and the bracketed
+// ground-truth containment check) shared by runtime_test, udp_test and the
+// observability suites.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/interval.h"
 #include "core/event.h"
+#include "core/optimal_csa.h"
 #include "core/spec.h"
+#include "runtime/node.h"
+#include "runtime/thread_transport.h"
+#include "runtime/time_source.h"
 
 namespace driftsync::testing {
 
@@ -71,6 +83,78 @@ class EventFactory {
   }
 
   std::vector<std::uint32_t> next_seq_;
+};
+
+// ---------------------------------------------------------------------------
+// Runtime-layer fixtures (DESIGN.md S7)
+
+/// The CSA every runtime test hosts: optimal, loss-tolerant (real
+/// transports lose messages).
+inline std::unique_ptr<Csa> loss_tolerant_csa() {
+  OptimalCsa::Options opts;
+  opts.loss_tolerant = true;
+  return std::make_unique<OptimalCsa>(opts);
+}
+
+/// Source (rho 0) and one drifting peer over a single 50 ms link.
+inline SystemSpec two_node_spec() {
+  return SystemSpec(std::vector<ClockSpec>{{0.0}, {5e-4}},
+                    std::vector<LinkSpec>{{0, 1, 0.0, 0.05}}, 0);
+}
+
+/// Uniform NodeConfig for short wall-clock integration runs; callers that
+/// need slower fate resolution (e.g. real sockets) override the periods.
+inline runtime::NodeConfig node_config(ProcId self, const SystemSpec& spec,
+                                       double poll_period = 0.04,
+                                       double fate_timeout = 0.2,
+                                       double skip_retry = 0.08) {
+  runtime::NodeConfig cfg;
+  cfg.self = self;
+  cfg.spec = spec;
+  cfg.poll_period = poll_period;
+  cfg.fate_timeout = fate_timeout;
+  cfg.skip_retry = skip_retry;
+  return cfg;
+}
+
+/// Bracketed containment check: the estimate queried between two readings
+/// of the ground-truth clock must overlap [t0, t1].  The source node runs
+/// ScaledTimeSource(0, 1), so true source time == SystemTimeSource::now().
+inline ::testing::AssertionResult contains_truth(const runtime::Node& node) {
+  const runtime::SystemTimeSource truth;
+  const double t0 = truth.now();
+  const Interval est = node.estimate();
+  const double t1 = truth.now();
+  if (est.lo <= t1 && est.hi >= t0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "estimate [" << est.lo << ", " << est.hi
+         << "] misses true source time in [" << t0 << ", " << t1 << "]";
+}
+
+/// The canonical 3-node path (source - relay - leaf) over an in-process
+/// ThreadHub: spec rho 5e-4, 50 ms link bounds, hub seed 11.  Tests
+/// configure per-direction latency/loss on the hub themselves.
+struct ThreeNodeNet {
+  SystemSpec spec;
+  runtime::ThreadHub hub;
+
+  ThreeNodeNet()
+      : spec(std::vector<ClockSpec>{{0.0}, {5e-4}, {5e-4}},
+             std::vector<LinkSpec>{{0, 1, 0.0, 0.05}, {1, 2, 0.0, 0.05}}, 0),
+        hub(11) {}
+
+  [[nodiscard]] runtime::NodeConfig config(ProcId self) const {
+    return node_config(self, spec);
+  }
+
+  std::unique_ptr<runtime::Node> make_node(runtime::NodeConfig cfg,
+                                           double offset, double rate) {
+    const ProcId self = cfg.self;
+    return std::make_unique<runtime::Node>(
+        std::move(cfg), loss_tolerant_csa(),
+        std::make_unique<runtime::ScaledTimeSource>(offset, rate),
+        hub.endpoint(self));
+  }
 };
 
 }  // namespace driftsync::testing

@@ -28,15 +28,21 @@
 #include "common/errors.h"
 #include "common/interval.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
 #include "runtime/datagram.h"
 #include "runtime/node.h"
 #include "runtime/time_source.h"
 #include "runtime/udp_transport.h"
+#include "test_util.h"
 
 namespace driftsync::runtime {
 namespace {
+
+using driftsync::testing::contains_truth;
+using driftsync::testing::loss_tolerant_csa;
+using driftsync::testing::two_node_spec;
 
 constexpr const char* kHost = "127.0.0.1";
 
@@ -55,36 +61,11 @@ std::unique_ptr<UdpTransport> try_bind() {
                     "environment";                                     \
   }
 
-std::unique_ptr<Csa> make_csa() {
-  OptimalCsa::Options opts;
-  opts.loss_tolerant = true;
-  return std::make_unique<OptimalCsa>(opts);
-}
-
-SystemSpec two_node_spec() {
-  return SystemSpec(std::vector<ClockSpec>{{0.0}, {5e-4}},
-                    std::vector<LinkSpec>{{0, 1, 0.0, 0.05}}, 0);
-}
-
+/// Real sockets need a slower fate timeout than the hub-based tests.
 NodeConfig node_config(ProcId self, const SystemSpec& spec) {
-  NodeConfig cfg;
-  cfg.self = self;
-  cfg.spec = spec;
-  cfg.poll_period = 0.04;
-  cfg.fate_timeout = 0.3;
-  cfg.skip_retry = 0.1;
-  return cfg;
-}
-
-::testing::AssertionResult contains_truth(const Node& node) {
-  const SystemTimeSource truth;
-  const double t0 = truth.now();
-  const Interval est = node.estimate();
-  const double t1 = truth.now();
-  if (est.lo <= t1 && est.hi >= t0) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "estimate [" << est.lo << ", " << est.hi
-         << "] misses true source time in [" << t0 << ", " << t1 << "]";
+  return driftsync::testing::node_config(self, spec, /*poll_period=*/0.04,
+                                         /*fate_timeout=*/0.3,
+                                         /*skip_retry=*/0.1);
 }
 
 TEST(UdpTransport, RawDatagramRoundTrip) {
@@ -163,9 +144,9 @@ TEST(UdpNode, TwoNodeLoopbackSmoke) {
   t1->add_peer(0, kHost, t0->local_port());
 
   const SystemSpec spec = two_node_spec();
-  Node n0(node_config(0, spec), make_csa(),
+  Node n0(node_config(0, spec), loss_tolerant_csa(),
           std::make_unique<ScaledTimeSource>(0.0, 1.0), std::move(t0));
-  Node n1(node_config(1, spec), make_csa(),
+  Node n1(node_config(1, spec), loss_tolerant_csa(),
           std::make_unique<ScaledTimeSource>(25.0, 1.0 + 2e-4),
           std::move(t1));
   n0.start();
@@ -199,9 +180,9 @@ TEST(UdpNode, MalformedDatagramStormLeavesNodeServing) {
   t1->add_peer(0, kHost, t0->local_port());
 
   const SystemSpec spec = two_node_spec();
-  Node n0(node_config(0, spec), make_csa(),
+  Node n0(node_config(0, spec), loss_tolerant_csa(),
           std::make_unique<ScaledTimeSource>(0.0, 1.0), std::move(t0));
-  Node n1(node_config(1, spec), make_csa(),
+  Node n1(node_config(1, spec), loss_tolerant_csa(),
           std::make_unique<ScaledTimeSource>(-12.0, 1.0 - 2e-4),
           std::move(t1));
   n0.start();
@@ -221,8 +202,8 @@ TEST(UdpNode, MalformedDatagramStormLeavesNodeServing) {
     std::vector<std::uint8_t> junk;
     if (rng.flip(0.3)) {
       // Near-miss: valid header bytes, garbage body — exercises the deep
-      // decode paths, not just the magic check.
-      junk = {'D', 'S', 1, static_cast<std::uint8_t>(rng.uniform_index(6))};
+      // decode paths (metrics types included), not just the magic check.
+      junk = {'D', 'S', 1, static_cast<std::uint8_t>(rng.uniform_index(7))};
     }
     const std::size_t len = rng.uniform_index(96);
     for (std::size_t j = 0; j < len; ++j) {
@@ -260,7 +241,7 @@ TEST(UdpNode, ProbeRoundTrip) {
   const std::uint16_t node_port = t1->local_port();
 
   const SystemSpec spec = two_node_spec();
-  Node n1(node_config(1, spec), make_csa(),
+  Node n1(node_config(1, spec), loss_tolerant_csa(),
           std::make_unique<ScaledTimeSource>(4.0, 1.0), std::move(t1));
   n1.start();
 
@@ -293,6 +274,66 @@ TEST(UdpNode, ProbeRoundTrip) {
     EXPECT_LE(resp.lo, resp.hi);
     EXPECT_FALSE(resp.stats_json.empty());
     EXPECT_NE(resp.stats_json.find("\"decode_drops\""), std::string::npos);
+    replied = true;
+  }
+  ::close(client);
+  EXPECT_TRUE(replied);
+  n1.stop();
+}
+
+/// driftsync_probe --metrics/--trace, done by hand: a MetricsReq from an
+/// unconfigured client gets Prometheus text and (when asked) a Chrome-trace
+/// snapshot back over the kReplyPeer path.
+TEST(UdpNode, MetricsRoundTrip) {
+  auto t1 = try_bind();
+  REQUIRE_SOCKETS(t1);
+  const std::uint16_t node_port = t1->local_port();
+
+  Tracer tracer(256);
+  t1->set_tracer(&tracer, 1);
+  const SystemSpec spec = two_node_spec();
+  NodeConfig cfg = node_config(1, spec);
+  cfg.tracer = &tracer;
+  Node n1(std::move(cfg), loss_tolerant_csa(),
+          std::make_unique<ScaledTimeSource>(4.0, 1.0), std::move(t1));
+  n1.start();
+
+  const int client = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(node_port);
+  ASSERT_EQ(inet_pton(AF_INET, kHost, &addr.sin_addr), 1);
+
+  const std::uint64_t nonce = 0xabad1deacafeULL;
+  bool replied = false;
+  for (int attempt = 0; attempt < 5 && !replied; ++attempt) {
+    const auto req = encode_datagram(MetricsReq{nonce, 64});
+    ASSERT_GE(::sendto(client, req.data(), req.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)),
+              0);
+    pollfd pfd{client, POLLIN, 0};
+    if (::poll(&pfd, 1, 500) <= 0) continue;
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    const Datagram dgram = decode_datagram(
+        std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    ASSERT_TRUE(std::holds_alternative<MetricsResp>(dgram));
+    const auto& resp = std::get<MetricsResp>(dgram);
+    EXPECT_EQ(resp.nonce, nonce);
+    EXPECT_EQ(resp.from, 1u);
+    // Prometheus text exposition: one metric per line, node label attached.
+    EXPECT_NE(resp.metrics.find("driftsync_dgrams_in{node=\"1\"} "),
+              std::string::npos);
+    EXPECT_NE(resp.metrics.find("driftsync_width_seconds_bucket{node=\"1\","
+                                "le=\"+Inf\"} "),
+              std::string::npos);
+    EXPECT_NE(resp.metrics.find("driftsync_trace_recorded{node=\"1\"} "),
+              std::string::npos);
+    // The trace snapshot is Chrome-trace shaped (we asked for 64 events).
+    EXPECT_EQ(resp.trace_json.rfind("{\"traceEvents\":[", 0), 0u);
     replied = true;
   }
   ::close(client);

@@ -4,13 +4,17 @@
 // std::logic_error reserved for internal invariant violations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <type_traits>
+#include <variant>
 
 #include "common/errors.h"
+#include "common/trace.h"
 #include "core/sync_engine.h"
 #include "core/wire.h"
+#include "runtime/datagram.h"
 #include "test_util.h"
 
 namespace driftsync::wire {
@@ -207,6 +211,107 @@ TEST(WireCorpusTest, TrailingBytesRejected) {
   Bytes buf = single_internal_with_lt(1.0);
   buf.push_back(0x00);
   EXPECT_THROW(decode_batch(buf), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Datagram trace-id extension block (runtime/datagram.h).  The block is
+// optional — absent means untraced — so the canonical-encoding rule needs
+// its own corpus: an attacker must not be able to spell the same DataMsg
+// two ways, and pre-extension encoders must interoperate unchanged.
+
+runtime::DataMsg traced_data_msg(std::uint64_t trace_id) {
+  runtime::DataMsg m;
+  m.from = 2;
+  m.dgram_seq = 9;
+  m.processed_hw = 4;
+  m.seen_hw = 6;
+  m.app_tag = 1;
+  m.send_seq = 17;
+  m.send_lt = 3.25;
+  m.trace_id = trace_id;
+  return m;
+}
+
+TEST(WireCorpusTest, TraceExtensionIsOptionalAndOldEncodingsRoundTrip) {
+  const runtime::DataMsg untraced = traced_data_msg(0);
+  const runtime::DataMsg traced = traced_data_msg(mint_trace_id(2, 0, 9));
+  const Bytes old_form = runtime::encode_datagram(untraced);
+  const Bytes new_form = runtime::encode_datagram(traced);
+
+  // A pre-extension encoder produces exactly old_form; it must decode to
+  // the untraced message, and the traced encoding is a strict extension of
+  // it (same prefix, flags byte + varint appended).
+  EXPECT_EQ(std::get<runtime::DataMsg>(runtime::decode_datagram(old_form)),
+            untraced);
+  ASSERT_GT(new_form.size(), old_form.size());
+  EXPECT_TRUE(std::equal(old_form.begin(), old_form.end(), new_form.begin()));
+  EXPECT_EQ(std::get<runtime::DataMsg>(runtime::decode_datagram(new_form)),
+            traced);
+}
+
+TEST(WireCorpusTest, TraceExtensionTruncationRejectedEverywhere) {
+  const std::size_t base_size =
+      runtime::encode_datagram(traced_data_msg(0)).size();
+  const Bytes bytes =
+      runtime::encode_datagram(traced_data_msg(mint_trace_id(2, 0, 9)));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    // Most prefixes truncate a field; the one ending exactly where the
+    // extension block begins decodes as a valid untraced message.
+    if (cut == base_size) {
+      EXPECT_EQ(std::get<runtime::DataMsg>(runtime::decode_datagram(prefix))
+                    .trace_id,
+                0u);
+      continue;
+    }
+    EXPECT_THROW(runtime::decode_datagram(prefix), WireError) << "cut=" << cut;
+  }
+}
+
+TEST(WireCorpusTest, DuplicatedTraceExtensionRejected) {
+  const std::size_t base_size =
+      runtime::encode_datagram(traced_data_msg(0)).size();
+  Bytes bytes =
+      runtime::encode_datagram(traced_data_msg(mint_trace_id(2, 0, 9)));
+  // Append a second copy of the extension block (flags byte + id varint):
+  // the first block's decode consumes the buffer tail, so the duplicate is
+  // trailing garbage.
+  const Bytes block(bytes.begin() + static_cast<std::ptrdiff_t>(base_size),
+                    bytes.end());
+  bytes.insert(bytes.end(), block.begin(), block.end());
+  EXPECT_THROW(runtime::decode_datagram(bytes), WireError);
+}
+
+TEST(WireCorpusTest, TraceExtensionFlagAbuseRejected) {
+  const Bytes base = runtime::encode_datagram(traced_data_msg(0));
+
+  // flags == 0 spells "no extensions", whose canonical form is omission.
+  Bytes empty_flags = base;
+  empty_flags.push_back(0x00);
+  EXPECT_THROW(runtime::decode_datagram(empty_flags), WireError);
+
+  // Reserved flag bits: the decoder cannot size fields it does not know.
+  for (const std::uint8_t flags :
+       {std::uint8_t{0x02}, std::uint8_t{0x03}, std::uint8_t{0x80}}) {
+    Bytes unknown = base;
+    unknown.push_back(flags);
+    put_varint(unknown, 1);
+    EXPECT_THROW(runtime::decode_datagram(unknown), WireError)
+        << "flags=" << int{flags};
+  }
+
+  // A zero trace id must be encoded by omitting the block entirely.
+  Bytes zero_id = base;
+  zero_id.push_back(0x01);
+  put_varint(zero_id, 0);
+  EXPECT_THROW(runtime::decode_datagram(zero_id), WireError);
+
+  // Over-long varint spelling of a small id: non-canonical, rejected.
+  Bytes overlong = base;
+  overlong.push_back(0x01);
+  overlong.push_back(0x81);
+  overlong.push_back(0x00);
+  EXPECT_THROW(runtime::decode_datagram(overlong), WireError);
 }
 
 TEST(WireCorpusTest, EngineLoadRejectsCorruptImageUntouched) {

@@ -2,13 +2,21 @@
 // interval estimate and stats (DESIGN.md S7).
 //
 //   driftsync_probe --target=127.0.0.1:7700 [--timeout=2] [--tries=3]
+//                   [--metrics] [--trace] [--trace-events=400]
 //
-// Sends a ProbeReq datagram and prints the reply as one JSON line:
+// Default mode sends a ProbeReq datagram and prints the reply as one JSON
+// line:
 //   {"proc":1,"local_time":...,"lo":...,"hi":...,"width":...,"stats":{...}}
 // The stats object is spliced verbatim from the node's stats_json(), so
 // everything the node exports — including the peer-health block
 // (last_heard ages, quarantined peers, backoff/duplicate/infeasible
 // counters; runtime/node.h) — shows up here with no probe-side changes.
+//
+// --metrics sends a MetricsReq instead and prints the node's Prometheus
+// text exposition (counters, gauges, width/handle histograms) verbatim —
+// pipe it into a textfile collector or curl-style scrape shim.  --trace
+// additionally asks for the node's last --trace-events causal trace events
+// and prints them as Chrome/Perfetto-loadable JSON (DESIGN.md §8).
 // Exit status: 0 reply received, 1 timeout, 2 bad flags.
 #include <cerrno>
 #include <cmath>
@@ -33,7 +41,8 @@ using namespace driftsync;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: driftsync_probe --target=HOST:PORT [--timeout=2] [--tries=3]";
+    "usage: driftsync_probe --target=HOST:PORT [--timeout=2] [--tries=3]\n"
+    "         [--metrics] [--trace] [--trace-events=400]";
 
 void print_number(double v) {
   if (std::isfinite(v)) {
@@ -46,10 +55,24 @@ void print_number(double v) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const Flags flags(argc, argv);
+  // Bare `--metrics` / `--trace` (no value) would trip the Flags
+  // constructor's missing-value check — or swallow the next flag — so
+  // normalize them to `=1` before general flag parsing.
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::string& arg : args) {
+    if (arg == "--metrics" || arg == "--trace") arg += "=1";
+  }
+  std::vector<const char*> argp;
+  argp.reserve(args.size());
+  for (const std::string& arg : args) argp.push_back(arg.c_str());
+  const Flags flags(argc, argp.data());
   const std::string target = flags.get_string("target", "");
   const double timeout = flags.get_double("timeout", 2.0);
   const auto tries = static_cast<int>(flags.get_int("tries", 3));
+  const bool want_trace = flags.get_bool("trace", false);
+  const bool want_metrics = flags.get_bool("metrics", false) || want_trace;
+  const auto trace_events = static_cast<std::uint32_t>(
+      flags.get_int("trace-events", want_trace ? 400 : 0));
   flags.reject_unknown(kUsage);
   const std::size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon == 0) {
@@ -82,7 +105,10 @@ int main(int argc, char** argv) try {
 
   for (int attempt = 0; attempt < tries; ++attempt) {
     const std::vector<std::uint8_t> req =
-        runtime::encode_datagram(runtime::ProbeReq{nonce});
+        want_metrics
+            ? runtime::encode_datagram(
+                  runtime::MetricsReq{nonce, want_trace ? trace_events : 0})
+            : runtime::encode_datagram(runtime::ProbeReq{nonce});
     if (::sendto(fd, req.data(), req.size(), 0,
                  reinterpret_cast<const sockaddr*>(&addr),
                  sizeof(addr)) < 0) {
@@ -104,6 +130,20 @@ int main(int argc, char** argv) try {
     } catch (const WireError& e) {
       std::fprintf(stderr, "probe: malformed reply: %s\n", e.what());
       continue;
+    }
+    if (want_metrics) {
+      const auto* mresp = std::get_if<runtime::MetricsResp>(&dgram);
+      if (mresp == nullptr || mresp->nonce != nonce) continue;
+      ::close(fd);
+      if (want_trace) {
+        std::fputs(mresp->trace_json.empty() ? "{\"traceEvents\":[]}"
+                                             : mresp->trace_json.c_str(),
+                   stdout);
+        std::fputc('\n', stdout);
+      } else {
+        std::fputs(mresp->metrics.c_str(), stdout);
+      }
+      return 0;
     }
     const auto* resp = std::get_if<runtime::ProbeResp>(&dgram);
     if (resp == nullptr || resp->nonce != nonce) continue;

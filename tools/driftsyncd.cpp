@@ -20,10 +20,20 @@
 // periodically; SIGINT/SIGTERM shut down cleanly.  --checkpoint makes the
 // node persist its state (write-ahead, see runtime/node.h) and restore it
 // on restart.  --selftest runs a self-contained 3-node in-process network
-// and exits 0 iff containment and convergence hold.
+// and exits 0 iff containment and convergence hold AND at least one causal
+// trace id shows up on both its sender's and its receiver's event streams
+// (the observability path is part of the daemon's contract, DESIGN.md §8).
+//
+// Observability: every daemon carries a Tracer (--trace-buffer events,
+// 0 disables) and answers kMetricsReq datagrams with Prometheus text plus
+// an optional Chrome-trace snapshot — see driftsync_probe --metrics /
+// --trace.  --trace-out=PATH writes the final trace snapshot as
+// Perfetto-loadable JSON on shutdown (and always, for --selftest).
+#include <cerrno>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <iostream>
 #include <memory>
@@ -36,6 +46,7 @@
 #include "baselines/ntp_csa.h"
 #include "common/errors.h"
 #include "common/flags.h"
+#include "common/trace.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
 #include "runtime/node.h"
@@ -56,7 +67,7 @@ constexpr const char* kUsage =
     "         [--algo=optimal|fullview|interval|ntp|cristian]\n"
     "         [--poll=0.5] [--timeout=2.0] [--skip-retry=1.0]\n"
     "         [--checkpoint=PATH] [--stats-interval=0] [--duration=0]\n"
-    "         [--selftest]";
+    "         [--trace-buffer=4096] [--trace-out=PATH] [--selftest]";
 
 volatile std::sig_atomic_t g_terminate = 0;
 volatile std::sig_atomic_t g_dump_stats = 0;
@@ -170,10 +181,26 @@ std::unique_ptr<Csa> make_csa(const std::string& algo) {
   throw FlagError("unknown --algo: " + algo);
 }
 
+/// Writes a trace snapshot as Chrome/Perfetto JSON; returns false on I/O
+/// failure (the caller decides whether that is fatal).
+bool write_trace_json(const Tracer& tracer, const std::string& path) {
+  const std::string json = trace_to_chrome_json(tracer.snapshot());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "driftsyncd: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
 /// --selftest: a 3-node path over the in-process hub with drifting clocks,
 /// asymmetric latency and loss; passes iff every node's estimate contains
-/// the true source time and the non-source widths converge.
-int run_selftest() {
+/// the true source time, the non-source widths converge, and the shared
+/// trace shows at least one id on both a sender's and a receiver's stream.
+int run_selftest(std::size_t trace_buffer, const std::string& trace_out) {
   const double rho = 5e-4;
   std::vector<ClockSpec> clocks{{0.0}, {rho}, {rho}};
   std::vector<LinkSpec> links;
@@ -181,7 +208,9 @@ int run_selftest() {
   links.emplace_back(1, 2, 0.0, 0.05);
   const SystemSpec spec(clocks, links, 0);
 
+  Tracer tracer(trace_buffer == 0 ? 4096 : trace_buffer);
   runtime::ThreadHub hub(7);
+  hub.set_tracer(&tracer);
   hub.set_link(0, 1, 0.0005, 0.004, 0.05);
   hub.set_link(1, 2, 0.001, 0.008, 0.05);
 
@@ -195,6 +224,7 @@ int run_selftest() {
     cfg.poll_period = 0.05;
     cfg.fate_timeout = 0.25;
     cfg.skip_retry = 0.1;
+    cfg.tracer = &tracer;
     OptimalCsa::Options opts;
     opts.loss_tolerant = true;
     nodes.push_back(std::make_unique<Node>(
@@ -221,6 +251,34 @@ int run_selftest() {
     std::printf("%s\n", nodes[p]->stats_json().c_str());
   }
   for (auto& node : nodes) node->stop();
+
+  // Causal continuity: some message must be traceable end-to-end — its id
+  // recorded as kSend at the sender AND as kDeliver at a different node.
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  bool causal_pair = false;
+  for (const TraceEvent& send : events) {
+    if (send.kind != TraceEventKind::kSend || send.trace_id == 0) continue;
+    for (const TraceEvent& recv : events) {
+      if (recv.kind == TraceEventKind::kDeliver &&
+          recv.trace_id == send.trace_id && recv.node != send.node) {
+        causal_pair = true;
+        break;
+      }
+    }
+    if (causal_pair) break;
+  }
+  if (!causal_pair) {
+    ++failures;
+    std::printf("selftest trace: no cross-node send/deliver pair FAIL\n");
+  }
+  const std::string path =
+      trace_out.empty() ? "driftsyncd_selftest_trace.json" : trace_out;
+  if (!write_trace_json(tracer, path)) {
+    ++failures;
+  } else {
+    std::printf("selftest trace: %zu events -> %s\n", events.size(),
+                path.c_str());
+  }
   std::printf(failures == 0 ? "selftest PASS\n" : "selftest FAIL\n");
   return failures == 0 ? 0 : 1;
 }
@@ -229,14 +287,22 @@ int run_selftest() {
 
 int main(int argc, char** argv) try {
   // A bare `--selftest` (no value) would trip the Flags constructor's
-  // missing-value check, so recognize it before general flag parsing.
-  if (argc == 2 && std::string(argv[1]) == "--selftest") {
-    return run_selftest();
+  // missing-value check — or swallow the flag after it — so normalize it
+  // to `--selftest=1` before general flag parsing.
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::string& arg : args) {
+    if (arg == "--selftest") arg = "--selftest=1";
   }
-  const Flags flags(argc, argv);
+  std::vector<const char*> argp;
+  argp.reserve(args.size());
+  for (const std::string& arg : args) argp.push_back(arg.c_str());
+  const Flags flags(argc, argp.data());
+  const auto trace_buffer =
+      static_cast<std::size_t>(flags.get_int("trace-buffer", 4096));
+  const std::string trace_out = flags.get_string("trace-out", "");
   if (flags.get_bool("selftest", false)) {
     flags.reject_unknown(kUsage);
-    return run_selftest();
+    return run_selftest(trace_buffer, trace_out);
   }
 
   const auto num_procs = static_cast<std::size_t>(flags.get_int("procs", 0));
@@ -255,6 +321,9 @@ int main(int argc, char** argv) try {
       parse_endpoint(flags.get_string("bind", ""));
   auto transport =
       std::make_unique<runtime::UdpTransport>(bind_host, bind_port);
+  // The tracer outlives the Node (declared first) and is shared with the
+  // transport; its presence also turns on wire trace ids (runtime/node.h).
+  std::unique_ptr<Tracer> tracer;
   NodeConfig cfg;
   cfg.self = self;
   cfg.spec = spec;
@@ -278,6 +347,11 @@ int main(int argc, char** argv) try {
   const std::string algo = flags.get_string("algo", "optimal");
   flags.reject_unknown(kUsage);
 
+  if (trace_buffer > 0) {
+    tracer = std::make_unique<Tracer>(trace_buffer);
+    cfg.tracer = tracer.get();
+    transport->set_tracer(tracer.get(), self);
+  }
   Node node(cfg, make_csa(algo), std::make_unique<runtime::SystemTimeSource>(),
             std::move(transport));
   install_signal_handlers();
@@ -307,6 +381,9 @@ int main(int argc, char** argv) try {
   }
   node.stop();
   std::printf("%s\n", node.stats_json().c_str());
+  if (tracer != nullptr && !trace_out.empty()) {
+    if (!write_trace_json(*tracer, trace_out)) return 1;
+  }
   return 0;
 } catch (const driftsync::FlagError& e) {
   std::fprintf(stderr, "%s\n%s\n", e.what(), kUsage);

@@ -1,0 +1,390 @@
+// Micro-benchmark: the UDP transport engine (DESIGN.md §7).
+//
+// The engine A/B is the number this file exists for.  On a 1-core machine
+// syscall time is identical for both engines (a sendto is a sendto), so the
+// honest comparison stubs the kernel behind UdpIoOps and measures what the
+// rewrite actually changed: per-datagram wake writes vs transition-only
+// wakes, fresh-vector sends vs recycled pool buffers, per-datagram
+// reply-context locking vs a thread_local, deque shuffling vs fixed rings,
+// and per-datagram engine turns vs recv_batch/send_batch amortization.
+// BM_LegacyEnginePath is a faithful replica of the pre-§7 engine (the
+// single-shard loop: per-send pipe wake, per-datagram recv turns with two
+// reply locks, whole-backlog drain under one lock) driven through the same
+// StubKernel as BM_ShardEnginePath, so every syscall either engine still
+// makes for real (wake pipe / eventfd) is paid for real, and everything
+// else is the engine itself.
+//
+// BM_UdpLoopbackPump keeps the benchmark honest about real sockets: full
+// transport over loopback UDP, real poll/recvmmsg/sendmmsg, where the
+// kernel dominates and batching mostly buys fewer receive-side turns.  It
+// is also the allocs/op = 0 proof on the production syscall path.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "bench/harness.h"
+#include "common/ids.h"
+#include "runtime/udp_transport.h"
+
+namespace driftsync {
+namespace {
+
+using runtime::UdpIoOps;
+using runtime::UdpRecvSlot;
+using runtime::UdpSendItem;
+using runtime::UdpSendResult;
+using runtime::UdpTransport;
+
+constexpr std::size_t kPayload = 256;   ///< Bytes per datagram.
+constexpr std::size_t kDatagrams = 256; ///< Datagrams per timed iteration.
+constexpr std::size_t kPeers = 4;
+constexpr std::size_t kMaxDgram = 2048;
+
+/// In-memory "kernel": one loopback queue of fixed byte slots, shared by
+/// both engines so their stubbed syscalls cost exactly the same memcpy.
+/// No allocation after construction — the engines' allocs/op columns stay
+/// about the engines.
+class StubKernel {
+ public:
+  StubKernel() : lens_(kDatagrams + 8), data_(lens_.size() * kMaxDgram) {}
+
+  bool blocked = false;  ///< Sends would block (EWOULDBLOCK).
+
+  bool push(const std::uint8_t* p, std::size_t n) {
+    if (count_ == lens_.size()) return false;
+    const std::size_t slot = (head_ + count_) % lens_.size();
+    std::memcpy(&data_[slot * kMaxDgram], p, n);
+    lens_[slot] = n;
+    ++count_;
+    return true;
+  }
+
+  std::size_t pop(std::uint8_t* out, std::size_t cap) {
+    if (count_ == 0) return 0;
+    const std::size_t n = std::min(lens_[head_], cap);
+    std::memcpy(out, &data_[head_ * kMaxDgram], n);
+    head_ = (head_ + 1) % lens_.size();
+    --count_;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return count_; }
+
+ private:
+  std::vector<std::size_t> lens_;
+  std::vector<std::uint8_t> data_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// The new engine's syscall seam over the StubKernel.  The wake fd is left
+/// to the real read() the engine issues (reported always-readable, like the
+/// legacy replica's unconditional pipe drain).
+class StubOps final : public UdpIoOps {
+ public:
+  explicit StubOps(StubKernel* kernel) : kernel_(kernel) {}
+
+  int poll_io(pollfd* fds, std::size_t nfds, int /*timeout_ms*/) override {
+    int ready = 0;
+    for (std::size_t i = 0; i < nfds; ++i) {
+      short rev = 0;
+      if (i == 0) {
+        if ((fds[i].events & POLLIN) && kernel_->pending() > 0) rev |= POLLIN;
+        if ((fds[i].events & POLLOUT) && !kernel_->blocked) rev |= POLLOUT;
+      } else {
+        rev = POLLIN;  // Wake fd: let the engine pay its real drain read.
+      }
+      fds[i].revents = rev;
+      if (rev != 0) ++ready;
+    }
+    return ready;
+  }
+
+  std::size_t recv_batch(int /*fd*/, UdpRecvSlot* slots,
+                         std::size_t n) override {
+    std::size_t filled = 0;
+    while (filled < n) {
+      const std::size_t len = kernel_->pop(slots[filled].data,
+                                           slots[filled].cap);
+      if (len == 0) break;
+      slots[filled].len = len;
+      slots[filled].truncated = false;
+      ++filled;
+    }
+    return filled;
+  }
+
+  UdpSendResult send_batch(int /*fd*/, const UdpSendItem* items,
+                           std::size_t n) override {
+    UdpSendResult r;
+    if (kernel_->blocked) {
+      r.blocked = true;
+      return r;
+    }
+    while (r.sent < n && kernel_->push(items[r.sent].data, items[r.sent].len)) {
+      ++r.sent;
+    }
+    if (r.sent < n) r.blocked = true;  // Kernel queue full.
+    return r;
+  }
+
+ private:
+  StubKernel* kernel_;
+};
+
+/// Faithful replica of the pre-§7 single-shard engine (git history:
+/// src/runtime/udp_transport.cpp before the shard rewrite), with the
+/// socket syscalls routed through StubKernel.  Everything else is verbatim
+/// behavior: fresh caller vectors, per-queued-send pipe wake, deque
+/// backlogs, whole-backlog drain under one lock, one recv turn per
+/// datagram with reply-context lock/unlock around every handler call.
+class LegacyEngine {
+ public:
+  explicit LegacyEngine(StubKernel* kernel) : kernel_(kernel), buf_(kMaxDgram) {
+    if (::pipe2(wake_, O_NONBLOCK | O_CLOEXEC) != 0) {
+      throw std::runtime_error("legacy bench: pipe2 failed");
+    }
+    for (ProcId p = 0; p < kPeers; ++p) peers_[p];
+  }
+  ~LegacyEngine() {
+    ::close(wake_[0]);
+    ::close(wake_[1]);
+  }
+
+  void send(ProcId to, std::vector<std::uint8_t> bytes) {
+    bool need_wake = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      PeerState& peer = peers_.find(to)->second;
+      if (peer.backlog.empty() && try_send(bytes)) return;
+      if (peer.backlog.size() >= 256) return;  // Drop (never hit here).
+      peer.backlog.push_back(std::move(bytes));
+      need_wake = true;
+    }
+    if (need_wake) {
+      const char byte = 0;
+      [[maybe_unused]] const ssize_t n = ::write(wake_[1], &byte, 1);
+    }
+  }
+
+  /// One loop cycle: want-write scan, (stubbed) poll, pipe drain, recv
+  /// turns, backlog drain.  Returns datagrams delivered to `handler`.
+  template <typename Handler>
+  std::size_t run_cycle(Handler&& handler) {
+    bool want_write = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [proc, peer] : peers_) {
+        if (!peer.backlog.empty()) {
+          want_write = true;
+          break;
+        }
+      }
+    }
+    const bool can_read = kernel_->pending() > 0;
+    const bool can_write = want_write && !kernel_->blocked;
+    char drain[64];
+    while (::read(wake_[0], drain, sizeof(drain)) > 0) {
+    }
+    std::size_t delivered = 0;
+    if (can_read) {
+      while (true) {
+        const std::size_t n = kernel_->pop(buf_.data(), buf_.size());
+        if (n == 0) break;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          reply_valid_ = true;
+        }
+        handler(buf_.data(), n);
+        ++delivered;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          reply_valid_ = false;
+        }
+      }
+    }
+    if (can_write) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [proc, peer] : peers_) {
+        while (!peer.backlog.empty()) {
+          if (!try_send(peer.backlog.front())) break;
+          peer.backlog.pop_front();
+        }
+      }
+    }
+    return delivered;
+  }
+
+  [[nodiscard]] std::size_t backlog() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto& [proc, peer] : peers_) total += peer.backlog.size();
+    return total;
+  }
+
+ private:
+  struct PeerState {
+    std::deque<std::vector<std::uint8_t>> backlog;
+  };
+
+  bool try_send(const std::vector<std::uint8_t>& bytes) {
+    if (kernel_->blocked) return false;
+    return kernel_->push(bytes.data(), bytes.size());
+  }
+
+  StubKernel* kernel_;
+  int wake_[2] = {-1, -1};
+  mutable std::mutex mu_;
+  std::map<ProcId, PeerState> peers_;
+  bool reply_valid_ = false;
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Burst-send kDatagrams against a blocked kernel, unblock, and pump until
+/// every datagram has looped back through the handler — the full
+/// send -> backlog -> flush -> recv -> dispatch cycle, old engine.
+void BM_LegacyEnginePath(bench::State& state) {
+  StubKernel kernel;
+  LegacyEngine engine(&kernel);
+  const std::vector<std::uint8_t> payload(kPayload, 0x5a);
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    kernel.blocked = true;
+    for (std::size_t i = 0; i < kDatagrams; ++i) {
+      // The pre-§7 caller protocol: a fresh vector per datagram.
+      std::vector<std::uint8_t> bytes(payload.begin(), payload.end());
+      engine.send(static_cast<ProcId>(i % kPeers), std::move(bytes));
+    }
+    kernel.blocked = false;
+    std::size_t delivered = 0;
+    while (delivered < kDatagrams) {
+      delivered += engine.run_cycle(
+          [&](const std::uint8_t* data, std::size_t n) {
+            sink += n + data[0];
+          });
+    }
+  }
+  bench::do_not_optimize(sink);
+  state.counters["dgrams_per_op"] = static_cast<double>(kDatagrams);
+  state.counters["ns_per_dgram"] =
+      state.elapsed_seconds() * 1e9 /
+      static_cast<double>(state.iterations() * kDatagrams);
+}
+DS_BENCHMARK(transport, BM_LegacyEnginePath);
+
+/// Same traffic, same stub kernel, new engine: take_buffer recycling,
+/// transition-only eventfd wake, ring backlogs, batched flush/recv turns.
+/// arg = recv_batch = send_batch.
+void BM_ShardEnginePath(bench::State& state) {
+  StubKernel kernel;
+  StubOps ops(&kernel);
+  UdpTransport::Options opts;
+  opts.recv_batch = static_cast<std::size_t>(state.range(0));
+  opts.send_batch = static_cast<std::size_t>(state.range(0));
+  opts.max_datagram = kMaxDgram;
+  opts.pool_buffers = kDatagrams;
+  opts.ops = &ops;
+  UdpTransport transport("127.0.0.1", 0, opts);
+  for (ProcId p = 0; p < kPeers; ++p) {
+    transport.add_peer(p, "127.0.0.1", 9);  // Discard port; kernel is stubbed.
+  }
+  const std::vector<std::uint8_t> payload(kPayload, 0x5a);
+  std::size_t sink = 0;
+  std::size_t delivered = 0;
+  transport.start_manual([&](std::span<const std::uint8_t> bytes) {
+    sink += bytes.size() + bytes[0];
+    ++delivered;
+  });
+  // One untimed warm-up cycle: populates the buffer pool and sizes the
+  // backlog rings, so the timed region measures the steady state (the
+  // harness re-invokes this function per repetition with a fresh
+  // transport, and those one-time allocations are setup, not traffic).
+  auto cycle = [&] {
+    kernel.blocked = true;
+    for (std::size_t i = 0; i < kDatagrams; ++i) {
+      const ProcId to = static_cast<ProcId>(i % kPeers);
+      std::vector<std::uint8_t> bytes = transport.take_buffer(to);
+      bytes.assign(payload.begin(), payload.end());
+      transport.send(to, std::move(bytes));
+    }
+    kernel.blocked = false;
+    delivered = 0;
+    while (delivered < kDatagrams) transport.run_once(0, 0);
+  };
+  cycle();
+  for (auto _ : state) {
+    cycle();
+  }
+  bench::do_not_optimize(sink);
+  state.counters["dgrams_per_op"] = static_cast<double>(kDatagrams);
+  state.counters["ns_per_dgram"] =
+      state.elapsed_seconds() * 1e9 /
+      static_cast<double>(state.iterations() * kDatagrams);
+}
+DS_BENCHMARK(transport, BM_ShardEnginePath)->arg(8)->arg(32);
+
+/// Production syscalls over loopback: one transport sends a burst to
+/// another, which pumps it in with recvmmsg (arg = recv_batch).  Kernel
+/// time dominates by design; the case exists for the honest real-socket
+/// delta and as the allocs/op = 0 proof on the real path.
+void BM_UdpLoopbackPump(bench::State& state) {
+  constexpr std::size_t kBurst = 32;
+  std::unique_ptr<UdpTransport> rx;
+  std::unique_ptr<UdpTransport> tx;
+  try {
+    UdpTransport::Options rx_opts;
+    rx_opts.recv_batch = static_cast<std::size_t>(state.range(0));
+    rx_opts.max_datagram = kMaxDgram;
+    rx = std::make_unique<UdpTransport>("127.0.0.1", 0, rx_opts);
+    tx = std::make_unique<UdpTransport>("127.0.0.1", 0);
+  } catch (const std::runtime_error&) {
+    // No loopback sockets in this environment: report a skipped case
+    // rather than failing the whole bench binary.
+    for (auto _ : state) {
+    }
+    state.counters["skipped"] = 1.0;
+    return;
+  }
+  tx->add_peer(1, "127.0.0.1", rx->local_port());
+  const std::vector<std::uint8_t> payload(kPayload, 0x5a);
+  std::size_t sink = 0;
+  std::size_t delivered = 0;
+  rx->start_manual([&](std::span<const std::uint8_t> bytes) {
+    sink += bytes.size();
+    ++delivered;
+  });
+  tx->start_manual([](std::span<const std::uint8_t>) {});
+  auto cycle = [&] {
+    delivered = 0;
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      std::vector<std::uint8_t> bytes = tx->take_buffer(1);
+      bytes.assign(payload.begin(), payload.end());
+      tx->send(1, std::move(bytes));
+    }
+    while (delivered < kBurst) {
+      if (!rx->run_once(0, 100)) break;  // Dead fd: bail (loop would hang).
+    }
+  };
+  cycle();  // Untimed: warms tx's buffer pool (setup, not traffic).
+  for (auto _ : state) {
+    cycle();
+  }
+  bench::do_not_optimize(sink);
+  state.counters["dgrams_per_op"] = static_cast<double>(kBurst);
+  state.counters["ns_per_dgram"] =
+      state.elapsed_seconds() * 1e9 /
+      static_cast<double>(state.iterations() * kBurst);
+}
+DS_BENCHMARK(transport, BM_UdpLoopbackPump)->arg(1)->arg(8)->arg(32);
+
+}  // namespace
+}  // namespace driftsync

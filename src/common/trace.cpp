@@ -5,6 +5,8 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <type_traits>
 
 #include "common/json.h"
 
@@ -72,9 +74,14 @@ void Tracer::record(TraceEventKind kind, std::uint64_t trace_id, ProcId node,
   // even stamp (2i+2) marks it complete.  A reader that sees differing or
   // odd stamps around its copy discards the slot.  The release fence keeps
   // the odd stamp from sinking past the payload stores.
+  static_assert(std::is_trivially_copyable_v<TraceEvent>);
+  std::uint64_t raw[Slot::kWords] = {};
+  std::memcpy(raw, &ev, sizeof(ev));
   slot.stamp.store(2 * i + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
-  slot.event = ev;
+  for (std::size_t w = 0; w < Slot::kWords; ++w) {
+    slot.words[w].store(raw[w], std::memory_order_relaxed);
+  }
   slot.stamp.store(2 * i + 2, std::memory_order_release);
 }
 
@@ -92,10 +99,15 @@ std::vector<TraceEvent> Tracer::snapshot() const {
     const Slot& slot = slots_[i & (capacity_ - 1)];
     const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
     if (before != 2 * i + 2) continue;  // Overwritten or mid-write.
-    TraceEvent ev = slot.event;
+    std::uint64_t raw[Slot::kWords];
+    for (std::size_t w = 0; w < Slot::kWords; ++w) {
+      raw[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint64_t after = slot.stamp.load(std::memory_order_relaxed);
     if (after != before) continue;  // Torn by a concurrent writer.
+    TraceEvent ev;
+    std::memcpy(&ev, raw, sizeof(ev));
     out.push_back(ev);
   }
   return out;

@@ -118,7 +118,15 @@ class Tracer {
     /// Seqlock stamp: 0 = never written; odd = write in progress for
     /// generation (stamp-1)/2; even = generation stamp/2 - 1 complete.
     std::atomic<std::uint64_t> stamp{0};
-    TraceEvent event;
+    /// The TraceEvent payload, stored as relaxed word-sized atomics: the
+    /// stamp protocol already rejects torn reads, but the payload accesses
+    /// themselves must be atomic for the data race to be benign by the
+    /// letter of the memory model (and for TSan to agree).  record() and
+    /// snapshot() memcpy through a word buffer.
+    static constexpr std::size_t kWords =
+        (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) /
+        sizeof(std::uint64_t);
+    std::atomic<std::uint64_t> words[kWords];
   };
 
   std::size_t capacity_;  ///< Power of two.

@@ -109,6 +109,16 @@ class ChaosTransport : public Transport {
   void stop() override;
   void send(ProcId to, std::vector<std::uint8_t> bytes) override;
 
+  /// Fault injection adds no counters of its own here (see injected());
+  /// the wrapped transport's health flows through unchanged.
+  [[nodiscard]] TransportStats transport_stats() const override {
+    return inner_->transport_stats();
+  }
+  void append_metrics(std::string& out,
+                      const std::string& labels) const override {
+    inner_->append_metrics(out, labels);
+  }
+
   /// Partition control (deterministic, schedule-driven): while set, every
   /// send to `peer` (or to anyone, for the total variant) is dropped.
   /// Inbound traffic is cut by the peer's own ChaosTransport, so a

@@ -180,6 +180,7 @@ LocalTime Node::local_time() const {
 NodeStats Node::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   NodeStats s = stats_;
+  s.transport = transport_->transport_stats();
   s.width = csa_->estimate(query_time_locked()).width();
   const double now = steady_seconds();
   for (const auto& [peer, state] : peers_) {
@@ -239,6 +240,15 @@ std::string Node::stats_json_locked() const {
   append_json_u64(out, "backoff_resets", stats_.backoff_resets);
   append_json_u64(out, "msg_path_allocs", stats_.msg_path_allocs);
   append_json_u64(out, "msg_path_alloc_bytes", stats_.msg_path_alloc_bytes);
+  // Transport-level counters (zeros for transports that track nothing).
+  const TransportStats ts = transport_->transport_stats();
+  append_json_u64(out, "transport_send_drops", ts.send_drops);
+  append_json_u64(out, "transport_recv_drops", ts.recv_drops);
+  append_json_u64(out, "transport_socket_errors", ts.socket_errors);
+  append_json_u64(out, "transport_recv_batches", ts.recv_batches);
+  append_json_u64(out, "transport_recv_datagrams", ts.recv_datagrams);
+  append_json_u64(out, "transport_send_batches", ts.send_batches);
+  append_json_u64(out, "transport_send_datagrams", ts.send_datagrams);
   // CSA-level counters (zeros where the algorithm has no such notion).
   const CsaStats cs = csa_->stats();
   append_json_u64(out, "payload_bytes_sent", cs.payload_bytes_sent);
@@ -321,6 +331,12 @@ std::string Node::metrics_text_locked() const {
   counter("driftsync_peer_quarantines", stats_.peer_quarantines);
   counter("driftsync_peer_readmissions", stats_.peer_readmissions);
   counter("driftsync_backoff_resets", stats_.backoff_resets);
+  const TransportStats ts = transport_->transport_stats();
+  counter("driftsync_transport_send_drops", ts.send_drops);
+  counter("driftsync_transport_recv_drops", ts.recv_drops);
+  counter("driftsync_transport_socket_errors", ts.socket_errors);
+  counter("driftsync_transport_recv_datagrams", ts.recv_datagrams);
+  counter("driftsync_transport_send_datagrams", ts.send_datagrams);
   const CsaStats cs = csa_->stats();
   counter("driftsync_payload_bytes_sent", cs.payload_bytes_sent);
   counter("driftsync_payload_bytes_received", cs.payload_bytes_received);
@@ -340,6 +356,7 @@ std::string Node::metrics_text_locked() const {
   }
   append_prometheus(out, "driftsync_width_seconds", labels, width_hist_);
   append_prometheus(out, "driftsync_handle_seconds", labels, handle_hist_);
+  transport_->append_metrics(out, labels);
   return out;
 }
 

@@ -123,6 +123,10 @@ struct NodeStats {
   /// documented approximation (common/alloc_stats.h).
   std::uint64_t msg_path_allocs = 0;
   std::uint64_t msg_path_alloc_bytes = 0;
+  /// Transport-level counters (drops, socket errors, batch totals) from
+  /// Transport::transport_stats(); all zero for transports that track
+  /// nothing.
+  TransportStats transport;
   double width = 0.0;        ///< Estimate width at snapshot time.
   /// Seconds since each configured peer was last heard from (any
   /// well-formed datagram); negative = never heard.

@@ -11,16 +11,33 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
 
 namespace driftsync::runtime {
 
-/// Receive callback.  Invoked from the transport's delivery thread, one
-/// call at a time (never concurrently with itself); the span is valid only
-/// for the duration of the call.
+/// Receive callback.  Invoked from a transport delivery thread; the span is
+/// valid only for the duration of the call.  Single-threaded transports
+/// (ThreadHub endpoints, UdpTransport with one shard) never invoke it
+/// concurrently with itself; a sharded transport invokes it from every
+/// shard thread at once, so handlers must be internally synchronized (the
+/// Node driver is: one mutex guards all protocol state).
 using DatagramHandler = std::function<void(std::span<const std::uint8_t>)>;
+
+/// Transport-level counters, all monotonic.  A transport without the
+/// corresponding machinery reports zeros — the fields exist so the Node can
+/// surface any transport's health through one stats/metrics path.
+struct TransportStats {
+  std::uint64_t send_drops = 0;     ///< Outbound dropped (peer/queue/error).
+  std::uint64_t recv_drops = 0;     ///< Inbound dropped (e.g. truncated).
+  std::uint64_t socket_errors = 0;  ///< POLLERR/POLLHUP/POLLNVAL consumed.
+  std::uint64_t recv_batches = 0;   ///< Batched-receive calls that got data.
+  std::uint64_t recv_datagrams = 0;
+  std::uint64_t send_batches = 0;   ///< Batched-send calls that moved data.
+  std::uint64_t send_datagrams = 0;
+};
 
 /// Reserved destination for send(): while a handler invocation is running,
 /// it addresses the origin of the datagram being handled (UDP: the source
@@ -45,6 +62,20 @@ class Transport {
   /// Best-effort datagram to `to`.  Never blocks for long; may drop the
   /// datagram silently (unknown peer, full queue, down link).
   virtual void send(ProcId to, std::vector<std::uint8_t> bytes) = 0;
+
+  /// Snapshot of the transport-level counters; the default is all-zero for
+  /// transports that track nothing.
+  [[nodiscard]] virtual TransportStats transport_stats() const { return {}; }
+
+  /// Appends transport-specific Prometheus text exposition (histograms and
+  /// the like) to `out`.  `labels` is a comma-separated label list such as
+  /// `node="2"` (no surrounding braces); implementations may extend it with
+  /// their own labels.  Default: nothing to expose.
+  virtual void append_metrics(std::string& out,
+                              const std::string& labels) const {
+    (void)out;
+    (void)labels;
+  }
 };
 
 }  // namespace driftsync::runtime

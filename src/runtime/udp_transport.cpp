@@ -1,13 +1,13 @@
 #include "runtime/udp_transport.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include <arpa/inet.h>
-#include <fcntl.h>
-#include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,13 +18,9 @@ namespace driftsync::runtime {
 
 namespace {
 
-/// Largest UDP payload we ever receive; send-side payloads are bounded by
-/// the CSA's O(K1*D) report batches, far below this.
-constexpr std::size_t kMaxDatagram = 65536;
-
-/// One backlog queue never holds more than this many unsent datagrams;
-/// beyond it new sends are dropped (the fate protocol absorbs the loss).
-constexpr std::size_t kMaxBacklog = 256;
+/// Upper bound on one recvmmsg/sendmmsg call (stack-allocated descriptor
+/// arrays in the real ops below).
+constexpr std::size_t kMaxBatch = 64;
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
@@ -36,71 +32,299 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   return addr;
 }
 
+[[nodiscard]] bool errno_means_blocked(int err) {
+  return err == EWOULDBLOCK || err == EAGAIN || err == ENOBUFS;
+}
+
+/// Real syscalls.  recvmmsg/sendmmsg are Linux-specific; a runtime ENOSYS
+/// (e.g. a seccomp filter) flips the process to the single-message
+/// recvmsg/sendmsg path permanently.
+class RealUdpIoOps final : public UdpIoOps {
+ public:
+  int poll_io(pollfd* fds, std::size_t nfds, int timeout_ms) override {
+    return ::poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+  }
+
+  std::size_t recv_batch(int fd, UdpRecvSlot* slots, std::size_t n) override {
+    n = std::min(n, kMaxBatch);
+    if (n == 0) return 0;
+    if (!have_mmsg_.load(std::memory_order_relaxed)) {
+      return recv_singles(fd, slots, n);
+    }
+    mmsghdr msgs[kMaxBatch];
+    iovec iovs[kMaxBatch];
+    std::memset(msgs, 0, n * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i] = {slots[i].data, slots[i].cap};
+      msgs[i].msg_hdr.msg_name = &slots[i].src;
+      msgs[i].msg_hdr.msg_namelen = sizeof(slots[i].src);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int got =
+        ::recvmmsg(fd, msgs, static_cast<unsigned>(n), MSG_DONTWAIT, nullptr);
+    if (got < 0) {
+      if (errno == ENOSYS) {
+        have_mmsg_.store(false, std::memory_order_relaxed);
+        return recv_singles(fd, slots, n);
+      }
+      return 0;  // EWOULDBLOCK or transient error: poll again.
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+      slots[i].len = msgs[i].msg_len;
+      slots[i].truncated = (msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0;
+    }
+    return static_cast<std::size_t>(got);
+  }
+
+  UdpSendResult send_batch(int fd, const UdpSendItem* items,
+                           std::size_t n) override {
+    UdpSendResult res;
+    n = std::min(n, kMaxBatch);
+    if (n == 0) return res;
+    if (n == 1 || !have_mmsg_.load(std::memory_order_relaxed)) {
+      return send_singles(fd, items, n);
+    }
+    mmsghdr msgs[kMaxBatch];
+    iovec iovs[kMaxBatch];
+    std::memset(msgs, 0, n * sizeof(mmsghdr));
+    for (std::size_t i = 0; i < n; ++i) {
+      // sendmmsg never writes through msg_name/msg_iov; the const_casts
+      // bridge the syscall's non-const prototype.
+      iovs[i] = {const_cast<std::uint8_t*>(items[i].data), items[i].len};
+      msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(&items[i].addr);
+      msgs[i].msg_hdr.msg_namelen = sizeof(items[i].addr);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int sent =
+        ::sendmmsg(fd, msgs, static_cast<unsigned>(n), MSG_DONTWAIT);
+    if (sent < 0) {
+      if (errno == ENOSYS) {
+        have_mmsg_.store(false, std::memory_order_relaxed);
+        return send_singles(fd, items, n);
+      }
+      if (errno_means_blocked(errno)) {
+        res.blocked = true;
+      } else {
+        res.hard_error = true;
+      }
+      return res;
+    }
+    res.sent = static_cast<std::size_t>(sent);
+    // A short count means the kernel stopped early (queue pressure, or an
+    // error on the next message that will surface on the following call);
+    // either way the remainder must be retried, not dropped.
+    if (res.sent < n) res.blocked = true;
+    return res;
+  }
+
+ private:
+  std::size_t recv_singles(int fd, UdpRecvSlot* slots, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      UdpRecvSlot& slot = slots[got];
+      iovec iov{slot.data, slot.cap};
+      msghdr msg{};
+      msg.msg_name = &slot.src;
+      msg.msg_namelen = sizeof(slot.src);
+      msg.msg_iov = &iov;
+      msg.msg_iovlen = 1;
+      const ssize_t r = ::recvmsg(fd, &msg, MSG_DONTWAIT);
+      if (r < 0) break;
+      slot.len = static_cast<std::size_t>(r);
+      slot.truncated = (msg.msg_flags & MSG_TRUNC) != 0;
+      ++got;
+    }
+    return got;
+  }
+
+  UdpSendResult send_singles(int fd, const UdpSendItem* items,
+                             std::size_t n) {
+    UdpSendResult res;
+    while (res.sent < n) {
+      const UdpSendItem& item = items[res.sent];
+      const ssize_t r = ::sendto(
+          fd, item.data, item.len, MSG_DONTWAIT,
+          reinterpret_cast<const sockaddr*>(&item.addr), sizeof(item.addr));
+      if (r < 0) {
+        if (errno_means_blocked(errno)) {
+          res.blocked = true;
+        } else {
+          res.hard_error = true;
+        }
+        break;
+      }
+      ++res.sent;
+    }
+    return res;
+  }
+
+  std::atomic<bool> have_mmsg_{true};
+};
+
+/// Batch-size histogram bounds: powers of two up to kMaxBatch.
+std::vector<double> batch_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= static_cast<double>(kMaxBatch); b *= 2.0) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
 }  // namespace
 
+UdpIoOps& real_udp_io_ops() {
+  static RealUdpIoOps ops;
+  return ops;
+}
+
+thread_local UdpTransport::ReplyContext UdpTransport::reply_ctx_;
+
+UdpTransport::Shard::Shard(const Options& opts)
+    : pool(),
+      arena(opts.recv_batch * opts.max_datagram),
+      slots(opts.recv_batch),
+      scratch(opts.send_batch),
+      recv_hist(batch_bounds()),
+      send_hist(batch_bounds()) {
+  pool.reserve(opts.pool_buffers);
+  for (std::size_t i = 0; i < opts.recv_batch; ++i) {
+    slots[i].data = arena.data() + i * opts.max_datagram;
+    slots[i].cap = opts.max_datagram;
+  }
+}
+
 UdpTransport::UdpTransport(const std::string& bind_host,
-                           std::uint16_t bind_port) {
-  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("udp: socket: ") +
-                             std::strerror(errno));
-  }
-  sockaddr_in addr = make_addr(bind_host, bind_port);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error(std::string("udp: bind: ") + std::strerror(err));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    local_port_ = ntohs(bound.sin_port);
-  }
-  if (::pipe2(wake_, O_NONBLOCK | O_CLOEXEC) != 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error(std::string("udp: pipe: ") + std::strerror(err));
+                           std::uint16_t bind_port)
+    : UdpTransport(bind_host, bind_port, Options{}) {}
+
+UdpTransport::UdpTransport(const std::string& bind_host,
+                           std::uint16_t bind_port, Options options)
+    : opts_(options) {
+  DS_CHECK_MSG(opts_.io_shards >= 1 && opts_.io_shards <= kMaxBatch,
+               "io_shards out of range");
+  DS_CHECK_MSG(opts_.recv_batch >= 1 && opts_.recv_batch <= kMaxBatch,
+               "recv_batch out of range");
+  DS_CHECK_MSG(opts_.send_batch >= 1 && opts_.send_batch <= kMaxBatch,
+               "send_batch out of range");
+  DS_CHECK_MSG(opts_.max_datagram >= 64 && opts_.max_datagram <= 65536,
+               "max_datagram out of range");
+  DS_CHECK_MSG(opts_.max_backlog >= 1, "max_backlog out of range");
+  ops_ = opts_.ops != nullptr ? opts_.ops : &real_udp_io_ops();
+
+  const auto fail = [this](const char* what, int err) {
+    for (const auto& s : shards_) {
+      if (s->fd >= 0) ::close(s->fd);
+      if (s->wake_fd >= 0) ::close(s->wake_fd);
+    }
+    shards_.clear();
+    throw std::runtime_error(std::string("udp: ") + what + ": " +
+                             std::strerror(err));
+  };
+
+  // Shard 0 resolves an ephemeral bind_port; the remaining shards bind the
+  // resolved port with SO_REUSEPORT so the kernel spreads inbound flows.
+  std::uint16_t port = bind_port;
+  for (std::size_t i = 0; i < opts_.io_shards; ++i) {
+    auto shard = std::make_unique<Shard>(opts_);
+    shards_.push_back(std::move(shard));
+    Shard& s = *shards_.back();
+    s.fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (s.fd < 0) fail("socket", errno);
+    if (opts_.io_shards > 1) {
+      const int one = 1;
+      if (::setsockopt(s.fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+        fail("setsockopt(SO_REUSEPORT)", errno);
+      }
+    }
+    sockaddr_in addr = make_addr(bind_host, port);
+    if (::bind(s.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      fail("bind", errno);
+    }
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(s.fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+          0) {
+        local_port_ = ntohs(bound.sin_port);
+      }
+      port = local_port_;
+    }
+    s.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (s.wake_fd < 0) fail("eventfd", errno);
   }
 }
 
 UdpTransport::~UdpTransport() {
   stop();
-  if (fd_ >= 0) ::close(fd_);
-  if (wake_[0] >= 0) ::close(wake_[0]);
-  if (wake_[1] >= 0) ::close(wake_[1]);
+  for (const auto& s : shards_) {
+    if (s->fd >= 0) ::close(s->fd);
+    if (s->wake_fd >= 0) ::close(s->wake_fd);
+  }
 }
 
 void UdpTransport::add_peer(ProcId proc, const std::string& host,
                             std::uint16_t port) {
   DS_CHECK_MSG(!started_, "add_peer after start");
-  peers_[proc].addr = make_addr(host, port);
+  Shard& s = *shards_[shard_of(proc)];
+  const sockaddr_in addr = make_addr(host, port);
+  const bool fresh = s.peers.find(proc) == s.peers.end();
+  s.peers[proc].addr = addr;
+  if (fresh) s.flush_order.push_back(proc);
 }
 
-void UdpTransport::start(DatagramHandler handler) {
+void UdpTransport::start_common(DatagramHandler handler, bool spawn_threads) {
   DS_CHECK_MSG(!started_, "transport started twice");
   handler_ = std::move(handler);
   running_.store(true);
   started_ = true;
-  thread_ = std::thread([this] { loop(); });
+  manual_ = !spawn_threads;
+  if (!spawn_threads) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] {
+      while (running_.load(std::memory_order_relaxed)) {
+        if (!run_once(i, -1)) break;  // Dead fd: this shard stops serving.
+      }
+    });
+  }
+}
+
+void UdpTransport::start(DatagramHandler handler) {
+  start_common(std::move(handler), /*spawn_threads=*/true);
+}
+
+void UdpTransport::start_manual(DatagramHandler handler) {
+  start_common(std::move(handler), /*spawn_threads=*/false);
 }
 
 void UdpTransport::stop() {
   if (!started_) return;
   running_.store(false);
-  const char byte = 0;
-  // A full pipe already guarantees a pending wakeup; ignore the result.
-  [[maybe_unused]] const ssize_t n = ::write(wake_[1], &byte, 1);
-  thread_.join();
+  for (const auto& s : shards_) wake(*s);
+  if (!manual_) {
+    for (const auto& s : shards_) {
+      if (s->thread.joinable()) s->thread.join();
+    }
+  }
   started_ = false;
 }
 
+void UdpTransport::wake(const Shard& s) {
+  const std::uint64_t one = 1;
+  // A saturated eventfd already guarantees a pending wakeup; ignore the
+  // result.
+  [[maybe_unused]] const ssize_t n = ::write(s.wake_fd, &one, sizeof(one));
+}
+
 std::size_t UdpTransport::backlog_depth() const {
-  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
-  for (const auto& [proc, peer] : peers_) total += peer.backlog.size();
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    total += s->backlog_total;
+  }
   return total;
 }
 
@@ -110,122 +334,258 @@ void UdpTransport::set_tracer(Tracer* tracer, ProcId self) {
   trace_self_ = self;
 }
 
-void UdpTransport::trace_drop(ProcId to,
-                              const std::vector<std::uint8_t>& bytes) {
+void UdpTransport::trace_drop(ProcId to, std::uint64_t trace_id) {
   if (tracer_ == nullptr) return;
-  tracer_->record(TraceEventKind::kDrop, peek_trace_id(bytes), trace_self_,
-                  to);
+  tracer_->record(TraceEventKind::kDrop, trace_id, trace_self_, to);
 }
 
-bool UdpTransport::try_send(const sockaddr_in& addr,
-                            const std::vector<std::uint8_t>& bytes,
-                            ProcId to) {
-  const ssize_t n =
-      ::sendto(fd_, bytes.data(), bytes.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (n >= 0) return true;
-  if (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS) {
-    return false;  // Retry via backlog.
+void UdpTransport::recycle_locked(Shard& s,
+                                  std::vector<std::uint8_t>&& bytes) {
+  if (s.pool.size() >= opts_.pool_buffers || bytes.capacity() == 0) return;
+  bytes.clear();
+  s.pool.push_back(std::move(bytes));
+}
+
+std::vector<std::uint8_t> UdpTransport::take_buffer(ProcId to) {
+  Shard& s = *shards_[to == kReplyPeer ? reply_ctx_.shard : shard_of(to)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.pool.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(s.pool.back());
+  s.pool.pop_back();
+  return buf;
+}
+
+void UdpTransport::enqueue_locked(Shard& s, PeerState& peer, ProcId to,
+                                  std::vector<std::uint8_t>&& bytes) {
+  if (peer.count >= opts_.max_backlog) {
+    send_drops_.fetch_add(1, std::memory_order_relaxed);
+    trace_drop(to, peek_trace_id(bytes));
+    recycle_locked(s, std::move(bytes));
+    return;
   }
-  ++send_drops_;  // Hard error (e.g. EMSGSIZE): drop, fate protocol copes.
-  trace_drop(to, bytes);
-  return true;  // "Done with this datagram."
+  if (peer.ring.empty()) peer.ring.resize(opts_.max_backlog);
+  peer.ring[(peer.head + peer.count) % peer.ring.size()] = std::move(bytes);
+  ++peer.count;
+  // Transition-only wake: the loop arms POLLOUT whenever it observes a
+  // non-empty backlog under mu, so only the 0 -> 1 edge can find it parked
+  // in poll without POLLOUT armed.
+  if (++s.backlog_total == 1) wake(s);
 }
 
 void UdpTransport::send(ProcId to, std::vector<std::uint8_t> bytes) {
-  bool need_wake = false;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (to == kReplyPeer) {
-      // Reply to the source of the datagram being handled.  Best-effort
-      // and unqueued: if the socket would block, the requester retries.
-      if (!reply_valid_ || !try_send(reply_addr_, bytes, to)) {
-        ++send_drops_;
-        trace_drop(to, bytes);
-      }
+  if (to == kReplyPeer) {
+    // Reply to the source of the datagram being handled (we are on that
+    // shard's loop thread).  Best-effort and unqueued: if the socket would
+    // block, the requester retries.
+    if (reply_ctx_.owner != this) {
+      send_drops_.fetch_add(1, std::memory_order_relaxed);
+      trace_drop(to, peek_trace_id(bytes));
       return;
     }
-    const auto it = peers_.find(to);
-    if (it == peers_.end()) {
-      ++send_drops_;
-      trace_drop(to, bytes);
-      return;
+    Shard& s = *shards_[reply_ctx_.shard];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const UdpSendItem item{bytes.data(), bytes.size(), reply_ctx_.addr};
+    const UdpSendResult res = ops_->send_batch(s.fd, &item, 1);
+    if (res.sent == 1) {
+      s.send_hist.add(1.0);
+      ++s.send_batches;
+      ++s.send_datagrams;
+    } else {
+      send_drops_.fetch_add(1, std::memory_order_relaxed);
+      trace_drop(to, peek_trace_id(bytes));
     }
-    PeerState& peer = it->second;
-    if (peer.backlog.empty() && try_send(peer.addr, bytes, to)) return;
-    if (peer.backlog.size() >= kMaxBacklog) {
-      ++send_drops_;
-      trace_drop(to, bytes);
-      return;
-    }
-    peer.backlog.push_back(std::move(bytes));
-    need_wake = true;
+    recycle_locked(s, std::move(bytes));
+    return;
   }
-  if (need_wake) {
-    const char byte = 0;
-    [[maybe_unused]] const ssize_t n = ::write(wake_[1], &byte, 1);
+  Shard& s = *shards_[shard_of(to)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.peers.find(to);
+  if (it == s.peers.end()) {
+    send_drops_.fetch_add(1, std::memory_order_relaxed);
+    trace_drop(to, peek_trace_id(bytes));
+    return;
+  }
+  PeerState& peer = it->second;
+  if (peer.count == 0) {
+    // Uncontended fast path: one direct (batch-1) send.
+    const UdpSendItem item{bytes.data(), bytes.size(), peer.addr};
+    const UdpSendResult res = ops_->send_batch(s.fd, &item, 1);
+    if (res.sent == 1) {
+      s.send_hist.add(1.0);
+      ++s.send_batches;
+      ++s.send_datagrams;
+      recycle_locked(s, std::move(bytes));
+      return;
+    }
+    if (res.hard_error) {
+      // E.g. EMSGSIZE: drop, the fate protocol copes.
+      send_drops_.fetch_add(1, std::memory_order_relaxed);
+      trace_drop(to, peek_trace_id(bytes));
+      recycle_locked(s, std::move(bytes));
+      return;
+    }
+  }
+  enqueue_locked(s, peer, to, std::move(bytes));
+}
+
+void UdpTransport::flush_locked(Shard& s) {
+  const std::size_t npeers = s.flush_order.size();
+  if (npeers == 0 || s.backlog_total == 0) return;
+  // One pass over the peers, at most send_batch datagrams each, resuming at
+  // the cursor — so under sustained backpressure every peer gets a turn
+  // before any peer gets a second one.
+  std::size_t visited = 0;
+  while (s.backlog_total > 0 && visited < npeers) {
+    const ProcId proc = s.flush_order[s.flush_cursor];
+    s.flush_cursor = (s.flush_cursor + 1) % npeers;
+    ++visited;
+    PeerState& peer = s.peers.find(proc)->second;
+    if (peer.count == 0) continue;
+    const std::size_t want = std::min(peer.count, opts_.send_batch);
+    for (std::size_t j = 0; j < want; ++j) {
+      const std::vector<std::uint8_t>& b =
+          peer.ring[(peer.head + j) % peer.ring.size()];
+      s.scratch[j] = {b.data(), b.size(), peer.addr};
+    }
+    const UdpSendResult res = ops_->send_batch(s.fd, s.scratch.data(), want);
+    if (res.sent > 0) {
+      s.send_hist.add(static_cast<double>(res.sent));
+      ++s.send_batches;
+      s.send_datagrams += res.sent;
+      for (std::size_t j = 0; j < res.sent; ++j) {
+        recycle_locked(s, std::move(peer.ring[peer.head]));
+        peer.head = (peer.head + 1) % peer.ring.size();
+        --peer.count;
+        --s.backlog_total;
+      }
+    }
+    if (res.hard_error && peer.count > 0) {
+      // The datagram at the front failed permanently: drop it and keep
+      // draining (the fate protocol absorbs the loss).
+      send_drops_.fetch_add(1, std::memory_order_relaxed);
+      trace_drop(proc, peek_trace_id(peer.ring[peer.head]));
+      recycle_locked(s, std::move(peer.ring[peer.head]));
+      peer.head = (peer.head + 1) % peer.ring.size();
+      --peer.count;
+      --s.backlog_total;
+      continue;
+    }
+    if (res.blocked) return;  // Socket full; POLLOUT stays armed.
   }
 }
 
-void UdpTransport::loop() {
-  std::vector<std::uint8_t> buf(kMaxDatagram);
-  while (running_.load()) {
-    bool want_write = false;
+void UdpTransport::recv_dispatch(std::size_t shard_index) {
+  Shard& s = *shards_[shard_index];
+  while (true) {
+    // The arena slots are touched only by this shard's loop thread; no lock
+    // is held while receiving or dispatching, so handlers may send().
+    const std::size_t n = ops_->recv_batch(s.fd, s.slots.data(),
+                                           s.slots.size());
+    if (n == 0) break;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& [proc, peer] : peers_) {
-        if (!peer.backlog.empty()) {
-          want_write = true;
-          break;
-        }
+      const std::lock_guard<std::mutex> lock(s.mu);
+      s.recv_hist.add(static_cast<double>(n));
+      ++s.recv_batches;
+      s.recv_datagrams += n;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const UdpRecvSlot& slot = s.slots[i];
+      if (slot.truncated || slot.len > slot.cap) {
+        // Oversized datagram: the kernel truncated it to cap bytes.  A
+        // truncated payload must never reach the handler — it would decode
+        // as garbage at best and as a plausible prefix at worst.
+        recv_drops_.fetch_add(1, std::memory_order_relaxed);
+        trace_drop(kInvalidProc,
+                   peek_trace_id(std::span<const std::uint8_t>(slot.data,
+                                                               slot.len)));
+        continue;
       }
+      reply_ctx_.owner = this;
+      reply_ctx_.shard = shard_index;
+      reply_ctx_.addr = slot.src;
+      handler_(std::span<const std::uint8_t>(slot.data, slot.len));
+      reply_ctx_.owner = nullptr;
     }
-    pollfd fds[2];
-    fds[0].fd = fd_;
-    fds[0].events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
-    fds[0].revents = 0;
-    fds[1].fd = wake_[0];
-    fds[1].events = POLLIN;
-    fds[1].revents = 0;
-    if (::poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) continue;
-      return;  // Unrecoverable poll failure: stop serving.
+    if (n < s.slots.size()) break;  // Short batch: queue (almost) drained.
+  }
+}
+
+bool UdpTransport::run_once(std::size_t shard_index, int timeout_ms) {
+  Shard& s = *shards_[shard_index];
+  bool want_write = false;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    want_write = s.backlog_total > 0;
+  }
+  pollfd fds[2];
+  fds[0].fd = s.fd;
+  fds[0].events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+  fds[0].revents = 0;
+  fds[1].fd = s.wake_fd;
+  fds[1].events = POLLIN;
+  fds[1].revents = 0;
+  const int rc = ops_->poll_io(fds, 2, timeout_ms);
+  if (rc < 0) {
+    return errno == EINTR;  // Unrecoverable poll failure: stop serving.
+  }
+  if (rc == 0) return true;
+  if (fds[1].revents & POLLIN) {
+    std::uint64_t drain = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(s.wake_fd, &drain, sizeof(drain));
+  }
+  if (fds[0].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+    socket_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (fds[0].revents & POLLNVAL) {
+      return false;  // The fd is dead; nothing left to consume or serve.
     }
-    if (fds[1].revents & POLLIN) {
-      char drain[64];
-      while (::read(wake_[0], drain, sizeof(drain)) > 0) {
-      }
+    // Consume the pending error (e.g. an ICMP port-unreachable surfaced as
+    // POLLERR) so poll does not spin on it, then keep serving.
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(s.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+  }
+  if (fds[0].revents & POLLIN) recv_dispatch(shard_index);
+  if (fds[0].revents & POLLOUT) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    flush_locked(s);
+  }
+  return true;
+}
+
+TransportStats UdpTransport::transport_stats() const {
+  TransportStats out;
+  out.send_drops = send_drops_.load(std::memory_order_relaxed);
+  out.recv_drops = recv_drops_.load(std::memory_order_relaxed);
+  out.socket_errors = socket_errors_.load(std::memory_order_relaxed);
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    out.recv_batches += s->recv_batches;
+    out.recv_datagrams += s->recv_datagrams;
+    out.send_batches += s->send_batches;
+    out.send_datagrams += s->send_datagrams;
+  }
+  return out;
+}
+
+void UdpTransport::append_metrics(std::string& out,
+                                  const std::string& labels) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    std::string shard_labels = labels;
+    if (!shard_labels.empty()) shard_labels += ',';
+    shard_labels += "shard=\"" + std::to_string(i) + '"';
+    Histogram recv_copy(batch_bounds());
+    Histogram send_copy(batch_bounds());
+    {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      recv_copy.merge(s.recv_hist);
+      send_copy.merge(s.send_hist);
     }
-    if (fds[0].revents & POLLIN) {
-      while (true) {
-        sockaddr_in src{};
-        socklen_t src_len = sizeof(src);
-        const ssize_t n =
-            ::recvfrom(fd_, buf.data(), buf.size(), 0,
-                       reinterpret_cast<sockaddr*>(&src), &src_len);
-        if (n < 0) break;  // EWOULDBLOCK or transient error: poll again.
-        {
-          const std::lock_guard<std::mutex> lock(mu_);
-          reply_addr_ = src;
-          reply_valid_ = true;
-        }
-        handler_(std::span<const std::uint8_t>(buf.data(),
-                                               static_cast<std::size_t>(n)));
-        {
-          const std::lock_guard<std::mutex> lock(mu_);
-          reply_valid_ = false;
-        }
-      }
-    }
-    if (fds[0].revents & POLLOUT) {
-      const std::lock_guard<std::mutex> lock(mu_);
-      for (auto& [proc, peer] : peers_) {
-        while (!peer.backlog.empty()) {
-          if (!try_send(peer.addr, peer.backlog.front(), proc)) break;
-          peer.backlog.pop_front();
-        }
-      }
-    }
+    append_prometheus(out, "driftsync_transport_recv_batch", shard_labels,
+                      recv_copy);
+    append_prometheus(out, "driftsync_transport_send_batch", shard_labels,
+                      send_copy);
   }
 }
 

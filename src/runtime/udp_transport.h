@@ -1,96 +1,282 @@
-// Nonblocking IPv4/UDP transport (DESIGN.md S7).
+// Sharded, batched, nonblocking IPv4/UDP transport (DESIGN.md S7, §7).
 //
-// One event-loop thread services a single bound socket: inbound datagrams
-// go to the handler; outbound datagrams that would block queue per peer
-// (bounded) and flush when the socket becomes writable.  Peers are static
-// (ProcId -> address), fixed before start(); the datagram's own `from`
-// field — not the UDP source address — identifies the sender, which makes
-// the socket an untrusted-input surface in full (DESIGN.md §6): any host
-// that can reach the port can inject bytes, and the Node above survives
-// arbitrary garbage by construction (WireError => counted drop).
+// N event-loop shards (Options::io_shards, default 1 — the single-threaded
+// behavior previous releases had) each own one socket bound to the same
+// port with SO_REUSEPORT, so the kernel fans inbound flows across shards;
+// outbound peers are assigned to shards by ProcId.  Each shard owns its
+// peers' backlog rings, an eventfd wake, a reusable receive arena
+// (recv_batch slots of max_datagram bytes each) and a free-list of send
+// buffers, so the steady-state receive->decode->handle->reply path and the
+// uncontended send path perform zero heap allocations (bench_transport
+// verifies this with the counting operator-new hook).  recvmmsg/sendmmsg
+// amortize syscalls over up to recv_batch/send_batch datagrams, with a
+// graceful single-message fallback where the batched calls are unavailable.
+//
+// Inbound datagrams go to the handler (concurrently across shards — the
+// handler must be internally synchronized, see runtime/transport.h);
+// outbound datagrams that would block queue per peer (bounded ring) and
+// flush round-robin across the shard's peers when the socket becomes
+// writable, so no peer's backlog can starve another's.  Oversized inbound
+// datagrams (> max_datagram, detected via MSG_TRUNC) are dropped and
+// counted, never delivered truncated.  Peers are static (ProcId ->
+// address), fixed before start(); the datagram's own `from` field — not the
+// UDP source address — identifies the sender, which makes the socket an
+// untrusted-input surface in full (DESIGN.md §6): any host that can reach
+// the port can inject bytes, and the Node above survives arbitrary garbage
+// by construction (WireError => counted drop).
+//
+// The raw syscall layer sits behind UdpIoOps so tests can script socket
+// readiness/errors deterministically and benches can measure the engine
+// with the kernel stubbed out; production uses the real-syscall singleton.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <netinet/in.h>
+#include <poll.h>
 
+#include "common/histogram.h"
 #include "common/ids.h"
 #include "common/trace.h"
 #include "runtime/transport.h"
 
 namespace driftsync::runtime {
 
+/// One inbound datagram slot: `data`/`cap` point into the shard's arena and
+/// are set up by the transport; recv_batch() fills `len`, `truncated`, and
+/// `src` for the first `n` slots it returns.
+struct UdpRecvSlot {
+  std::uint8_t* data = nullptr;
+  std::size_t cap = 0;
+  std::size_t len = 0;
+  bool truncated = false;  ///< Payload exceeded cap (MSG_TRUNC).
+  sockaddr_in src{};
+};
+
+/// One outbound datagram for send_batch(); `data` stays owned by the caller
+/// for the duration of the call.
+struct UdpSendItem {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+  sockaddr_in addr{};
+};
+
+/// send_batch() outcome: `sent` leading items left the socket.  `blocked`
+/// means the socket would block on item `sent` (retry it later);
+/// `hard_error` means item `sent` failed permanently (drop it and move on).
+struct UdpSendResult {
+  std::size_t sent = 0;
+  bool blocked = false;
+  bool hard_error = false;
+};
+
+/// Syscall seam for the transport event loops.  The real implementation
+/// issues poll/recvmmsg/sendmmsg (falling back to recvmsg/sendmsg loops
+/// where the batched calls are unavailable); tests and benches substitute
+/// scripted readiness and in-memory queues.
+class UdpIoOps {
+ public:
+  virtual ~UdpIoOps() = default;
+
+  /// poll(2) semantics: fills revents, returns ready count, 0 on timeout,
+  /// -1 with errno on failure.
+  virtual int poll_io(pollfd* fds, std::size_t nfds, int timeout_ms) = 0;
+
+  /// Receives up to `n` datagrams into `slots` without blocking; returns
+  /// how many were filled (0 = nothing available).
+  virtual std::size_t recv_batch(int fd, UdpRecvSlot* slots,
+                                 std::size_t n) = 0;
+
+  /// Sends the leading run of `items` without blocking.
+  virtual UdpSendResult send_batch(int fd, const UdpSendItem* items,
+                                   std::size_t n) = 0;
+};
+
+/// The production syscall implementation (stateless singleton).
+UdpIoOps& real_udp_io_ops();
+
 class UdpTransport : public Transport {
  public:
+  struct Options {
+    /// Event-loop shards.  1 keeps the classic single-thread single-socket
+    /// behavior; > 1 binds one SO_REUSEPORT socket per shard.
+    std::size_t io_shards = 1;
+    std::size_t recv_batch = 16;  ///< Max datagrams per batched receive.
+    std::size_t send_batch = 16;  ///< Max datagrams per peer per flush call.
+    /// Largest datagram accepted inbound; anything larger is dropped and
+    /// counted in recv_drops (never delivered truncated).  Send-side
+    /// payloads are bounded by the CSA's O(K1*D) report batches, far below
+    /// the default.
+    std::size_t max_datagram = 65536;
+    /// One peer's backlog ring never holds more than this many unsent
+    /// datagrams; beyond it new sends are dropped (the fate protocol
+    /// absorbs the loss).
+    std::size_t max_backlog = 256;
+    /// Recycled send buffers kept per shard (capacity reuse is what makes
+    /// the steady-state send path allocation-free).
+    std::size_t pool_buffers = 64;
+    /// Syscall seam override for tests/benches; not owned.  Null = real
+    /// syscalls.
+    UdpIoOps* ops = nullptr;
+  };
+
   /// Binds `bind_host:bind_port` (IPv4 dotted quad; port 0 picks an
-  /// ephemeral port, see local_port()).  Throws std::runtime_error on
-  /// socket/bind failure — callers that can run without a network (tests)
-  /// catch and skip.
+  /// ephemeral port, see local_port()) — once per shard.  Throws
+  /// std::runtime_error on socket/bind failure — callers that can run
+  /// without a network (tests) catch and skip.
   UdpTransport(const std::string& bind_host, std::uint16_t bind_port);
+  UdpTransport(const std::string& bind_host, std::uint16_t bind_port,
+               Options options);
   ~UdpTransport() override;
 
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  /// Registers a peer's address.  Must be called before start(); throws
-  /// std::runtime_error on an unparsable host.
+  /// Registers a peer's address (on shard `proc % io_shards`).  Must be
+  /// called before start(); throws std::runtime_error on an unparsable
+  /// host.
   void add_peer(ProcId proc, const std::string& host, std::uint16_t port);
 
   void start(DatagramHandler handler) override;
+
+  /// Manual-pump mode: registers the handler without spawning shard
+  /// threads; the caller drives each shard with run_once().  Deterministic
+  /// single-threaded operation for tests and benches.
+  void start_manual(DatagramHandler handler);
+
+  /// Runs one poll/recv/flush cycle for `shard_index` (timeout_ms as in
+  /// poll(2); -1 blocks).  Returns false when the shard can no longer serve
+  /// (invalid fd or unrecoverable poll failure).
+  bool run_once(std::size_t shard_index, int timeout_ms);
+
   void stop() override;
   void send(ProcId to, std::vector<std::uint8_t> bytes) override;
 
-  /// The actually bound port (resolves a bind_port of 0).
+  /// A send buffer recycled from the pool of `to`'s shard (empty, capacity
+  /// preserved from earlier traffic) — or a fresh empty vector when the
+  /// pool is dry.  Callers that fill one of these and pass it back to
+  /// send() close the buffer cycle and make their steady-state send path
+  /// allocation-free.
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer(ProcId to);
+
+  /// The actually bound port (resolves a bind_port of 0; all shards share
+  /// it).
   [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
 
-  /// Outbound datagrams dropped (unknown peer, full queue, send error).
-  [[nodiscard]] std::uint64_t send_drops() const { return send_drops_; }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
 
-  /// Datagrams queued behind a blocked socket, summed over peers.  Every
-  /// queued datagram leaves via the flush path (sent, or consumed by a hard
-  /// send error), so this returns to 0 once the socket drains.
+  /// Outbound datagrams dropped (unknown peer, full queue, send error).
+  [[nodiscard]] std::uint64_t send_drops() const {
+    return send_drops_.load(std::memory_order_relaxed);
+  }
+
+  /// Inbound datagrams dropped (oversized/truncated).
+  [[nodiscard]] std::uint64_t recv_drops() const {
+    return recv_drops_.load(std::memory_order_relaxed);
+  }
+
+  /// POLLERR/POLLHUP/POLLNVAL conditions consumed off shard sockets.
+  [[nodiscard]] std::uint64_t socket_errors() const {
+    return socket_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Datagrams queued behind blocked sockets, summed over shards and peers.
+  /// Every queued datagram leaves via the flush path (sent, or consumed by
+  /// a hard send error), so this returns to 0 once the sockets drain.
   [[nodiscard]] std::size_t backlog_depth() const;
 
-  /// Records a kDrop trace event for every send-side drop, attributed to
-  /// `self` (the transport does not otherwise know which node it serves).
-  /// Must be called before start(); null disables.  Not owned.
+  [[nodiscard]] TransportStats transport_stats() const override;
+
+  /// Per-shard recv/send batch-size histograms as
+  /// driftsync_transport_{recv,send}_batch{<labels>,shard="i",...}.
+  void append_metrics(std::string& out,
+                      const std::string& labels) const override;
+
+  /// Records a kDrop trace event for every drop, attributed to `self` (the
+  /// transport does not otherwise know which node it serves).  Must be
+  /// called before start(); null disables.  Not owned.
   void set_tracer(Tracer* tracer, ProcId self);
 
  private:
   struct PeerState {
     sockaddr_in addr{};
-    std::deque<std::vector<std::uint8_t>> backlog;  ///< EWOULDBLOCK queue.
+    /// Fixed-capacity FIFO ring of unsent datagrams (EWOULDBLOCK queue),
+    /// sized to max_backlog on first use; entries keep their heap capacity
+    /// across reuse.
+    std::vector<std::vector<std::uint8_t>> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
   };
 
-  void loop();
-  [[nodiscard]] bool try_send(const sockaddr_in& addr,
-                              const std::vector<std::uint8_t>& bytes,
-                              ProcId to);
-  /// Records a send-side drop (mu_ held by the caller).
-  void trace_drop(ProcId to, const std::vector<std::uint8_t>& bytes);
+  struct Shard {
+    explicit Shard(const Options& opts);
 
-  /// Source address of the datagram currently in the handler (kReplyPeer
-  /// routing).  Written by the loop thread under mu_.
-  sockaddr_in reply_addr_{};
-  bool reply_valid_ = false;
+    int fd = -1;
+    int wake_fd = -1;  ///< eventfd: wakes the loop for stop/new-backlog.
+    mutable std::mutex mu;  ///< Guards everything below plus fd sends.
+    std::map<ProcId, PeerState> peers;
+    /// Round-robin flush state: peers in registration order, with the
+    /// cursor persisting across flush calls so the next call resumes where
+    /// backpressure stopped the last one.
+    std::vector<ProcId> flush_order;
+    std::size_t flush_cursor = 0;
+    std::size_t backlog_total = 0;  ///< Queued datagrams across peers.
+    std::vector<std::vector<std::uint8_t>> pool;  ///< Recycled send buffers.
+    std::vector<std::uint8_t> arena;  ///< recv_batch * max_datagram bytes.
+    std::vector<UdpRecvSlot> slots;   ///< Point into arena; loop-thread only.
+    std::vector<UdpSendItem> scratch;  ///< Flush staging (send_batch items).
+    Histogram recv_hist;  ///< Datagrams per productive recv_batch call.
+    Histogram send_hist;  ///< Datagrams per productive send_batch call.
+    std::uint64_t recv_batches = 0;
+    std::uint64_t recv_datagrams = 0;
+    std::uint64_t send_batches = 0;
+    std::uint64_t send_datagrams = 0;
+    std::thread thread;
+  };
 
-  int fd_ = -1;
-  int wake_[2] = {-1, -1};  ///< self-pipe: wakes the loop for stop/flush.
+  /// kReplyPeer routing: while a handler runs on a shard loop thread, this
+  /// names the transport, shard, and source address to reply to.
+  struct ReplyContext {
+    const UdpTransport* owner = nullptr;
+    std::size_t shard = 0;
+    sockaddr_in addr{};
+  };
+  static thread_local ReplyContext reply_ctx_;
+
+  [[nodiscard]] std::size_t shard_of(ProcId proc) const {
+    return static_cast<std::size_t>(proc) % shards_.size();
+  }
+  void start_common(DatagramHandler handler, bool spawn_threads);
+  /// Receives and dispatches until the socket runs dry (shard loop thread
+  /// only; mu is NOT held across handler calls).
+  void recv_dispatch(std::size_t shard_index);
+  /// One round-robin pass over the shard's backlogged peers (mu held).
+  void flush_locked(Shard& s);
+  /// Returns `bytes` to the shard's buffer pool (mu held).
+  void recycle_locked(Shard& s, std::vector<std::uint8_t>&& bytes);
+  void enqueue_locked(Shard& s, PeerState& peer, ProcId to,
+                      std::vector<std::uint8_t>&& bytes);
+  void wake(const Shard& s);
+  void trace_drop(ProcId to, std::uint64_t trace_id);
+
   std::uint16_t local_port_ = 0;
-  std::map<ProcId, PeerState> peers_;
+  Options opts_;
+  UdpIoOps* ops_ = nullptr;  ///< opts_.ops or the real-syscall singleton.
+  std::vector<std::unique_ptr<Shard>> shards_;
   DatagramHandler handler_;
-  std::thread thread_;
-  mutable std::mutex mu_;  ///< Guards peer backlogs (send() vs loop flush).
   std::atomic<bool> running_{false};
   bool started_ = false;
+  bool manual_ = false;  ///< start_manual(): no shard threads to join.
   std::atomic<std::uint64_t> send_drops_{0};
+  std::atomic<std::uint64_t> recv_drops_{0};
+  std::atomic<std::uint64_t> socket_errors_{0};
   Tracer* tracer_ = nullptr;
   ProcId trace_self_ = kInvalidProc;
 };

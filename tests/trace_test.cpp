@@ -179,8 +179,11 @@ TEST(ChromeExport, KindNamesAreStable) {
 // End-to-end propagation: a minted id must cross the wire.
 
 TEST(TraceIntegration, IdPropagatesAcrossThreeNodeNetwork) {
-  ThreeNodeNet net;
+  // The tracer must outlive the net: the hub's worker thread records drops
+  // until ~ThreeNodeNet joins it (TSan catches the reverse order as a
+  // use-after-scope race).
   Tracer tracer(8192);
+  ThreeNodeNet net;
   net.hub.set_tracer(&tracer);
   net.hub.set_link(0, 1, 0.0005, 0.003);
   net.hub.set_link(1, 2, 0.0005, 0.003);

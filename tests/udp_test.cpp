@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -274,6 +275,11 @@ TEST(UdpNode, ProbeRoundTrip) {
     EXPECT_LE(resp.lo, resp.hi);
     EXPECT_FALSE(resp.stats_json.empty());
     EXPECT_NE(resp.stats_json.find("\"decode_drops\""), std::string::npos);
+    // Transport-level health flows through the same stats line.
+    EXPECT_NE(resp.stats_json.find("\"transport_recv_drops\""),
+              std::string::npos);
+    EXPECT_NE(resp.stats_json.find("\"transport_send_drops\""),
+              std::string::npos);
     replied = true;
   }
   ::close(client);
@@ -339,6 +345,273 @@ TEST(UdpNode, MetricsRoundTrip) {
   ::close(client);
   EXPECT_TRUE(replied);
   n1.stop();
+}
+
+/// Binds with explicit Options, or null if sockets are unavailable.
+std::unique_ptr<UdpTransport> try_bind_opts(UdpTransport::Options opts) {
+  try {
+    return std::make_unique<UdpTransport>(kHost, 0, opts);
+  } catch (const std::runtime_error&) {
+    return nullptr;
+  }
+}
+
+/// Deterministic syscall seam: scripted poll revents, an in-memory inbox
+/// for receives, and a send recorder.  Drives the engine's event loop from
+/// the test thread via start_manual()/run_once() — no real readiness, no
+/// real sends, no timing dependence.
+class ScriptedOps final : public UdpIoOps {
+ public:
+  /// Revents handed out for the socket fd on successive poll calls; once
+  /// exhausted, polls report POLLIN while the inbox is non-empty and
+  /// POLLOUT whenever it was requested and sends are not blocked.
+  std::deque<short> poll_script;
+  bool block_sends = false;
+  std::deque<std::vector<std::uint8_t>> inbox;
+  /// First payload byte of every datagram accepted by send_batch, in
+  /// acceptance order — the round-robin test's observable.
+  std::vector<std::uint8_t> accepted;
+
+  int poll_io(pollfd* fds, std::size_t nfds, int /*timeout_ms*/) override {
+    for (std::size_t i = 1; i < nfds; ++i) fds[i].revents = 0;
+    short rev = 0;
+    if (!poll_script.empty()) {
+      rev = poll_script.front();
+      poll_script.pop_front();
+    } else {
+      if (!inbox.empty()) rev |= POLLIN;
+      if (!block_sends && (fds[0].events & POLLOUT)) rev |= POLLOUT;
+    }
+    fds[0].revents =
+        static_cast<short>(rev & (fds[0].events | POLLERR | POLLHUP |
+                                  POLLNVAL));
+    return fds[0].revents != 0 ? 1 : 0;
+  }
+
+  std::size_t recv_batch(int /*fd*/, UdpRecvSlot* slots,
+                         std::size_t n) override {
+    std::size_t got = 0;
+    while (got < n && !inbox.empty()) {
+      const std::vector<std::uint8_t>& d = inbox.front();
+      UdpRecvSlot& slot = slots[got];
+      slot.len = std::min(d.size(), slot.cap);
+      slot.truncated = d.size() > slot.cap;
+      std::memcpy(slot.data, d.data(), slot.len);
+      slot.src = sockaddr_in{};
+      inbox.pop_front();
+      ++got;
+    }
+    return got;
+  }
+
+  UdpSendResult send_batch(int /*fd*/, const UdpSendItem* items,
+                           std::size_t n) override {
+    UdpSendResult res;
+    if (block_sends) {
+      res.blocked = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      accepted.push_back(items[i].len > 0 ? items[i].data[0] : 0);
+    }
+    res.sent = n;
+    return res;
+  }
+};
+
+/// Regression (truncation): oversized datagrams must be dropped and counted
+/// in recv_drops, never delivered truncated — a truncated payload decodes
+/// as garbage at best, a plausible prefix at worst.  The pre-fix loop
+/// passed the silently cut-down bytes straight to the handler.
+TEST(UdpTransport, TruncatedDatagramsAreDroppedAndCounted) {
+  UdpTransport::Options opts;
+  opts.max_datagram = 512;
+  opts.recv_batch = 8;
+  auto t = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t);
+  const std::uint16_t port = t->local_port();
+
+  std::mutex mu;
+  std::uint64_t small_delivered = 0;
+  std::uint64_t oversized_delivered = 0;
+  t->start([&](std::span<const std::uint8_t> bytes) {
+    const std::lock_guard<std::mutex> lock(mu);
+    // 'S' marks the in-bounds payloads, 'B' the oversized ones.
+    if (!bytes.empty() && bytes.front() == 'S' && bytes.size() == 100) {
+      ++small_delivered;
+    } else {
+      ++oversized_delivered;
+    }
+  });
+
+  const int attacker = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(attacker, 0);
+  sockaddr_in victim{};
+  victim.sin_family = AF_INET;
+  victim.sin_port = htons(port);
+  ASSERT_EQ(inet_pton(AF_INET, kHost, &victim.sin_addr), 1);
+  const std::vector<std::uint8_t> big(1024, 'B');
+  const std::vector<std::uint8_t> small(100, 'S');
+  constexpr int kPairs = 30;
+  for (int i = 0; i < kPairs; ++i) {
+    ::sendto(attacker, big.data(), big.size(), 0,
+             reinterpret_cast<const sockaddr*>(&victim), sizeof(victim));
+    ::sendto(attacker, small.data(), small.size(), 0,
+             reinterpret_cast<const sockaddr*>(&victim), sizeof(victim));
+    if (i % 8 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::close(attacker);
+
+  bool settled = false;
+  for (int spins = 0; spins < 400 && !settled; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const std::lock_guard<std::mutex> lock(mu);
+    settled = small_delivered + t->recv_drops() >= 2 * kPairs;
+  }
+  const std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(oversized_delivered, 0u);  // Never delivered, truncated or not.
+  EXPECT_GT(small_delivered, 0u);      // In-bounds traffic kept flowing.
+  EXPECT_GT(t->recv_drops(), 0u);      // And the drops were accounted for.
+  EXPECT_EQ(t->transport_stats().recv_drops, t->recv_drops());
+  t->stop();
+}
+
+/// Regression (starvation): under sustained backpressure the flush must
+/// round-robin — at most send_batch datagrams per peer per turn, resuming
+/// from the cursor — instead of draining one peer's entire backlog before
+/// touching the next.  The pre-fix loop emitted AAAAAA BBBBBB CCCCCC; the
+/// fixed one interleaves AAB BCC ...
+TEST(UdpTransport, BacklogFlushIsRoundRobinAcrossPeers) {
+  ScriptedOps ops;
+  UdpTransport::Options opts;
+  opts.send_batch = 2;
+  opts.ops = &ops;
+  auto t = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t);
+  t->add_peer(0, kHost, 9001);
+  t->add_peer(1, kHost, 9002);
+  t->add_peer(2, kHost, 9003);
+  t->start_manual([](std::span<const std::uint8_t>) {});
+
+  // Blocked socket: every send lands in its peer's backlog ring.
+  ops.block_sends = true;
+  constexpr int kPerPeer = 6;
+  for (int i = 0; i < kPerPeer; ++i) {
+    for (std::uint8_t peer = 0; peer < 3; ++peer) {
+      t->send(peer, std::vector<std::uint8_t>{
+                        static_cast<std::uint8_t>('A' + peer)});
+    }
+  }
+  EXPECT_EQ(t->backlog_depth(), 3u * kPerPeer);
+
+  // Unblock and pump until drained; every pump is one poll/flush cycle.
+  ops.block_sends = false;
+  for (int spins = 0; spins < 64 && t->backlog_depth() > 0; ++spins) {
+    ASSERT_TRUE(t->run_once(0, 0));
+  }
+  EXPECT_EQ(t->backlog_depth(), 0u);
+  ASSERT_EQ(ops.accepted.size(), 3u * kPerPeer);
+  // Exact expected order: rounds of (A A B B C C) — at most send_batch=2
+  // per peer per turn, FIFO within a peer, no peer served twice before all
+  // backlogged peers were served once.
+  std::vector<std::uint8_t> expected;
+  for (int round = 0; round < kPerPeer / 2; ++round) {
+    for (char peer : {'A', 'B', 'C'}) {
+      expected.push_back(static_cast<std::uint8_t>(peer));
+      expected.push_back(static_cast<std::uint8_t>(peer));
+    }
+  }
+  EXPECT_EQ(ops.accepted, expected);
+  t->stop();
+}
+
+/// Regression (revents): a POLLERR condition (e.g. an ICMP port-unreachable
+/// surfaced on the socket) must be consumed and counted, with the loop
+/// continuing to serve afterwards.  The pre-fix loop only examined
+/// POLLIN/POLLOUT, so a persistent error condition spun poll at 100% CPU.
+TEST(UdpTransport, PollErrIsConsumedAndServingContinues) {
+  ScriptedOps ops;
+  UdpTransport::Options opts;
+  opts.ops = &ops;
+  auto t = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t);
+  std::uint64_t delivered = 0;
+  t->start_manual(
+      [&](std::span<const std::uint8_t>) { ++delivered; });
+
+  ops.inbox.push_back({0x42});
+  ops.poll_script.push_back(POLLERR);  // First cycle: only the error.
+  EXPECT_TRUE(t->run_once(0, 0));
+  EXPECT_EQ(t->socket_errors(), 1u);
+  EXPECT_EQ(delivered, 0u);
+
+  EXPECT_TRUE(t->run_once(0, 0));  // Next cycle: the datagram flows.
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(t->transport_stats().socket_errors, 1u);
+  t->stop();
+}
+
+/// Regression (revents): POLLNVAL means the fd is gone — the shard must
+/// stop cleanly (run_once returns false; the threaded loop exits) instead
+/// of spinning on a dead descriptor.
+TEST(UdpTransport, PollNvalStopsTheShardCleanly) {
+  ScriptedOps ops;
+  UdpTransport::Options opts;
+  opts.ops = &ops;
+  auto t = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t);
+  t->start_manual([](std::span<const std::uint8_t>) {});
+  ops.poll_script.push_back(POLLNVAL);
+  EXPECT_FALSE(t->run_once(0, 0));
+  EXPECT_EQ(t->socket_errors(), 1u);
+  t->stop();
+}
+
+/// The sharded transport end to end: a 3-node path over loopback UDP with
+/// --io-shards=4 per node (SO_REUSEPORT fan-in, cross-shard handoff on the
+/// send side) must converge exactly like the single-shard transport.
+TEST(UdpNode, ShardedThreeNodeConverges) {
+  UdpTransport::Options opts;
+  opts.io_shards = 4;
+  auto t0 = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t0);
+  auto t1 = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t1);
+  auto t2 = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t2);
+  ASSERT_EQ(t0->num_shards(), 4u);
+  t0->add_peer(1, kHost, t1->local_port());
+  t1->add_peer(0, kHost, t0->local_port());
+  t1->add_peer(2, kHost, t2->local_port());
+  t2->add_peer(1, kHost, t1->local_port());
+
+  const SystemSpec spec =
+      driftsync::testing::line_spec(3, 5e-4, 0.0, 0.05);
+  Node n0(node_config(0, spec), loss_tolerant_csa(),
+          std::make_unique<ScaledTimeSource>(0.0, 1.0), std::move(t0));
+  Node n1(node_config(1, spec), loss_tolerant_csa(),
+          std::make_unique<ScaledTimeSource>(33.0, 1.0 + 3e-4),
+          std::move(t1));
+  Node n2(node_config(2, spec), loss_tolerant_csa(),
+          std::make_unique<ScaledTimeSource>(-7.5, 1.0 - 2e-4),
+          std::move(t2));
+  n0.start();
+  n1.start();
+  n2.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+
+  EXPECT_TRUE(contains_truth(n0));
+  EXPECT_TRUE(contains_truth(n1));
+  EXPECT_TRUE(contains_truth(n2));
+  EXPECT_LT(n1.estimate().width(), 0.05);
+  EXPECT_LT(n2.estimate().width(), 0.10);  // Two hops from the source.
+  const NodeStats s1 = n1.stats();
+  EXPECT_GT(s1.dgrams_in, 0u);
+  EXPECT_GT(s1.transport.recv_datagrams, 0u);
+  EXPECT_GT(s1.transport.send_datagrams, 0u);
+  n2.stop();
+  n1.stop();
+  n0.stop();
 }
 
 }  // namespace

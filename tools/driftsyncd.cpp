@@ -66,6 +66,7 @@ constexpr const char* kUsage =
     "         --bind=HOST:PORT --peers='P=HOST:PORT[;...]'\n"
     "         [--algo=optimal|fullview|interval|ntp|cristian]\n"
     "         [--poll=0.5] [--timeout=2.0] [--skip-retry=1.0]\n"
+    "         [--io-shards=1] [--recv-batch=16] [--send-batch=16]\n"
     "         [--checkpoint=PATH] [--stats-interval=0] [--duration=0]\n"
     "         [--trace-buffer=4096] [--trace-out=PATH] [--selftest]";
 
@@ -196,11 +197,15 @@ bool write_trace_json(const Tracer& tracer, const std::string& path) {
   return ok;
 }
 
-/// --selftest: a 3-node path over the in-process hub with drifting clocks,
-/// asymmetric latency and loss; passes iff every node's estimate contains
-/// the true source time, the non-source widths converge, and the shared
-/// trace shows at least one id on both a sender's and a receiver's stream.
-int run_selftest(std::size_t trace_buffer, const std::string& trace_out) {
+/// --selftest: a 3-node path with drifting clocks; passes iff every node's
+/// estimate contains the true source time, the non-source widths converge,
+/// and the shared trace shows at least one id on both a sender's and a
+/// receiver's stream.  With --io-shards > 1 the nodes talk over real
+/// loopback UDP through the sharded transport (falling back to the
+/// in-process hub, with a note, where sockets are unavailable); otherwise
+/// they use the in-process hub with asymmetric latency and loss.
+int run_selftest(std::size_t trace_buffer, const std::string& trace_out,
+                 const runtime::UdpTransport::Options& udp_opts) {
   const double rho = 5e-4;
   std::vector<ClockSpec> clocks{{0.0}, {rho}, {rho}};
   std::vector<LinkSpec> links;
@@ -209,10 +214,40 @@ int run_selftest(std::size_t trace_buffer, const std::string& trace_out) {
   const SystemSpec spec(clocks, links, 0);
 
   Tracer tracer(trace_buffer == 0 ? 4096 : trace_buffer);
-  runtime::ThreadHub hub(7);
-  hub.set_tracer(&tracer);
-  hub.set_link(0, 1, 0.0005, 0.004, 0.05);
-  hub.set_link(1, 2, 0.001, 0.008, 0.05);
+  std::unique_ptr<runtime::ThreadHub> hub;
+  std::vector<std::unique_ptr<runtime::Transport>> transports(3);
+  bool use_udp = udp_opts.io_shards > 1;
+  if (use_udp) {
+    try {
+      std::vector<std::unique_ptr<runtime::UdpTransport>> udp;
+      for (ProcId p = 0; p < 3; ++p) {
+        udp.push_back(std::make_unique<runtime::UdpTransport>("127.0.0.1", 0,
+                                                              udp_opts));
+      }
+      for (ProcId p = 0; p < 3; ++p) {
+        for (ProcId q = 0; q < 3; ++q) {
+          if (q != p) udp[p]->add_peer(q, "127.0.0.1", udp[q]->local_port());
+        }
+        udp[p]->set_tracer(&tracer, p);
+      }
+      std::printf("selftest transport: loopback UDP, %zu shard(s)\n",
+                  udp[0]->num_shards());
+      for (ProcId p = 0; p < 3; ++p) transports[p] = std::move(udp[p]);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr,
+                   "selftest: loopback UDP unavailable (%s); "
+                   "falling back to in-process hub\n",
+                   e.what());
+      use_udp = false;
+    }
+  }
+  if (!use_udp) {
+    hub = std::make_unique<runtime::ThreadHub>(7);
+    hub->set_tracer(&tracer);
+    hub->set_link(0, 1, 0.0005, 0.004, 0.05);
+    hub->set_link(1, 2, 0.001, 0.008, 0.05);
+    for (ProcId p = 0; p < 3; ++p) transports[p] = hub->endpoint(p);
+  }
 
   const double offsets[3] = {0.0, 41.5, -13.25};
   const double rates[3] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
@@ -230,7 +265,7 @@ int run_selftest(std::size_t trace_buffer, const std::string& trace_out) {
     nodes.push_back(std::make_unique<Node>(
         cfg, std::make_unique<OptimalCsa>(opts),
         std::make_unique<runtime::ScaledTimeSource>(offsets[p], rates[p]),
-        hub.endpoint(p)));
+        std::move(transports[p])));
   }
   for (auto& node : nodes) node->start();
   const timespec nap{2, 0};
@@ -300,9 +335,25 @@ int main(int argc, char** argv) try {
   const auto trace_buffer =
       static_cast<std::size_t>(flags.get_int("trace-buffer", 4096));
   const std::string trace_out = flags.get_string("trace-out", "");
+  runtime::UdpTransport::Options udp_opts;
+  udp_opts.io_shards =
+      static_cast<std::size_t>(flags.get_uint("io-shards", 1));
+  udp_opts.recv_batch =
+      static_cast<std::size_t>(flags.get_uint("recv-batch", 16));
+  udp_opts.send_batch =
+      static_cast<std::size_t>(flags.get_uint("send-batch", 16));
+  if (udp_opts.io_shards < 1 || udp_opts.io_shards > 64) {
+    throw FlagError("--io-shards must be in [1, 64]");
+  }
+  if (udp_opts.recv_batch < 1 || udp_opts.recv_batch > 64) {
+    throw FlagError("--recv-batch must be in [1, 64]");
+  }
+  if (udp_opts.send_batch < 1 || udp_opts.send_batch > 64) {
+    throw FlagError("--send-batch must be in [1, 64]");
+  }
   if (flags.get_bool("selftest", false)) {
     flags.reject_unknown(kUsage);
-    return run_selftest(trace_buffer, trace_out);
+    return run_selftest(trace_buffer, trace_out, udp_opts);
   }
 
   const auto num_procs = static_cast<std::size_t>(flags.get_int("procs", 0));
@@ -320,7 +371,7 @@ int main(int argc, char** argv) try {
   const auto [bind_host, bind_port] =
       parse_endpoint(flags.get_string("bind", ""));
   auto transport =
-      std::make_unique<runtime::UdpTransport>(bind_host, bind_port);
+      std::make_unique<runtime::UdpTransport>(bind_host, bind_port, udp_opts);
   // The tracer outlives the Node (declared first) and is shared with the
   // transport; its presence also turns on wire trace ids (runtime/node.h).
   std::unique_ptr<Tracer> tracer;

@@ -1,0 +1,110 @@
+// Micro-benchmark: the serving tier's request path (DESIGN.md decision 17).
+//
+// BM_SessionTouch isolates the SessionTable hot path (hash probe + LRU
+// splice) on a resident fleet; BM_ServeCycle measures the full server-side
+// request/response cycle — decode ClientReq, Server::handle, re-encode the
+// ClientResp into a recycled buffer — which is the per-request cost a
+// `driftsyncd --serve` node pays; BM_EvictionChurn stresses the worst case
+// where every request is a newcomer evicting the LRU tail.  All three must
+// report 0 allocs/op in steady state: the slab, index and LRU are
+// preallocated, and the response buffer is reused (the bench analogue of
+// Transport::take_buffer).
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/interval.h"
+#include "runtime/datagram.h"
+#include "serve/server.h"
+#include "serve/session_table.h"
+
+namespace driftsync::serve {
+namespace {
+
+SessionTable::Options table_opts(std::size_t cap) {
+  SessionTable::Options opts;
+  opts.max_clients = cap;
+  opts.idle_timeout = 1e9;  // Never reap mid-bench.
+  opts.evict_grace = 0.0;
+  return opts;
+}
+
+void BM_SessionTouch(bench::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  SessionTable table(table_opts(clients));
+  double now = 0.0;
+  for (std::uint64_t id = 1; id <= clients; ++id) table.touch(id, now);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    now += 1e-7;
+    bench::do_not_optimize(table.touch(id, now));
+    id = id % clients + 1;
+  }
+  state.counters["resident"] = static_cast<double>(table.size());
+  state.counters["bytes_per_client"] =
+      static_cast<double>(table.memory_bytes()) /
+      static_cast<double>(clients);
+}
+DS_BENCHMARK(serve, BM_SessionTouch)->arg(1024)->arg(16384);
+
+void BM_ServeCycle(bench::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  Server::Options opts;
+  opts.sessions = table_opts(clients);
+  Server server(opts);
+  // Pre-encode one request per client; replayed sequence numbers are
+  // answered idempotently, so the same buffers cycle forever.
+  std::vector<std::vector<std::uint8_t>> requests;
+  requests.reserve(clients);
+  for (std::uint64_t id = 1; id <= clients; ++id) {
+    runtime::ClientReq req;
+    req.client_id = id;
+    req.req_seq = 1;
+    req.client_lt = static_cast<double>(id);
+    req.last_rtt = 0.002;
+    requests.push_back(runtime::encode_datagram(runtime::Datagram{req}));
+  }
+  const Interval est{100.0, 100.001};
+  runtime::ClientResp resp;
+  std::vector<std::uint8_t> out;
+  double now = 0.0;
+  std::size_t i = 0;
+  // Warm every session (and the output buffer's capacity) so the timed
+  // region is pure steady state.
+  for (const auto& bytes : requests) {
+    const runtime::Datagram dgram = runtime::decode_datagram(bytes);
+    server.handle(std::get<runtime::ClientReq>(dgram), 0, est, 100.0,
+                  now += 1e-6, &resp);
+    runtime::encode_datagram_into(out, runtime::Datagram{resp});
+  }
+  for (auto _ : state) {
+    const runtime::Datagram dgram = runtime::decode_datagram(requests[i]);
+    server.handle(std::get<runtime::ClientReq>(dgram), 0, est, 100.0,
+                  now += 1e-6, &resp);
+    runtime::encode_datagram_into(out, runtime::Datagram{resp});
+    bench::do_not_optimize(out);
+    i = (i + 1) % requests.size();
+  }
+  state.counters["resp_bytes"] = static_cast<double>(out.size());
+}
+DS_BENCHMARK(serve, BM_ServeCycle)->arg(1024)->arg(8192);
+
+void BM_EvictionChurn(bench::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  SessionTable table(table_opts(cap));
+  double now = 0.0;
+  std::uint64_t id = 0;
+  // Fill, then every touch is a fresh identity evicting the tail.
+  for (std::uint64_t warm = 1; warm <= cap; ++warm) {
+    table.touch(id = warm, now += 1e-7);
+  }
+  for (auto _ : state) {
+    bench::do_not_optimize(table.touch(++id, now += 1e-7));
+  }
+  state.counters["evicted"] = static_cast<double>(table.counters().evicted);
+}
+DS_BENCHMARK(serve, BM_EvictionChurn)->arg(1024);
+
+}  // namespace
+}  // namespace driftsync::serve

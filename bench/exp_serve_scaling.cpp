@@ -1,0 +1,188 @@
+// EXP — serving-tier scaling (DESIGN.md decision 17): one serve::Server
+// hosting 100 -> 10k clients in virtual time.
+//
+// Each simulated client runs the real ClientEstimator against the real
+// Server over the real wire codec — only the network and clocks are
+// synthetic (seeded RTTs in [200us, 3ms], per-client drift within the rho
+// spec).  Per fleet size the experiment reports:
+//
+//   * ns/req — wall time of the server-side cycle only (decode ClientReq,
+//     Server::handle, encode ClientResp), the cost a --serve node pays;
+//   * p99 client interval width after the last exchange;
+//   * bytes/client — SessionTable::memory_bytes() / fleet, which must stay
+//     flat across the sweep (the fixed-footprint claim: memory is
+//     max_clients * O(100 B) regardless of how many clients cycle through);
+//   * bracket violations — rounds where a client's interval missed true
+//     source time; any violation fails the run.
+//
+// One JSON line per fleet size; exit 0 iff zero violations and the
+// bytes/client spread over the sweep stays under 1.5x.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/interval.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "runtime/datagram.h"
+#include "serve/client_session.h"
+#include "serve/server.h"
+
+using namespace driftsync;
+
+namespace {
+
+constexpr double kRho = 5e-4;         // Client drift spec.
+constexpr double kServerHalfWidth = 5e-4;  // Synthetic server estimate.
+
+struct SweepPoint {
+  std::size_t clients = 0;
+  double ns_per_req = 0.0;
+  double p99_width = 0.0;
+  double bytes_per_client = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t violations = 0;
+};
+
+SweepPoint run_fleet(std::size_t n, int rounds, std::uint64_t seed) {
+  serve::Server::Options sopts;
+  sopts.sessions.max_clients = n;
+  sopts.sessions.idle_timeout = 1e9;
+  serve::Server server(sopts);
+
+  Rng rng(seed);
+  struct Client {
+    serve::ClientEstimator est;
+    double offset;
+    double rate;
+    explicit Client(const serve::ClientEstimator::Options& o, double off,
+                    double r)
+        : est(o), offset(off), rate(r) {}
+    [[nodiscard]] double local(double t) const { return offset + rate * t; }
+  };
+  std::vector<Client> fleet;
+  fleet.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    serve::ClientEstimator::Options copts;
+    copts.client_id = c + 1;
+    copts.rho = kRho;
+    fleet.emplace_back(copts, rng.uniform(-100.0, 100.0),
+                       1.0 + rng.uniform(-kRho, kRho));
+  }
+
+  SweepPoint point;
+  point.clients = n;
+  std::vector<std::uint8_t> wire_req;
+  std::vector<std::uint8_t> wire_resp;
+  runtime::ClientResp resp;
+  double server_ns = 0.0;
+  double t = 0.0;  // True (source) time.
+  for (int round = 0; round < rounds; ++round, t += 0.05) {
+    for (std::size_t c = 0; c < n; ++c) {
+      Client& client = fleet[c];
+      const double rtt = rng.uniform(200e-6, 3e-3);
+      const double t_handle = t + rtt * rng.uniform(0.1, 0.9);
+      const double t_recv = t + rtt;
+
+      runtime::encode_datagram_into(
+          wire_req,
+          runtime::Datagram{client.est.make_request(client.local(t))});
+
+      // The timed region is exactly what a serving node does per request.
+      const auto begin = std::chrono::steady_clock::now();
+      const runtime::Datagram dgram = runtime::decode_datagram(wire_req);
+      const bool ok = server.handle(
+          std::get<runtime::ClientReq>(dgram), 0,
+          Interval{t_handle - kServerHalfWidth, t_handle + kServerHalfWidth},
+          t_handle, t_handle, &resp);
+      runtime::encode_datagram_into(wire_resp, runtime::Datagram{resp});
+      const auto end = std::chrono::steady_clock::now();
+      server_ns +=
+          std::chrono::duration<double, std::nano>(end - begin).count();
+      ++point.requests;
+      if (!ok) continue;  // Rejected at the cap (never: fleet == cap).
+
+      const auto& echoed = std::get<runtime::ClientResp>(
+          runtime::decode_datagram(wire_resp));
+      client.est.on_response(echoed, client.local(t_recv));
+      const Interval est = client.est.estimate(client.local(t_recv));
+      if (est.lo > t_recv || est.hi < t_recv) ++point.violations;
+    }
+  }
+
+  std::vector<double> widths;
+  widths.reserve(n);
+  const double t_final = t;
+  for (const Client& client : fleet) {
+    widths.push_back(client.est.estimate(client.local(t_final)).width());
+  }
+  point.ns_per_req = server_ns / static_cast<double>(point.requests);
+  point.p99_width = percentile(widths, 0.99);
+  point.bytes_per_client =
+      static_cast<double>(server.sessions().memory_bytes()) /
+      static_cast<double>(n);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed("seed", 17);
+  const auto rounds = static_cast<int>(
+      flags.get_uint_range("rounds", 6, 1, 1000));
+  const auto max_fleet = static_cast<std::size_t>(
+      flags.get_uint_range("clients", 10'000, 100, 1'000'000));
+  flags.reject_unknown(
+      "usage: exp_serve_scaling [--seed=N] [--rounds=N] [--clients=N]");
+
+  std::printf("EXP: serving-tier scaling — fleet size vs ns/req, p99 width, "
+              "bytes/client\n");
+  std::vector<SweepPoint> sweep;
+  for (std::size_t n = 100; n <= max_fleet; n *= 10) {
+    sweep.push_back(run_fleet(n, rounds, seed));
+    const SweepPoint& p = sweep.back();
+    std::printf("{\"exp\":\"serve_scaling\",\"clients\":%zu,"
+                "\"requests\":%llu,\"ns_per_req\":%.1f,"
+                "\"p99_width\":%.9f,\"bytes_per_client\":%.1f,"
+                "\"bracket_violations\":%llu}\n",
+                p.clients, static_cast<unsigned long long>(p.requests),
+                p.ns_per_req, p.p99_width, p.bytes_per_client,
+                static_cast<unsigned long long>(p.violations));
+  }
+
+  std::uint64_t violations = 0;
+  double min_bpc = sweep.front().bytes_per_client;
+  double max_bpc = min_bpc;
+  for (const SweepPoint& p : sweep) {
+    violations += p.violations;
+    min_bpc = std::min(min_bpc, p.bytes_per_client);
+    max_bpc = std::max(max_bpc, p.bytes_per_client);
+  }
+  const bool flat = max_bpc <= 1.5 * min_bpc;
+  std::printf("{\"exp\":\"serve_scaling\",\"summary\":true,"
+              "\"bytes_per_client_spread\":%.3f,\"flat\":%s,"
+              "\"bracket_violations\":%llu}\n",
+              max_bpc / min_bpc, flat ? "true" : "false",
+              static_cast<unsigned long long>(violations));
+  if (violations > 0) {
+    std::fprintf(stderr, "exp_serve_scaling: %llu bracket violations\n",
+                 static_cast<unsigned long long>(violations));
+    return 1;
+  }
+  if (!flat) {
+    std::fprintf(stderr,
+                 "exp_serve_scaling: bytes/client spread %.3f exceeds 1.5\n",
+                 max_bpc / min_bpc);
+    return 1;
+  }
+  return 0;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n", e.what());
+  return 2;
+}

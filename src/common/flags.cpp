@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "common/check.h"
+
 namespace driftsync {
 
 namespace {
@@ -114,6 +116,20 @@ std::uint64_t Flags::get_uint(const std::string& key,
   }
   if (errno == ERANGE) {
     throw FlagError("flag --" + key + " overflows 64 bits: " + e->value);
+  }
+  return v;
+}
+
+std::uint64_t Flags::get_uint_range(const std::string& key,
+                                    std::uint64_t fallback, std::uint64_t min,
+                                    std::uint64_t max) const {
+  DS_CHECK_MSG(min <= fallback && fallback <= max,
+               "flag fallback outside its own validity range");
+  const std::uint64_t v = get_uint(key, fallback);
+  if (v < min || v > max) {
+    throw FlagError("flag --" + key + "=" + std::to_string(v) +
+                    " is outside [" + std::to_string(min) + ", " +
+                    std::to_string(max) + "]");
   }
   return v;
 }

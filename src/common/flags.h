@@ -49,6 +49,14 @@ class Flags {
   /// Unsigned decimal flag (counts, budgets, sizes).
   [[nodiscard]] std::uint64_t get_uint(const std::string& key,
                                        std::uint64_t fallback) const;
+  /// get_uint with an inclusive [min, max] validity range.  A value outside
+  /// it throws FlagError naming the range, so nonsensical configurations
+  /// ("--max-clients=0") die at startup with usable text instead of failing
+  /// open.  The fallback must itself lie in range (caller bug otherwise).
+  [[nodiscard]] std::uint64_t get_uint_range(const std::string& key,
+                                             std::uint64_t fallback,
+                                             std::uint64_t min,
+                                             std::uint64_t max) const;
   /// Unsigned flag accepting hex/octal prefixes (base 0) for RNG seeds.
   [[nodiscard]] std::uint64_t get_seed(const std::string& key,
                                        std::uint64_t fallback) const;

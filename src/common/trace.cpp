@@ -48,6 +48,10 @@ const char* trace_event_kind_name(TraceEventKind kind) {
       return "checkpoint";
     case TraceEventKind::kExternalize:
       return "externalize";
+    case TraceEventKind::kClientReq:
+      return "client_req";
+    case TraceEventKind::kClientResp:
+      return "client_resp";
   }
   return "unknown";
 }

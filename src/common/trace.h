@@ -46,6 +46,8 @@ enum class TraceEventKind : std::uint8_t {
   kSkipCommit = 6,       ///< Skip durably committed (fate resolved: lost).
   kCheckpoint = 7,       ///< State persisted (value = bytes written).
   kExternalize = 8,      ///< Estimate handed to a caller (value = width).
+  kClientReq = 9,        ///< Serving tier: client request arrived.
+  kClientResp = 10,      ///< Serving tier: response sent (value = width).
 };
 
 /// Stable lowercase name for serialization ("send", "deliver", ...).

@@ -109,6 +109,11 @@ class ChaosTransport : public Transport {
   void stop() override;
   void send(ProcId to, std::vector<std::uint8_t> bytes) override;
 
+  /// Buffer recycling passes straight through to the wrapped transport.
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer(ProcId to) override {
+    return inner_->take_buffer(to);
+  }
+
   /// Fault injection adds no counters of its own here (see injected());
   /// the wrapped transport's health flows through unchanged.
   [[nodiscard]] TransportStats transport_stats() const override {

@@ -22,8 +22,10 @@ enum class Type : std::uint8_t {
   kProbeResp = 4,
   kMetricsReq = 5,
   kMetricsResp = 6,
+  kClientReq = 7,
+  kClientResp = 8,
 };
-constexpr std::uint8_t kMaxType = 6;
+constexpr std::uint8_t kMaxType = 8;
 
 /// Extension-block flag bits (kData only).  The block is appended after the
 /// payload; each set bit contributes its field in bit order.  An absent
@@ -143,6 +145,25 @@ void encode_body(std::vector<std::uint8_t>& out, const MetricsResp& m) {
   put_string(out, m.trace_json);
 }
 
+void encode_body(std::vector<std::uint8_t>& out, const ClientReq& m) {
+  put_header(out, Type::kClientReq);
+  wire::put_varint(out, m.client_id);
+  wire::put_varint(out, m.req_seq);
+  wire::put_double(out, m.client_lt);
+  wire::put_double(out, m.last_rtt);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const ClientResp& m) {
+  put_header(out, Type::kClientResp);
+  wire::put_varint(out, m.client_id);
+  wire::put_varint(out, m.req_seq);
+  wire::put_double(out, m.echo_lt);
+  wire::put_varint(out, m.from);
+  wire::put_double(out, m.server_lt);
+  wire::put_double(out, m.lo);
+  wire::put_double(out, m.hi);
+}
+
 DataMsg decode_data(std::span<const std::uint8_t> bytes, std::size_t& offset) {
   DataMsg m;
   m.from = get_proc(bytes, offset, "data sender");
@@ -232,12 +253,59 @@ MetricsResp decode_metrics_resp(std::span<const std::uint8_t> bytes,
   return m;
 }
 
+ClientReq decode_client_req(std::span<const std::uint8_t> bytes,
+                            std::size_t& offset) {
+  ClientReq m;
+  m.client_id = wire::get_varint(bytes, offset);
+  if (m.client_id == 0) throw WireError("zero client id");
+  m.req_seq = wire::get_varint(bytes, offset);
+  if (m.req_seq == 0) throw WireError("zero client request sequence");
+  m.client_lt = wire::get_double(bytes, offset);
+  if (!std::isfinite(m.client_lt)) {
+    throw WireError("non-finite client local time");
+  }
+  m.last_rtt = wire::get_double(bytes, offset);
+  if (!std::isfinite(m.last_rtt) || m.last_rtt < 0.0) {
+    throw WireError("invalid client round-trip sample");
+  }
+  return m;
+}
+
+ClientResp decode_client_resp(std::span<const std::uint8_t> bytes,
+                              std::size_t& offset) {
+  ClientResp m;
+  m.client_id = wire::get_varint(bytes, offset);
+  if (m.client_id == 0) throw WireError("zero client id");
+  m.req_seq = wire::get_varint(bytes, offset);
+  if (m.req_seq == 0) throw WireError("zero client request sequence");
+  m.echo_lt = wire::get_double(bytes, offset);
+  if (!std::isfinite(m.echo_lt)) throw WireError("non-finite echo time");
+  m.from = get_proc(bytes, offset, "serve responder");
+  m.server_lt = wire::get_double(bytes, offset);
+  if (!std::isfinite(m.server_lt)) {
+    throw WireError("non-finite server local time");
+  }
+  m.lo = wire::get_double(bytes, offset);
+  m.hi = wire::get_double(bytes, offset);
+  if (std::isnan(m.lo) || std::isnan(m.hi)) {
+    throw WireError("NaN serve estimate bound");
+  }
+  if (m.lo > m.hi) throw WireError("inverted serve estimate");
+  return m;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_datagram(const Datagram& dgram) {
   std::vector<std::uint8_t> out;
-  std::visit([&out](const auto& m) { encode_body(out, m); }, dgram);
+  encode_datagram_into(out, dgram);
   return out;
+}
+
+void encode_datagram_into(std::vector<std::uint8_t>& out,
+                          const Datagram& dgram) {
+  out.clear();
+  std::visit([&out](const auto& m) { encode_body(out, m); }, dgram);
 }
 
 Datagram decode_datagram(std::span<const std::uint8_t> bytes) {
@@ -271,6 +339,12 @@ Datagram decode_datagram(std::span<const std::uint8_t> bytes) {
       break;
     case Type::kMetricsResp:
       dgram = decode_metrics_resp(bytes, offset);
+      break;
+    case Type::kClientReq:
+      dgram = decode_client_req(bytes, offset);
+      break;
+    case Type::kClientResp:
+      dgram = decode_client_resp(bytes, offset);
       break;
   }
   if (offset != bytes.size()) throw WireError("trailing bytes after datagram");

@@ -1,6 +1,6 @@
 // Datagram framing for the runtime transports (DESIGN.md S7).
 //
-// Everything a Node puts on the wire is one of five self-describing
+// Everything a Node puts on the wire is one of nine self-describing
 // datagram types behind a 3-byte header (magic "DS" + version).  The codec
 // follows the core/wire.h contract: canonical encodings only, and every
 // decode path treats its input as untrusted — malformed bytes throw
@@ -120,10 +120,48 @@ struct MetricsResp {
   friend bool operator==(const MetricsResp&, const MetricsResp&) = default;
 };
 
+/// One Cristian-style exchange request from a serving-tier client
+/// (DESIGN.md decision 17).  Clients never enter the AGDP peer mesh: a
+/// request is stateless at the wire level and the responder keeps only a
+/// fixed-footprint session (src/serve/session_table.h) keyed by client_id.
+struct ClientReq {
+  std::uint64_t client_id = 0;  ///< Client-chosen identity, nonzero.
+  std::uint64_t req_seq = 0;    ///< Per-client counter, starts at 1.
+  LocalTime client_lt = 0.0;    ///< Client local send time, echoed back.
+  /// The client's previously measured round-trip time, so the server can
+  /// smooth per-session RTT without keeping history.  0 = no sample yet.
+  double last_rtt = 0.0;
+
+  friend bool operator==(const ClientReq&, const ClientReq&) = default;
+};
+
+/// Reply to ClientReq: the echo timestamp plus the serving node's current
+/// optimal interval estimate [lo, hi] valid at its local time server_lt.
+/// The client widens hi by rtt/(1 - rho) to obtain a sound bracket of true
+/// source time at the receive instant (client_session.h).  Bounds may be
+/// infinite (server not yet converged) but never NaN.
+struct ClientResp {
+  std::uint64_t client_id = 0;
+  std::uint64_t req_seq = 0;       ///< Echo of ClientReq::req_seq.
+  LocalTime echo_lt = 0.0;         ///< Echo of ClientReq::client_lt.
+  ProcId from = kInvalidProc;      ///< Serving node.
+  LocalTime server_lt = 0.0;       ///< Server local time of the reply.
+  double lo = 0.0;
+  double hi = 0.0;
+
+  friend bool operator==(const ClientResp&, const ClientResp&) = default;
+};
+
 using Datagram = std::variant<DataMsg, AckMsg, SkipMsg, ProbeReq, ProbeResp,
-                              MetricsReq, MetricsResp>;
+                              MetricsReq, MetricsResp, ClientReq, ClientResp>;
 
 std::vector<std::uint8_t> encode_datagram(const Datagram& dgram);
+
+/// Encodes into a caller-provided buffer (cleared first), preserving its
+/// capacity.  The zero-alloc transmit path: Node::transmit pairs this with
+/// Transport::take_buffer so steady-state sends reuse pooled buffers.
+void encode_datagram_into(std::vector<std::uint8_t>& out,
+                          const Datagram& dgram);
 
 /// Parses one datagram; throws driftsync::WireError on anything malformed
 /// (bad magic/version/type, truncation, trailing bytes, non-canonical

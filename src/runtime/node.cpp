@@ -95,6 +95,14 @@ Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
     DS_CHECK_MSG(cfg_.spec.are_neighbors(cfg_.self, p),
                  "peer is not a neighbor in the spec");
   }
+  if (cfg_.serve_max_clients > 0) {
+    DS_CHECK(cfg_.serve_idle_timeout > 0.0 && cfg_.serve_evict_grace >= 0.0);
+    serve::Server::Options sopts;
+    sopts.sessions.max_clients = cfg_.serve_max_clients;
+    sopts.sessions.idle_timeout = cfg_.serve_idle_timeout;
+    sopts.sessions.evict_grace = cfg_.serve_evict_grace;
+    serve_ = std::make_unique<serve::Server>(sopts);
+  }
 }
 
 Node::~Node() { stop(); }
@@ -180,6 +188,13 @@ LocalTime Node::local_time() const {
 NodeStats Node::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   NodeStats s = stats_;
+  if (serve_ != nullptr) {
+    const serve::SessionTable::Counters& sc = serve_->sessions().counters();
+    s.serve_active = serve_->sessions().size();
+    s.serve_evicted = sc.evicted;
+    s.serve_reaped = sc.reaped;
+    s.serve_rejected = sc.rejected;
+  }
   s.transport = transport_->transport_stats();
   s.width = csa_->estimate(query_time_locked()).width();
   const double now = steady_seconds();
@@ -240,6 +255,18 @@ std::string Node::stats_json_locked() const {
   append_json_u64(out, "backoff_resets", stats_.backoff_resets);
   append_json_u64(out, "msg_path_allocs", stats_.msg_path_allocs);
   append_json_u64(out, "msg_path_alloc_bytes", stats_.msg_path_alloc_bytes);
+  // Serving tier (all zero unless --serve is on).
+  {
+    const serve::SessionTable::Counters sc =
+        serve_ != nullptr ? serve_->sessions().counters()
+                          : serve::SessionTable::Counters{};
+    append_json_u64(out, "serve_requests", stats_.serve_requests);
+    append_json_u64(out, "serve_active",
+                    serve_ != nullptr ? serve_->sessions().size() : 0);
+    append_json_u64(out, "serve_evicted", sc.evicted);
+    append_json_u64(out, "serve_reaped", sc.reaped);
+    append_json_u64(out, "serve_rejected", sc.rejected);
+  }
   // Transport-level counters (zeros for transports that track nothing).
   const TransportStats ts = transport_->transport_stats();
   append_json_u64(out, "transport_send_drops", ts.send_drops);
@@ -331,6 +358,14 @@ std::string Node::metrics_text_locked() const {
   counter("driftsync_peer_quarantines", stats_.peer_quarantines);
   counter("driftsync_peer_readmissions", stats_.peer_readmissions);
   counter("driftsync_backoff_resets", stats_.backoff_resets);
+  if (serve_ != nullptr) {
+    const serve::SessionTable::Counters& sc = serve_->sessions().counters();
+    counter("driftsync_serve_requests", stats_.serve_requests);
+    counter("driftsync_serve_active", serve_->sessions().size());
+    counter("driftsync_serve_evicted", sc.evicted);
+    counter("driftsync_serve_reaped", sc.reaped);
+    counter("driftsync_serve_rejected", sc.rejected);
+  }
   const TransportStats ts = transport_->transport_stats();
   counter("driftsync_transport_send_drops", ts.send_drops);
   counter("driftsync_transport_recv_drops", ts.recv_drops);
@@ -356,6 +391,10 @@ std::string Node::metrics_text_locked() const {
   }
   append_prometheus(out, "driftsync_width_seconds", labels, width_hist_);
   append_prometheus(out, "driftsync_handle_seconds", labels, handle_hist_);
+  if (serve_ != nullptr) {
+    append_prometheus(out, "driftsync_serve_width_seconds", labels,
+                      serve_->width_hist());
+  }
   transport_->append_metrics(out, labels);
   return out;
 }
@@ -374,7 +413,10 @@ EventRecord Node::make_own_event(EventKind kind, ProcId peer, EventId match) {
 }
 
 void Node::transmit(ProcId to, const Datagram& dgram) {
-  std::vector<std::uint8_t> bytes = encode_datagram(dgram);
+  // Encode into a transport-recycled buffer: on a pooled transport
+  // (UdpTransport) the reply path then allocates nothing in steady state.
+  std::vector<std::uint8_t> bytes = transport_->take_buffer(to);
+  encode_datagram_into(bytes, dgram);
   ++stats_.dgrams_out;
   stats_.bytes_out += bytes.size();
   transport_->send(to, std::move(bytes));
@@ -457,6 +499,8 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
     handle_probe(*probe);
   } else if (const auto* metrics = std::get_if<MetricsReq>(&dgram)) {
     handle_metrics(*metrics);
+  } else if (const auto* client = std::get_if<ClientReq>(&dgram)) {
+    handle_client_req(*client);
   } else {
     ++stats_.ignored_dgrams;  // Responses: nodes never consume them.
   }
@@ -651,6 +695,33 @@ void Node::handle_metrics(const MetricsReq& msg) {
   transmit(kReplyPeer, Datagram{std::move(resp)});
 }
 
+void Node::handle_client_req(const ClientReq& msg) {
+  if (serve_ == nullptr) {
+    ++stats_.ignored_dgrams;  // Not serving: clients chose the wrong node.
+    return;
+  }
+  const std::uint64_t trace_id =
+      cfg_.tracer != nullptr
+          ? serve::client_trace_id(msg.client_id, msg.req_seq)
+          : 0;
+  trace(TraceEventKind::kClientReq, trace_id, kInvalidProc,
+        static_cast<double>(msg.req_seq));
+  const LocalTime now = query_time_locked();
+  const Interval est = csa_->estimate(now);
+  ClientResp resp;
+  if (!serve_->handle(msg, cfg_.self, est, now, steady_seconds(), &resp)) {
+    // Rejected at the cap: drop the request silently (the client's retry
+    // lands once the grace window or the idle reaper frees a slot).  The
+    // rejection is visible through the serve_rejected counter.
+    return;
+  }
+  ++stats_.serve_requests;
+  // Serving an estimate externalizes it, exactly like a probe reply.
+  note_externalize(est.width());
+  trace(TraceEventKind::kClientResp, trace_id, kInvalidProc, est.width());
+  transmit(kReplyPeer, Datagram{resp});
+}
+
 void Node::timer_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (running_) {
@@ -685,6 +756,16 @@ void Node::timer_loop() {
           }
           break;
       }
+    }
+    if (serve_ != nullptr && now >= next_reap_) {
+      serve_->reap_idle(now);
+      // Reap a few times per idle window: precise enough for bounded
+      // memory without waking a mostly-idle server constantly.
+      next_reap_ =
+          now + std::clamp(cfg_.serve_idle_timeout / 4.0, 0.05, 1.0);
+      next = std::min(next, next_reap_);
+    } else if (serve_ != nullptr) {
+      next = std::min(next, next_reap_);
     }
     csa_->on_tick(query_time_locked());
     const double wait = next - steady_seconds();

@@ -62,6 +62,7 @@
 #include "runtime/datagram.h"
 #include "runtime/time_source.h"
 #include "runtime/transport.h"
+#include "serve/server.h"
 
 namespace driftsync::runtime {
 
@@ -94,6 +95,14 @@ struct NodeConfig {
   /// one timeline.  When set, outbound data datagrams carry a minted trace
   /// id on the wire.
   Tracer* tracer = nullptr;
+  /// Serving tier (DESIGN.md decision 17).  > 0 enables answering
+  /// kClientReq datagrams (driftsyncd --serve) with at most this many
+  /// resident client sessions; 0 leaves client requests counted as
+  /// ignored.  Sessions are fixed-footprint (src/serve/session_table.h) —
+  /// clients never enter the peer mesh.
+  std::size_t serve_max_clients = 0;
+  double serve_idle_timeout = 30.0;  ///< Seconds before an idle session reaps.
+  double serve_evict_grace = 1.0;    ///< LRU protection window at the cap.
 };
 
 /// Observability counters; stats_json() renders them as one JSON line.
@@ -123,6 +132,12 @@ struct NodeStats {
   /// documented approximation (common/alloc_stats.h).
   std::uint64_t msg_path_allocs = 0;
   std::uint64_t msg_path_alloc_bytes = 0;
+  /// Serving tier (zero unless NodeConfig::serve_max_clients > 0).
+  std::uint64_t serve_requests = 0;  ///< Client requests answered.
+  std::uint64_t serve_active = 0;    ///< Resident sessions (gauge).
+  std::uint64_t serve_evicted = 0;   ///< LRU evictions at the cap.
+  std::uint64_t serve_reaped = 0;    ///< Idle-timeout reaps.
+  std::uint64_t serve_rejected = 0;  ///< Newcomers refused at the cap.
   /// Transport-level counters (drops, socket errors, batch totals) from
   /// Transport::transport_stats(); all zero for transports that track
   /// nothing.
@@ -216,6 +231,7 @@ class Node {
   void handle_skip(const SkipMsg& msg);
   void handle_probe(const ProbeReq& msg);
   void handle_metrics(const MetricsReq& msg);
+  void handle_client_req(const ClientReq& msg);
   /// Records one trace event at this node; no-op without a tracer.
   void trace(TraceEventKind kind, std::uint64_t trace_id, ProcId peer,
              double value = 0.0) const {
@@ -261,6 +277,10 @@ class Node {
   mutable Histogram width_hist_;
   /// Inbound-datagram handling latency (seconds), measured inside mu_.
   Histogram handle_hist_;
+  /// Serving tier; null unless cfg_.serve_max_clients > 0.  Guarded by mu_
+  /// like all protocol state.
+  std::unique_ptr<serve::Server> serve_;
+  double next_reap_ = 0.0;  ///< steady-clock seconds; idle-reap cadence.
   Rng jitter_rng_;  ///< Backoff jitter only; never touches protocol state.
   std::thread timer_;
 };

@@ -63,6 +63,16 @@ class Transport {
   /// datagram silently (unknown peer, full queue, down link).
   virtual void send(ProcId to, std::vector<std::uint8_t> bytes) = 0;
 
+  /// A buffer suitable for encoding the next send to `to`, empty but
+  /// possibly with capacity retained from a completed earlier send.
+  /// Pooled transports (UdpTransport) recycle here so the encode-and-send
+  /// path allocates nothing in steady state; the default is a fresh
+  /// buffer, which send() accepts all the same.
+  [[nodiscard]] virtual std::vector<std::uint8_t> take_buffer(ProcId to) {
+    (void)to;
+    return {};
+  }
+
   /// Snapshot of the transport-level counters; the default is all-zero for
   /// transports that track nothing.
   [[nodiscard]] virtual TransportStats transport_stats() const { return {}; }

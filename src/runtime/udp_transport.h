@@ -164,7 +164,7 @@ class UdpTransport : public Transport {
   /// pool is dry.  Callers that fill one of these and pass it back to
   /// send() close the buffer cycle and make their steady-state send path
   /// allocation-free.
-  [[nodiscard]] std::vector<std::uint8_t> take_buffer(ProcId to);
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer(ProcId to) override;
 
   /// The actually bound port (resolves a bind_port of 0; all shards share
   /// it).

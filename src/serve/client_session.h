@@ -1,0 +1,123 @@
+// Client-side helper for the serving tier (DESIGN.md decision 17).
+//
+// A ClientEstimator turns ClientReq/ClientResp exchanges into a monotone
+// interval estimate of true source time, without any mesh membership:
+//
+//   * The response carries the server's optimal interval [lo, hi] valid at
+//     its local reply instant, which happened inside the client's
+//     [send, receive] window.  With the client's drift bounded by rho, at
+//     most rtt/(1-rho) of true time elapsed between the reply and the
+//     receive instant, so [lo, hi + rtt/(1-rho)] brackets true source time
+//     at the receive instant — the Cristian bound composed with the
+//     server's own envelope (no assumption of symmetric delay).
+//   * Between exchanges the estimate is extrapolated through the client's
+//     drift envelope: dlt local seconds widen the interval to
+//     [lo + dlt/(1+rho), hi + dlt/(1-rho)] (Section 2.2 bounded drift).
+//   * Each accepted observation is intersected with the extrapolated prior
+//     (knowledge monotonicity).  A response failing the feasibility screen
+//     — wrong sequence, mismatched echo, non-positive or over-budget RTT,
+//     or an empty intersection — is renounced: counted and discarded, the
+//     prior estimate kept.
+//
+// Header-only and allocation-free; holds a few doubles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/interval.h"
+#include "common/time_types.h"
+#include "runtime/datagram.h"
+
+namespace driftsync::serve {
+
+class ClientEstimator {
+ public:
+  struct Options {
+    std::uint64_t client_id = 0;  ///< Required nonzero.
+    double rho = 1e-4;            ///< Client drift bound.
+    /// Responses measuring a slower round trip are renounced — the bracket
+    /// would still be sound but too loose to be worth folding in, and the
+    /// cap bounds damage from a delay-injecting network.
+    double max_rtt = 1.0;
+  };
+
+  explicit ClientEstimator(const Options& opts) : opts_(opts) {
+    DS_CHECK_MSG(opts.client_id != 0, "client id must be nonzero");
+    DS_CHECK_MSG(opts.rho >= 0.0 && opts.rho < 1.0,
+                 "client drift bound outside [0, 1)");
+  }
+
+  /// Mints the next request at client local time `now` and arms the
+  /// matcher: only the response echoing this (seq, timestamp) pair is
+  /// accepted.  Issuing a new request abandons any outstanding one.
+  runtime::ClientReq make_request(LocalTime now) {
+    pending_seq_ = next_seq_++;
+    pending_lt_ = now;
+    runtime::ClientReq req;
+    req.client_id = opts_.client_id;
+    req.req_seq = pending_seq_;
+    req.client_lt = now;
+    req.last_rtt = last_rtt_;
+    return req;
+  }
+
+  /// Feasibility-screens and folds in one response received at client
+  /// local time `now`.  Returns true when the estimate absorbed it, false
+  /// when it was renounced (stale, duplicated, forged, too slow, or
+  /// inconsistent with the drift-extrapolated prior).
+  bool on_response(const runtime::ClientResp& resp, LocalTime now) {
+    if (resp.client_id != opts_.client_id || pending_seq_ == 0 ||
+        resp.req_seq != pending_seq_ || resp.echo_lt != pending_lt_) {
+      ++renounced_;
+      return false;
+    }
+    const double rtt = now - pending_lt_;
+    if (rtt <= 0.0 || rtt > opts_.max_rtt) {
+      ++renounced_;
+      return false;
+    }
+    // The server replied somewhere inside [send, now]; at most
+    // rtt/(1-rho) of true time separates the reply from `now`.
+    const Interval obs{resp.lo, resp.hi + rtt / (1.0 - opts_.rho)};
+    const Interval prior = estimate(now);
+    const Interval next = prior.intersect(obs);
+    if (next.empty()) {
+      ++renounced_;
+      return false;
+    }
+    est_ = next;
+    est_lt_ = now;
+    last_rtt_ = rtt;
+    pending_seq_ = 0;
+    ++accepted_;
+    return true;
+  }
+
+  /// The estimate extrapolated to client local time `now` through the
+  /// drift envelope.  Everything() until the first accepted response.
+  [[nodiscard]] Interval estimate(LocalTime now) const {
+    if (accepted_ == 0) return Interval::everything();
+    const double dlt = now > est_lt_ ? now - est_lt_ : 0.0;
+    return Interval{est_.lo + dlt / (1.0 + opts_.rho),
+                    est_.hi + dlt / (1.0 - opts_.rho)};
+  }
+
+  [[nodiscard]] double last_rtt() const { return last_rtt_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t renounced() const { return renounced_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t pending_seq_ = 0;  ///< 0 = no outstanding request.
+  LocalTime pending_lt_ = 0.0;
+  Interval est_ = Interval::everything();
+  LocalTime est_lt_ = 0.0;
+  double last_rtt_ = 0.0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t renounced_ = 0;
+};
+
+}  // namespace driftsync::serve

@@ -1,0 +1,38 @@
+#include "serve/server.h"
+
+namespace driftsync::serve {
+
+std::uint64_t client_trace_id(std::uint64_t client_id, std::uint64_t req_seq) {
+  std::uint64_t x = client_id * 0x9e3779b97f4a7c15ull + req_seq;
+  x ^= x >> 29;
+  return x | (1ull << 63);
+}
+
+Server::Server(const Options& opts)
+    : table_(opts.sessions),
+      width_hist_(Histogram::exponential(1e-6, 4.0, 16)) {}
+
+bool Server::handle(const runtime::ClientReq& req, ProcId self,
+                    const Interval& est, LocalTime server_lt, double now,
+                    runtime::ClientResp* resp) {
+  ClientSession* session = table_.touch(req.client_id, now);
+  if (session == nullptr) return false;
+  // Stale or replayed sequences are still answered (the exchange is
+  // idempotent — the response carries its own echo), but never regress the
+  // session's high-water mark.
+  if (req.req_seq > session->last_req_seq) session->last_req_seq = req.req_seq;
+  ++session->requests;
+  if (req.last_rtt > 0.0) session->note_rtt(req.last_rtt);
+  ++requests_;
+  if (est.bounded()) width_hist_.add(est.width());
+  resp->client_id = req.client_id;
+  resp->req_seq = req.req_seq;
+  resp->echo_lt = req.client_lt;
+  resp->from = self;
+  resp->server_lt = server_lt;
+  resp->lo = est.lo;
+  resp->hi = est.hi;
+  return true;
+}
+
+}  // namespace driftsync::serve

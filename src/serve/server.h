@@ -1,0 +1,57 @@
+// Serving-tier request handler (DESIGN.md decision 17).
+//
+// serve::Server turns one decoded ClientReq plus the hosting node's current
+// optimal interval estimate into a ClientResp, tracking the per-client
+// session in a SessionTable and a histogram of served interval widths.  It
+// owns no clock, transport, or CSA — the hosting Node (or a benchmark, or
+// the scaling experiment) supplies the estimate and timestamps, which keeps
+// the request path deterministic and allocation-free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/ids.h"
+#include "common/interval.h"
+#include "runtime/datagram.h"
+#include "serve/session_table.h"
+
+namespace driftsync::serve {
+
+/// Nonzero trace id for a client exchange, mixing the client identity with
+/// the request sequence (mesh traffic mints ids via mint_trace_id; the top
+/// bit keeps the two id spaces disjoint).
+std::uint64_t client_trace_id(std::uint64_t client_id, std::uint64_t req_seq);
+
+class Server {
+ public:
+  struct Options {
+    SessionTable::Options sessions;
+  };
+
+  explicit Server(const Options& opts);
+
+  /// Handles one request: touches the session, folds in the client's
+  /// reported RTT, and fills *resp with `est` (the hosting node's estimate
+  /// at its local time server_lt).  `now` is monotonic seconds for session
+  /// bookkeeping (idle/eviction decisions).  Returns false when the client
+  /// was rejected at the cap — no response goes out, and the client's
+  /// retry lands once the grace window or the reaper frees a slot.
+  bool handle(const runtime::ClientReq& req, ProcId self, const Interval& est,
+              LocalTime server_lt, double now, runtime::ClientResp* resp);
+
+  /// Forwards to SessionTable::reap_idle.
+  std::size_t reap_idle(double now) { return table_.reap_idle(now); }
+
+  [[nodiscard]] const SessionTable& sessions() const { return table_; }
+  [[nodiscard]] SessionTable& sessions() { return table_; }
+  [[nodiscard]] const Histogram& width_hist() const { return width_hist_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+
+ private:
+  SessionTable table_;
+  Histogram width_hist_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace driftsync::serve

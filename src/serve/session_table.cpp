@@ -1,0 +1,191 @@
+#include "serve/session_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace driftsync::serve {
+
+namespace {
+
+/// Smallest power of two >= 2 * n, so the index load factor never exceeds
+/// one half and linear probes stay short.
+std::size_t index_capacity(std::size_t n) {
+  std::size_t cap = 8;
+  while (cap < 2 * n) cap <<= 1;
+  return cap;
+}
+
+/// Fibonacci mix — client ids are attacker-chosen, so spread them before
+/// masking.  (Not cryptographic; a flooder is bounded by the cap anyway.)
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0x9e3779b97f4a7c15ull;
+  x ^= x >> 29;
+  return x;
+}
+
+}  // namespace
+
+void ClientSession::note_rtt(double rtt) {
+  srtt = srtt == 0.0 ? rtt : 0.875 * srtt + 0.125 * rtt;
+  rtt_window[window_next] = rtt;
+  window_next = static_cast<std::uint8_t>((window_next + 1) % kWindow);
+  if (window_count < kWindow) ++window_count;
+}
+
+double ClientSession::min_rtt() const {
+  if (window_count == 0) return 0.0;
+  double best = rtt_window[0];
+  for (std::size_t i = 1; i < window_count; ++i) {
+    best = std::min(best, rtt_window[i]);
+  }
+  return best;
+}
+
+SessionTable::SessionTable(const Options& opts) : opts_(opts) {
+  DS_CHECK_MSG(opts.max_clients >= 1, "session table needs a positive cap");
+  slab_.resize(opts.max_clients);
+  buckets_.assign(index_capacity(opts.max_clients), kEmpty);
+  mask_ = buckets_.size() - 1;
+  free_.reserve(opts.max_clients);
+  for (std::size_t i = opts.max_clients; i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+std::size_t SessionTable::home(std::uint64_t client_id) const {
+  return static_cast<std::size_t>(mix(client_id)) & mask_;
+}
+
+std::size_t SessionTable::probe(std::uint64_t client_id) const {
+  std::size_t b = home(client_id);
+  while (buckets_[b] != kEmpty && slab_[buckets_[b]].client_id != client_id) {
+    b = (b + 1) & mask_;
+  }
+  return b;
+}
+
+void SessionTable::index_insert(std::uint64_t client_id, std::uint32_t slot) {
+  const std::size_t b = probe(client_id);
+  DS_CHECK_MSG(buckets_[b] == kEmpty, "duplicate session insert");
+  buckets_[b] = slot;
+}
+
+void SessionTable::index_erase(std::uint64_t client_id) {
+  std::size_t b = probe(client_id);
+  DS_CHECK_MSG(buckets_[b] != kEmpty, "erasing unindexed session");
+  // Backward-shift deletion keeps probe chains tombstone-free: scan the
+  // cluster after the hole and pull back any entry whose home bucket lies
+  // cyclically at or before the hole.
+  buckets_[b] = kEmpty;
+  std::size_t hole = b;
+  std::size_t i = (b + 1) & mask_;
+  while (buckets_[i] != kEmpty) {
+    const std::size_t h = home(slab_[buckets_[i]].client_id);
+    if (((i - h) & mask_) >= ((i - hole) & mask_)) {
+      buckets_[hole] = buckets_[i];
+      buckets_[i] = kEmpty;
+      hole = i;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void SessionTable::lru_unlink(std::uint32_t slot) {
+  ClientSession& s = slab_[slot];
+  if (s.lru_prev != kEmpty) {
+    slab_[s.lru_prev].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kEmpty) {
+    slab_[s.lru_next].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = s.lru_next = kEmpty;
+}
+
+void SessionTable::lru_push_head(std::uint32_t slot) {
+  ClientSession& s = slab_[slot];
+  s.lru_prev = kEmpty;
+  s.lru_next = lru_head_;
+  if (lru_head_ != kEmpty) slab_[lru_head_].lru_prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kEmpty) lru_tail_ = slot;
+}
+
+void SessionTable::drop_session(std::uint32_t slot) {
+  index_erase(slab_[slot].client_id);
+  lru_unlink(slot);
+  slab_[slot] = ClientSession{};
+  free_.push_back(slot);
+  --live_;
+}
+
+ClientSession* SessionTable::touch(std::uint64_t client_id, double now) {
+  const std::size_t b = probe(client_id);
+  if (buckets_[b] != kEmpty) {
+    const std::uint32_t slot = buckets_[b];
+    ++counters_.hits;
+    slab_[slot].last_active = now;
+    if (lru_head_ != slot) {
+      lru_unlink(slot);
+      lru_push_head(slot);
+    }
+    return &slab_[slot];
+  }
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    // At the cap: recycle the LRU tail only once it has sat idle past the
+    // grace window, so a burst of fresh identities cannot churn out an
+    // actively served fleet.
+    const std::uint32_t tail = lru_tail_;
+    if (now - slab_[tail].last_active < opts_.evict_grace) {
+      ++counters_.rejected;
+      return nullptr;
+    }
+    index_erase(slab_[tail].client_id);
+    lru_unlink(tail);
+    slab_[tail] = ClientSession{};
+    ++counters_.evicted;
+    --live_;
+    slot = tail;
+  }
+  ClientSession& s = slab_[slot];
+  s.client_id = client_id;
+  s.last_active = now;
+  index_insert(client_id, slot);
+  lru_push_head(slot);
+  ++live_;
+  ++counters_.inserts;
+  return &s;
+}
+
+ClientSession* SessionTable::find(std::uint64_t client_id) {
+  const std::size_t b = probe(client_id);
+  return buckets_[b] == kEmpty ? nullptr : &slab_[buckets_[b]];
+}
+
+std::size_t SessionTable::reap_idle(double now) {
+  std::size_t reaped = 0;
+  while (lru_tail_ != kEmpty &&
+         now - slab_[lru_tail_].last_active > opts_.idle_timeout) {
+    drop_session(lru_tail_);
+    ++reaped;
+  }
+  counters_.reaped += reaped;
+  return reaped;
+}
+
+std::size_t SessionTable::memory_bytes() const {
+  return slab_.capacity() * sizeof(ClientSession) +
+         buckets_.capacity() * sizeof(std::uint32_t) +
+         free_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace driftsync::serve

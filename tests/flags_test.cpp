@@ -81,6 +81,39 @@ TEST(FlagsTest, UnsignedGettersRejectNegatives) {
   EXPECT_THROW((void)f.get_seed("n", 0), FlagError);
 }
 
+TEST(FlagsTest, GetUintRangeAcceptsInRangeAndFallback) {
+  const Flags f = make({"--max-clients=4096"});
+  EXPECT_EQ(f.get_uint_range("max-clients", 1024, 1, 1u << 20), 4096u);
+  // Absent flag: the fallback is returned (it must itself be in range).
+  EXPECT_EQ(f.get_uint_range("client-idle-ms", 30000, 1, 86400000), 30000u);
+  // Boundary values are inclusive.
+  const Flags g = make({"--a=1", "--b=64"});
+  EXPECT_EQ(g.get_uint_range("a", 8, 1, 64), 1u);
+  EXPECT_EQ(g.get_uint_range("b", 8, 1, 64), 64u);
+}
+
+TEST(FlagsTest, GetUintRangeRejectsOutOfRangeWithUsableText) {
+  // "--max-clients=0" is nonsensical (a serving node with no sessions) and
+  // must die at startup naming the valid range, not fail open.
+  const Flags f = make({"--max-clients=0", "--shards=65"});
+  try {
+    (void)f.get_uint_range("max-clients", 1024, 1, 1u << 20);
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--max-clients=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("[1, "), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)f.get_uint_range("shards", 1, 1, 64), FlagError);
+}
+
+TEST(FlagsTest, GetUintRangeStillRejectsMalformedValues) {
+  // The range check layers on get_uint: syntax errors keep their own text.
+  const Flags f = make({"--n=abc", "--m=-1"});
+  EXPECT_THROW((void)f.get_uint_range("n", 1, 1, 10), FlagError);
+  EXPECT_THROW((void)f.get_uint_range("m", 1, 1, 10), FlagError);
+}
+
 TEST(FlagsTest, NumericGettersRejectTrailingGarbage) {
   const Flags f = make({"--n=12x", "--m=0x10zz"});
   EXPECT_THROW((void)f.get_uint("n", 0), FlagError);

@@ -173,6 +173,10 @@ TEST(ChromeExport, KindNamesAreStable) {
                "checkpoint");
   EXPECT_STREQ(trace_event_kind_name(TraceEventKind::kExternalize),
                "externalize");
+  EXPECT_STREQ(trace_event_kind_name(TraceEventKind::kClientReq),
+               "client_req");
+  EXPECT_STREQ(trace_event_kind_name(TraceEventKind::kClientResp),
+               "client_resp");
 }
 
 // ---------------------------------------------------------------------------

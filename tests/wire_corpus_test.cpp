@@ -314,6 +314,141 @@ TEST(WireCorpusTest, TraceExtensionFlagAbuseRejected) {
   EXPECT_THROW(runtime::decode_datagram(overlong), WireError);
 }
 
+// ---------------------------------------------------------------------------
+// Serving-tier datagrams (ClientReq / ClientResp).  These arrive from
+// arbitrary internet clients — the least trusted input surface of the
+// system — so every field's rejection path gets a golden case.
+
+/// Hand-spelled ClientReq: header + varints + doubles in wire order.
+Bytes client_req_bytes(std::uint64_t client_id, std::uint64_t req_seq,
+                       double client_lt, double last_rtt) {
+  Bytes b{'D', 'S', 1, 7};
+  put_varint(b, client_id);
+  put_varint(b, req_seq);
+  put_double(b, client_lt);
+  put_double(b, last_rtt);
+  return b;
+}
+
+/// Hand-spelled ClientResp, same discipline.
+Bytes client_resp_bytes(std::uint64_t client_id, std::uint64_t req_seq,
+                        double echo_lt, std::uint64_t from, double server_lt,
+                        double lo, double hi) {
+  Bytes b{'D', 'S', 1, 8};
+  put_varint(b, client_id);
+  put_varint(b, req_seq);
+  put_double(b, echo_lt);
+  put_varint(b, from);
+  put_double(b, server_lt);
+  put_double(b, lo);
+  put_double(b, hi);
+  return b;
+}
+
+TEST(WireCorpusTest, ClientReqRoundTripsAndRejectsTruncation) {
+  runtime::ClientReq req;
+  req.client_id = 0xfeedu;
+  req.req_seq = 3;
+  req.client_lt = 12.5;
+  req.last_rtt = 0.004;
+  const Bytes bytes = runtime::encode_datagram(req);
+  EXPECT_EQ(bytes, client_req_bytes(0xfeedu, 3, 12.5, 0.004));
+  EXPECT_EQ(std::get<runtime::ClientReq>(runtime::decode_datagram(bytes)),
+            req);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(runtime::decode_datagram(prefix), WireError) << "cut=" << cut;
+  }
+  Bytes trailing = bytes;
+  trailing.push_back(0x00);
+  EXPECT_THROW(runtime::decode_datagram(trailing), WireError);
+}
+
+TEST(WireCorpusTest, ClientRespRoundTripsAndRejectsTruncation) {
+  runtime::ClientResp resp;
+  resp.client_id = 7;
+  resp.req_seq = 1;
+  resp.echo_lt = 12.5;
+  resp.from = 2;
+  resp.server_lt = 99.75;
+  resp.lo = 99.0;
+  resp.hi = 100.0;
+  const Bytes bytes = runtime::encode_datagram(resp);
+  EXPECT_EQ(bytes, client_resp_bytes(7, 1, 12.5, 2, 99.75, 99.0, 100.0));
+  EXPECT_EQ(std::get<runtime::ClientResp>(runtime::decode_datagram(bytes)),
+            resp);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(runtime::decode_datagram(prefix), WireError) << "cut=" << cut;
+  }
+}
+
+TEST(WireCorpusTest, ClientDatagramsRejectZeroIdentifiers) {
+  // client_id 0 marks a free slab slot server-side; req_seq starts at 1.
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(0, 1, 1.0, 0.0)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(1, 0, 1.0, 0.0)),
+               WireError);
+  EXPECT_THROW(
+      runtime::decode_datagram(client_resp_bytes(0, 1, 1.0, 0, 2.0, 0.0, 1.0)),
+      WireError);
+  EXPECT_THROW(
+      runtime::decode_datagram(client_resp_bytes(1, 0, 1.0, 0, 2.0, 0.0, 1.0)),
+      WireError);
+}
+
+TEST(WireCorpusTest, ClientReqRejectsBadTimesAndRtt) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(1, 1, nan, 0.0)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(1, 1, inf, 0.0)),
+               WireError);
+  // A negative or non-finite RTT sample would poison the server's
+  // per-session delay filter.
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(1, 1, 1.0, -0.001)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(1, 1, 1.0, nan)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(client_req_bytes(1, 1, 1.0, inf)),
+               WireError);
+}
+
+TEST(WireCorpusTest, ClientRespRejectsNanOrInvertedBounds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(runtime::decode_datagram(
+                   client_resp_bytes(1, 1, 1.0, 0, 2.0, nan, 1.0)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(
+                   client_resp_bytes(1, 1, 1.0, 0, 2.0, 0.0, nan)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(
+                   client_resp_bytes(1, 1, 1.0, 0, 2.0, 1.0, 0.5)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(
+                   client_resp_bytes(1, 1, nan, 0, 2.0, 0.0, 1.0)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(
+                   client_resp_bytes(1, 1, 1.0, 0, nan, 0.0, 1.0)),
+               WireError);
+  // An unconverged server legitimately serves [-inf, +inf]: infinite
+  // bounds are valid, only NaN and inversion are malformed.
+  const Bytes unbounded = client_resp_bytes(1, 1, 1.0, 0, 2.0, -inf, inf);
+  const auto decoded =
+      std::get<runtime::ClientResp>(runtime::decode_datagram(unbounded));
+  EXPECT_EQ(decoded.lo, -inf);
+  EXPECT_EQ(decoded.hi, inf);
+}
+
+TEST(WireCorpusTest, TypePastClientRespRejected) {
+  // kClientResp = 8 is the highest assigned type; 9 must be rejected even
+  // with a plausible body.
+  Bytes bytes = client_req_bytes(1, 1, 1.0, 0.0);
+  bytes[3] = 9;
+  EXPECT_THROW(runtime::decode_datagram(bytes), WireError);
+}
+
 TEST(WireCorpusTest, EngineLoadRejectsCorruptImageUntouched) {
   // Checkpoint failures carry the checkpoint type, and a failed load leaves
   // the engine exactly as it was (here: freshly constructed and usable).

@@ -21,6 +21,11 @@
 //                    ahead checkpoint: the oracle keeps the pre-crash
 //                    baseline, so a restart that forgot anything fails the
 //                    width-dynamics envelope (checkpoint-prefix check).
+//   client-storm     node 0 serves a client fleet 1.5x its session cap,
+//                    every client on its own lossy/reordering/duplicating
+//                    ChaosTransport: the eviction storm at the cap must
+//                    not break a single client's bracket of true source
+//                    time, and the cap itself must hold.
 //   random           probabilistic drop/burst/corrupt/duplicate/reorder on
 //                    every endpoint (intensity --faults), plus one random
 //                    partition-and-heal; invariants must survive all of it.
@@ -31,6 +36,7 @@
 #include <cstdio>
 #include <ctime>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,14 +44,17 @@
 
 #include "common/errors.h"
 #include "common/flags.h"
+#include "common/interval.h"
 #include "common/rng.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
 #include "runtime/chaos.h"
+#include "runtime/datagram.h"
 #include "runtime/node.h"
 #include "runtime/oracle.h"
 #include "runtime/thread_transport.h"
 #include "runtime/time_source.h"
+#include "serve/client_session.h"
 
 using namespace driftsync;
 using namespace driftsync::runtime;
@@ -54,7 +63,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: driftsync_chaos [--scenario=partition-heal|clock-step|"
-    "crash-restart|random]\n"
+    "crash-restart|client-storm|random]\n"
     "         [--seed=1] [--duration=3.0] [--faults=0.2] [--quiet]";
 
 constexpr double kRho = 5e-4;
@@ -91,6 +100,10 @@ struct Harness {
   std::vector<ChaosTransport*> chaos{kProcs, nullptr};
   std::vector<FaultyTimeSource*> clocks{kProcs, nullptr};
   std::uint64_t seed;
+  /// Serving tier on node 0 (client-storm); 0 leaves serving disabled.
+  std::size_t serve_max_clients = 0;
+  double serve_idle_timeout = 0.4;
+  double serve_evict_grace = 0.05;
 
   explicit Harness(std::uint64_t s, bool quiet = false,
                    InvariantOracle::Options oracle_opts = {})
@@ -108,6 +121,11 @@ struct Harness {
     cfg.fate_timeout = 0.25;
     cfg.skip_retry = 0.08;
     cfg.checkpoint_path = checkpoint;
+    if (p == 0 && serve_max_clients > 0) {
+      cfg.serve_max_clients = serve_max_clients;
+      cfg.serve_idle_timeout = serve_idle_timeout;
+      cfg.serve_evict_grace = serve_evict_grace;
+    }
     OptimalCsa::Options opts;
     opts.loss_tolerant = true;
     auto chaos_transport = std::make_unique<ChaosTransport>(
@@ -249,6 +267,147 @@ std::uint64_t run_crash_restart(Harness& h, double duration,
   return failed;
 }
 
+std::uint64_t run_client_storm(Harness& h, double duration) {
+  // 1.5 clients per session slot, a grace window shorter than the fleet's
+  // revisit period, and an idle timeout that never fires mid-storm: every
+  // newcomer past the cap either evicts an aged LRU tail or is rejected,
+  // so the storm continuously churns the table while clients keep
+  // estimating through drops, duplicates and reorders.
+  constexpr std::size_t kCap = 16;
+  constexpr std::size_t kFleet = 24;
+  h.serve_max_clients = kCap;
+  h.start(ChaosFaults{});
+  h.observe_for(duration * 0.3);  // Let the mesh converge first.
+
+  ChaosFaults faults;
+  faults.drop = 0.15;
+  faults.duplicate = 0.15;
+  faults.reorder = 0.20;
+
+  // One storm client = a hub endpoint outside the mesh (ProcIds from 100)
+  // behind its own ChaosTransport, with its own in-spec drifting clock.
+  // The estimators are touched from both the hub delivery thread (the
+  // response handler) and this thread (request minting, bracket checks),
+  // so one mutex guards the whole fleet.
+  struct StormClient {
+    ScaledTimeSource clock;
+    serve::ClientEstimator est;
+    std::unique_ptr<ChaosTransport> transport;
+    StormClient(double offset, double rate,
+                const serve::ClientEstimator::Options& opts)
+        : clock(offset, rate), est(opts) {}
+  };
+  std::mutex storm_mu;
+  std::vector<std::unique_ptr<StormClient>> fleet;
+  Rng rng(h.seed ^ 0x5708E);
+  for (std::size_t c = 0; c < kFleet; ++c) {
+    const ProcId proc = static_cast<ProcId>(100 + c);
+    serve::ClientEstimator::Options opts;
+    opts.client_id = 1000 + c;
+    opts.rho = kRho;
+    const double offset = rng.uniform(-50.0, 50.0);
+    const double rate = 1.0 + rng.uniform(-3e-4, 3e-4);
+    auto client = std::make_unique<StormClient>(offset, rate, opts);
+    h.hub.set_link(0, proc, 0.0005, 0.004);
+    client->transport = std::make_unique<ChaosTransport>(
+        h.hub.endpoint(proc), proc, faults, h.seed + 5000 * (c + 1), &h.log);
+    StormClient* self = client.get();
+    client->transport->start(
+        [self, &storm_mu](std::span<const std::uint8_t> bytes) {
+          runtime::Datagram dgram;
+          try {
+            dgram = runtime::decode_datagram(bytes);
+          } catch (const WireError&) {
+            return;  // Corrupted in transit; the estimator never sees it.
+          }
+          const auto* resp = std::get_if<runtime::ClientResp>(&dgram);
+          if (resp == nullptr) return;
+          const std::lock_guard<std::mutex> lock(storm_mu);
+          self->est.on_response(*resp, self->clock.now());
+        });
+    fleet.push_back(std::move(client));
+  }
+
+  // Drive the storm: a couple of requests per 10 ms tick walks the whole
+  // fleet every ~120 ms, so by the time a client returns, the LRU tail has
+  // aged past the grace window — steady evictions, with rejections filling
+  // in whenever a burst lands inside it.  Every ~100 ms, check each
+  // bounded client estimate against ground truth (the source clock is
+  // offset 0, rate 1 — i.e. SystemTimeSource).
+  SystemTimeSource truth;
+  std::uint64_t bracket_violations = 0;
+  std::size_t next_up = 0;
+  std::uint64_t ticks = 0;
+  for (double t = 0.0; t < duration * 0.7; t += 0.01, ++ticks) {
+    nap(0.01);
+    for (int k = 0; k < 2; ++k) {
+      StormClient& client = *fleet[next_up];
+      next_up = (next_up + 1) % kFleet;
+      std::vector<std::uint8_t> bytes;
+      {
+        const std::lock_guard<std::mutex> lock(storm_mu);
+        bytes = runtime::encode_datagram(
+            runtime::Datagram{client.est.make_request(client.clock.now())});
+      }
+      client.transport->send(0, std::move(bytes));
+    }
+    if (ticks % 10 == 0) {
+      h.oracle.observe();
+      const std::lock_guard<std::mutex> lock(storm_mu);
+      for (const auto& client : fleet) {
+        const Interval est = client->est.estimate(client->clock.now());
+        if (!est.bounded()) continue;
+        const double now = truth.now();
+        if (now < est.lo - 0.02 || now > est.hi + 0.02) {
+          ++bracket_violations;
+        }
+      }
+    }
+  }
+  // Stop delivery before the fleet (and the handlers' captures) go away.
+  for (const auto& client : fleet) client->transport->stop();
+  h.oracle.observe();
+
+  std::uint64_t failed = 0;
+  const NodeStats s = h.nodes[0]->stats();
+  if (s.serve_requests == 0) {
+    failed += expect_failed("serve-requests",
+                            "server answered zero client requests");
+  }
+  if (s.serve_active > kCap) {
+    failed += expect_failed("serve-cap",
+                            "active sessions " +
+                                std::to_string(s.serve_active) +
+                                " exceed cap " + std::to_string(kCap));
+  }
+  if (s.serve_evicted + s.serve_rejected == 0) {
+    failed += expect_failed("eviction-storm",
+                            "fleet of " + std::to_string(kFleet) +
+                                " over cap " + std::to_string(kCap) +
+                                " caused no eviction or rejection");
+  }
+  std::size_t bounded = 0;
+  {
+    const std::lock_guard<std::mutex> lock(storm_mu);
+    for (const auto& client : fleet) {
+      if (client->est.estimate(client->clock.now()).bounded()) ++bounded;
+    }
+  }
+  if (bounded < kFleet / 2) {
+    failed += expect_failed("clients-bounded",
+                            "only " + std::to_string(bounded) + "/" +
+                                std::to_string(kFleet) +
+                                " clients reached a bounded estimate");
+  }
+  if (bracket_violations > 0) {
+    failed += expect_failed("client-bracket",
+                            std::to_string(bracket_violations) +
+                                " client estimates missed ground truth");
+  }
+  failed += expect_converged(h, 1, 0.5);
+  return failed;
+}
+
 std::uint64_t run_random(Harness& h, double duration, double intensity) {
   ChaosFaults faults;
   faults.drop = 0.30 * intensity;
@@ -313,6 +472,8 @@ int main(int argc, char** argv) try {
   } else if (scenario == "crash-restart") {
     ckpt = "/tmp/driftsync_chaos." + std::to_string(::getpid()) + ".ckpt";
     expectation_failures = run_crash_restart(harness, duration, ckpt);
+  } else if (scenario == "client-storm") {
+    expectation_failures = run_client_storm(harness, duration);
   } else if (scenario == "random") {
     expectation_failures = run_random(harness, duration, intensity);
   } else {

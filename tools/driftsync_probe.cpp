@@ -17,6 +17,15 @@
 // pipe it into a textfile collector or curl-style scrape shim.  --trace
 // additionally asks for the node's last --trace-events causal trace events
 // and prints them as Chrome/Perfetto-loadable JSON (DESIGN.md §8).
+//
+// --client speaks the serving-tier protocol (DESIGN.md decision 17)
+// against a `driftsyncd --serve` node: --rounds Cristian-style
+// ClientReq/ClientResp exchanges per client, folded through a
+// serve::ClientEstimator into a monotone interval bracketing true source
+// time.  --fleet=N drives N clients from one socket (distinct client ids),
+// which is how CI populates a server with hundreds of sessions; the JSON
+// summary reports client 0's interval plus fleet-wide accept/renounce
+// counts.  Exit 0 iff at least one response was accepted.
 // Exit status: 0 reply received, 1 timeout, 2 bad flags.
 #include <cerrno>
 #include <cmath>
@@ -32,9 +41,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <vector>
+
 #include "common/errors.h"
 #include "common/flags.h"
 #include "runtime/datagram.h"
+#include "serve/client_session.h"
 
 using namespace driftsync;
 
@@ -42,7 +54,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: driftsync_probe --target=HOST:PORT [--timeout=2] [--tries=3]\n"
-    "         [--metrics] [--trace] [--trace-events=400]";
+    "         [--metrics] [--trace] [--trace-events=400]\n"
+    "         [--client [--fleet=1] [--rounds=2]]";
 
 void print_number(double v) {
   if (std::isfinite(v)) {
@@ -50,6 +63,93 @@ void print_number(double v) {
   } else {
     std::printf("null");
   }
+}
+
+double mono_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// The serving-tier client mode: `rounds` request waves from `fleet`
+/// clients over one socket, responses matched back to their estimator by
+/// client id.
+int run_client(int fd, const sockaddr_in& addr, std::uint64_t base_id,
+               std::size_t fleet, int rounds, double timeout) {
+  std::vector<serve::ClientEstimator> clients;
+  clients.reserve(fleet);
+  for (std::size_t c = 0; c < fleet; ++c) {
+    serve::ClientEstimator::Options opts;
+    opts.client_id = base_id + c;
+    clients.emplace_back(opts);
+  }
+  std::uint8_t buf[65536];
+  for (int round = 0; round < rounds; ++round) {
+    std::size_t outstanding = 0;
+    for (auto& client : clients) {
+      const runtime::ClientReq req = client.make_request(mono_seconds());
+      const std::vector<std::uint8_t> bytes =
+          runtime::encode_datagram(runtime::Datagram{req});
+      if (::sendto(fd, bytes.data(), bytes.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) >= 0) {
+        ++outstanding;
+      }
+    }
+    const double deadline = mono_seconds() + timeout;
+    while (outstanding > 0) {
+      const double remaining = deadline - mono_seconds();
+      if (remaining <= 0.0) break;
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1) <= 0) {
+        break;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) continue;
+      runtime::Datagram dgram;
+      try {
+        dgram = runtime::decode_datagram(
+            std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      } catch (const WireError&) {
+        continue;
+      }
+      const auto* resp = std::get_if<runtime::ClientResp>(&dgram);
+      if (resp == nullptr || resp->client_id < base_id ||
+          resp->client_id >= base_id + fleet) {
+        continue;
+      }
+      clients[static_cast<std::size_t>(resp->client_id - base_id)]
+          .on_response(*resp, mono_seconds());
+      --outstanding;
+    }
+  }
+  ::close(fd);
+  std::uint64_t accepted = 0;
+  std::uint64_t renounced = 0;
+  std::size_t bounded = 0;
+  for (auto& client : clients) {
+    accepted += client.accepted();
+    renounced += client.renounced();
+    if (client.estimate(mono_seconds()).bounded()) ++bounded;
+  }
+  const Interval est = clients[0].estimate(mono_seconds());
+  std::printf("{\"mode\":\"client\",\"fleet\":%zu,\"rounds\":%d,"
+              "\"accepted\":%llu,\"renounced\":%llu,\"bounded\":%zu,"
+              "\"lo\":",
+              fleet, rounds, static_cast<unsigned long long>(accepted),
+              static_cast<unsigned long long>(renounced), bounded);
+  print_number(est.lo);
+  std::printf(",\"hi\":");
+  print_number(est.hi);
+  std::printf(",\"width\":");
+  print_number(est.width());
+  std::printf(",\"rtt\":%.9f}\n", clients[0].last_rtt());
+  if (accepted == 0) {
+    std::fprintf(stderr, "probe: no client response accepted\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -60,7 +160,9 @@ int main(int argc, char** argv) try {
   // normalize them to `=1` before general flag parsing.
   std::vector<std::string> args(argv, argv + argc);
   for (std::string& arg : args) {
-    if (arg == "--metrics" || arg == "--trace") arg += "=1";
+    if (arg == "--metrics" || arg == "--trace" || arg == "--client") {
+      arg += "=1";
+    }
   }
   std::vector<const char*> argp;
   argp.reserve(args.size());
@@ -73,6 +175,14 @@ int main(int argc, char** argv) try {
   const bool want_metrics = flags.get_bool("metrics", false) || want_trace;
   const auto trace_events = static_cast<std::uint32_t>(
       flags.get_int("trace-events", want_trace ? 400 : 0));
+  const bool want_client = flags.get_bool("client", false);
+  const auto fleet = static_cast<std::size_t>(
+      flags.get_uint_range("fleet", 1, 1, 100'000));
+  const auto rounds =
+      static_cast<int>(flags.get_uint_range("rounds", 2, 1, 1'000));
+  if (!want_client && (flags.has("fleet") || flags.has("rounds"))) {
+    throw FlagError("--fleet/--rounds require --client");
+  }
   flags.reject_unknown(kUsage);
   const std::size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon == 0) {
@@ -102,6 +212,14 @@ int main(int argc, char** argv) try {
       (static_cast<std::uint64_t>(seed.tv_sec) << 30) ^
       static_cast<std::uint64_t>(seed.tv_nsec) ^
       (static_cast<std::uint64_t>(getpid()) << 48);
+
+  if (want_client) {
+    // Fleet client ids descend from the nonce so repeated invocations (or
+    // several probes against one server) get distinct sessions; keep them
+    // nonzero and leave headroom for `fleet` consecutive ids.
+    const std::uint64_t base_id = (nonce | 1) & ~(std::uint64_t{1} << 63);
+    return run_client(fd, addr, base_id, fleet, rounds, timeout);
+  }
 
   for (int attempt = 0; attempt < tries; ++attempt) {
     const std::vector<std::uint8_t> req =

@@ -67,8 +67,12 @@ constexpr const char* kUsage =
     "         [--algo=optimal|fullview|interval|ntp|cristian]\n"
     "         [--poll=0.5] [--timeout=2.0] [--skip-retry=1.0]\n"
     "         [--io-shards=1] [--recv-batch=16] [--send-batch=16]\n"
+    "         [--serve [--max-clients=4096] [--client-idle-ms=30000]]\n"
     "         [--checkpoint=PATH] [--stats-interval=0] [--duration=0]\n"
-    "         [--trace-buffer=4096] [--trace-out=PATH] [--selftest]";
+    "         [--trace-buffer=4096] [--trace-out=PATH] [--selftest]\n"
+    "  --serve answers kClientReq datagrams (see driftsync_probe --client)\n"
+    "  with at most --max-clients resident sessions (1..1048576); sessions\n"
+    "  idle longer than --client-idle-ms (1..86400000) are reaped.";
 
 volatile std::sig_atomic_t g_terminate = 0;
 volatile std::sig_atomic_t g_dump_stats = 0;
@@ -327,6 +331,7 @@ int main(int argc, char** argv) try {
   std::vector<std::string> args(argv, argv + argc);
   for (std::string& arg : args) {
     if (arg == "--selftest") arg = "--selftest=1";
+    if (arg == "--serve") arg = "--serve=1";
   }
   std::vector<const char*> argp;
   argp.reserve(args.size());
@@ -337,20 +342,11 @@ int main(int argc, char** argv) try {
   const std::string trace_out = flags.get_string("trace-out", "");
   runtime::UdpTransport::Options udp_opts;
   udp_opts.io_shards =
-      static_cast<std::size_t>(flags.get_uint("io-shards", 1));
+      static_cast<std::size_t>(flags.get_uint_range("io-shards", 1, 1, 64));
   udp_opts.recv_batch =
-      static_cast<std::size_t>(flags.get_uint("recv-batch", 16));
+      static_cast<std::size_t>(flags.get_uint_range("recv-batch", 16, 1, 64));
   udp_opts.send_batch =
-      static_cast<std::size_t>(flags.get_uint("send-batch", 16));
-  if (udp_opts.io_shards < 1 || udp_opts.io_shards > 64) {
-    throw FlagError("--io-shards must be in [1, 64]");
-  }
-  if (udp_opts.recv_batch < 1 || udp_opts.recv_batch > 64) {
-    throw FlagError("--recv-batch must be in [1, 64]");
-  }
-  if (udp_opts.send_batch < 1 || udp_opts.send_batch > 64) {
-    throw FlagError("--send-batch must be in [1, 64]");
-  }
+      static_cast<std::size_t>(flags.get_uint_range("send-batch", 16, 1, 64));
   if (flags.get_bool("selftest", false)) {
     flags.reject_unknown(kUsage);
     return run_selftest(trace_buffer, trace_out, udp_opts);
@@ -393,6 +389,20 @@ int main(int argc, char** argv) try {
   cfg.fate_timeout = flags.get_double("timeout", 2.0);
   cfg.skip_retry = flags.get_double("skip-retry", 1.0);
   cfg.checkpoint_path = flags.get_string("checkpoint", "");
+  // Serving tier (DESIGN.md decision 17).  The range checks live in the
+  // flag getter so nonsense ("--max-clients=0") dies with usage text.
+  const bool serve = flags.get_bool("serve", false);
+  const std::uint64_t max_clients =
+      flags.get_uint_range("max-clients", 4096, 1, 1u << 20);
+  const std::uint64_t client_idle_ms =
+      flags.get_uint_range("client-idle-ms", 30'000, 1, 86'400'000);
+  if (!serve && (flags.has("max-clients") || flags.has("client-idle-ms"))) {
+    throw FlagError("--max-clients/--client-idle-ms require --serve");
+  }
+  if (serve) {
+    cfg.serve_max_clients = static_cast<std::size_t>(max_clients);
+    cfg.serve_idle_timeout = static_cast<double>(client_idle_ms) / 1000.0;
+  }
   const double stats_interval = flags.get_double("stats-interval", 0.0);
   const double duration = flags.get_double("duration", 0.0);
   const std::string algo = flags.get_string("algo", "optimal");
@@ -407,8 +417,9 @@ int main(int argc, char** argv) try {
             std::move(transport));
   install_signal_handlers();
   node.start();  // Throws CheckpointError on a rejected checkpoint.
-  std::fprintf(stderr, "driftsyncd: node %u up (%s), %zu peer(s)\n", self,
-               algo.c_str(), cfg.peers.size());
+  std::fprintf(stderr, "driftsyncd: node %u up (%s), %zu peer(s)%s\n", self,
+               algo.c_str(), cfg.peers.size(),
+               serve ? ", serving clients" : "");
 
   const runtime::SystemTimeSource wall;
   const double started = wall.now();

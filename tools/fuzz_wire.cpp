@@ -1,11 +1,18 @@
-// Structure-aware mutation fuzzer for the wire decoder (core/wire.*).
+// Structure-aware mutation fuzzer for the wire decoders (core/wire.* and
+// runtime/datagram.*).
 //
-// Contract under test: decode_batch over arbitrary bytes must either throw
-// the typed recoverable WireError, or return a batch whose re-encoding
-// reproduces the input byte for byte (decode is a strict inverse of the
-// canonical encoder).  It must never crash, throw anything else (a
-// DS_CHECK std::logic_error escaping here means malformed input reached an
-// invariant check), or allocate more than the input size justifies.
+// Contract under test: decode_batch / decode_datagram over arbitrary bytes
+// must either throw the typed recoverable WireError, or return a value
+// whose re-encoding reproduces the input byte for byte (decode is a strict
+// inverse of the canonical encoder).  They must never crash, throw
+// anything else (a DS_CHECK std::logic_error escaping here means malformed
+// input reached an invariant check), or allocate more than the input size
+// justifies.
+//
+// Two dictionary stages per seed: a structurally valid event batch
+// (core-layer framing) and a structurally valid datagram drawn from all
+// nine wire types — including the serving tier's ClientReq/ClientResp —
+// each mutated and fed back through its decoder.
 //
 //   $ ./fuzz_wire [--iterations=N] [--seconds=S] [--seed0=K]
 //
@@ -15,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/errors.h"
@@ -22,12 +30,14 @@
 #include "common/rng.h"
 #include "core/wire.h"
 #include "fuzz_mutate.h"
+#include "runtime/datagram.h"
 
 using namespace driftsync;
 
 namespace {
 
 constexpr std::size_t kMutationsPerBatch = 64;
+constexpr std::size_t kMutationsPerDatagram = 32;
 
 /// Random structurally valid batch: per-processor sequence numbers, sends
 /// matched by later receives, loss declarations, contiguous runs.
@@ -69,6 +79,88 @@ EventBatch random_batch(Rng& rng) {
   return batch;
 }
 
+std::string random_string(Rng& rng, std::size_t max_len) {
+  std::string s(rng.uniform_index(max_len + 1), '\0');
+  for (char& c : s) c = static_cast<char>(rng.uniform_index(256));
+  return s;
+}
+
+/// Random structurally valid datagram covering all nine wire types.
+runtime::Datagram random_datagram(Rng& rng) {
+  switch (rng.uniform_index(9)) {
+    case 0: {
+      runtime::DataMsg m;
+      m.from = static_cast<ProcId>(rng.uniform_index(8));
+      m.dgram_seq = 1 + rng.uniform_index(1000);
+      m.processed_hw = rng.uniform_index(1000);
+      m.seen_hw = m.processed_hw + rng.uniform_index(10);
+      m.app_tag = static_cast<std::uint32_t>(rng.uniform_index(16));
+      m.send_seq = static_cast<std::uint32_t>(rng.uniform_index(1000));
+      m.send_lt = rng.uniform(0.0, 1e6);
+      m.payload.reports = random_batch(rng);
+      m.payload.scalars.resize(rng.uniform_index(4));
+      for (double& s : m.payload.scalars) s = rng.uniform(-1e3, 1e3);
+      if (rng.flip(0.5)) m.trace_id = rng.next_u64();
+      return m;
+    }
+    case 1: {
+      runtime::AckMsg m;
+      m.from = static_cast<ProcId>(rng.uniform_index(8));
+      m.processed_hw = rng.uniform_index(1000);
+      m.seen_hw = m.processed_hw + rng.uniform_index(10);
+      return m;
+    }
+    case 2: {
+      runtime::SkipMsg m;
+      m.from = static_cast<ProcId>(rng.uniform_index(8));
+      m.skip_to = 1 + rng.uniform_index(1000);
+      return m;
+    }
+    case 3:
+      return runtime::ProbeReq{rng.next_u64()};
+    case 4: {
+      runtime::ProbeResp m;
+      m.nonce = rng.next_u64();
+      m.from = static_cast<ProcId>(rng.uniform_index(8));
+      m.local_time = rng.uniform(0.0, 1e6);
+      m.lo = rng.uniform(-1e3, 1e3);
+      m.hi = m.lo + rng.uniform(0.0, 10.0);
+      m.stats_json = random_string(rng, 200);
+      return m;
+    }
+    case 5:
+      return runtime::MetricsReq{
+          rng.next_u64(), static_cast<std::uint32_t>(rng.uniform_index(500))};
+    case 6: {
+      runtime::MetricsResp m;
+      m.nonce = rng.next_u64();
+      m.from = static_cast<ProcId>(rng.uniform_index(8));
+      m.metrics = random_string(rng, 200);
+      m.trace_json = random_string(rng, 100);
+      return m;
+    }
+    case 7: {
+      runtime::ClientReq m;
+      m.client_id = 1 + rng.uniform_index(1u << 20);
+      m.req_seq = 1 + rng.uniform_index(1000);
+      m.client_lt = rng.uniform(0.0, 1e6);
+      m.last_rtt = rng.flip(0.5) ? rng.uniform(0.0, 1.0) : 0.0;
+      return m;
+    }
+    default: {
+      runtime::ClientResp m;
+      m.client_id = 1 + rng.uniform_index(1u << 20);
+      m.req_seq = 1 + rng.uniform_index(1000);
+      m.echo_lt = rng.uniform(0.0, 1e6);
+      m.from = static_cast<ProcId>(rng.uniform_index(8));
+      m.server_lt = rng.uniform(0.0, 1e6);
+      m.lo = rng.uniform(-1e3, 1e3);
+      m.hi = m.lo + rng.uniform(0.0, 10.0);
+      return m;
+    }
+  }
+}
+
 [[noreturn]] void die(std::uint64_t seed, const char* what) {
   std::fprintf(stderr, "fuzz_wire FAILURE at seed=%llu: %s\n",
                static_cast<unsigned long long>(seed), what);
@@ -99,6 +191,29 @@ std::size_t fuzz_once(std::uint64_t seed) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "wrong exception type: %s\n", e.what());
       die(seed, "decode threw something other than WireError");
+    }
+  }
+
+  // Datagram-level dictionary: a valid datagram of a random type, mutated
+  // and fed through decode_datagram under the same contract.
+  const runtime::Datagram dgram = random_datagram(rng);
+  const std::vector<std::uint8_t> dgram_bytes =
+      runtime::encode_datagram(dgram);
+  if (!(runtime::decode_datagram(dgram_bytes) == dgram)) {
+    die(seed, "valid datagram rejected");
+  }
+  for (std::size_t m = 0; m < kMutationsPerDatagram; ++m, ++iterations) {
+    const std::vector<std::uint8_t> mut = fuzzing::mutate(dgram_bytes, rng);
+    try {
+      const runtime::Datagram decoded = runtime::decode_datagram(mut);
+      if (runtime::encode_datagram(decoded) != mut) {
+        die(seed, "accepted datagram does not re-encode byte-for-byte");
+      }
+    } catch (const WireError&) {
+      // Typed rejection: the expected outcome for malformed bytes.
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wrong exception type: %s\n", e.what());
+      die(seed, "decode_datagram threw something other than WireError");
     }
   }
 

@@ -53,6 +53,36 @@ void BM_OptimalCsa(bench::State& state) {
 }
 DS_BENCHMARK(csa_message, BM_OptimalCsa)->arg(5)->arg(20)->arg(80);
 
+// A/B partner for BM_OptimalCsa: the same traffic ingested with the
+// Byzantine defense on.  The runtime screens every inbound message before
+// ingesting it (runtime/node.cpp handle_data) and cross_validation makes
+// on_receive transactional (copy-then-commit); the sim delivers straight
+// to on_receive, so this wrapper reproduces the runtime's order — screen
+// first, then ingest — and the delta against BM_OptimalCsa is the price
+// an honest node pays for the defense on clean traffic.
+class ScreenedOptimalCsa : public OptimalCsa {
+ public:
+  using OptimalCsa::OptimalCsa;
+  void on_receive(const RecvContext& ctx,
+                  const CsaPayload& payload) override {
+    bench::do_not_optimize(screen_message(ctx.from, ctx.send_event.lt,
+                                          ctx.recv_event.lt, payload));
+    OptimalCsa::on_receive(ctx, payload);
+  }
+};
+
+void BM_OptimalCsaCrossVal(bench::State& state) {
+  const auto net = make_net();
+  run_once(net, static_cast<double>(state.range(0)),
+           [](ProcId) {
+             OptimalCsa::Options opts;
+             opts.cross_validation = true;
+             return std::make_unique<ScreenedOptimalCsa>(opts);
+           },
+           state);
+}
+DS_BENCHMARK(csa_message, BM_OptimalCsaCrossVal)->arg(5)->arg(20)->arg(80);
+
 void BM_FullViewOracle(bench::State& state) {
   const auto net = make_net();
   run_once(net, static_cast<double>(state.range(0)),

@@ -52,6 +52,10 @@ const char* trace_event_kind_name(TraceEventKind kind) {
       return "client_req";
     case TraceEventKind::kClientResp:
       return "client_resp";
+    case TraceEventKind::kSuspect:
+      return "suspect";
+    case TraceEventKind::kCrossCheckFail:
+      return "cross_check_fail";
   }
   return "unknown";
 }

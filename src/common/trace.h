@@ -48,6 +48,8 @@ enum class TraceEventKind : std::uint8_t {
   kExternalize = 8,      ///< Estimate handed to a caller (value = width).
   kClientReq = 9,        ///< Serving tier: client request arrived.
   kClientResp = 10,      ///< Serving tier: response sent (value = width).
+  kSuspect = 11,         ///< Suspicion raised on a peer (value = score).
+  kCrossCheckFail = 12,  ///< Cross-path validation rejected a payload.
 };
 
 /// Stable lowercase name for serialization ("send", "deliver", ...).

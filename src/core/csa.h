@@ -78,6 +78,32 @@ struct CsaStats {
   /// History-buffer GC sweeps actually performed (see
   /// HistoryProtocol::Options::gc_batch).
   std::uint64_t gc_passes = 0;
+  /// Messages whose ingestion was rolled back by cross-path validation
+  /// (the batch turned out inconsistent with the view mid-merge); zero for
+  /// CSAs without cross-validation.
+  std::uint64_t cross_check_failures = 0;
+};
+
+/// Verdict of the runtime ingestion screen (screen_message).
+enum class ObservationVerdict : std::uint8_t {
+  kOk = 0,  ///< Consistent with the view; safe to ingest.
+  /// Feasible on its own edge, but contradicting the tightest cross-path
+  /// bound by more than the accumulated drift slack — a plausible lie.
+  /// The host renounces it and raises suspicion.
+  kSuspect = 1,
+  /// No spec-conforming execution could have produced it; renounce.
+  kInfeasible = 2,
+};
+
+/// Result of screening one inbound message (header + payload) before
+/// ingestion.  `implicated` names a peer whose *relayed* records conflicted
+/// with the view (equivocation evidence) — it may differ from the message's
+/// sender when an honest neighbor forwards a liar's reports, in which case
+/// the message itself can still be kOk.
+struct ObservationScreen {
+  ObservationVerdict verdict = ObservationVerdict::kOk;
+  ProcId implicated = kInvalidProc;
+  const char* reason = nullptr;  ///< Static string for traces/logs.
 };
 
 class Csa {
@@ -142,6 +168,40 @@ class Csa {
     (void)from;
     (void)send_lt;
     (void)now;
+    return true;
+  }
+
+  /// Byzantine-defense screen: the full-message generalization of
+  /// observation_feasible.  Inspects the header timestamp AND the payload
+  /// (per-record monotonicity, cross-path bounds, equivocation against the
+  /// retained view) and returns a graded verdict instead of a boolean, so a
+  /// host can distinguish "insane clock" from "plausible lie" and attribute
+  /// equivocation to the record's owner rather than the (possibly honest)
+  /// relay.  Must not mutate state.  The default delegates to
+  /// observation_feasible and ignores the payload, keeping baselines and
+  /// the simulator unchanged.
+  [[nodiscard]] virtual ObservationScreen screen_message(
+      ProcId from, LocalTime send_lt, LocalTime now,
+      const CsaPayload& payload) const {
+    (void)payload;
+    ObservationScreen s;
+    if (!observation_feasible(from, send_lt, now)) {
+      s.verdict = ObservationVerdict::kInfeasible;
+      s.reason = "infeasible";
+    }
+    return s;
+  }
+
+  /// Transactional variant of on_receive for hosts that must survive
+  /// adversarial payloads: returns false when the message was NOT applied
+  /// because ingestion would have made the view inconsistent (the CSA rolls
+  /// its state back to exactly the pre-call state).  A host receiving false
+  /// must treat the message as renounced — including un-minting
+  /// `ctx.recv_event` if it has not been externalized.  The default applies
+  /// on_receive unconditionally and reports success.
+  [[nodiscard]] virtual bool on_receive_validated(const RecvContext& ctx,
+                                                  const CsaPayload& payload) {
+    on_receive(ctx, payload);
     return true;
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "common/check.h"
@@ -23,10 +25,8 @@ void OptimalCsa::init(const SystemSpec& spec, ProcId self) {
   engine_.emplace(spec, self, eopts);
 }
 
-bool OptimalCsa::observation_feasible(ProcId from, LocalTime send_lt,
-                                      LocalTime now) const {
-  DS_CHECK(engine_ && spec_);
-  if (from >= spec_->num_procs()) return false;
+bool OptimalCsa::within_edge_envelope(ProcId from, LocalTime send_lt,
+                                      LocalTime now, double slack) const {
   const LinkSpec* link = spec_->link_between(self_, from);
   if (link == nullptr) return false;
   // Bounds on `from`'s current clock reading, derived from the view (its
@@ -35,7 +35,6 @@ bool OptimalCsa::observation_feasible(ProcId from, LocalTime send_lt,
   // to contradict, any observation is feasible.
   const Interval peer_now = engine_->peer_clock_estimate(from, now);
   const ClockSpec& peer_clock = spec_->clock(from);
-  const double slack = opts_.feasibility_slack;
   // The message was stamped at or before its arrival — except on virtual
   // reference links (negative lower transit bound), where a reading may
   // legitimately lie up to |min| real seconds "ahead".
@@ -55,6 +54,115 @@ bool OptimalCsa::observation_feasible(ProcId from, LocalTime send_lt,
   return true;
 }
 
+bool OptimalCsa::observation_feasible(ProcId from, LocalTime send_lt,
+                                      LocalTime now) const {
+  DS_CHECK(engine_ && spec_);
+  if (from >= spec_->num_procs()) return false;
+  return within_edge_envelope(from, send_lt, now, opts_.feasibility_slack);
+}
+
+ObservationScreen OptimalCsa::screen_message(ProcId from, LocalTime send_lt,
+                                             LocalTime now,
+                                             const CsaPayload& payload) const {
+  DS_CHECK(history_ && engine_ && spec_);
+  ObservationScreen s;
+  if (!observation_feasible(from, send_lt, now)) {
+    s.verdict = ObservationVerdict::kInfeasible;
+    s.reason = "infeasible under the single-edge envelope";
+    return s;
+  }
+  if (!opts_.cross_validation) return s;
+  // Cross-path band: the fused peer_clock_estimate already folds in every
+  // indirect path through the sync graph (the APSP distances), so the same
+  // envelope re-evaluated with the tighter suspicion slack detects a direct
+  // claim diverging from what the redundant paths support — a lie still
+  // inside the generous single-edge budget.
+  if (!within_edge_envelope(from, send_lt, now, opts_.suspicion_slack)) {
+    s.verdict = ObservationVerdict::kSuspect;
+    s.reason = "direct bound contradicts tightest cross-path bound";
+    return s;
+  }
+  // Payload screen: every report is checked against what the view already
+  // knows BEFORE any of it is merged.  These are exactly the invariants the
+  // engine enforces with DS_CHECK — validated here as untrusted input so a
+  // forged batch is renounced instead of faulting an honest node.
+  const std::size_t n = spec_->num_procs();
+  std::vector<LocalTime> prev_lt(n, -std::numeric_limits<double>::infinity());
+  std::vector<bool> seeded(n, false);
+  for (const EventRecord& r : payload.reports) {
+    const ProcId p = r.id.proc;
+    if (p >= n) {
+      s.verdict = ObservationVerdict::kInfeasible;
+      s.reason = "report from a processor outside the spec";
+      return s;
+    }
+    const auto seq = static_cast<std::int64_t>(r.id.seq);
+    if (seq <= history_->known_seq(p)) {
+      // The history layer drops already-known records as duplicates, so
+      // this copy can never corrupt the view — but a *different* retelling
+      // of a known event is equivocation evidence against its owner.
+      if (const EventRecord* have = engine_->live_record(r.id)) {
+        const bool conflicts = std::fabs(have->lt - r.lt) > 1e-9 ||
+                               have->kind != r.kind || have->peer != r.peer ||
+                               !(have->match == r.match);
+        if (conflicts) {
+          if (s.implicated == kInvalidProc) s.implicated = p;
+          if (p == from) {
+            // The sender contradicts its own earlier claims outright.
+            s.verdict = ObservationVerdict::kSuspect;
+            s.reason = "equivocation on the sender's own events";
+            return s;
+          }
+          s.reason = "relayed equivocation";  // Honest carrier; keep kOk.
+        }
+      }
+      continue;
+    }
+    if (p == self_) {
+      // No conforming execution reports an event of ours we never minted.
+      s.verdict = ObservationVerdict::kInfeasible;
+      s.reason = "forged event attributed to this processor";
+      return s;
+    }
+    if (!seeded[p]) {
+      seeded[p] = true;
+      const EventId last = engine_->last_event_of(p);
+      if (last.valid()) {
+        if (const EventRecord* lr = engine_->live_record(last)) {
+          prev_lt[p] = lr->lt;
+        }
+      }
+    }
+    if (r.lt < prev_lt[p] - 1e-9) {
+      // The inconsistency is internal to p's OWN claims (this fresh report
+      // against p's newest live record or an earlier report in the same
+      // batch); a relay forwards them faithfully, so when p is not the
+      // sender the evidence implicates p, not the carrier.  An equivocator
+      // that told its neighbors diverging stories about events minted
+      // close together lands exactly here once both versions meet.
+      s.verdict = ObservationVerdict::kInfeasible;
+      s.reason = "processor clock runs backwards across reports";
+      if (p != from && s.implicated == kInvalidProc) s.implicated = p;
+      return s;
+    }
+    prev_lt[p] = std::max(prev_lt[p], r.lt);
+    // A reported event is in the causal past of this arrival, so its
+    // claimed clock reading cannot exceed the owner's fused current-clock
+    // upper bound (which only shrinks as more paths are learned — a stale
+    // bound errs in the safe direction).
+    const Interval owner_now = engine_->peer_clock_estimate(p, now);
+    if (std::isfinite(owner_now.hi) &&
+        r.lt > owner_now.hi + opts_.feasibility_slack) {
+      // As above: the claim is the owner's, whoever carries it.
+      s.verdict = ObservationVerdict::kSuspect;
+      s.reason = "report ahead of every cross-path bound";
+      if (p != from && s.implicated == kInvalidProc) s.implicated = p;
+      return s;
+    }
+  }
+  return s;
+}
+
 CsaPayload OptimalCsa::on_send(const SendContext& ctx) {
   DS_CHECK(history_ && engine_);
   engine_->ingest(ctx.send_event);
@@ -70,11 +178,42 @@ void OptimalCsa::on_receive(const RecvContext& ctx,
                             const CsaPayload& payload) {
   DS_CHECK(history_ && engine_);
   stats_.payload_bytes_received += wire::encoded_size(payload.reports);
-  // Merge the reported events (causal order), then our own receive event.
-  const EventBatch fresh = history_->receive_message(ctx.from, payload.reports);
-  for (const EventRecord& r : fresh) engine_->ingest(r);
-  history_->record_own_event(ctx.recv_event);
-  engine_->ingest(ctx.recv_event);
+  last_receive_ok_ = true;
+  if (!opts_.cross_validation) {
+    // Merge the reported events (causal order), then our own receive event.
+    const EventBatch fresh =
+        history_->receive_message(ctx.from, payload.reports);
+    for (const EventRecord& r : fresh) engine_->ingest(r);
+    history_->record_own_event(ctx.recv_event);
+    engine_->ingest(ctx.recv_event);
+    return;
+  }
+  // Copy-then-commit, the restore() idiom: screen_message validates what it
+  // can cheaply, but a lie within the suspicion slack can still contradict
+  // the view by less than any screen tolerates — the engine's exact
+  // constraint checks are the final authority, and when they fault
+  // mid-merge the whole message is rolled back instead of leaving a
+  // half-ingested batch (or crashing an honest node on forged input).
+  HistoryProtocol history = *history_;
+  SyncEngine engine = *engine_;
+  try {
+    const EventBatch fresh =
+        history_->receive_message(ctx.from, payload.reports);
+    for (const EventRecord& r : fresh) engine_->ingest(r);
+    history_->record_own_event(ctx.recv_event);
+    engine_->ingest(ctx.recv_event);
+  } catch (const std::logic_error&) {
+    *history_ = std::move(history);
+    *engine_ = std::move(engine);
+    ++stats_.cross_check_failures;
+    last_receive_ok_ = false;
+  }
+}
+
+bool OptimalCsa::on_receive_validated(const RecvContext& ctx,
+                                      const CsaPayload& payload) {
+  on_receive(ctx, payload);
+  return last_receive_ok_;
 }
 
 void OptimalCsa::on_internal(const EventRecord& event) {

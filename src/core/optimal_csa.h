@@ -29,6 +29,23 @@ class OptimalCsa : public Csa {
     /// exists to catch insane clocks (steps of seconds, grossly wrong
     /// rates), and a false positive quarantines a sane peer.
     double feasibility_slack = 5e-3;
+    /// Byzantine defense (screen_message / on_receive_validated): cross-path
+    /// validation of inbound messages against the APSP-fused view.  Off by
+    /// default so the simulator and the micro-bench baselines keep the
+    /// historical single-edge screen; the runtime Node turns it on.  When
+    /// on, on_receive becomes transactional: a payload whose ingestion
+    /// would make the constraint system inconsistent (a sub-slack lie that
+    /// slipped past every screen) is rolled back wholesale instead of
+    /// crashing or poisoning the view.
+    bool cross_validation = false;
+    /// Tolerance of the kSuspect band (seconds).  Deliberately tighter than
+    /// feasibility_slack: an observation may be feasible per the generous
+    /// single-edge envelope yet diverge from the tightest indirect
+    /// (cross-path) bound by more than the drift the spec allows — that is
+    /// the signature of a plausible lie, and it only ever *renounces* (the
+    /// defense never fabricates constraints), so a rare false positive
+    /// costs one observation, not containment.
+    double suspicion_slack = 1e-3;
     /// History-buffer GC batch (HistoryProtocol::Options::gc_batch): > 1
     /// amortizes the per-message sweep at the cost of up to that many
     /// extra buffered records.  Estimates and messages are unaffected.
@@ -44,6 +61,11 @@ class OptimalCsa : public Csa {
   void on_internal(const EventRecord& event) override;
   [[nodiscard]] bool observation_feasible(ProcId from, LocalTime send_lt,
                                           LocalTime now) const override;
+  [[nodiscard]] ObservationScreen screen_message(
+      ProcId from, LocalTime send_lt, LocalTime now,
+      const CsaPayload& payload) const override;
+  [[nodiscard]] bool on_receive_validated(const RecvContext& ctx,
+                                          const CsaPayload& payload) override;
   [[nodiscard]] Interval estimate(LocalTime now) const override;
   [[nodiscard]] CsaStats stats() const override;
   [[nodiscard]] const char* name() const override { return "optimal"; }
@@ -82,6 +104,12 @@ class OptimalCsa : public Csa {
   [[nodiscard]] const HistoryProtocol& history() const { return *history_; }
 
  private:
+  /// The single-edge feasibility envelope check with a caller-chosen slack;
+  /// observation_feasible uses feasibility_slack, the kSuspect band of
+  /// screen_message re-runs it with the tighter suspicion_slack.
+  [[nodiscard]] bool within_edge_envelope(ProcId from, LocalTime send_lt,
+                                          LocalTime now, double slack) const;
+
   Options opts_;
   const SystemSpec* spec_ = nullptr;  ///< Bound by init(); outlives the CSA's
                                       ///< host (NodeConfig/Scenario own it).
@@ -89,6 +117,7 @@ class OptimalCsa : public Csa {
   std::optional<HistoryProtocol> history_;
   std::optional<SyncEngine> engine_;
   CsaStats stats_;
+  bool last_receive_ok_ = true;  ///< Whether the last on_receive applied.
 };
 
 }  // namespace driftsync

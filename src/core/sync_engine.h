@@ -76,6 +76,15 @@ class SyncEngine {
     return live_.contains(id);
   }
 
+  /// The retained record of a live point, or nullptr once it left the live
+  /// set.  Cross-path validation uses this to compare an incoming report
+  /// against what the view already holds for the same event id
+  /// (equivocation detection) without exposing the live map itself.
+  [[nodiscard]] const EventRecord* live_record(EventId id) const {
+    const auto it = live_.find(id);
+    return it == live_.end() ? nullptr : &it->second.rec;
+  }
+
   /// True while `id` is a live own/foreign send whose fate is open: no
   /// matching receive ingested and no loss declaration.  Used by runtime
   /// transports to decide whether a timed-out message may still be declared

@@ -65,6 +65,44 @@ std::string prom_number(double v) {
   return json::number(v);
 }
 
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Replay-hardening digest over every semantic field of a data datagram.
+/// An honest transport may redeliver a datagram, but only byte-identically;
+/// the same dgram_seq with a different digest is a mutated replay.
+std::uint64_t data_msg_digest(const DataMsg& msg) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a_u64(h, msg.dgram_seq);
+  h = fnv1a_u64(h, msg.send_seq);
+  h = fnv1a_u64(h, msg.app_tag);
+  h = fnv1a_u64(h, double_bits(msg.send_lt));
+  for (const EventRecord& r : msg.payload.reports) {
+    h = fnv1a_u64(h, (static_cast<std::uint64_t>(r.id.proc) << 32) |
+                         r.id.seq);
+    h = fnv1a_u64(h, double_bits(r.lt));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.kind));
+    h = fnv1a_u64(h, (static_cast<std::uint64_t>(r.peer) << 32) |
+                         r.match.seq);
+    h = fnv1a_u64(h, r.match.proc);
+  }
+  for (const double s : msg.payload.scalars) {
+    h = fnv1a_u64(h, double_bits(s));
+  }
+  return h;
+}
+
 }  // namespace
 
 Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
@@ -202,6 +240,10 @@ NodeStats Node::stats() const {
     s.last_heard[peer] = state.last_heard < 0.0 ? -1.0
                                                 : now - state.last_heard;
     if (state.quarantined) s.quarantined.push_back(peer);
+    s.suspicion[peer] = state.suspicion;
+    s.readmission_cost[peer] = state.readmission_cost != 0
+                                   ? state.readmission_cost
+                                   : cfg_.quarantine_threshold;
   }
   return s;
 }
@@ -250,6 +292,11 @@ std::string Node::stats_json_locked() const {
   append_json_u64(out, "checkpoint_failures", stats_.checkpoint_failures);
   append_json_u64(out, "events", stats_.events);
   append_json_u64(out, "infeasible_rejected", stats_.infeasible_rejected);
+  append_json_u64(out, "suspect_rejected", stats_.suspect_rejected);
+  append_json_u64(out, "replay_rejected", stats_.replay_rejected);
+  append_json_u64(out, "cross_check_failures", stats_.cross_check_failures);
+  append_json_u64(out, "equivocations_detected",
+                  stats_.equivocations_detected);
   append_json_u64(out, "peer_quarantines", stats_.peer_quarantines);
   append_json_u64(out, "peer_readmissions", stats_.peer_readmissions);
   append_json_u64(out, "backoff_resets", stats_.backoff_resets);
@@ -311,7 +358,19 @@ std::string Node::stats_json_locked() const {
     std::snprintf(buf, sizeof(buf), "%u", peer);
     out += buf;
   }
-  out += "]}";
+  // Suspicion roster: every peer with a nonzero (decayed) score — the
+  // suspect set a violation dump names.
+  out += "],\"suspicion\":{";
+  first_peer = true;
+  for (const auto& [peer, state] : peers_) {
+    if (state.suspicion <= 0.0) continue;
+    if (!first_peer) out += ',';
+    first_peer = false;
+    std::snprintf(buf, sizeof(buf), "\"%u\":", peer);
+    out += buf;
+    append_json_number(out, state.suspicion);
+  }
+  out += "}}";
   return out;
 }
 
@@ -358,6 +417,20 @@ std::string Node::metrics_text_locked() const {
   counter("driftsync_peer_quarantines", stats_.peer_quarantines);
   counter("driftsync_peer_readmissions", stats_.peer_readmissions);
   counter("driftsync_backoff_resets", stats_.backoff_resets);
+  // Byzantine defense (DESIGN.md decision 18).
+  counter("driftsync_byzantine_suspect_rejected", stats_.suspect_rejected);
+  counter("driftsync_byzantine_replay_rejected", stats_.replay_rejected);
+  counter("driftsync_byzantine_cross_check_failures",
+          stats_.cross_check_failures);
+  counter("driftsync_byzantine_equivocations",
+          stats_.equivocations_detected);
+  {
+    double total_suspicion = 0.0;
+    for (const auto& [peer, state] : peers_) {
+      total_suspicion += state.suspicion;
+    }
+    gauge("driftsync_byzantine_suspicion_total", total_suspicion);
+  }
   if (serve_ != nullptr) {
     const serve::SessionTable::Counters& sc = serve_->sessions().counters();
     counter("driftsync_serve_requests", stats_.serve_requests);
@@ -522,7 +595,14 @@ void Node::handle_data(const DataMsg& msg) {
   if (msg.dgram_seq <= state.last_seen) {
     // Already processed, or renounced via a skip commit.  Never process it
     // now — but re-ack, since our previous ack may have been lost.
-    if (msg.dgram_seq <= state.last_processed) {
+    if (msg.dgram_seq == state.digest_seq &&
+        data_msg_digest(msg) != state.digest) {
+      // Same sequence number, different content: a mutated replay of an
+      // observation already resolved.  An honest transport can duplicate a
+      // datagram but never alter it — the retelling is a lie.
+      ++stats_.replay_rejected;
+      raise_suspicion(state, msg.from, msg.trace_id);
+    } else if (msg.dgram_seq <= state.last_processed) {
       ++stats_.duplicate_dgrams;  // Redelivery of a processed datagram.
     } else {
       ++stats_.ignored_dgrams;
@@ -530,28 +610,55 @@ void Node::handle_data(const DataMsg& msg) {
     send_ack(msg.from, state);
     return;
   }
-  // Spec-violation screen (see NodeConfig).  An infeasible observation is
-  // renounced BEFORE ingestion, so the view is never poisoned and the
-  // sender soundly resolves the datagram as a loss; streaks of verdicts
-  // drive the quarantine state machine.
+  // First sighting of this dgram_seq: remember its digest so a future
+  // redelivery that arrives mutated is distinguishable from an honest
+  // duplicate.
+  state.digest_seq = msg.dgram_seq;
+  state.digest = data_msg_digest(msg);
+  // Spec-violation screen (see NodeConfig).  A renounced observation never
+  // reaches ingestion, so the view is never poisoned and the sender soundly
+  // resolves the datagram as a loss; verdicts drive the decaying suspicion
+  // score, which drives the quarantine state machine.
   if (cfg_.quarantine_threshold > 0) {
-    if (!csa_->observation_feasible(msg.from, msg.send_lt,
-                                    query_time_locked())) {
-      ++stats_.infeasible_rejected;
-      state.feasible_streak = 0;
-      if (!state.quarantined &&
-          ++state.infeasible_streak >= cfg_.quarantine_threshold) {
-        state.quarantined = true;
-        state.infeasible_streak = 0;
-        ++stats_.peer_quarantines;
-        trace(TraceEventKind::kQuarantineEnter, msg.trace_id, msg.from);
+    const ObservationScreen screen = csa_->screen_message(
+        msg.from, msg.send_lt, query_time_locked(), msg.payload);
+    if (screen.implicated != kInvalidProc) {
+      // Equivocation evidence: the implicated peer told someone else a
+      // different story about the same event.  When the carrier is an
+      // honest relay the message itself may still be kOk — only the
+      // equivocator's score is raised.
+      ++stats_.equivocations_detected;
+      const auto imp = peers_.find(screen.implicated);
+      if (imp != peers_.end() && screen.implicated != msg.from) {
+        raise_suspicion(imp->second, screen.implicated, msg.trace_id);
+      }
+    }
+    if (screen.verdict != ObservationVerdict::kOk) {
+      if (screen.verdict == ObservationVerdict::kInfeasible) {
+        ++stats_.infeasible_rejected;
+      } else {
+        ++stats_.suspect_rejected;
+      }
+      // When the evidence implicates a THIRD party (inconsistent records
+      // the sender merely relays), the message is still renounced — it
+      // cannot be ingested without contradiction — but the honest carrier
+      // is not punished: its score stays, its readmission streak is not
+      // reset.  The implicated peer's score was raised above.
+      if (screen.implicated == kInvalidProc ||
+          screen.implicated == msg.from) {
+        state.feasible_streak = 0;
+        raise_suspicion(state, msg.from, msg.trace_id);
       }
       renounce_data(msg, state);
       return;
     }
-    state.infeasible_streak = 0;
+    state.suspicion *= cfg_.suspicion_decay;
+    if (state.suspicion < 1e-6) state.suspicion = 0.0;
     if (state.quarantined) {
-      if (++state.feasible_streak < cfg_.quarantine_threshold) {
+      const std::uint32_t need = state.readmission_cost != 0
+                                     ? state.readmission_cost
+                                     : cfg_.quarantine_threshold;
+      if (++state.feasible_streak < need) {
         // Feasible, but the peer has not re-earned trust yet: renounce,
         // keep probing.
         renounce_data(msg, state);
@@ -559,13 +666,23 @@ void Node::handle_data(const DataMsg& msg) {
       }
       state.quarantined = false;
       state.feasible_streak = 0;
+      // Escalating readmission: the next one costs twice as many feasible
+      // probes, and the residual suspicion means a peer that resumes lying
+      // is re-quarantined after fewer lies than the first time.
+      state.readmission_cost =
+          std::min<std::uint32_t>(need * 2, cfg_.quarantine_threshold * 64);
+      state.suspicion = 0.5 * static_cast<double>(cfg_.quarantine_threshold);
       ++stats_.peer_readmissions;
       trace(TraceEventKind::kQuarantineExit, msg.trace_id, msg.from);
       // Fall through: this observation is the first one readmitted.
     }
   }
-  state.last_seen = msg.dgram_seq;
-  state.last_processed = msg.dgram_seq;
+  // Mint the receive event and attempt validated ingestion.  A rollback
+  // (the CSA found the batch inconsistent with the view mid-merge) un-mints
+  // the event — it was never externalized; persist/ack happen only below —
+  // so the own-event sequence stays gapless.
+  const std::uint32_t saved_event_seq = next_event_seq_;
+  const std::uint64_t saved_events = stats_.events;
   const EventRecord recv_event =
       make_own_event(EventKind::kReceive, msg.from,
                      EventId{msg.from, msg.send_seq});
@@ -576,10 +693,34 @@ void Node::handle_data(const DataMsg& msg) {
   send_event.peer = cfg_.self;
   const RecvContext ctx{cfg_.self, msg.from, recv_event, send_event,
                         msg.app_tag};
-  csa_->on_receive(ctx, msg.payload);
+  if (!csa_->on_receive_validated(ctx, msg.payload)) {
+    next_event_seq_ = saved_event_seq;
+    stats_.events = saved_events;
+    ++stats_.cross_check_failures;
+    trace(TraceEventKind::kCrossCheckFail, msg.trace_id, msg.from);
+    state.feasible_streak = 0;
+    raise_suspicion(state, msg.from, msg.trace_id);
+    renounce_data(msg, state);
+    return;
+  }
+  state.last_seen = msg.dgram_seq;
+  state.last_processed = msg.dgram_seq;
   trace(TraceEventKind::kDeliver, msg.trace_id, msg.from);
   persist();  // Write-ahead: before the ack makes the receive visible.
   send_ack(msg.from, state);
+}
+
+void Node::raise_suspicion(PeerState& state, ProcId peer,
+                           std::uint64_t trace_id) {
+  state.suspicion += 1.0;
+  trace(TraceEventKind::kSuspect, trace_id, peer, state.suspicion);
+  if (cfg_.quarantine_threshold > 0 && !state.quarantined &&
+      state.suspicion >= static_cast<double>(cfg_.quarantine_threshold)) {
+    state.quarantined = true;
+    state.feasible_streak = 0;
+    ++stats_.peer_quarantines;
+    trace(TraceEventKind::kQuarantineEnter, trace_id, peer);
+  }
 }
 
 void Node::renounce_data(const DataMsg& msg, PeerState& state) {

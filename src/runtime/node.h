@@ -76,14 +76,22 @@ struct NodeConfig {
   double skip_retry = 1.0;    ///< Resend cadence for unacked skip commits.
   /// Peer health.  The poll and skip-retry cadences back off exponentially
   /// (with jitter) while a peer keeps timing out, up to 2^backoff_cap; a
-  /// clean ack resets them.  A peer whose data messages are infeasible
-  /// under the spec (csa->observation_feasible) for quarantine_threshold
-  /// consecutive messages is quarantined: its observations are renounced
-  /// instead of processed and it is polled quarantine_probe_factor times
-  /// slower until the same number of consecutive feasible messages readmit
-  /// it.  quarantine_threshold = 0 disables the screen entirely.
+  /// clean ack resets them.  Every inbound data message is screened through
+  /// csa->screen_message; a renounced verdict (infeasible, suspect, replay,
+  /// or a cross-check rollback) adds 1 to the peer's suspicion score while
+  /// an accepted message multiplies it by suspicion_decay.  A peer whose
+  /// score reaches quarantine_threshold is quarantined: its observations
+  /// are renounced instead of processed and it is polled
+  /// quarantine_probe_factor times slower until quarantine_threshold
+  /// consecutive feasible messages readmit it — a cost that doubles with
+  /// every readmission, and a readmitted peer keeps residual suspicion, so
+  /// a still-lying peer is re-quarantined faster each round.  The decaying
+  /// score (rather than a consecutive-streak counter) is what catches a
+  /// flapping attacker that alternates feasible and infeasible messages.
+  /// quarantine_threshold = 0 disables the screen entirely.
   std::uint32_t quarantine_threshold = 2;
   double quarantine_probe_factor = 16.0;
+  double suspicion_decay = 0.7;  ///< Score multiplier per accepted message.
   std::uint32_t backoff_cap = 6;
   /// Persistence file; empty disables checkpointing.  Requires a CSA that
   /// supports checkpoint() (a non-empty image).
@@ -122,6 +130,11 @@ struct NodeStats {
   std::uint64_t events = 0;  ///< Own events minted (send/recv/internal).
   std::uint64_t infeasible_rejected = 0;  ///< Observations renounced as
                                           ///< spec-violating (quarantine).
+  /// Byzantine defense (DESIGN.md decision 18).
+  std::uint64_t suspect_rejected = 0;  ///< Renounced by cross-path band.
+  std::uint64_t replay_rejected = 0;   ///< Duplicate seq, mutated payload.
+  std::uint64_t cross_check_failures = 0;  ///< Ingestions rolled back.
+  std::uint64_t equivocations_detected = 0;  ///< Conflicting retellings.
   std::uint64_t peer_quarantines = 0;   ///< Quarantine entries, total.
   std::uint64_t peer_readmissions = 0;  ///< Quarantine exits, total.
   std::uint64_t backoff_resets = 0;  ///< Backed-off peers that recovered.
@@ -148,6 +161,12 @@ struct NodeStats {
   std::map<ProcId, double> last_heard;
   /// Currently quarantined peers.
   std::vector<ProcId> quarantined;
+  /// Current (decayed) suspicion score per configured peer; the oracle's
+  /// violation dumps name every peer whose score is nonzero as a suspect.
+  std::map<ProcId, double> suspicion;
+  /// Feasible probes the peer must produce for its NEXT readmission
+  /// (doubles on every readmission; starts at quarantine_threshold).
+  std::map<ProcId, std::uint32_t> readmission_cost;
 };
 
 /// One atomic (lock-coherent) estimate reading: the interval and the local
@@ -220,8 +239,21 @@ class Node {
     double last_heard = -1.0;       ///< steady-clock seconds; < 0 = never.
     std::uint32_t backoff_exp = 0;  ///< Consecutive-timeout doublings.
     bool quarantined = false;
-    std::uint32_t infeasible_streak = 0;
-    std::uint32_t feasible_streak = 0;
+    /// Decaying suspicion score (see NodeConfig::suspicion_decay): +1 per
+    /// renounced observation, ×decay per accepted one.  Replaces the old
+    /// consecutive-infeasible streak, which a flapping attacker (alternate
+    /// one feasible / one infeasible message) reset forever.
+    double suspicion = 0.0;
+    std::uint32_t feasible_streak = 0;  ///< Consecutive feasible while
+                                        ///< quarantined (readmission).
+    /// Feasible probes required for the next readmission; 0 = first
+    /// quarantine, use quarantine_threshold.  Doubles per readmission.
+    std::uint32_t readmission_cost = 0;
+    /// Replay hardening: digest of the newest data datagram seen from this
+    /// peer.  A redelivery of the same dgram_seq with a DIFFERENT digest is
+    /// a mutated replay — counted and treated as a lie, never reprocessed.
+    std::uint64_t digest_seq = 0;
+    std::uint64_t digest = 0;
   };
 
   void on_datagram(std::span<const std::uint8_t> bytes);
@@ -248,6 +280,9 @@ class Node {
   /// Durably commit to never processing `msg` (advance last_seen, persist,
   /// ack) without touching the CSA — the sender resolves it as a loss.
   void renounce_data(const DataMsg& msg, PeerState& state);
+  /// Adds 1 to `peer`'s suspicion score and quarantines it when the score
+  /// crosses cfg_.quarantine_threshold.
+  void raise_suspicion(PeerState& state, ProcId peer, std::uint64_t trace_id);
   /// Multiplies a cadence by the peer's backoff factor and ±15% jitter.
   [[nodiscard]] double backed_off(double base, const PeerState& state);
   EventRecord make_own_event(EventKind kind, ProcId peer, EventId match);

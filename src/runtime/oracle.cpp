@@ -1,5 +1,6 @@
 #include "runtime/oracle.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -68,6 +69,32 @@ void InvariantOracle::violation(const std::string& name, const char* invariant,
                "{\"oracle\":\"violation\",\"invariant\":\"%s\","
                "\"node\":\"%s\",\"detail\":\"%s\"}\n",
                invariant, name.c_str(), detail.c_str());
+  const auto suspects_it = nodes_.find(name);
+  if (suspects_it != nodes_.end() && suspects_it->second.node != nullptr) {
+    // Name the suspect set: which peers this node holds quarantined or
+    // under (decayed) suspicion at the moment containment broke — the
+    // first question of any Byzantine postmortem.
+    const NodeStats stats = suspects_it->second.node->stats();
+    std::string suspects;
+    for (const ProcId peer : stats.quarantined) {
+      if (!suspects.empty()) suspects += ',';
+      suspects += "{\"peer\":" + std::to_string(peer) +
+                  ",\"quarantined\":true}";
+    }
+    for (const auto& [peer, score] : stats.suspicion) {
+      if (score <= 0.0) continue;
+      if (std::find(stats.quarantined.begin(), stats.quarantined.end(),
+                    peer) != stats.quarantined.end()) {
+        continue;  // Already listed above.
+      }
+      if (!suspects.empty()) suspects += ',';
+      suspects += "{\"peer\":" + std::to_string(peer) +
+                  ",\"suspicion\":" + std::to_string(score) + "}";
+    }
+    std::fprintf(opts_.out,
+                 "{\"oracle\":\"suspects\",\"node\":\"%s\",\"set\":[%s]}\n",
+                 name.c_str(), suspects.c_str());
+  }
   if (tracer_ == nullptr) return;
   // The last few causal events at the offending node answer "what message
   // sequence led here" without re-running the scenario.

@@ -29,6 +29,23 @@
 //   random           probabilistic drop/burst/corrupt/duplicate/reorder on
 //                    every endpoint (intensity --faults), plus one random
 //                    partition-and-heal; invariants must survive all of it.
+//   byzantine-skew   node 2 turns Byzantine after convergence: its outbound
+//                    timestamps ramp away from its true clock at 2 s/s
+//                    (internally coherent lies, not a broken clock — its
+//                    own view stays honest and oracle-checked).  Nodes 0
+//                    and 1 must renounce every lie and quarantine exactly
+//                    node 2; containment must hold on all three.
+//   byzantine-replay node 2 re-sends earlier observations under their
+//                    original dgram_seq with mutated timestamps (the
+//                    mutating replayer).  Honest duplicates are benign;
+//                    these must be counted replay_rejected and drive
+//                    suspicion, and must never re-enter the view.
+//   byzantine-equivocate  node 2 tells different neighbors different
+//                    stories about the same events (a constant +/-0.4 ms
+//                    equivocation each edge finds perfectly feasible).
+//                    Honest relaying exposes the conflict; the payload
+//                    screen must pin it on node 2 (equivocations_detected,
+//                    quarantine) and never suspect the honest carrier.
 //
 // Exit 0 iff zero oracle violations and every scenario expectation held;
 // the last stdout line is a JSON verdict either way.
@@ -48,6 +65,7 @@
 #include "common/rng.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
+#include "runtime/byzantine.h"
 #include "runtime/chaos.h"
 #include "runtime/datagram.h"
 #include "runtime/node.h"
@@ -63,7 +81,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: driftsync_chaos [--scenario=partition-heal|clock-step|"
-    "crash-restart|client-storm|random]\n"
+    "crash-restart|client-storm|random|\n"
+    "           byzantine-skew|byzantine-replay|byzantine-equivocate]\n"
     "         [--seed=1] [--duration=3.0] [--faults=0.2] [--quiet]";
 
 constexpr double kRho = 5e-4;
@@ -104,6 +123,15 @@ struct Harness {
   std::size_t serve_max_clients = 0;
   double serve_idle_timeout = 0.4;
   double serve_evict_grace = 0.05;
+  /// Byzantine seat (byzantine-* scenarios): kInvalidProc leaves every
+  /// node honest; otherwise that node's outbound goes through a
+  /// ByzantinePeer with byz_strategy.  byz_start_inactive arms it dormant
+  /// so scenarios can strike after convergence (the ramp's t=0 is still
+  /// construction time, so a late strike opens with a gross lie).
+  ProcId byz_node = kInvalidProc;
+  ByzantineStrategy byz_strategy;
+  bool byz_start_inactive = false;
+  ByzantinePeer* byz = nullptr;
 
   explicit Harness(std::uint64_t s, bool quiet = false,
                    InvariantOracle::Options oracle_opts = {})
@@ -126,17 +154,29 @@ struct Harness {
       cfg.serve_idle_timeout = serve_idle_timeout;
       cfg.serve_evict_grace = serve_evict_grace;
     }
+    // A lying peer's messages are accepted one at a time, so the decayed
+    // suspicion score must outrun the decay between detections; 0.9 keeps
+    // an every-other-message liar divergent under the default threshold.
+    cfg.suspicion_decay = 0.9;
     OptimalCsa::Options opts;
     opts.loss_tolerant = true;
+    opts.cross_validation = true;
     auto chaos_transport = std::make_unique<ChaosTransport>(
         hub.endpoint(p), p, faults, seed + 1000 * (p + 1), &log);
     auto clock = std::make_unique<FaultyTimeSource>(
         std::make_unique<ScaledTimeSource>(kOffsets[p], kRates[p]));
     chaos[p] = chaos_transport.get();
     clocks[p] = clock.get();
+    std::unique_ptr<Transport> transport = std::move(chaos_transport);
+    if (p == byz_node) {
+      auto liar = std::make_unique<ByzantinePeer>(
+          std::move(transport), p, byz_strategy, seed ^ 0xB52B52ULL, &log);
+      byz = liar.get();
+      if (byz_start_inactive) byz->set_active(false);
+      transport = std::move(liar);
+    }
     return std::make_unique<Node>(cfg, std::make_unique<OptimalCsa>(opts),
-                                  std::move(clock),
-                                  std::move(chaos_transport));
+                                  std::move(clock), std::move(transport));
   }
 
   void start(const ChaosFaults& faults, const std::string& node1_ckpt = "") {
@@ -436,6 +476,130 @@ std::uint64_t run_random(Harness& h, double duration, double intensity) {
   return 0;
 }
 
+/// Expect a NodeStats counter to be nonzero.
+std::uint64_t expect_counter(ProcId node, const char* what,
+                             std::uint64_t value) {
+  if (value > 0) return 0;
+  return expect_failed(what,
+                       "node " + std::to_string(node) + " " + what + " == 0");
+}
+
+std::uint64_t run_byzantine_skew(Harness& h, double duration) {
+  // Node 2 stays an honest estimator with a conforming clock, but once
+  // struck its outbound timestamps ramp at 2 s/s.  The strike lands after
+  // convergence, so the opening lie (the ramp accrues from construction)
+  // is already seconds past any feasible envelope: nodes 0 and 1 renounce
+  // every datagram, never ingest a single lie, and quarantine exactly
+  // node 2.  Node 2's own view ingests only honest data, so containment
+  // is checked on all three nodes — unlike clock-step, the attacker's
+  // estimate is NOT forfeit.
+  h.byz_node = 2;
+  h.byz_strategy.skew_rate = 2.0;
+  h.byz_strategy.skew_max = 100.0;
+  h.byz_start_inactive = true;
+  h.start(ChaosFaults{});
+  h.observe_for(duration * 0.4);
+  h.byz->set_active(true);
+  // Every renounced datagram resolves as a loss at the liar; the honest
+  // nodes' own sends keep landing, so their loss counters must stay 0.
+  h.oracle.mark_lossish("node2");
+  h.observe_for(duration * 0.6);
+  h.oracle.observe();
+  h.oracle.check_loss_soundness();
+  std::uint64_t failed = 0;
+  failed += expect_quarantined(h, 0, 2);
+  failed += expect_quarantined(h, 1, 2);
+  failed += expect_counter(0, "infeasible_rejected",
+                           h.nodes[0]->stats().infeasible_rejected);
+  failed += expect_converged(h, 1, 0.5);
+  failed += expect_converged(h, 2, 0.5);
+  return failed;
+}
+
+std::uint64_t run_byzantine_replay(Harness& h, double duration) {
+  // Node 2 re-sends half its observations under their original dgram_seq
+  // with mutated timestamps.  The digest check must separate these from
+  // honest duplicates (replay_rejected, suspicion) and the mutated copy
+  // must never re-enter the view — containment holds throughout.
+  h.byz_node = 2;
+  h.byz_strategy.replay = 0.5;
+  h.start(ChaosFaults{});
+  h.oracle.mark_lossish("node2");  // Quarantine probes renounce its data.
+  h.observe_for(duration);
+  h.oracle.observe();
+  h.oracle.check_loss_soundness();
+  std::uint64_t failed = 0;
+  for (ProcId p = 0; p < 2; ++p) {
+    const NodeStats s = h.nodes[p]->stats();
+    failed += expect_counter(p, "replay_rejected", s.replay_rejected);
+    failed += expect_counter(p, "peer_quarantines", s.peer_quarantines);
+  }
+  failed += expect_converged(h, 1, 0.5);
+  return failed;
+}
+
+std::uint64_t run_byzantine_equivocate(Harness& h, double duration) {
+  // Node 2 tells node 0 everything +0.4 ms and node 1 everything -0.4 ms
+  // (skew saturates at skew_max within a millisecond, so the lie is a
+  // constant equivocation).  Each edge alone is a perfectly legal clock —
+  // even the tight suspect band never objects, since the two stories
+  // differ by less than suspicion_slack — but honest full-information
+  // relaying delivers both versions of one event id to both victims, and
+  // the payload screen pins the contradiction on node 2, not the honest
+  // carrier.  A relay whose batch mixes the two versions of events minted
+  // microseconds apart is still renounced (ingesting would contradict the
+  // engine) — those renounces resolve as losses on the honest edge, which
+  // is the price of never fabricating — but only node 2's score may rise
+  // from them, which the attribution expectations below pin down.
+  h.byz_node = 2;
+  h.byz_strategy.skew_rate = 1.0;
+  h.byz_strategy.skew_max = 4e-4;
+  h.byz_strategy.equivocate = true;
+  h.start(ChaosFaults{});
+  h.oracle.mark_lossish("node0");
+  h.oracle.mark_lossish("node1");
+  h.oracle.mark_lossish("node2");
+  h.observe_for(duration);
+  h.oracle.observe();
+  // The outcome is asymmetric by nature: whichever victim quarantines
+  // node 2 first stops ingesting its story, and from then on the OTHER
+  // victim hears only one version plus echoes of that same version — it
+  // has no contradiction left to detect and honestly cannot know.  So the
+  // detection expectations are about the pair, while the attribution
+  // expectations (never blame the honest neighbor) hold per node.
+  std::uint64_t failed = 0;
+  std::uint64_t equivocations = 0;
+  std::uint64_t quarantines = 0;
+  for (ProcId p = 0; p < 2; ++p) {
+    const NodeStats s = h.nodes[p]->stats();
+    equivocations += s.equivocations_detected;
+    quarantines += s.peer_quarantines;
+    // The current roster may only contain node 2, and a readmission cost
+    // above the default threshold is a permanent scar of a quarantine
+    // cycle, so checking it catches transient mid-run misattribution too.
+    for (const ProcId q : s.quarantined) {
+      if (q != 2) {
+        failed += expect_failed("suspect-attribution",
+                                "node " + std::to_string(p) +
+                                    " quarantined honest node " +
+                                    std::to_string(q));
+      }
+    }
+    for (const auto& [q, cost] : s.readmission_cost) {
+      if (q != 2 && cost > NodeConfig{}.quarantine_threshold) {
+        failed += expect_failed("suspect-attribution",
+                                "node " + std::to_string(p) +
+                                    " once quarantined honest node " +
+                                    std::to_string(q));
+      }
+    }
+  }
+  failed += expect_counter(0, "equivocations_detected", equivocations);
+  failed += expect_counter(0, "peer_quarantines", quarantines);
+  failed += expect_converged(h, 1, 0.5);
+  return failed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -476,6 +640,12 @@ int main(int argc, char** argv) try {
     expectation_failures = run_client_storm(harness, duration);
   } else if (scenario == "random") {
     expectation_failures = run_random(harness, duration, intensity);
+  } else if (scenario == "byzantine-skew") {
+    expectation_failures = run_byzantine_skew(harness, duration);
+  } else if (scenario == "byzantine-replay") {
+    expectation_failures = run_byzantine_replay(harness, duration);
+  } else if (scenario == "byzantine-equivocate") {
+    expectation_failures = run_byzantine_equivocate(harness, duration);
   } else {
     throw FlagError("unknown --scenario: " + scenario);
   }

@@ -49,6 +49,7 @@
 #include "common/trace.h"
 #include "core/optimal_csa.h"
 #include "core/spec.h"
+#include "runtime/byzantine.h"
 #include "runtime/node.h"
 #include "runtime/thread_transport.h"
 #include "runtime/time_source.h"
@@ -201,6 +202,84 @@ bool write_trace_json(const Tracer& tracer, const std::string& path) {
   return ok;
 }
 
+/// Second selftest leg: a triangle whose third seat lies (ByzantinePeer,
+/// gross skew ramp) with the cross-path defense on.  Passes iff the honest
+/// pair renounces the lies, quarantines exactly node 2, and still contains
+/// true source time — and the scrape-able outputs (stats_json and the
+/// driftsync_byzantine_* Prometheus series) show the defense counters
+/// nonzero, so CI can assert the whole path end to end with a grep.
+int run_selftest_byzantine() {
+  const double rho = 5e-4;
+  std::vector<ClockSpec> clocks{{0.0}, {rho}, {rho}};
+  std::vector<LinkSpec> links;
+  links.emplace_back(0, 1, 0.0, 0.05);
+  links.emplace_back(0, 2, 0.0, 0.05);
+  links.emplace_back(1, 2, 0.0, 0.05);
+  const SystemSpec spec(clocks, links, 0);
+
+  runtime::ThreadHub hub(11);
+  hub.set_link(0, 1, 0.0005, 0.004);
+  hub.set_link(0, 2, 0.0005, 0.004);
+  hub.set_link(1, 2, 0.001, 0.008);
+
+  const double offsets[3] = {0.0, 41.5, -13.25};
+  const double rates[3] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (ProcId p = 0; p < 3; ++p) {
+    NodeConfig cfg;
+    cfg.self = p;
+    cfg.spec = spec;
+    cfg.poll_period = 0.05;
+    cfg.fate_timeout = 0.25;
+    cfg.skip_retry = 0.1;
+    cfg.suspicion_decay = 0.9;
+    OptimalCsa::Options opts;
+    opts.loss_tolerant = true;
+    opts.cross_validation = true;
+    std::unique_ptr<runtime::Transport> transport = hub.endpoint(p);
+    if (p == 2) {
+      runtime::ByzantineStrategy attack;
+      attack.skew_rate = 2.0;  // Gross per-message lies: every one renounced.
+      attack.skew_max = 100.0;
+      transport = std::make_unique<runtime::ByzantinePeer>(
+          std::move(transport), p, attack, 11);
+    }
+    nodes.push_back(std::make_unique<Node>(
+        cfg, std::make_unique<OptimalCsa>(opts),
+        std::make_unique<runtime::ScaledTimeSource>(offsets[p], rates[p]),
+        std::move(transport)));
+  }
+  for (auto& node : nodes) node->start();
+  const timespec nap{2, 0};
+  nanosleep(&nap, nullptr);
+
+  int failures = 0;
+  const runtime::SystemTimeSource truth;
+  for (ProcId p = 0; p < 2; ++p) {
+    const double t0 = truth.now();
+    const Interval est = nodes[p]->estimate();
+    const double t1 = truth.now();
+    const runtime::NodeStats s = nodes[p]->stats();
+    const bool contained = est.lo <= t1 && est.hi >= t0;
+    const bool converged = p == 0 || est.width() < 0.5;
+    const std::uint64_t renounced =
+        s.infeasible_rejected + s.suspect_rejected + s.replay_rejected;
+    const bool caught = renounced > 0 && s.quarantined.size() == 1 &&
+                        s.quarantined[0] == 2;
+    if (!contained || !converged || !caught) ++failures;
+    std::printf("selftest byzantine node %u: width %.6f renounced %llu "
+                "quarantined %zu %s\n",
+                p, est.width(), static_cast<unsigned long long>(renounced),
+                s.quarantined.size(),
+                contained && converged && caught ? "ok" : "FAIL");
+    std::printf("%s\n", nodes[p]->stats_json().c_str());
+  }
+  // One scrape, for the CI grep of the driftsync_byzantine_* series.
+  std::printf("%s", nodes[0]->metrics_text().c_str());
+  for (auto& node : nodes) node->stop();
+  return failures;
+}
+
 /// --selftest: a 3-node path with drifting clocks; passes iff every node's
 /// estimate contains the true source time, the non-source widths converge,
 /// and the shared trace shows at least one id on both a sender's and a
@@ -318,6 +397,7 @@ int run_selftest(std::size_t trace_buffer, const std::string& trace_out,
     std::printf("selftest trace: %zu events -> %s\n", events.size(),
                 path.c_str());
   }
+  failures += run_selftest_byzantine();
   std::printf(failures == 0 ? "selftest PASS\n" : "selftest FAIL\n");
   return failures == 0 ? 0 : 1;
 }

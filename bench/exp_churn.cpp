@@ -1,0 +1,324 @@
+// EXP-17 — membership churn envelope (DESIGN.md decision 19).
+//
+// How much join/leave churn does the mesh absorb while staying correct —
+// and what does churn cost in gradient sharpness and reconvergence time?
+// The experiment runs the real runtime stack (ThreadHub mesh, Node
+// threads, dynamic membership on) and has one seeded non-source seat
+// cycle through leave/rejoin at a fixed rate, sweeping
+//
+//   topology  x  churn rate (cycles/second)  x  seed
+//
+// and reporting, per cell, the oracle's containment violations (ground
+// truth, checked through every membership transition), the number of
+// completed leave/rejoin cycles, the p99 over sampled per-neighbor
+// gradient widths (what KLLO-style gradient sync bounds; sampled from
+// peer_clock_bounds on every spec edge), and the churned seat's
+// reconvergence time after its final rejoin.
+//
+// The gate is containment only: churn within the spec must NEVER cost
+// soundness, at any rate — a violation anywhere exits nonzero.  What
+// churn is allowed to cost is liveness, and that is the curve: gradient
+// p99 and reconvergence time vs rate, per topology.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/errors.h"
+#include "common/flags.h"
+#include "common/interval.h"
+#include "common/rng.h"
+#include "core/optimal_csa.h"
+#include "core/spec.h"
+#include "runtime/node.h"
+#include "runtime/oracle.h"
+#include "runtime/thread_transport.h"
+#include "runtime/time_source.h"
+
+using namespace driftsync;
+using namespace driftsync::runtime;
+
+namespace {
+
+constexpr double kRho = 5e-4;
+constexpr double kSpecMaxTransit = 0.05;
+constexpr double kConvergedWidth = 0.5;
+
+struct Topology {
+  std::string name;
+  std::size_t n = 0;
+  std::vector<std::pair<ProcId, ProcId>> edges;
+};
+
+Topology make_ring(std::size_t n) {
+  Topology t{"ring", n, {}};
+  for (ProcId i = 0; i < n; ++i) {
+    t.edges.emplace_back(i, static_cast<ProcId>((i + 1) % n));
+  }
+  return t;
+}
+
+Topology make_grid(std::size_t side) {
+  Topology t{"grid", side * side, {}};
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      const auto p = static_cast<ProcId>(r * side + c);
+      if (c + 1 < side) t.edges.emplace_back(p, static_cast<ProcId>(p + 1));
+      if (r + 1 < side) {
+        t.edges.emplace_back(p, static_cast<ProcId>(p + side));
+      }
+    }
+  }
+  return t;
+}
+
+/// Seeded dense Erdős–Rényi graph, re-drawn until connected, so the
+/// churned seat's neighbors still reach the source while it is away.
+Topology make_random(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed * 7919 + 11);
+  Topology t{"random", n, {}};
+  for (;;) {
+    t.edges.clear();
+    for (ProcId a = 0; a < n; ++a) {
+      for (ProcId b = a + 1; b < n; ++b) {
+        if (rng.uniform(0.0, 1.0) < 0.55) t.edges.emplace_back(a, b);
+      }
+    }
+    std::vector<bool> seen(n, false);
+    std::vector<ProcId> queue{0};
+    seen[0] = true;
+    while (!queue.empty()) {
+      const ProcId u = queue.back();
+      queue.pop_back();
+      for (const auto& [a, b] : t.edges) {
+        const ProcId v = a == u ? b : (b == u ? a : kInvalidProc);
+        if (v != kInvalidProc && !seen[v]) {
+          seen[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (std::all_of(seen.begin(), seen.end(), [](bool s) { return s; })) {
+      return t;
+    }
+  }
+}
+
+struct CellResult {
+  std::uint64_t violations = 0;
+  std::uint64_t cycles = 0;
+  std::size_t converged = 0;
+  double mean_width = 0.0;
+  double gradient_p99 = 0.0;
+  std::size_t gradient_samples = 0;
+  double reconverge_time = -1.0;  ///< Seconds after final rejoin; -1 = never.
+};
+
+void nap_ms(long ms) {
+  const timespec ts{ms / 1000, (ms % 1000) * 1'000'000L};
+  nanosleep(&ts, nullptr);
+}
+
+CellResult run_cell(const Topology& topo, double rate, std::uint64_t seed,
+                    double duration) {
+  const std::size_t n = topo.n;
+  std::vector<ClockSpec> clocks(n, ClockSpec{kRho});
+  clocks[0].rho = 0.0;  // Source keeps real time.
+  std::vector<LinkSpec> links;
+  links.reserve(topo.edges.size());
+  for (const auto& [a, b] : topo.edges) {
+    links.emplace_back(a, b, 0.0, kSpecMaxTransit);
+  }
+  const SystemSpec spec(clocks, links, 0);
+
+  ThreadHub hub(seed ^ 0xC0FFEEULL);
+  for (const auto& [a, b] : topo.edges) hub.set_link(a, b, 0.0005, 0.004);
+
+  InvariantOracle::Options oopts;
+  oopts.out = nullptr;  // Counts only; one sweep prints many cells.
+  InvariantOracle oracle(oopts);
+  std::vector<std::unique_ptr<Node>> nodes;
+  Rng clock_rng(seed * 31 + 7);
+  for (ProcId p = 0; p < n; ++p) {
+    NodeConfig cfg;
+    cfg.self = p;
+    cfg.spec = spec;
+    cfg.poll_period = 0.04;
+    cfg.fate_timeout = 0.25;
+    cfg.skip_retry = 0.08;
+    cfg.dynamic_join = true;
+    OptimalCsa::Options opts;
+    opts.loss_tolerant = true;
+    const double offset = p == 0 ? 0.0 : clock_rng.uniform(-50.0, 50.0);
+    const double clock_rate =
+        p == 0 ? 1.0 : 1.0 + clock_rng.uniform(-0.6 * kRho, 0.6 * kRho);
+    nodes.push_back(std::make_unique<Node>(
+        cfg, std::make_unique<OptimalCsa>(opts),
+        std::make_unique<ScaledTimeSource>(offset, clock_rate),
+        hub.endpoint(p)));
+    // A leave aborts the in-flight fate on both ends; those resolve as
+    // losses, so loss soundness is waived (loss_tolerant mesh).
+    oracle.track("node" + std::to_string(p), nodes.back().get(),
+                 spec.clock(p).rho);
+    oracle.mark_lossish("node" + std::to_string(p));
+  }
+  // Gradient envelope (oracle invariant 5) on every spec edge, both ways.
+  for (const auto& [a, b] : topo.edges) {
+    oracle.track_gradient_pair("node" + std::to_string(a),
+                               "node" + std::to_string(b));
+  }
+  for (auto& node : nodes) node->start();
+
+  // One seeded non-source seat churns; everyone else holds still, so the
+  // measured reconvergence is the churned seat's and the gradient samples
+  // show the churn's blast radius on its neighbors.
+  Rng churn_rng(seed ^ 0xC11A05ULL);
+  const auto churner = static_cast<ProcId>(
+      1 + static_cast<std::size_t>(churn_rng.uniform(0.0, 1.0) *
+                                   static_cast<double>(n - 1)) %
+              (n - 1));
+  std::vector<ProcId> neighbors;
+  for (const auto& [a, b] : topo.edges) {
+    if (a == churner) neighbors.push_back(b);
+    if (b == churner) neighbors.push_back(a);
+  }
+
+  // Churn runs in the first 60% of the cell; the rest is the measured
+  // reconvergence tail.  At rate r each cycle is 1/r seconds, 30% away.
+  CellResult r;
+  const double churn_window = duration * 0.6;
+  const double period = rate > 0.0 ? 1.0 / rate : 0.0;
+  std::vector<double> gradient_widths;
+  const SystemTimeSource wall;
+  const double started = wall.now();
+  bool away = false;
+  // First leave early in the cell (after a short warm-up) so even the
+  // slowest swept rate completes at least one full cycle inside the churn
+  // window; subsequent cycles keep the 70% dwell / 30% away duty cycle.
+  double next_flip = rate > 0.0 ? started + period * 0.2 : 0.0;
+  double last_rejoin = started;
+  double next_observe = started;
+  for (;;) {
+    const double now = wall.now();
+    if (now - started >= duration) break;
+    const bool in_window = now - started < churn_window;
+    if (rate > 0.0 && in_window && now >= next_flip) {
+      if (!away) {
+        for (const ProcId q : neighbors) nodes[churner]->remove_peer(q);
+        away = true;
+        next_flip = now + period * 0.3;
+      } else {
+        for (const ProcId q : neighbors) nodes[churner]->admit_peer(q);
+        away = false;
+        ++r.cycles;
+        last_rejoin = now;
+        next_flip = now + period * 0.7;
+      }
+    }
+    if (!in_window && away) {  // Window closed mid-cycle: rejoin now.
+      for (const ProcId q : neighbors) nodes[churner]->admit_peer(q);
+      away = false;
+      ++r.cycles;
+      last_rejoin = now;
+    }
+    if (!away && r.reconverge_time < 0.0 && !in_window) {
+      if (nodes[churner]->estimate().width() < kConvergedWidth) {
+        r.reconverge_time = now - last_rejoin;
+      }
+    }
+    for (const auto& [a, b] : topo.edges) {
+      const Interval ab = nodes[a]->peer_clock_bounds(b);
+      if (std::isfinite(ab.width())) gradient_widths.push_back(ab.width());
+      const Interval ba = nodes[b]->peer_clock_bounds(a);
+      if (std::isfinite(ba.width())) gradient_widths.push_back(ba.width());
+    }
+    if (now >= next_observe) {
+      oracle.observe();
+      next_observe = now + 0.1;
+    }
+    nap_ms(20);
+  }
+  oracle.observe();
+
+  r.violations = oracle.violations();
+  for (ProcId p = 0; p < n; ++p) {
+    const NodeStats s = nodes[p]->stats();
+    r.mean_width += s.width;
+    if (s.width < kConvergedWidth) ++r.converged;
+  }
+  r.mean_width /= static_cast<double>(n);
+  r.gradient_samples = gradient_widths.size();
+  if (!gradient_widths.empty()) {
+    std::sort(gradient_widths.begin(), gradient_widths.end());
+    r.gradient_p99 =
+        gradient_widths[(gradient_widths.size() - 1) * 99 / 100];
+  }
+  for (auto& node : nodes) node->stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  const std::uint64_t seed0 = flags.get_seed("seed", 1);
+  const auto seeds =
+      static_cast<std::uint64_t>(flags.get_uint_range("seeds", 1, 1, 64));
+  const double duration = flags.get_double("duration", 2.0);
+  const std::string topos = flags.get_string("topos", "ring,grid,random");
+  flags.reject_unknown(
+      "usage: exp_churn [--seed=N] [--seeds=N] [--duration=S] "
+      "[--topos=ring,grid,random]");
+
+  const std::vector<double> rates{0.0, 0.5, 1.0, 2.0};
+  std::printf("EXP: membership churn envelope — containment, gradient p99 "
+              "and reconvergence vs leave/rejoin rate\n");
+
+  std::uint64_t total_violations = 0;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = seed0 + s;
+    for (const std::string& name :
+         {std::string("ring"), std::string("grid"), std::string("random")}) {
+      if (topos.find(name) == std::string::npos) continue;
+      const Topology topo = name == "ring"   ? make_ring(6)
+                            : name == "grid" ? make_grid(3)
+                                             : make_random(7, seed);
+      for (const double rate : rates) {
+        const CellResult r = run_cell(topo, rate, seed, duration);
+        total_violations += r.violations;
+        std::printf(
+            "{\"exp\":\"churn\",\"topo\":\"%s\",\"n\":%zu,\"rate\":%.2f,"
+            "\"seed\":%llu,\"cycles\":%llu,"
+            "\"containment_violations\":%llu,\"converged\":%zu,"
+            "\"mean_width\":%.6f,\"gradient_p99\":%.6f,"
+            "\"gradient_samples\":%zu,\"reconverge_time\":%.3f}\n",
+            topo.name.c_str(), topo.n, rate,
+            static_cast<unsigned long long>(seed),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.violations), r.converged,
+            r.mean_width, r.gradient_p99, r.gradient_samples,
+            r.reconverge_time);
+      }
+    }
+  }
+
+  std::printf("{\"exp\":\"churn\",\"summary\":true,"
+              "\"total_containment_violations\":%llu}\n",
+              static_cast<unsigned long long>(total_violations));
+  if (total_violations > 0) {
+    std::fprintf(stderr,
+                 "exp_churn: churn within the spec cost containment "
+                 "(%llu violations)\n",
+                 static_cast<unsigned long long>(total_violations));
+    return 1;
+  }
+  return 0;
+} catch (const driftsync::FlagError& e) {
+  std::fprintf(stderr, "%s\n", e.what());
+  return 2;
+}

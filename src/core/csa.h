@@ -78,6 +78,10 @@ struct CsaStats {
   /// History-buffer GC sweeps actually performed (see
   /// HistoryProtocol::Options::gc_batch).
   std::uint64_t gc_passes = 0;
+  /// Dynamic-membership hook invocations (on_peer_join / on_peer_leave);
+  /// zero for statically meshed hosts.
+  std::uint64_t peer_joins = 0;
+  std::uint64_t peer_leaves = 0;
   /// Messages whose ingestion was rolled back by cross-path validation
   /// (the batch turned out inconsistent with the view mid-merge); zero for
   /// CSAs without cross-validation.
@@ -137,6 +141,28 @@ class Csa {
   /// the current local clock reading; CSAs that need time-driven work
   /// override it.  Default: ignore.
   virtual void on_tick(LocalTime now) { (void)now; }
+
+  /// Dynamic-membership hooks (runtime join/leave, DESIGN.md decision 19).
+  /// A hosting runtime calls these when `peer` is admitted to / retired
+  /// from its active membership.  Knowledge already ingested about the peer
+  /// stays valid — the paper's view is monotone, and Lemma 3.4 keeps the
+  /// distance structure sound as dead points drop out — so the defaults
+  /// ignore membership; CSAs keeping per-peer bookkeeping outside the view
+  /// override them.
+  virtual void on_peer_join(ProcId peer) { (void)peer; }
+  virtual void on_peer_leave(ProcId peer) { (void)peer; }
+
+  /// Internal-synchronization query: bounds on neighbor w's current local
+  /// clock reading when this processor's clock reads `now` — the per-edge
+  /// *gradient* quantity of dynamic-network clock sync (Kuhn–Lenzen–
+  /// Locher–Oshman).  Must not mutate state.  Unbounded by default: a CSA
+  /// without a fused view cannot bound a neighbor's clock.
+  [[nodiscard]] virtual Interval peer_clock_estimate(ProcId w,
+                                                     LocalTime now) const {
+    (void)w;
+    (void)now;
+    return Interval::everything();
+  }
 
   /// Section 3.3 support for real transports (driftsync_runtime): false
   /// once this CSA knows the message sent at `send_id` (an own send event)

@@ -32,6 +32,17 @@ struct EventRecord {
   EventKind kind = EventKind::kInternal;
   ProcId peer = kInvalidProc;  ///< Other endpoint for send/receive events.
   EventId match;               ///< Matching send for kReceive / kLossDecl.
+  /// kReceive only: local seconds between the datagram's *arrival* clock
+  /// reading and this record's reading.  A real node processes a datagram
+  /// some time after the wire delivers it (handler queueing, lock waits),
+  /// and that gap is charged to the record's local time — without this
+  /// field the transit upper bound would silently absorb processing delay,
+  /// and an honest mesh under load becomes "infeasible" (a negative cycle)
+  /// the moment queueing exceeds the spec's wire budget.  The view widens
+  /// the receive→send transit edge by this amount, mapped through the
+  /// receiver's drift envelope; it travels with the record so relays stay
+  /// sound.  Always >= 0; exactly 0.0 for every other event kind.
+  double slack = 0.0;
 
   friend bool operator==(const EventRecord&, const EventRecord&) = default;
 };

@@ -103,6 +103,7 @@ ObservationScreen OptimalCsa::screen_message(ProcId from, LocalTime send_lt,
       // of a known event is equivocation evidence against its owner.
       if (const EventRecord* have = engine_->live_record(r.id)) {
         const bool conflicts = std::fabs(have->lt - r.lt) > 1e-9 ||
+                               std::fabs(have->slack - r.slack) > 1e-9 ||
                                have->kind != r.kind || have->peer != r.peer ||
                                !(have->match == r.match);
         if (conflicts) {

@@ -83,9 +83,23 @@ class OptimalCsa : public Csa {
 
   /// Internal-synchronization-style query: bounds on processor w's current
   /// clock reading (see SyncEngine::peer_clock_estimate).
-  [[nodiscard]] Interval peer_clock_estimate(ProcId w, LocalTime now) const {
+  [[nodiscard]] Interval peer_clock_estimate(ProcId w,
+                                             LocalTime now) const override {
     DS_CHECK(engine_.has_value());
     return engine_->peer_clock_estimate(w, now);
+  }
+
+  /// Membership hooks: the view itself is membership-agnostic (knowledge is
+  /// monotone; AGDP node insert/remove is driven by event ingestion and the
+  /// loss/GC path), so these only count — the counters let hosts and tests
+  /// confirm churn actually reached the CSA layer.
+  void on_peer_join(ProcId peer) override {
+    (void)peer;
+    ++stats_.peer_joins;
+  }
+  void on_peer_leave(ProcId peer) override {
+    (void)peer;
+    ++stats_.peer_leaves;
   }
 
   /// Checkpoint/restore: a node can persist its synchronization state

@@ -132,7 +132,12 @@ View::SyncGraph View::build_sync_graph() const {
       const auto rr = sg.index_of.at(r.id);
       sg.graph.add_edge(s, rr, w.send_to_recv);
       if (w.recv_to_send != kNoBound) {
-        sg.graph.add_edge(rr, s, w.recv_to_send);
+        // Same widening as SyncEngine::ingest: the record's processing
+        // slack is extra receiver-clock time after arrival, outside the
+        // wire budget.
+        sg.graph.add_edge(
+            rr, s,
+            w.recv_to_send + spec_->clock(r.id.proc).rt_upper(r.slack));
       }
     }
   }

@@ -13,12 +13,16 @@ namespace driftsync::wire {
 namespace {
 
 // Flag byte layout: bits 0-1 kind, bit 2 "proc is delta-0 from previous
-// record's proc", bit 3 "seq is prev_seq(proc)+1".  Bits 4-7 are reserved
-// and must be zero.
+// record's proc", bit 3 "seq is prev_seq(proc)+1", bit 4 "a processing
+// slack double follows" (kReceive records only, present exactly when the
+// slack is non-zero — canonicity demands one spelling per record).  Bits
+// 5-7 are reserved and must be zero.
 constexpr std::uint8_t kKindMask = 0x03;
 constexpr std::uint8_t kSameProc = 0x04;
 constexpr std::uint8_t kNextSeq = 0x08;
-constexpr std::uint8_t kKnownFlags = kKindMask | kSameProc | kNextSeq;
+constexpr std::uint8_t kHasSlack = 0x10;
+constexpr std::uint8_t kKnownFlags =
+    kKindMask | kSameProc | kNextSeq | kHasSlack;
 
 // Smallest possible record: flag byte + 8-byte local time (both delta flags
 // set, internal kind).  Used to bound count-prefix-driven allocations.
@@ -156,6 +160,8 @@ void encode_batch_into(std::vector<std::uint8_t>& out,
     const bool next = expected != nullptr && *expected == r.id.seq;
     if (same_proc) flags |= kSameProc;
     if (next) flags |= kNextSeq;
+    const bool has_slack = r.kind == EventKind::kReceive && r.slack != 0.0;
+    if (has_slack) flags |= kHasSlack;
     out.push_back(flags);
     if (!same_proc) put_varint(out, r.id.proc);
     if (!next) put_varint(out, r.id.seq);
@@ -168,6 +174,7 @@ void encode_batch_into(std::vector<std::uint8_t>& out,
       put_varint(out, r.match.proc);
       put_varint(out, r.match.seq);
     }
+    if (has_slack) put_double(out, r.slack);
     prev_proc = r.id.proc;
     next_seq.set(r.id.proc, r.id.seq + 1);
   }
@@ -231,6 +238,18 @@ void decode_batch_into(EventBatch& batch,
     if (r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) {
       r.match.proc = get_proc(bytes, offset, "match processor id");
       r.match.seq = get_varint32(bytes, offset, "match sequence number");
+    }
+    if (flags & kHasSlack) {
+      if (r.kind != EventKind::kReceive) {
+        throw WireError("slack on a non-receive record");
+      }
+      r.slack = get_double(bytes, offset);
+      // Zero slack has exactly one spelling: no flag, no field.  Negative
+      // or non-finite slack never leaves an honest encoder and would widen
+      // (or, negated, unsoundly tighten) a transit constraint downstream.
+      if (!std::isfinite(r.slack) || r.slack <= 0.0) {
+        throw WireError("non-positive processing slack");
+      }
     }
     prev_proc = r.id.proc;
     next_seq.set(r.id.proc, r.id.seq + 1);
@@ -312,6 +331,7 @@ std::size_t encoded_size(const EventBatch& batch) {
     if (r.kind == EventKind::kReceive || r.kind == EventKind::kLossDecl) {
       size += varint_size(r.match.proc) + varint_size(r.match.seq);
     }
+    if (r.kind == EventKind::kReceive && r.slack != 0.0) size += 8;
     prev_proc = r.id.proc;
     next_seq.set(r.id.proc, r.id.seq + 1);
   }

@@ -78,6 +78,14 @@ IncrementalApsp::Handle IncrementalApsp::insert_node(
     const double out = at(slot, sx);
     const double back = at(sx, slot);
     if (out != kNoBound && back != kNoBound && out + back < 0.0) {
+      // Same hygiene as remove_node: the tentative to/from distances were
+      // already written into the slot's row and column above, so wipe them
+      // before recycling — otherwise the next occupant of this slot starts
+      // life with a previous candidate's finite distances in its row.
+      for (std::uint32_t s = 0; s < capacity_; ++s) {
+        at(slot, s) = kNoBound;
+        at(s, slot) = kNoBound;
+      }
       free_slots_.push_back(slot);
       return kNoHandle;
     }
@@ -185,6 +193,39 @@ void IncrementalApsp::remove_node(Handle h) {
     at(slot, s) = kNoBound;
     at(s, slot) = kNoBound;
   }
+}
+
+bool IncrementalApsp::audit_storage() const {
+  // Structural consistency between the four index vectors.
+  if (slot_to_handle_.size() != live_slots_.size()) return false;
+  if (slot_of_.size() != dense_pos_.size()) return false;
+  std::vector<bool> slot_live(capacity_, false);
+  for (std::size_t pos = 0; pos < slot_to_handle_.size(); ++pos) {
+    const Handle h = slot_to_handle_[pos];
+    if (h >= slot_of_.size() || slot_of_[h] == kNoHandle) return false;
+    if (slot_of_[h] != live_slots_[pos]) return false;
+    if (dense_pos_[h] != pos) return false;
+    if (live_slots_[pos] >= capacity_) return false;
+    if (slot_live[live_slots_[pos]]) return false;  // duplicate live slot
+    slot_live[live_slots_[pos]] = true;
+  }
+  for (const std::uint32_t s : free_slots_) {
+    if (s >= capacity_ || slot_live[s]) return false;
+  }
+  // Dead rows and columns must rest at kNoBound: a finite entry there is a
+  // stale distance waiting to leak into the slot's next occupant.  Live
+  // diagonal entries must be exactly zero.
+  for (std::uint32_t a = 0; a < capacity_; ++a) {
+    for (std::uint32_t b = 0; b < capacity_; ++b) {
+      const double d = at(a, b);
+      if (!slot_live[a] || !slot_live[b]) {
+        if (d != kNoBound) return false;
+      } else if (a == b && d != 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace driftsync::graph

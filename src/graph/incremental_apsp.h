@@ -94,6 +94,13 @@ class IncrementalApsp {
   /// the runtime can report how much APSP work a node has actually done.
   [[nodiscard]] std::uint64_t relaxations() const { return relaxations_; }
 
+  /// Storage-hygiene invariant, O(capacity^2) — for tests.  Verifies the
+  /// slot bookkeeping (slot_of_/dense_pos_/slot_to_handle_/live_slots_/
+  /// free_slots_) is mutually consistent and that every dead slot's row and
+  /// column rest at kNoBound, so a recycled slot can never observe a
+  /// previous occupant's (or rejected candidate's) distances.
+  [[nodiscard]] bool audit_storage() const;
+
  private:
   [[nodiscard]] double& at(std::uint32_t slot_from, std::uint32_t slot_to) {
     return matrix_[static_cast<std::size_t>(slot_from) * capacity_ + slot_to];

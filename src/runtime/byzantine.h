@@ -102,6 +102,20 @@ class ByzantinePeer : public Transport {
   [[nodiscard]] std::vector<std::uint8_t> take_buffer(ProcId to) override {
     return inner_->take_buffer(to);
   }
+  /// Membership passes through; a retire also drops datagrams the delay
+  /// attack still holds for that peer and the replayer's cached last send.
+  [[nodiscard]] bool admit_current_sender(ProcId peer) override {
+    return inner_->admit_current_sender(peer);
+  }
+  void retire_peer(ProcId peer) override {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      std::erase_if(held_, [peer](const Held& h) { return h.to == peer; });
+      last_sent_.erase(peer);
+    }
+    inner_->retire_peer(peer);
+  }
+
   [[nodiscard]] TransportStats transport_stats() const override {
     return inner_->transport_stats();
   }

@@ -114,6 +114,20 @@ class ChaosTransport : public Transport {
     return inner_->take_buffer(to);
   }
 
+  /// Membership passes through; a retire also discards any datagram the
+  /// reorder fault is still holding for that peer (nobody will release it).
+  [[nodiscard]] bool admit_current_sender(ProcId peer) override {
+    return inner_->admit_current_sender(peer);
+  }
+  void retire_peer(ProcId peer) override {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      held_.erase(peer);
+      partitioned_.erase(peer);
+    }
+    inner_->retire_peer(peer);
+  }
+
   /// Fault injection adds no counters of its own here (see injected());
   /// the wrapped transport's health flows through unchanged.
   [[nodiscard]] TransportStats transport_stats() const override {

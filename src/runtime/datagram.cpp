@@ -24,8 +24,11 @@ enum class Type : std::uint8_t {
   kMetricsResp = 6,
   kClientReq = 7,
   kClientResp = 8,
+  kJoinReq = 9,
+  kJoinAck = 10,
+  kLeave = 11,
 };
-constexpr std::uint8_t kMaxType = 8;
+constexpr std::uint8_t kMaxType = 11;
 
 /// Extension-block flag bits (kData only).  The block is appended after the
 /// payload; each set bit contributes its field in bit order.  An absent
@@ -164,6 +167,23 @@ void encode_body(std::vector<std::uint8_t>& out, const ClientResp& m) {
   wire::put_double(out, m.hi);
 }
 
+void encode_body(std::vector<std::uint8_t>& out, const JoinReqMsg& m) {
+  put_header(out, Type::kJoinReq);
+  wire::put_varint(out, m.from);
+  wire::put_varint(out, m.nonce);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const JoinAckMsg& m) {
+  put_header(out, Type::kJoinAck);
+  wire::put_varint(out, m.from);
+  wire::put_varint(out, m.nonce);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const LeaveMsg& m) {
+  put_header(out, Type::kLeave);
+  wire::put_varint(out, m.from);
+}
+
 DataMsg decode_data(std::span<const std::uint8_t> bytes, std::size_t& offset) {
   DataMsg m;
   m.from = get_proc(bytes, offset, "data sender");
@@ -294,6 +314,31 @@ ClientResp decode_client_resp(std::span<const std::uint8_t> bytes,
   return m;
 }
 
+JoinReqMsg decode_join_req(std::span<const std::uint8_t> bytes,
+                           std::size_t& offset) {
+  JoinReqMsg m;
+  m.from = get_proc(bytes, offset, "join requester");
+  m.nonce = wire::get_varint(bytes, offset);
+  if (m.nonce == 0) throw WireError("zero join nonce");
+  return m;
+}
+
+JoinAckMsg decode_join_ack(std::span<const std::uint8_t> bytes,
+                           std::size_t& offset) {
+  JoinAckMsg m;
+  m.from = get_proc(bytes, offset, "join acknowledger");
+  m.nonce = wire::get_varint(bytes, offset);
+  if (m.nonce == 0) throw WireError("zero join nonce");
+  return m;
+}
+
+LeaveMsg decode_leave(std::span<const std::uint8_t> bytes,
+                      std::size_t& offset) {
+  LeaveMsg m;
+  m.from = get_proc(bytes, offset, "leaving peer");
+  return m;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_datagram(const Datagram& dgram) {
@@ -345,6 +390,15 @@ Datagram decode_datagram(std::span<const std::uint8_t> bytes) {
       break;
     case Type::kClientResp:
       dgram = decode_client_resp(bytes, offset);
+      break;
+    case Type::kJoinReq:
+      dgram = decode_join_req(bytes, offset);
+      break;
+    case Type::kJoinAck:
+      dgram = decode_join_ack(bytes, offset);
+      break;
+    case Type::kLeave:
+      dgram = decode_leave(bytes, offset);
       break;
   }
   if (offset != bytes.size()) throw WireError("trailing bytes after datagram");

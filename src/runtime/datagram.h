@@ -1,6 +1,6 @@
 // Datagram framing for the runtime transports (DESIGN.md S7).
 //
-// Everything a Node puts on the wire is one of nine self-describing
+// Everything a Node puts on the wire is one of twelve self-describing
 // datagram types behind a 3-byte header (magic "DS" + version).  The codec
 // follows the core/wire.h contract: canonical encodings only, and every
 // decode path treats its input as untrusted — malformed bytes throw
@@ -152,8 +152,41 @@ struct ClientResp {
   friend bool operator==(const ClientResp&, const ClientResp&) = default;
 };
 
-using Datagram = std::variant<DataMsg, AckMsg, SkipMsg, ProbeReq, ProbeResp,
-                              MetricsReq, MetricsResp, ClientReq, ClientResp>;
+/// Membership handshake, request leg (DESIGN.md decision 19).  "Admit me as
+/// an active peer."  The receiver admits the sender (spec-neighbor gated),
+/// learns its transport address from the datagram source, and replies with
+/// a JoinAck echoing the nonce.  Idempotent: a JoinReq from an already
+/// active member just re-acks, so lost acks are handled by retrying.
+struct JoinReqMsg {
+  ProcId from = kInvalidProc;
+  std::uint64_t nonce = 0;  ///< Nonzero; echoed back in the JoinAck.
+
+  friend bool operator==(const JoinReqMsg&, const JoinReqMsg&) = default;
+};
+
+/// Membership handshake, reply leg: confirms the sender admitted `from`.
+struct JoinAckMsg {
+  ProcId from = kInvalidProc;
+  std::uint64_t nonce = 0;  ///< Echo of JoinReqMsg::nonce.
+
+  friend bool operator==(const JoinAckMsg&, const JoinAckMsg&) = default;
+};
+
+/// Graceful departure: "retire me from your active membership".  Best
+/// effort and idempotent — a leave for a non-member is a counted ignore.
+/// The receiver renounces any pending skip-commit seat toward the departed
+/// peer and journals its wire frontier so a later rejoin resumes sequence
+/// numbers instead of replaying from scratch.
+struct LeaveMsg {
+  ProcId from = kInvalidProc;
+
+  friend bool operator==(const LeaveMsg&, const LeaveMsg&) = default;
+};
+
+using Datagram =
+    std::variant<DataMsg, AckMsg, SkipMsg, ProbeReq, ProbeResp, MetricsReq,
+                 MetricsResp, ClientReq, ClientResp, JoinReqMsg, JoinAckMsg,
+                 LeaveMsg>;
 
 std::vector<std::uint8_t> encode_datagram(const Datagram& dgram);
 

@@ -1,0 +1,85 @@
+#include "runtime/membership.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace driftsync::runtime {
+
+std::size_t MembershipTable::lower_bound(ProcId peer) const {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), peer,
+      [this](std::uint32_t slot, ProcId p) { return slots_[slot].peer < p; });
+  return static_cast<std::size_t>(it - index_.begin());
+}
+
+PeerState* MembershipTable::find_any(ProcId peer) {
+  const std::size_t pos = lower_bound(peer);
+  if (pos == index_.size() || slots_[index_[pos]].peer != peer) return nullptr;
+  return &slots_[index_[pos]];
+}
+
+const PeerState* MembershipTable::find_any(ProcId peer) const {
+  const std::size_t pos = lower_bound(peer);
+  if (pos == index_.size() || slots_[index_[pos]].peer != peer) return nullptr;
+  return &slots_[index_[pos]];
+}
+
+PeerState& MembershipTable::admit(ProcId peer, bool* newly_active) {
+  DS_CHECK(peer != kInvalidProc);
+  const std::size_t pos = lower_bound(peer);
+  if (pos < index_.size() && slots_[index_[pos]].peer == peer) {
+    PeerState& s = slots_[index_[pos]];
+    if (s.active) {
+      if (newly_active != nullptr) *newly_active = false;
+      return s;  // idempotent join
+    }
+    // Reactivation: the journaled wire frontier survives, health does not.
+    s.active = true;
+    s.reset_health();
+    ++active_;
+    if (newly_active != nullptr) *newly_active = true;
+    return s;
+  }
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = PeerState{};
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  PeerState& s = slots_[slot];
+  s.peer = peer;
+  s.active = true;
+  index_.insert(index_.begin() + static_cast<std::ptrdiff_t>(pos), slot);
+  ++active_;
+  if (newly_active != nullptr) *newly_active = true;
+  return s;
+}
+
+bool MembershipTable::retire(ProcId peer) {
+  PeerState* s = find_any(peer);
+  if (s == nullptr || !s->active) return false;
+  s->active = false;
+  DS_CHECK(active_ > 0);
+  --active_;
+  return true;
+}
+
+bool MembershipTable::forget(ProcId peer) {
+  const std::size_t pos = lower_bound(peer);
+  if (pos == index_.size() || slots_[index_[pos]].peer != peer) return false;
+  const std::uint32_t slot = index_[pos];
+  if (slots_[slot].active) {
+    DS_CHECK(active_ > 0);
+    --active_;
+  }
+  slots_[slot] = PeerState{};
+  index_.erase(index_.begin() + static_cast<std::ptrdiff_t>(pos));
+  free_.push_back(slot);
+  return true;
+}
+
+}  // namespace driftsync::runtime

@@ -23,7 +23,9 @@ namespace driftsync::runtime {
 namespace {
 
 constexpr char kCkptMagic[4] = {'D', 'S', 'N', 'D'};
-constexpr std::uint64_t kCkptVersion = 1;
+/// v2 adds a per-entry active flag so journaled former members persist;
+/// v1 images (all entries implicitly active) still restore.
+constexpr std::uint64_t kCkptVersion = 2;
 
 /// Two events of one processor must have distinct, increasing local times
 /// (the paper's clocks are strictly increasing); a coarse TimeSource can
@@ -115,7 +117,10 @@ Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
       // 100 µs .. ~26 s: spans loopback widths through badly diverged ones.
       width_hist_(Histogram::exponential(1e-4, 4.0, 10)),
       // 1 µs .. ~0.26 s: datagram handling including persist().
-      handle_hist_(Histogram::exponential(1e-6, 4.0, 10)) {
+      handle_hist_(Histogram::exponential(1e-6, 4.0, 10)),
+      // 1 µs .. ~4 s: per-neighbor gradient skew/width (poll-sampled).
+      gradient_skew_hist_(Histogram::exponential(1e-6, 4.0, 12)),
+      gradient_width_hist_(Histogram::exponential(1e-6, 4.0, 12)) {
   DS_CHECK(csa_ && time_source_ && transport_);
   DS_CHECK(cfg_.self < cfg_.spec.num_procs());
   DS_CHECK(cfg_.poll_period > 0.0 && cfg_.fate_timeout > 0.0 &&
@@ -149,7 +154,11 @@ void Node::start() {
   std::unique_lock<std::mutex> lock(mu_);
   DS_CHECK_MSG(!running_, "node started twice");
   csa_->init(cfg_.spec, cfg_.self);
-  for (const ProcId p : cfg_.peers) peers_[p];
+  // The configured startup roster is membership, not churn: no join
+  // counters, no CSA hooks — stats and CsaStats stay zero for a static
+  // mesh, so churn counters mean what they say.
+  membership_.reserve(cfg_.peers.size());
+  for (const ProcId p : cfg_.peers) membership_.admit(p);
   if (!cfg_.checkpoint_path.empty()) {
     checkpoint_supported_ = !csa_->checkpoint().empty();
     if (!checkpoint_supported_) {
@@ -171,11 +180,11 @@ void Node::start() {
   // Stagger initial polls so an n-node restart does not burst.
   const double now = steady_seconds();
   std::size_t i = 0;
-  for (auto& [p, state] : peers_) {
+  const double denom = static_cast<double>(membership_.active_count() + 1);
+  membership_.for_each_active([&](PeerState& state) {
     state.next_poll =
-        now + cfg_.poll_period * static_cast<double>(++i) /
-                  static_cast<double>(peers_.size() + 1);
-  }
+        now + cfg_.poll_period * static_cast<double>(++i) / denom;
+  });
   running_ = true;
   lock.unlock();
   transport_->start(
@@ -235,8 +244,10 @@ NodeStats Node::stats() const {
   }
   s.transport = transport_->transport_stats();
   s.width = csa_->estimate(query_time_locked()).width();
+  s.peers_journaled = membership_.journal_count();
   const double now = steady_seconds();
-  for (const auto& [peer, state] : peers_) {
+  membership_.for_each_active([&](const PeerState& state) {
+    const ProcId peer = state.peer;
     s.last_heard[peer] = state.last_heard < 0.0 ? -1.0
                                                 : now - state.last_heard;
     if (state.quarantined) s.quarantined.push_back(peer);
@@ -244,7 +255,7 @@ NodeStats Node::stats() const {
     s.readmission_cost[peer] = state.readmission_cost != 0
                                    ? state.readmission_cost
                                    : cfg_.quarantine_threshold;
-  }
+  });
   return s;
 }
 
@@ -300,6 +311,10 @@ std::string Node::stats_json_locked() const {
   append_json_u64(out, "peer_quarantines", stats_.peer_quarantines);
   append_json_u64(out, "peer_readmissions", stats_.peer_readmissions);
   append_json_u64(out, "backoff_resets", stats_.backoff_resets);
+  append_json_u64(out, "peer_joins", stats_.peer_joins);
+  append_json_u64(out, "peer_leaves", stats_.peer_leaves);
+  append_json_u64(out, "membership_active", membership_.active_count());
+  append_json_u64(out, "membership_journal", membership_.journal_count());
   append_json_u64(out, "msg_path_allocs", stats_.msg_path_allocs);
   append_json_u64(out, "msg_path_alloc_bytes", stats_.msg_path_alloc_bytes);
   // Serving tier (all zero unless --serve is on).
@@ -338,38 +353,38 @@ std::string Node::stats_json_locked() const {
   const double steady_now = steady_seconds();
   out += ",\"last_heard\":{";
   bool first_peer = true;
-  for (const auto& [peer, state] : peers_) {
+  membership_.for_each_active([&](const PeerState& state) {
     if (!first_peer) out += ',';
     first_peer = false;
-    std::snprintf(buf, sizeof(buf), "\"%u\":", peer);
+    std::snprintf(buf, sizeof(buf), "\"%u\":", state.peer);
     out += buf;
     if (state.last_heard < 0.0) {
       out += "null";
     } else {
       append_json_number(out, steady_now - state.last_heard);
     }
-  }
+  });
   out += "},\"quarantined\":[";
   first_peer = true;
-  for (const auto& [peer, state] : peers_) {
-    if (!state.quarantined) continue;
+  membership_.for_each_active([&](const PeerState& state) {
+    if (!state.quarantined) return;
     if (!first_peer) out += ',';
     first_peer = false;
-    std::snprintf(buf, sizeof(buf), "%u", peer);
+    std::snprintf(buf, sizeof(buf), "%u", state.peer);
     out += buf;
-  }
+  });
   // Suspicion roster: every peer with a nonzero (decayed) score — the
   // suspect set a violation dump names.
   out += "],\"suspicion\":{";
   first_peer = true;
-  for (const auto& [peer, state] : peers_) {
-    if (state.suspicion <= 0.0) continue;
+  membership_.for_each_active([&](const PeerState& state) {
+    if (state.suspicion <= 0.0) return;
     if (!first_peer) out += ',';
     first_peer = false;
-    std::snprintf(buf, sizeof(buf), "\"%u\":", peer);
+    std::snprintf(buf, sizeof(buf), "\"%u\":", state.peer);
     out += buf;
     append_json_number(out, state.suspicion);
-  }
+  });
   out += "}}";
   return out;
 }
@@ -417,6 +432,13 @@ std::string Node::metrics_text_locked() const {
   counter("driftsync_peer_quarantines", stats_.peer_quarantines);
   counter("driftsync_peer_readmissions", stats_.peer_readmissions);
   counter("driftsync_backoff_resets", stats_.backoff_resets);
+  // Dynamic membership (decision 19).
+  counter("driftsync_peer_joins", stats_.peer_joins);
+  counter("driftsync_peer_leaves", stats_.peer_leaves);
+  gauge("driftsync_membership_active",
+        static_cast<double>(membership_.active_count()));
+  gauge("driftsync_membership_journal",
+        static_cast<double>(membership_.journal_count()));
   // Byzantine defense (DESIGN.md decision 18).
   counter("driftsync_byzantine_suspect_rejected", stats_.suspect_rejected);
   counter("driftsync_byzantine_replay_rejected", stats_.replay_rejected);
@@ -426,9 +448,9 @@ std::string Node::metrics_text_locked() const {
           stats_.equivocations_detected);
   {
     double total_suspicion = 0.0;
-    for (const auto& [peer, state] : peers_) {
+    membership_.for_each_active([&](const PeerState& state) {
       total_suspicion += state.suspicion;
-    }
+    });
     gauge("driftsync_byzantine_suspicion_total", total_suspicion);
   }
   if (serve_ != nullptr) {
@@ -464,6 +486,10 @@ std::string Node::metrics_text_locked() const {
   }
   append_prometheus(out, "driftsync_width_seconds", labels, width_hist_);
   append_prometheus(out, "driftsync_handle_seconds", labels, handle_hist_);
+  append_prometheus(out, "driftsync_gradient_skew_seconds", labels,
+                    gradient_skew_hist_);
+  append_prometheus(out, "driftsync_gradient_width_seconds", labels,
+                    gradient_width_hist_);
   if (serve_ != nullptr) {
     append_prometheus(out, "driftsync_serve_width_seconds", labels,
                       serve_->width_hist());
@@ -496,12 +522,23 @@ void Node::transmit(ProcId to, const Datagram& dgram) {
 }
 
 void Node::poll_peer(ProcId peer, PeerState& state) {
-  DS_CHECK(state.fate == Fate::kNone);
+  DS_CHECK(state.fate == PeerFate::kNone);
+  // Gradient sample at the poll cadence: what the fused view can say about
+  // this neighbor's clock right now.  Unbounded (no usable path yet) stays
+  // out of the histograms so cold-start does not read as divergence.
+  {
+    const LocalTime now = query_time_locked();
+    const Interval nb = csa_->peer_clock_estimate(peer, now);
+    if (!nb.empty() && std::isfinite(nb.width())) {
+      gradient_width_hist_.add(nb.width());
+      gradient_skew_hist_.add(std::abs(0.5 * (nb.lo + nb.hi) - now));
+    }
+  }
   const EventRecord send_event = make_own_event(
       EventKind::kSend, peer, kInvalidEvent);
   const SendContext ctx{cfg_.self, peer, send_event, 0};
   CsaPayload payload = csa_->on_send(ctx);
-  state.fate = Fate::kAwaitingAck;
+  state.fate = PeerFate::kAwaitingAck;
   state.pending_seq = state.out_seq_next++;
   state.pending_send_seq = send_event.id.seq;
   state.fate_deadline = steady_seconds() + cfg_.fate_timeout;
@@ -526,7 +563,7 @@ void Node::poll_peer(ProcId peer, PeerState& state) {
 }
 
 void Node::send_skip(ProcId peer, PeerState& state) {
-  DS_CHECK(state.fate == Fate::kAborting);
+  DS_CHECK(state.fate == PeerFate::kAborting);
   state.fate_deadline = steady_seconds() + backed_off(cfg_.skip_retry, state);
   ++stats_.skips_sent;
   transmit(peer, Datagram{SkipMsg{cfg_.self, state.pending_seq}});
@@ -544,6 +581,11 @@ void Node::send_ack(ProcId peer, const PeerState& state) {
 }
 
 void Node::on_datagram(std::span<const std::uint8_t> bytes) {
+  // Arrival stamp BEFORE decode and before the lock wait below: the time a
+  // datagram spends queued behind other handlers must not be charged to
+  // the wire when the receive event's transit constraint is built (see
+  // EventRecord::slack).  TimeSource::now() is a lock-free affine read.
+  const LocalTime arrival_lt = time_source_->now();
   Datagram dgram;
   try {
     dgram = decode_datagram(bytes);
@@ -559,9 +601,9 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
   ++stats_.dgrams_in;
   stats_.bytes_in += bytes.size();
   if (const auto* data = std::get_if<DataMsg>(&dgram)) {
-    handle_data(*data);
+    handle_data(*data, arrival_lt);
   } else if (const auto* ack = std::get_if<AckMsg>(&dgram)) {
-    if (peers_.find(ack->from) == peers_.end()) {
+    if (membership_.find(ack->from) == nullptr) {
       ++stats_.ignored_dgrams;
     } else {
       handle_ack(ack->from, ack->processed_hw, ack->seen_hw);
@@ -574,6 +616,12 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
     handle_metrics(*metrics);
   } else if (const auto* client = std::get_if<ClientReq>(&dgram)) {
     handle_client_req(*client);
+  } else if (const auto* join = std::get_if<JoinReqMsg>(&dgram)) {
+    handle_join_req(*join);
+  } else if (const auto* join_ack = std::get_if<JoinAckMsg>(&dgram)) {
+    handle_join_ack(*join_ack);
+  } else if (const auto* leave = std::get_if<LeaveMsg>(&dgram)) {
+    handle_leave(*leave);
   } else {
     ++stats_.ignored_dgrams;  // Responses: nodes never consume them.
   }
@@ -583,13 +631,13 @@ void Node::on_datagram(std::span<const std::uint8_t> bytes) {
       alloc_stats::allocated_bytes() - alloc_bytes_before;
 }
 
-void Node::handle_data(const DataMsg& msg) {
-  const auto it = peers_.find(msg.from);
-  if (it == peers_.end()) {
+void Node::handle_data(const DataMsg& msg, LocalTime arrival_lt) {
+  PeerState* sp = membership_.find(msg.from);
+  if (sp == nullptr) {
     ++stats_.ignored_dgrams;
     return;
   }
-  PeerState& state = it->second;
+  PeerState& state = *sp;
   // The piggybacked cumulative ack first: it may resolve our own fate.
   handle_ack(msg.from, msg.processed_hw, msg.seen_hw);
   if (msg.dgram_seq <= state.last_seen) {
@@ -620,17 +668,21 @@ void Node::handle_data(const DataMsg& msg) {
   // resolves the datagram as a loss; verdicts drive the decaying suspicion
   // score, which drives the quarantine state machine.
   if (cfg_.quarantine_threshold > 0) {
-    const ObservationScreen screen = csa_->screen_message(
-        msg.from, msg.send_lt, query_time_locked(), msg.payload);
+    // Feasibility is judged at ARRIVAL, not at processing: a datagram that
+    // waited out a lock convoy is not thereby "too old", and a forged
+    // send_lt from the future is compared against the earlier (stricter)
+    // reading the claim had to be feasible at.
+    const ObservationScreen screen =
+        csa_->screen_message(msg.from, msg.send_lt, arrival_lt, msg.payload);
     if (screen.implicated != kInvalidProc) {
       // Equivocation evidence: the implicated peer told someone else a
       // different story about the same event.  When the carrier is an
       // honest relay the message itself may still be kOk — only the
       // equivocator's score is raised.
       ++stats_.equivocations_detected;
-      const auto imp = peers_.find(screen.implicated);
-      if (imp != peers_.end() && screen.implicated != msg.from) {
-        raise_suspicion(imp->second, screen.implicated, msg.trace_id);
+      PeerState* imp = membership_.find(screen.implicated);
+      if (imp != nullptr && screen.implicated != msg.from) {
+        raise_suspicion(*imp, screen.implicated, msg.trace_id);
       }
     }
     if (screen.verdict != ObservationVerdict::kOk) {
@@ -683,9 +735,13 @@ void Node::handle_data(const DataMsg& msg) {
   // so the own-event sequence stays gapless.
   const std::uint32_t saved_event_seq = next_event_seq_;
   const std::uint64_t saved_events = stats_.events;
-  const EventRecord recv_event =
+  EventRecord recv_event =
       make_own_event(EventKind::kReceive, msg.from,
                      EventId{msg.from, msg.send_seq});
+  // Mint-minus-arrival: the handler latency this datagram actually paid.
+  // The max() guards a time source whose reads are only non-decreasing
+  // across threads (the mint above re-read the clock under the lock).
+  recv_event.slack = std::max(0.0, recv_event.lt - arrival_lt);
   EventRecord send_event;
   send_event.id = EventId{msg.from, msg.send_seq};
   send_event.lt = msg.send_lt;
@@ -732,9 +788,11 @@ void Node::renounce_data(const DataMsg& msg, PeerState& state) {
 
 void Node::handle_ack(ProcId from, std::uint64_t processed_hw,
                       std::uint64_t seen_hw) {
-  PeerState& state = peers_.at(from);
+  PeerState* sp = membership_.find(from);
+  if (sp == nullptr) return;  // Raced with a retirement.
+  PeerState& state = *sp;
   state.last_heard = steady_seconds();
-  if (state.fate == Fate::kNone) return;
+  if (state.fate == PeerFate::kNone) return;
   const std::uint64_t n = state.pending_seq;
   if (processed_hw >= n) {
     // Processed: the Section 3.3 fate is "delivered".
@@ -765,24 +823,24 @@ void Node::handle_ack(ProcId from, std::uint64_t processed_hw,
   } else {
     return;  // Stale ack: fate still unknown, keep waiting.
   }
-  if (state.fate == Fate::kAwaitingAck && state.backoff_exp > 0) {
+  if (state.fate == PeerFate::kAwaitingAck && state.backoff_exp > 0) {
     // One clean round trip (no timeout) resets the backoff; a fate that
     // resolved only through the abort path keeps the peer backed off until
     // it manages one.
     state.backoff_exp = 0;
     ++stats_.backoff_resets;
   }
-  state.fate = Fate::kNone;
+  state.fate = PeerFate::kNone;
   persist();
 }
 
 void Node::handle_skip(const SkipMsg& msg) {
-  const auto it = peers_.find(msg.from);
-  if (it == peers_.end()) {
+  PeerState* sp = membership_.find(msg.from);
+  if (sp == nullptr) {
     ++stats_.ignored_dgrams;
     return;
   }
-  PeerState& state = it->second;
+  PeerState& state = *sp;
   state.last_heard = steady_seconds();
   if (msg.skip_to > state.last_seen) {
     // Commit: datagrams up to skip_to will never be processed here.  The
@@ -863,28 +921,127 @@ void Node::handle_client_req(const ClientReq& msg) {
   transmit(kReplyPeer, Datagram{resp});
 }
 
+PeerState& Node::admit_locked(ProcId peer, bool bind_sender) {
+  bool newly_active = false;
+  PeerState& state = membership_.admit(peer, &newly_active);
+  if (bind_sender) {
+    // Learn the joiner's transport address from the datagram being handled
+    // (UDP: the source address).  Transports that route by ProcId alone
+    // report success without needing it.
+    [[maybe_unused]] const bool bound = transport_->admit_current_sender(peer);
+  }
+  if (newly_active) {
+    if (state.fate != PeerFate::kNone) {
+      // A journaled in-flight datagram's fate is still unresolved — the old
+      // incarnation may or may not have processed it.  Renouncing it here
+      // would be an unsound loss declaration; resuming as kAborting with an
+      // expired deadline re-resolves it through the skip-commit path on the
+      // next timer pass instead.
+      state.fate = PeerFate::kAborting;
+      state.fate_deadline = 0.0;
+    }
+    csa_->on_peer_join(peer);
+    ++stats_.peer_joins;
+    // state.next_poll is 0 (reset_health / fresh entry): the timer polls
+    // this peer on its next pass, which cv_ wakes now.
+    cv_.notify_all();
+  }
+  state.last_heard = steady_seconds();
+  return state;
+}
+
+void Node::retire_locked(ProcId peer) {
+  if (!membership_.retire(peer)) return;  // Idempotent.
+  // Drop the transport's queued backlog and forget the address; the peer's
+  // wire frontier (sequence counters, unresolved fate) stays journaled so a
+  // rejoin resumes soundly instead of restarting sequence numbers.
+  transport_->retire_peer(peer);
+  csa_->on_peer_leave(peer);
+  ++stats_.peer_leaves;
+}
+
+void Node::handle_join_req(const JoinReqMsg& msg) {
+  if (!cfg_.dynamic_join || msg.from == cfg_.self ||
+      msg.from >= cfg_.spec.num_procs() ||
+      !cfg_.spec.are_neighbors(cfg_.self, msg.from)) {
+    ++stats_.ignored_dgrams;
+    return;
+  }
+  admit_locked(msg.from, /*bind_sender=*/true);
+  // Idempotent by design: a re-sent JoinReq (our ack was lost) re-acks.
+  transmit(kReplyPeer, Datagram{JoinAckMsg{cfg_.self, msg.nonce}});
+}
+
+void Node::handle_join_ack(const JoinAckMsg& msg) {
+  PeerState* sp = membership_.find(msg.from);
+  if (sp == nullptr) {
+    ++stats_.ignored_dgrams;  // Never solicited, or already retired again.
+    return;
+  }
+  sp->last_heard = steady_seconds();
+}
+
+void Node::handle_leave(const LeaveMsg& msg) {
+  if (!cfg_.dynamic_join || membership_.find(msg.from) == nullptr) {
+    ++stats_.ignored_dgrams;
+    return;
+  }
+  retire_locked(msg.from);
+}
+
+void Node::admit_peer(ProcId peer) {
+  DS_CHECK_MSG(peer != cfg_.self && peer < cfg_.spec.num_procs() &&
+                   cfg_.spec.are_neighbors(cfg_.self, peer),
+               "admit_peer: not a spec neighbor");
+  const std::lock_guard<std::mutex> lock(mu_);
+  DS_CHECK_MSG(running_, "admit_peer before start");
+  admit_locked(peer, /*bind_sender=*/false);
+  // Solicit the remote side: it learns our address from this datagram's
+  // source and (with dynamic_join on) admits us back.  Zero is reserved as
+  // "no nonce" on the wire, hence the bias.
+  const std::uint64_t nonce = 1 + (jitter_rng_.next_u64() >> 1);
+  transmit(peer, Datagram{JoinReqMsg{cfg_.self, nonce}});
+}
+
+void Node::remove_peer(ProcId peer) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  DS_CHECK_MSG(running_, "remove_peer before start");
+  if (membership_.find(peer) == nullptr) return;  // Idempotent.
+  // Best-effort courtesy announcement BEFORE the transport forgets the
+  // peer's address; its loss costs nothing but a slower discovery (the
+  // remote's polls time out into backoff against a silent neighbor).
+  transmit(peer, Datagram{LeaveMsg{cfg_.self}});
+  retire_locked(peer);
+}
+
+Interval Node::peer_clock_bounds(ProcId peer) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return csa_->peer_clock_estimate(peer, query_time_locked());
+}
+
 void Node::timer_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (running_) {
     const double now = steady_seconds();
     double next = now + 3600.0;
-    for (auto& [peer, state] : peers_) {
+    membership_.for_each_active([&](PeerState& state) {
+      const ProcId peer = state.peer;
       switch (state.fate) {
-        case Fate::kAwaitingAck:
+        case PeerFate::kAwaitingAck:
           if (now >= state.fate_deadline) {
             // Timeout: abort the datagram's fate via a skip commit.  No
             // persist needed — a restart maps kAwaitingAck to kAborting.
             if (state.backoff_exp < cfg_.backoff_cap) ++state.backoff_exp;
-            state.fate = Fate::kAborting;
+            state.fate = PeerFate::kAborting;
             send_skip(peer, state);
           }
           next = std::min(next, state.fate_deadline);
           break;
-        case Fate::kAborting:
+        case PeerFate::kAborting:
           if (now >= state.fate_deadline) send_skip(peer, state);
           next = std::min(next, state.fate_deadline);
           break;
-        case Fate::kNone:
+        case PeerFate::kNone:
           if (now >= state.next_poll) {
             const double period =
                 cfg_.poll_period *
@@ -897,7 +1054,7 @@ void Node::timer_loop() {
           }
           break;
       }
-    }
+    });
     if (serve_ != nullptr && now >= next_reap_) {
       serve_->reap_idle(now);
       // Reap a few times per idle window: precise enough for bounded
@@ -923,18 +1080,22 @@ std::vector<std::uint8_t> Node::encode_checkpoint() const {
   wire::put_varint(out, cfg_.spec.num_procs());
   wire::put_varint(out, next_event_seq_);
   wire::put_double(out, last_event_lt_);
-  wire::put_varint(out, peers_.size());
-  for (const auto& [peer, state] : peers_) {  // Ascending: canonical image.
-    wire::put_varint(out, peer);
+  wire::put_varint(out, membership_.size());
+  // Every entry — journaled ones included: a departed peer's wire frontier
+  // must survive a restart or its rejoin would see restarted sequence
+  // numbers.  Ascending ProcId: canonical image.
+  membership_.for_each([&out](const PeerState& state) {
+    wire::put_varint(out, state.peer);
+    out.push_back(state.active ? 1 : 0);
     wire::put_varint(out, state.out_seq_next);
     wire::put_varint(out, state.last_processed);
     wire::put_varint(out, state.last_seen);
     out.push_back(static_cast<std::uint8_t>(state.fate));
-    if (state.fate != Fate::kNone) {
+    if (state.fate != PeerFate::kNone) {
       wire::put_varint(out, state.pending_seq);
       wire::put_varint(out, state.pending_send_seq);
     }
-  }
+  });
   const std::vector<std::uint8_t> csa_image = csa_->checkpoint();
   wire::put_varint(out, csa_image.size());
   out.insert(out.end(), csa_image.begin(), csa_image.end());
@@ -946,13 +1107,14 @@ void Node::load_checkpoint(std::span<const std::uint8_t> bytes) {
   // image (CheckpointError) leaves the node exactly as it was.
   std::uint32_t next_event_seq = 0;
   LocalTime last_event_lt = 0.0;
-  std::map<ProcId, PeerState> peers = peers_;
+  std::vector<PeerState> entries;
   try {
     if (bytes.size() < 4 || std::memcmp(bytes.data(), kCkptMagic, 4) != 0) {
       throw CheckpointError("bad node checkpoint magic");
     }
     std::size_t offset = 4;
-    if (wire::get_varint(bytes, offset) != kCkptVersion) {
+    const std::uint64_t version = wire::get_varint(bytes, offset);
+    if (version != 1 && version != kCkptVersion) {
       throw CheckpointError("unknown node checkpoint version");
     }
     if (wire::get_varint(bytes, offset) != cfg_.self) {
@@ -976,17 +1138,23 @@ void Node::load_checkpoint(std::span<const std::uint8_t> bytes) {
     for (std::uint64_t i = 0; i < num_peers; ++i) {
       const std::uint64_t peer64 = wire::get_varint(bytes, offset);
       if (peer64 >= kInvalidProc) throw CheckpointError("bad peer id");
-      const ProcId peer = static_cast<ProcId>(peer64);
-      if (!first && peer <= prev_peer) {
+      PeerState state;
+      state.peer = static_cast<ProcId>(peer64);
+      if (!first && state.peer <= prev_peer) {
         throw CheckpointError("peers out of order");
       }
       first = false;
-      prev_peer = peer;
-      const auto it = peers.find(peer);
-      if (it == peers.end()) {
-        throw CheckpointError("checkpoint names an unconfigured peer");
+      prev_peer = state.peer;
+      if (version >= 2) {
+        if (offset >= bytes.size()) {
+          throw CheckpointError("truncated active flag");
+        }
+        const std::uint8_t active = bytes[offset++];
+        if (active > 1) throw CheckpointError("bad active flag");
+        state.active = active != 0;
+      } else {
+        state.active = true;  // v1: every persisted peer was active.
       }
-      PeerState& state = it->second;
       state.out_seq_next = wire::get_varint(bytes, offset);
       if (state.out_seq_next == 0) {
         throw CheckpointError("zero outbound sequence");
@@ -999,8 +1167,8 @@ void Node::load_checkpoint(std::span<const std::uint8_t> bytes) {
       if (offset >= bytes.size()) throw CheckpointError("truncated fate");
       const std::uint8_t fate = bytes[offset++];
       if (fate > 2) throw CheckpointError("unknown fate value");
-      state.fate = static_cast<Fate>(fate);
-      if (state.fate != Fate::kNone) {
+      state.fate = static_cast<PeerFate>(fate);
+      if (state.fate != PeerFate::kNone) {
         state.pending_seq = wire::get_varint(bytes, offset);
         if (state.pending_seq == 0 ||
             state.pending_seq >= state.out_seq_next) {
@@ -1011,11 +1179,8 @@ void Node::load_checkpoint(std::span<const std::uint8_t> bytes) {
           throw CheckpointError("pending send event out of range");
         }
         state.pending_send_seq = static_cast<std::uint32_t>(ps);
-        // Whatever the pre-crash state, the datagram's fate is unresolved:
-        // resume by aborting it (skip commit), immediately.
-        state.fate = Fate::kAborting;
-        state.fate_deadline = 0.0;
       }
+      entries.push_back(state);
     }
     const std::uint64_t csa_len = wire::get_varint(bytes, offset);
     if (csa_len > bytes.size() - offset) {
@@ -1035,9 +1200,34 @@ void Node::load_checkpoint(std::span<const std::uint8_t> bytes) {
     throw CheckpointError(std::string("bad node checkpoint encoding (") +
                           e.what() + ")");
   }
+  // Commit.  The CONFIGURED roster decides who is active now: an image
+  // written under a different roster loads as the intersection, and every
+  // peer it names beyond the roster is journaled — its wire frontier is
+  // preserved for a later admission, never resurrected into the active
+  // membership and never a reason to reject the image.
   next_event_seq_ = next_event_seq;
   last_event_lt_ = last_event_lt;
-  peers_ = std::move(peers);
+  for (const PeerState& entry : entries) {
+    PeerState* cur = membership_.find_any(entry.peer);
+    const bool in_roster = cur != nullptr && cur->active;
+    if (cur == nullptr) {
+      cur = &membership_.admit(entry.peer);
+      membership_.retire(entry.peer);  // Straight to the journal.
+    }
+    cur->out_seq_next = entry.out_seq_next;
+    cur->last_processed = entry.last_processed;
+    cur->last_seen = entry.last_seen;
+    cur->fate = entry.fate;
+    cur->pending_seq = entry.pending_seq;
+    cur->pending_send_seq = entry.pending_send_seq;
+    if (in_roster && cur->fate != PeerFate::kNone) {
+      // Whatever the pre-crash state, the datagram's fate is unresolved:
+      // resume by aborting it (skip commit), immediately.  Journaled
+      // entries keep theirs — admission performs the same mapping then.
+      cur->fate = PeerFate::kAborting;
+      cur->fate_deadline = 0.0;
+    }
+  }
 }
 
 void Node::persist() {

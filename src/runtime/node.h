@@ -60,6 +60,7 @@
 #include "core/csa.h"
 #include "core/spec.h"
 #include "runtime/datagram.h"
+#include "runtime/membership.h"
 #include "runtime/time_source.h"
 #include "runtime/transport.h"
 #include "serve/server.h"
@@ -93,6 +94,15 @@ struct NodeConfig {
   double quarantine_probe_factor = 16.0;
   double suspicion_decay = 0.7;  ///< Score multiplier per accepted message.
   std::uint32_t backoff_cap = 6;
+  /// Dynamic membership (DESIGN.md decision 19).  When true, a kJoinReq
+  /// from a spec neighbor not currently in the membership admits it (the
+  /// transport learns its address from the datagram source) and a kLeave
+  /// from a member retires it.  When false — the default, preserving the
+  /// fixed-peer-set behavior — both are counted as ignored.  Note the
+  /// datagrams are unauthenticated like everything else on the socket, so
+  /// enabling this extends the untrusted-input surface to the roster
+  /// itself; the spec-neighbor gate bounds who can ever be admitted.
+  bool dynamic_join = false;
   /// Persistence file; empty disables checkpointing.  Requires a CSA that
   /// supports checkpoint() (a non-empty image).
   std::string checkpoint_path;
@@ -138,6 +148,12 @@ struct NodeStats {
   std::uint64_t peer_quarantines = 0;   ///< Quarantine entries, total.
   std::uint64_t peer_readmissions = 0;  ///< Quarantine exits, total.
   std::uint64_t backoff_resets = 0;  ///< Backed-off peers that recovered.
+  /// Dynamic membership (decision 19): runtime admissions/retirements (the
+  /// configured startup roster is not counted) and the journal gauge —
+  /// departed peers whose wire frontier is retained for a sound rejoin.
+  std::uint64_t peer_joins = 0;
+  std::uint64_t peer_leaves = 0;
+  std::uint64_t peers_journaled = 0;  ///< Gauge: inactive entries resident.
   /// Heap allocations (count / requested bytes) attributed to inbound
   /// datagram processing.  Stays 0 unless the counting operator-new hook
   /// (driftsync_allochook) is linked; deltas are taken under the node
@@ -216,54 +232,45 @@ class Node {
 
   [[nodiscard]] ProcId self() const { return cfg_.self; }
 
+  /// Dynamic membership, local initiative (decision 19).  admit_peer adds a
+  /// spec neighbor to the active membership at runtime and solicits the
+  /// remote side with a kJoinReq (the transport must already know the
+  /// peer's address — add_peer on a UdpTransport, a hub link otherwise;
+  /// inbound joins learn it from the datagram source instead).  A journaled
+  /// former member resumes its wire frontier: sequence numbers continue and
+  /// an unresolved in-flight fate is re-resolved through the skip-commit
+  /// path, so loss accounting stays sound across the absence.  remove_peer
+  /// announces a best-effort kLeave and retires the peer: its backlog is
+  /// released, its health forgotten, its frontier journaled.  Both are
+  /// idempotent; both require a started node.
+  void admit_peer(ProcId peer);
+  void remove_peer(ProcId peer);
+
+  /// Bounds on `peer`'s current local clock reading, queried at this node's
+  /// current local time — the per-edge gradient quantity the oracle's
+  /// envelope check consumes.  Interval::everything() when the view cannot
+  /// bound the neighbor (yet).
+  [[nodiscard]] Interval peer_clock_bounds(ProcId peer) const;
+
  private:
-  /// Fate of the one in-flight data datagram to a peer (stop-and-wait).
-  enum class Fate : std::uint8_t {
-    kNone = 0,         ///< Nothing outstanding.
-    kAwaitingAck = 1,  ///< Data sent, ack pending, timeout armed.
-    kAborting = 2,     ///< Timeout fired: skip sent, commit pending.
-  };
-
-  struct PeerState {
-    std::uint64_t out_seq_next = 1;
-    std::uint64_t last_processed = 0;  ///< Inbound: highest processed.
-    std::uint64_t last_seen = 0;       ///< Inbound: highest seen/renounced.
-    Fate fate = Fate::kNone;
-    std::uint64_t pending_seq = 0;       ///< Outstanding dgram_seq.
-    std::uint32_t pending_send_seq = 0;  ///< Its send event's seq.
-    double fate_deadline = 0.0;          ///< steady-clock seconds.
-    double next_poll = 0.0;
-    // Peer health (soft state: deliberately NOT checkpointed — a restarted
-    // node re-learns liveness and re-derives quarantine from fresh
-    // observations, so a stale verdict can never outlive its evidence).
-    double last_heard = -1.0;       ///< steady-clock seconds; < 0 = never.
-    std::uint32_t backoff_exp = 0;  ///< Consecutive-timeout doublings.
-    bool quarantined = false;
-    /// Decaying suspicion score (see NodeConfig::suspicion_decay): +1 per
-    /// renounced observation, ×decay per accepted one.  Replaces the old
-    /// consecutive-infeasible streak, which a flapping attacker (alternate
-    /// one feasible / one infeasible message) reset forever.
-    double suspicion = 0.0;
-    std::uint32_t feasible_streak = 0;  ///< Consecutive feasible while
-                                        ///< quarantined (readmission).
-    /// Feasible probes required for the next readmission; 0 = first
-    /// quarantine, use quarantine_threshold.  Doubles per readmission.
-    std::uint32_t readmission_cost = 0;
-    /// Replay hardening: digest of the newest data datagram seen from this
-    /// peer.  A redelivery of the same dgram_seq with a DIFFERENT digest is
-    /// a mutated replay — counted and treated as a lie, never reprocessed.
-    std::uint64_t digest_seq = 0;
-    std::uint64_t digest = 0;
-  };
-
   void on_datagram(std::span<const std::uint8_t> bytes);
-  void handle_data(const DataMsg& msg);
+  /// `arrival_lt` is this clock's reading when the datagram came off the
+  /// transport, captured before the handler serialized on the node lock;
+  /// the gap to the receive event's mint becomes the record's slack.
+  void handle_data(const DataMsg& msg, LocalTime arrival_lt);
   void handle_ack(ProcId from, std::uint64_t processed_hw,
                   std::uint64_t seen_hw);
   void handle_skip(const SkipMsg& msg);
   void handle_probe(const ProbeReq& msg);
   void handle_metrics(const MetricsReq& msg);
   void handle_client_req(const ClientReq& msg);
+  void handle_join_req(const JoinReqMsg& msg);
+  void handle_join_ack(const JoinAckMsg& msg);
+  void handle_leave(const LeaveMsg& msg);
+  /// Admission/retirement cores (mu_ held).  `bind_sender` binds the peer's
+  /// transport address to the datagram source being handled (inbound joins).
+  PeerState& admit_locked(ProcId peer, bool bind_sender);
+  void retire_locked(ProcId peer);
   /// Records one trace event at this node; no-op without a tracer.
   void trace(TraceEventKind kind, std::uint64_t trace_id, ProcId peer,
              double value = 0.0) const {
@@ -303,7 +310,8 @@ class Node {
   std::condition_variable cv_;
   bool running_ = false;
   bool checkpoint_supported_ = false;
-  std::map<ProcId, PeerState> peers_;  ///< Ordered: canonical checkpoints.
+  /// Active members + journaled former members (runtime/membership.h).
+  MembershipTable membership_;
   std::uint32_t next_event_seq_ = 0;
   LocalTime last_event_lt_ = 0.0;
   NodeStats stats_;
@@ -312,6 +320,12 @@ class Node {
   mutable Histogram width_hist_;
   /// Inbound-datagram handling latency (seconds), measured inside mu_.
   Histogram handle_hist_;
+  /// Per-neighbor gradient (Kuhn–Lenzen–Locher–Oshman sense): each poll
+  /// samples the CSA's bounds on that neighbor's clock at the poll's local
+  /// time — skew is the bound midpoint's offset from our own reading, width
+  /// the bound's uncertainty.  Unbounded neighbors are not binned.
+  Histogram gradient_skew_hist_;
+  Histogram gradient_width_hist_;
   /// Serving tier; null unless cfg_.serve_max_clients > 0.  Guarded by mu_
   /// like all protocol state.
   std::unique_ptr<serve::Server> serve_;

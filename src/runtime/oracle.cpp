@@ -116,6 +116,41 @@ void InvariantOracle::violation(const std::string& name, const char* invariant,
   std::fprintf(opts_.out, "]}\n");
 }
 
+void InvariantOracle::track_gradient_pair(const std::string& a,
+                                          const std::string& b) {
+  DS_CHECK_MSG(nodes_.count(a) != 0 && nodes_.count(b) != 0,
+               "gradient pair names an untracked node");
+  DS_CHECK(a != b);
+  gradient_pairs_.emplace_back(a, b);
+}
+
+void InvariantOracle::check_gradient(const std::string& a_name,
+                                     const Tracked& a, const Tracked& b) {
+  // The bounds are only promised while both specs held: a's own clock
+  // reading anchors the query, b's actual reading is the target.
+  if (a.clock_violated || b.clock_violated) return;
+  const LocalTime lt0 = b.node->local_time();
+  const Interval bounds = a.node->peer_clock_bounds(b.node->self());
+  const LocalTime lt1 = b.node->local_time();
+  if (bounds.empty()) {
+    ++checks_;
+    violation(a_name, "gradient",
+              "empty neighbor-clock bounds for peer " +
+                  std::to_string(b.node->self()));
+    return;
+  }
+  if (!std::isfinite(bounds.width())) return;  // Unbounded claims nothing.
+  ++checks_;
+  const double tol = opts_.tolerance;
+  if (bounds.lo > lt1 + tol || bounds.hi < lt0 - tol) {
+    violation(a_name, "gradient",
+              "bounds " + bounds.str() + " on peer " +
+                  std::to_string(b.node->self()) +
+                  "'s clock miss its actual reading in [" +
+                  std::to_string(lt0) + ", " + std::to_string(lt1) + "]");
+  }
+}
+
 void InvariantOracle::observe() {
   for (auto& [name, t] : nodes_) {
     if (t.clock_violated) continue;  // The paper promises nothing here.
@@ -151,6 +186,10 @@ void InvariantOracle::observe() {
     }
     t.baseline = s;
     t.has_baseline = true;
+  }
+  for (const auto& [a, b] : gradient_pairs_) {
+    check_gradient(a, nodes_.at(a), nodes_.at(b));
+    check_gradient(b, nodes_.at(b), nodes_.at(a));
   }
 }
 

@@ -33,6 +33,15 @@
 //     ack past its fate timeout, a node must declare zero losses.  The
 //     harness marks nodes whose links saw such faults via mark_lossish().
 //
+//  5. Gradient envelope (Kuhn–Lenzen–Locher–Oshman sense): for every
+//     registered neighbor pair (A, B) whose clocks honored their specs,
+//     A's bounds on B's current clock (Node::peer_clock_bounds) must
+//     contain B's actual reading — bracketed like check 1, and skipped
+//     while A's view cannot bound B at all (an unbounded interval claims
+//     nothing).  The check is knowledge-based, not membership-gated: the
+//     bounds stay valid across B's leave and rejoin, which is exactly what
+//     the churn scenarios pin down.
+//
 // Violations are dumped as JSON lines (the fault journal and per-node stats
 // alongside them, so a failure is diagnosable from its log alone) and
 // counted; the runner turns a nonzero count into a hard failure.
@@ -42,6 +51,8 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/interval.h"
 #include "common/trace.h"
@@ -92,7 +103,13 @@ class InvariantOracle {
   /// in-flight datagrams may abort, so the node is also marked lossish.
   void note_restart(const std::string& name, const Node* node);
 
-  /// Samples every tracked node and runs containment + width dynamics.
+  /// Registers a neighbor pair for the gradient envelope check (invariant
+  /// 5); both names must already be tracked.  The check runs in BOTH
+  /// directions on every observe() and survives note_restart() rebinds.
+  void track_gradient_pair(const std::string& a, const std::string& b);
+
+  /// Samples every tracked node and runs containment + width dynamics,
+  /// then the gradient envelope over every registered pair.
   /// Call periodically and once after the scenario settles.
   void observe();
 
@@ -125,11 +142,15 @@ class InvariantOracle {
 
   void violation(const std::string& name, const char* invariant,
                  const std::string& detail);
+  /// One direction of invariant 5: `a`'s bounds on `b`'s clock.
+  void check_gradient(const std::string& a_name, const Tracked& a,
+                      const Tracked& b);
 
   [[nodiscard]] double truth() const;
 
   Options opts_;
   std::map<std::string, Tracked> nodes_;
+  std::vector<std::pair<std::string, std::string>> gradient_pairs_;
   const Tracer* tracer_ = nullptr;
   std::size_t trace_last_k_ = 16;
   std::uint64_t checks_ = 0;

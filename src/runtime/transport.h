@@ -73,6 +73,23 @@ class Transport {
     return {};
   }
 
+  /// Dynamic membership, admit side (DESIGN.md decision 19).  Callable only
+  /// from inside a handler invocation: binds `peer` to the source address of
+  /// the datagram currently being handled, so a joiner is reachable without
+  /// restarting the transport.  Returns false when the binding could not be
+  /// made (e.g. called outside a handler).  Transports that already route by
+  /// ProcId alone (hub endpoints) need no binding and return true.
+  [[nodiscard]] virtual bool admit_current_sender(ProcId peer) {
+    (void)peer;
+    return true;
+  }
+
+  /// Dynamic membership, retire side: releases everything queued for `peer`
+  /// (backlog, pooled buffers, scheduler slots) and forgets its address.
+  /// Datagrams still queued are dropped (counted as send_drops).  Idempotent;
+  /// unknown peers are ignored.
+  virtual void retire_peer(ProcId peer) { (void)peer; }
+
   /// Snapshot of the transport-level counters; the default is all-zero for
   /// transports that track nothing.
   [[nodiscard]] virtual TransportStats transport_stats() const { return {}; }

@@ -268,12 +268,63 @@ UdpTransport::~UdpTransport() {
 
 void UdpTransport::add_peer(ProcId proc, const std::string& host,
                             std::uint16_t port) {
-  DS_CHECK_MSG(!started_, "add_peer after start");
-  Shard& s = *shards_[shard_of(proc)];
   const sockaddr_in addr = make_addr(host, port);
+  Shard& s = *shards_[shard_of(proc)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  admit_locked(s, proc, addr);
+}
+
+bool UdpTransport::admit_current_sender(ProcId peer) {
+  if (reply_ctx_.owner != this) return false;
+  Shard& s = *shards_[shard_of(peer)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  admit_locked(s, peer, reply_ctx_.addr);
+  return true;
+}
+
+void UdpTransport::admit_locked(Shard& s, ProcId proc,
+                                const sockaddr_in& addr) {
   const bool fresh = s.peers.find(proc) == s.peers.end();
   s.peers[proc].addr = addr;
   if (fresh) s.flush_order.push_back(proc);
+}
+
+void UdpTransport::retire_peer(ProcId peer) {
+  Shard& s = *shards_[shard_of(peer)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.peers.find(peer);
+  if (it == s.peers.end()) return;
+  PeerState& p = it->second;
+  // Whatever was still queued for the departed peer is a drop — the fate
+  // protocol already covers it — but the buffers themselves go back to the
+  // pool so a churning mesh does not bleed send-buffer capacity.
+  while (p.count > 0) {
+    send_drops_.fetch_add(1, std::memory_order_relaxed);
+    trace_drop(peer, peek_trace_id(p.ring[p.head]));
+    recycle_locked(s, std::move(p.ring[p.head]));
+    p.head = (p.head + 1) % p.ring.size();
+    --p.count;
+    DS_CHECK(s.backlog_total > 0);
+    --s.backlog_total;
+  }
+  // Vacate the round-robin slot.  flush_locked dereferences
+  // s.peers.find(proc) unchecked, so the flush_order entry must go in the
+  // same critical section — and the cursor shifts with it so the rotation
+  // resumes at the same neighbor instead of skipping one.
+  const auto pos =
+      std::find(s.flush_order.begin(), s.flush_order.end(), peer);
+  if (pos != s.flush_order.end()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(pos - s.flush_order.begin());
+    s.flush_order.erase(pos);
+    if (idx < s.flush_cursor) --s.flush_cursor;
+    if (s.flush_order.empty()) {
+      s.flush_cursor = 0;
+    } else {
+      s.flush_cursor %= s.flush_order.size();
+    }
+  }
+  s.peers.erase(it);
 }
 
 void UdpTransport::start_common(DatagramHandler handler, bool spawn_threads) {

@@ -18,12 +18,15 @@
 // flush round-robin across the shard's peers when the socket becomes
 // writable, so no peer's backlog can starve another's.  Oversized inbound
 // datagrams (> max_datagram, detected via MSG_TRUNC) are dropped and
-// counted, never delivered truncated.  Peers are static (ProcId ->
-// address), fixed before start(); the datagram's own `from` field — not the
-// UDP source address — identifies the sender, which makes the socket an
-// untrusted-input surface in full (DESIGN.md §6): any host that can reach
-// the port can inject bytes, and the Node above survives arbitrary garbage
-// by construction (WireError => counted drop).
+// counted, never delivered truncated.  Membership is dynamic (DESIGN.md
+// decision 19): add_peer / admit_current_sender register a peer's address
+// on its shard at any time, and retire_peer releases its backlog ring,
+// pooled buffers, and round-robin slot without restarting the shard.  The
+// datagram's own `from` field — not the UDP source address — identifies
+// the sender, which makes the socket an untrusted-input surface in full
+// (DESIGN.md §6): any host that can reach the port can inject bytes, and
+// the Node above survives arbitrary garbage by construction (WireError =>
+// counted drop).
 //
 // The raw syscall layer sits behind UdpIoOps so tests can script socket
 // readiness/errors deterministically and benches can measure the engine
@@ -139,10 +142,20 @@ class UdpTransport : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  /// Registers a peer's address (on shard `proc % io_shards`).  Must be
-  /// called before start(); throws std::runtime_error on an unparsable
-  /// host.
+  /// Registers (or re-addresses) a peer on shard `proc % io_shards`.  Safe
+  /// before or after start(): a running shard picks the new peer up on its
+  /// next flush pass.  Throws std::runtime_error on an unparsable host.
   void add_peer(ProcId proc, const std::string& host, std::uint16_t port);
+
+  /// Binds `peer` to the source address of the datagram currently being
+  /// handled (shard loop thread only); false outside a handler call.
+  [[nodiscard]] bool admit_current_sender(ProcId peer) override;
+
+  /// Releases `peer` from its shard: queued ring entries are dropped
+  /// (counted in send_drops) with their buffers recycled to the pool, the
+  /// round-robin cursor is adjusted past the vacated slot, and the address
+  /// is forgotten.  Idempotent; unknown peers are ignored.
+  void retire_peer(ProcId peer) override;
 
   void start(DatagramHandler handler) override;
 
@@ -254,6 +267,8 @@ class UdpTransport : public Transport {
     return static_cast<std::size_t>(proc) % shards_.size();
   }
   void start_common(DatagramHandler handler, bool spawn_threads);
+  /// Registers or re-addresses `proc` on shard `s` (mu held).
+  void admit_locked(Shard& s, ProcId proc, const sockaddr_in& addr);
   /// Receives and dispatches until the socket runs dry (shard loop thread
   /// only; mu is NOT held across handler calls).
   void recv_dispatch(std::size_t shard_index);

@@ -411,5 +411,80 @@ TEST(ByzantineRuntime, ReadmissionEscalatesAgainstRepeatOffender) {
   victim.stop();
 }
 
+TEST(ByzantineRuntime, LeaveAndRejoinDoesNotInheritOldSuspicion) {
+  // The fixed-peer-set bug class (DESIGN.md decision 19): peer health
+  // lived in maps keyed by ProcId with no notion of "this seat was
+  // vacated" — a quarantined peer that left and rejoined inherited the
+  // old decayed suspicion and the doubled readmission price, so a fresh
+  // incarnation at a recycled ProcId started life half-convicted.
+  // Retirement must drop the health state with the seat: a rejoin gets a
+  // clean score, the threshold-priced readmission, and flowing traffic.
+  const SystemSpec spec = two_node_spec();
+  ThreadHub hub(41);
+  hub.set_link(0, 1, 0.0005, 0.003);
+  NodeConfig victim_cfg = node_config(0, spec);
+  victim_cfg.quarantine_threshold = 4;
+  Node victim(victim_cfg, defended_csa(),
+              std::make_unique<ScaledTimeSource>(0.0, 1.0), hub.endpoint(0));
+
+  // Constant steep skew: every message renounced, so the quarantine holds
+  // (no feasible probes, no racing readmission) until the test acts.
+  ByzantineStrategy strat;
+  strat.skew_rate = 0.5;
+  strat.skew_max = 100.0;
+  auto byz = std::make_unique<ByzantinePeer>(hub.endpoint(1), 1, strat,
+                                             /*seed=*/49);
+  ByzantinePeer* attacker_hand = byz.get();
+  Node attacker(node_config(1, spec), defended_csa(),
+                std::make_unique<ScaledTimeSource>(0.0, 1.0), std::move(byz));
+
+  victim.start();
+  attacker.start();
+  ASSERT_TRUE(wait_until(
+      [&] { return victim.stats().peer_quarantines >= 1; }, 8000));
+  {
+    const NodeStats s = victim.stats();
+    ASSERT_EQ(s.quarantined.size(), 1u);
+    EXPECT_GT(s.suspicion.at(1), 0.0);
+    EXPECT_EQ(s.readmission_cost.at(1), 4u);
+  }
+
+  // The convict leaves (and turns honest for its next incarnation).
+  attacker_hand->set_active(false);
+  victim.remove_peer(1);
+  {
+    const NodeStats s = victim.stats();
+    EXPECT_EQ(s.peer_leaves, 1u);
+    EXPECT_TRUE(s.quarantined.empty());
+    EXPECT_EQ(s.suspicion.count(1), 0u);  // No seat, no health state.
+    EXPECT_EQ(s.peers_journaled, 1u);     // Wire frontier retained.
+  }
+
+  // Rejoin: a fresh seat, not a readmission — zero suspicion, the
+  // original threshold price, no lingering quarantine flag.
+  victim.admit_peer(1);
+  {
+    const NodeStats s = victim.stats();
+    EXPECT_EQ(s.peer_joins, 1u);
+    EXPECT_TRUE(s.quarantined.empty());
+    EXPECT_EQ(s.suspicion.at(1), 0.0);
+    EXPECT_EQ(s.readmission_cost.at(1), 4u);  // Not doubled.
+    EXPECT_EQ(s.peer_readmissions, 0u);
+    EXPECT_EQ(s.peers_journaled, 0u);
+  }
+
+  // The now-honest peer is actually heard again through the new seat.
+  EXPECT_TRUE(wait_until(
+      [&] {
+        const NodeStats s = victim.stats();
+        const auto it = s.last_heard.find(1);
+        return it != s.last_heard.end() && it->second >= 0.0;
+      },
+      4000));
+  EXPECT_TRUE(contains_truth(victim));
+  attacker.stop();
+  victim.stop();
+}
+
 }  // namespace
 }  // namespace driftsync::runtime

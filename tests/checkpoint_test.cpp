@@ -1,13 +1,22 @@
 // Tests for checkpoint/restore of the optimal CSA: a restored instance must
-// be indistinguishable from one that never restarted.
+// be indistinguishable from one that never restarted.  The Node-level suite
+// at the bottom covers the membership dimension of the image (DESIGN.md
+// decision 19): a checkpoint written under one roster restoring under
+// another.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <memory>
+#include <thread>
 
 #include "common/errors.h"
 #include "common/rng.h"
 #include "core/optimal_csa.h"
+#include "runtime/node.h"
+#include "runtime/thread_transport.h"
+#include "runtime/time_source.h"
 #include "test_util.h"
 
 namespace driftsync {
@@ -254,6 +263,79 @@ TEST(CheckpointTest, LossTolerantStateRoundTrips) {
   EXPECT_EQ(b.checkpoint(), bytes);
   // The restored instance can resolve the pending fate.
   b.on_delivery_confirmed(0);
+}
+
+// ---------------------------------------------------------------------------
+// Node-level checkpoint × membership roster (DESIGN.md decision 19)
+
+/// ctest runs from the build tree; keep checkpoint files CWD-relative and
+/// clean them up so reruns start fresh.
+struct CheckpointFile {
+  std::string path;
+  explicit CheckpointFile(const std::string& name) : path(name) {
+    std::remove(path.c_str());
+  }
+  ~CheckpointFile() { std::remove(path.c_str()); }
+};
+
+/// Regression: a checkpoint written under roster {0, 2} restored under
+/// roster {0} was rejected outright ("checkpoint names an unconfigured
+/// peer"), so shrinking a deployment made every surviving node refuse to
+/// boot.  The fixed load is transactional on the intersection: in-roster
+/// peers restore as active, the rest are journaled — wire frontier kept
+/// for a sound later rejoin, never resurrected, never a rejection.
+TEST(NodeCheckpointRoster, SmallerRosterLoadsIntersectionAndJournalsRest) {
+  const CheckpointFile ckpt("checkpoint_test_roster.ckpt");
+  const SystemSpec spec = testing::line_spec(3, 5e-4, 0.0, 0.05);
+  runtime::ThreadHub hub(7);
+  hub.set_link(0, 1, 0.0005, 0.003);
+
+  auto make = [&](std::vector<ProcId> roster) {
+    runtime::NodeConfig cfg = testing::node_config(1, spec);
+    cfg.peers = std::move(roster);
+    cfg.checkpoint_path = ckpt.path;
+    return std::make_unique<runtime::Node>(
+        std::move(cfg), testing::loss_tolerant_csa(),
+        std::make_unique<runtime::ScaledTimeSource>(3.0, 1.0),
+        hub.endpoint(1));
+  };
+
+  // The source keeps running across every node-1 restart, so own events
+  // (and thus checkpoints) keep flowing in each phase.
+  runtime::NodeConfig cfg0 = testing::node_config(0, spec);
+  cfg0.peers = {1};
+  runtime::Node source(std::move(cfg0), testing::loss_tolerant_csa(),
+                       std::make_unique<runtime::ScaledTimeSource>(0.0, 1.0),
+                       hub.endpoint(0));
+  source.start();
+
+  auto node = make({0, 2});
+  node->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ASSERT_GT(node->stats().checkpoints_written, 0u);
+  node->stop();
+  node.reset();
+
+  // Peer 2 dropped from the roster: the image must load (intersection),
+  // with peer 2's entry journaled rather than active or lost.
+  auto shrunk = make({0});
+  ASSERT_NO_THROW(shrunk->start());
+  EXPECT_EQ(shrunk->stats().peers_journaled, 1u);
+  EXPECT_NE(shrunk->stats_json().find("\"membership_journal\":1"),
+            std::string::npos);
+  // Run long enough to write a v2 image carrying the journaled entry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ASSERT_GT(shrunk->stats().checkpoints_written, 0u);
+  shrunk->stop();
+  shrunk.reset();
+
+  // Growing back to the full roster reactivates the journaled frontier:
+  // nothing stays journaled, nothing was forgotten in between.
+  auto full = make({0, 2});
+  ASSERT_NO_THROW(full->start());
+  EXPECT_EQ(full->stats().peers_journaled, 0u);
+  full->stop();
+  source.stop();
 }
 
 }  // namespace

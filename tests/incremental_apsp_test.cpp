@@ -118,6 +118,43 @@ TEST(IncrementalApspTest, SlotReuseAfterRemoval) {
   EXPECT_EQ(apsp.distance(c, a), kNoBound);
 }
 
+TEST(IncrementalApspTest, AbortedInsertLeavesNoResidue) {
+  // A rejected insert_node has already written tentative to/from distances
+  // into its candidate slot before the negative-round-trip check fires.
+  // Those entries must be wiped when the slot goes back on the free list —
+  // audit_storage() catches the residue directly, and the recycled-slot
+  // probe below would observe it as a phantom finite distance.
+  IncrementalApsp apsp;
+  const Handle a = apsp.insert_node({}, {});
+  const Handle b = apsp.insert_node({{a, 1.0}}, {{a, 2.0}});
+  apsp.remove_node(b);  // frees a slot so the aborted insert recycles it
+  ASSERT_TRUE(apsp.audit_storage());
+  const Handle rejected = apsp.insert_node({{a, 1.0}}, {{a, -2.0}});
+  ASSERT_EQ(rejected, IncrementalApsp::kNoHandle);
+  EXPECT_TRUE(apsp.audit_storage());
+  // The slot's next occupant starts with a clean row and column.
+  const Handle c = apsp.insert_node({}, {});
+  EXPECT_EQ(apsp.distance(a, c), kNoBound);
+  EXPECT_EQ(apsp.distance(c, a), kNoBound);
+  EXPECT_DOUBLE_EQ(apsp.distance(c, c), 0.0);
+  EXPECT_TRUE(apsp.audit_storage());
+}
+
+TEST(IncrementalApspTest, AuditStorageHoldsAcrossChurn) {
+  IncrementalApsp apsp;
+  std::vector<Handle> live;
+  live.push_back(apsp.insert_node({}, {}));
+  for (int i = 0; i < 12; ++i) {
+    live.push_back(apsp.insert_node({{live.back(), 1.0}}, {{live[0], 2.0}}));
+    ASSERT_TRUE(apsp.audit_storage()) << "after insert " << i;
+  }
+  while (live.size() > 2) {
+    apsp.remove_node(live[live.size() / 2]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2));
+    ASSERT_TRUE(apsp.audit_storage()) << live.size() << " nodes left";
+  }
+}
+
 TEST(IncrementalApspTest, GrowthPreservesDistances) {
   IncrementalApsp apsp;
   std::vector<Handle> chain;
@@ -283,14 +320,27 @@ TEST_P(IncrementalApspPropertyTest, MatchesBatchRecomputation) {
       const Handle u = live[rng.uniform_index(live.size())];
       const Handle v = live[rng.uniform_index(live.size())];
       if (u != v) model.insert_edge(apsp, u, v, weight(u, v));
+    } else if (action < 0.88) {
+      // A deliberately infeasible insert: round trip through one anchor is
+      // negative, so insert_node must reject it and leave no residue in
+      // the candidate slot it briefly occupied.
+      const Handle anchor = live[rng.uniform_index(live.size())];
+      const double leg = rng.uniform(0.0, 2.0);
+      const Handle h = apsp.insert_node({{anchor, leg}}, {{anchor, -leg - 1.0}});
+      ASSERT_EQ(h, IncrementalApsp::kNoHandle);
+      ASSERT_TRUE(apsp.audit_storage()) << "residue after rejected insert";
     } else if (live.size() > 2) {
       const std::size_t k = rng.uniform_index(live.size());
       apsp.remove_node(live[k]);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
     }
-    if (step % 10 == 9) model.check(apsp);
+    if (step % 10 == 9) {
+      model.check(apsp);
+      ASSERT_TRUE(apsp.audit_storage()) << "step " << step;
+    }
   }
   model.check(apsp);
+  ASSERT_TRUE(apsp.audit_storage());
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomWorkloads, IncrementalApspPropertyTest,

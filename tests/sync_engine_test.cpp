@@ -221,6 +221,55 @@ TEST(SyncEngineTest, InconsistentSpecDetected) {
   EXPECT_THROW(engine.ingest(r2), std::logic_error);
 }
 
+TEST(SyncEngineTest, ProcessingSlackWidensTransitUpperBoundOnly) {
+  // Same geometry as SingleMessageBoundsMatchTheorem, but the receive
+  // record was minted 0.3 local seconds after the datagram arrived
+  // (handler queueing).  Only the upper transit bound absorbs the slack.
+  const SystemSpec spec = line_spec(2, 0.0, 0.2, 1.0);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 100.0, s, 0.3);
+  engine.ingest(s);
+  engine.ingest(r);
+  const Interval est = engine.estimate(100.0);
+  EXPECT_TRUE(intervals_close(est, Interval{10.2, 11.3}));
+}
+
+TEST(SyncEngineTest, ProcessingSlackAvoidsFalseNegativeCycle) {
+  // A round trip pins the offset, then the reply's mint-to-mint "transit"
+  // reads 0.25-0.35 s against a 0.1 s wire budget — exactly what a receive
+  // that waited out a lock convoy looks like.  Without the slack the view
+  // declares the (honest) execution inconsistent; with the handler latency
+  // carried on the record it must ingest cleanly.
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 0.1);
+  SyncEngine engine(spec, 0);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  const EventRecord r = fac.receive(1, 20.0, s);
+  const EventRecord s2 = fac.send(1, 20.1, 0);
+  const EventRecord r2 = fac.receive(0, 10.45, s2, 0.3);
+  engine.ingest(s);
+  engine.ingest(r);
+  engine.ingest(s2);
+  EventRecord r2_bad = r2;
+  r2_bad.slack = 0.0;
+  EXPECT_THROW(engine.ingest(r2_bad), std::logic_error);
+  engine.ingest(r2);  // a failed ingest leaves the engine untouched
+  EXPECT_EQ(engine.live_count(), 4u);
+}
+
+TEST(SyncEngineTest, NegativeSlackThrows) {
+  const SystemSpec spec = line_spec(2, 0.0, 0.0, 0.1);
+  SyncEngine engine(spec, 1);
+  EventFactory fac(2);
+  const EventRecord s = fac.send(0, 10.0, 1);
+  EventRecord r = fac.receive(1, 20.0, s);
+  r.slack = -0.1;
+  engine.ingest(s);
+  EXPECT_THROW(engine.ingest(r), std::logic_error);
+}
+
 TEST(SyncEngineTest, RtDifferenceBoundsMatchTheoremForm) {
   const SystemSpec spec = line_spec(2, 1e-3, 0.2, 1.0);
   SyncEngine engine(spec, 1);

@@ -61,9 +61,12 @@ class EventFactory {
   EventRecord send(ProcId p, LocalTime lt, ProcId dest) {
     return make(p, lt, EventKind::kSend, dest, kInvalidEvent);
   }
-  EventRecord receive(ProcId p, LocalTime lt, const EventRecord& send_event) {
-    return make(p, lt, EventKind::kReceive, send_event.id.proc,
-                send_event.id);
+  EventRecord receive(ProcId p, LocalTime lt, const EventRecord& send_event,
+                      double slack = 0.0) {
+    EventRecord rec = make(p, lt, EventKind::kReceive, send_event.id.proc,
+                           send_event.id);
+    rec.slack = slack;
+    return rec;
   }
   EventRecord loss_decl(ProcId p, LocalTime lt,
                         const EventRecord& send_event) {

@@ -525,6 +525,74 @@ TEST(UdpTransport, BacklogFlushIsRoundRobinAcrossPeers) {
   t->stop();
 }
 
+/// Regression (retirement): retiring a peer mid-backpressure must release
+/// its backlog ring into counted drops, return its buffers to the pool, and
+/// excise it from the round-robin rotation without skipping a survivor.
+/// The pre-fix transport had no retirement at all, so the ring entries
+/// leaked (backlog_depth never returned to the survivors' share) and the
+/// flush loop crashed on the dangling flush_order entry.
+TEST(UdpTransport, RetirePeerReleasesBacklogAndRotation) {
+  ScriptedOps ops;
+  UdpTransport::Options opts;
+  opts.send_batch = 2;
+  opts.ops = &ops;
+  auto t = try_bind_opts(opts);
+  REQUIRE_SOCKETS(t);
+  t->add_peer(0, kHost, 9001);
+  t->add_peer(1, kHost, 9002);
+  t->add_peer(2, kHost, 9003);
+  t->start_manual([](std::span<const std::uint8_t>) {});
+
+  // Blocked socket: every send lands in its peer's backlog ring.
+  ops.block_sends = true;
+  constexpr int kPerPeer = 4;
+  for (int i = 0; i < kPerPeer; ++i) {
+    for (std::uint8_t peer = 0; peer < 3; ++peer) {
+      t->send(peer, std::vector<std::uint8_t>{
+                        static_cast<std::uint8_t>('A' + peer)});
+    }
+  }
+  ASSERT_EQ(t->backlog_depth(), 3u * kPerPeer);
+
+  // Retire B while its ring is full: the backlog must shrink by exactly
+  // B's share, every released datagram counted as a send drop.
+  const std::uint64_t drops_before = t->send_drops();
+  t->retire_peer(1);
+  EXPECT_EQ(t->backlog_depth(), 2u * kPerPeer);
+  EXPECT_EQ(t->send_drops(), drops_before + kPerPeer);
+  t->retire_peer(1);  // Idempotent: a second leave is a no-op.
+  EXPECT_EQ(t->backlog_depth(), 2u * kPerPeer);
+
+  // Post-retirement sends are unknown-peer drops, not resurrections.
+  t->send(1, {0x42});
+  EXPECT_EQ(t->backlog_depth(), 2u * kPerPeer);
+  EXPECT_EQ(t->send_drops(), drops_before + kPerPeer + 1);
+
+  // Unblock and pump: the survivors must drain to zero in clean rotation
+  // (A A C C ...) — the cursor neither skips C nor serves a ghost B.
+  ops.block_sends = false;
+  for (int spins = 0; spins < 64 && t->backlog_depth() > 0; ++spins) {
+    ASSERT_TRUE(t->run_once(0, 0));
+  }
+  EXPECT_EQ(t->backlog_depth(), 0u);
+  std::vector<std::uint8_t> expected;
+  for (int round = 0; round < kPerPeer / 2; ++round) {
+    for (char peer : {'A', 'C'}) {
+      expected.push_back(static_cast<std::uint8_t>(peer));
+      expected.push_back(static_cast<std::uint8_t>(peer));
+    }
+  }
+  EXPECT_EQ(ops.accepted, expected);
+
+  // Rejoin: a re-admitted peer's traffic flows again.
+  t->add_peer(1, kHost, 9002);
+  t->send(1, {0x42});
+  t->run_once(0, 0);
+  ASSERT_FALSE(ops.accepted.empty());
+  EXPECT_EQ(ops.accepted.back(), 0x42);
+  t->stop();
+}
+
 /// Regression (revents): a POLLERR condition (e.g. an ICMP port-unreachable
 /// surfaced on the socket) must be consumed and counted, with the loop
 /// continuing to serve afterwards.  The pre-fix loop only examined

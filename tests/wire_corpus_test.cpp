@@ -441,12 +441,85 @@ TEST(WireCorpusTest, ClientRespRejectsNanOrInvertedBounds) {
   EXPECT_EQ(decoded.hi, inf);
 }
 
-TEST(WireCorpusTest, TypePastClientRespRejected) {
-  // kClientResp = 8 is the highest assigned type; 9 must be rejected even
+TEST(WireCorpusTest, TypePastLeaveRejected) {
+  // kLeave = 11 is the highest assigned type; 12 must be rejected even
   // with a plausible body.
   Bytes bytes = client_req_bytes(1, 1, 1.0, 0.0);
-  bytes[3] = 9;
+  bytes[3] = 12;
   EXPECT_THROW(runtime::decode_datagram(bytes), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Membership datagrams (JoinReq / JoinAck / Leave, DESIGN.md decision 19).
+// Admission is an untrusted surface like everything else on the socket:
+// golden bytes pin the canonical encoding, and every rejection path gets a
+// case.
+
+Bytes join_bytes(std::uint8_t type, std::uint64_t from, std::uint64_t nonce) {
+  Bytes b{'D', 'S', 1, type};
+  put_varint(b, from);
+  put_varint(b, nonce);
+  return b;
+}
+
+TEST(WireCorpusTest, MembershipDatagramsRoundTripCanonically) {
+  runtime::JoinReqMsg req;
+  req.from = 3;
+  req.nonce = 0xabcdu;
+  const Bytes req_bytes = runtime::encode_datagram(req);
+  EXPECT_EQ(req_bytes, join_bytes(9, 3, 0xabcdu));
+  EXPECT_EQ(std::get<runtime::JoinReqMsg>(runtime::decode_datagram(req_bytes)),
+            req);
+
+  runtime::JoinAckMsg ack;
+  ack.from = 1;
+  ack.nonce = 0xabcdu;
+  const Bytes ack_bytes = runtime::encode_datagram(ack);
+  EXPECT_EQ(ack_bytes, join_bytes(10, 1, 0xabcdu));
+  EXPECT_EQ(std::get<runtime::JoinAckMsg>(runtime::decode_datagram(ack_bytes)),
+            ack);
+
+  runtime::LeaveMsg leave;
+  leave.from = 2;
+  const Bytes leave_bytes = runtime::encode_datagram(leave);
+  EXPECT_EQ(leave_bytes, (Bytes{'D', 'S', 1, 11, 2}));
+  EXPECT_EQ(std::get<runtime::LeaveMsg>(runtime::decode_datagram(leave_bytes)),
+            leave);
+}
+
+TEST(WireCorpusTest, MembershipDatagramsRejectTruncationAndTrailing) {
+  for (const Bytes& bytes :
+       {runtime::encode_datagram(runtime::JoinReqMsg{3, 0x1234u}),
+        runtime::encode_datagram(runtime::JoinAckMsg{1, 0x1234u}),
+        runtime::encode_datagram(runtime::LeaveMsg{2})}) {
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+      EXPECT_THROW(runtime::decode_datagram(prefix), WireError)
+          << "cut=" << cut;
+    }
+    Bytes trailing = bytes;
+    trailing.push_back(0x00);
+    EXPECT_THROW(runtime::decode_datagram(trailing), WireError);
+  }
+}
+
+TEST(WireCorpusTest, MembershipDatagramsRejectBadFields) {
+  // A zero nonce cannot be matched to its ack; reject at decode.
+  EXPECT_THROW(runtime::decode_datagram(join_bytes(9, 3, 0)), WireError);
+  EXPECT_THROW(runtime::decode_datagram(join_bytes(10, 1, 0)), WireError);
+  // The invalid-processor sentinel as the joining/leaving identity.
+  EXPECT_THROW(runtime::decode_datagram(join_bytes(9, kInvalidProc, 1)),
+               WireError);
+  EXPECT_THROW(runtime::decode_datagram(join_bytes(10, kInvalidProc, 1)),
+               WireError);
+  Bytes leave{'D', 'S', 1, 11};
+  put_varint(leave, kInvalidProc);
+  EXPECT_THROW(runtime::decode_datagram(leave), WireError);
+  // A processor id that does not fit 32 bits.
+  Bytes wide{'D', 'S', 1, 9};
+  put_varint(wide, std::uint64_t{1} << 32);
+  put_varint(wide, 1);
+  EXPECT_THROW(runtime::decode_datagram(wide), WireError);
 }
 
 TEST(WireCorpusTest, EngineLoadRejectsCorruptImageUntouched) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <span>
 
 #include "common/rng.h"
@@ -94,6 +95,44 @@ TEST(WireTest, SpecialDoubleValues) {
   EXPECT_EQ(std::signbit(decoded[0].lt), true);
 }
 
+TEST(WireTest, ReceiveSlackRoundTrips) {
+  testing::EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  EventBatch batch{s, fac.receive(1, 2.0, s, 0.0625)};
+  const auto bytes = encode_batch(batch);
+  EXPECT_EQ(bytes.size(), encoded_size(batch));
+  EXPECT_EQ(decode_batch(bytes), batch);
+  // Zero slack costs zero bytes: the flag (and its double) are absent.
+  EventBatch no_slack{s, fac.receive(1, 2.0, s)};
+  no_slack[1].id = batch[1].id;  // same ids, only the slack differs
+  EXPECT_EQ(encoded_size(no_slack) + 8, encoded_size(batch));
+}
+
+TEST(WireTest, SlackFlagOnNonReceiveThrows) {
+  testing::EventFactory fac(2);
+  auto bytes = encode_batch({fac.internal(0, 1.0)});
+  bytes[1] |= 0x10;  // force the slack flag onto an internal record
+  for (int i = 0; i < 8; ++i) bytes.push_back(0);
+  EXPECT_THROW(decode_batch(bytes), WireError);
+}
+
+TEST(WireTest, NonCanonicalSlackThrows) {
+  testing::EventFactory fac(2);
+  const EventRecord s = fac.send(0, 1.0, 1);
+  EventBatch batch{s, fac.receive(1, 2.0, s, 0.5)};
+  const auto bytes = encode_batch(batch);
+  // The slack double is the final 8 bytes of the last record.  Zero must
+  // be spelled as "no flag", negatives and NaN never leave an encoder.
+  for (const double bad : {0.0, -0.25,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    auto mutated = bytes;
+    mutated.resize(mutated.size() - 8);
+    put_double(mutated, bad);
+    EXPECT_THROW(decode_batch(mutated), WireError);
+  }
+}
+
 class WirePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(WirePropertyTest, RandomBatchesRoundTrip) {
@@ -116,7 +155,10 @@ TEST_P(WirePropertyTest, RandomBatchesRoundTrip) {
       batch.push_back(sends.back());
     } else if (action < 0.6 && !sends.empty()) {
       const EventRecord s = sends[rng.uniform_index(sends.size())];
-      batch.push_back(fac.receive(s.peer, t, s));
+      // Half the receives carry a processing-slack annotation.
+      const double slack =
+          rng.next_double() < 0.5 ? rng.uniform(1e-6, 0.25) : 0.0;
+      batch.push_back(fac.receive(s.peer, t, s, slack));
     } else {
       batch.push_back(fac.internal(p, t));
     }

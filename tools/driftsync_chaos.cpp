@@ -46,6 +46,16 @@
 //                    Honest relaying exposes the conflict; the payload
 //                    screen must pin it on node 2 (equivocations_detected,
 //                    quarantine) and never suspect the honest carrier.
+//   churn            dynamic membership (decision 19): node 2 leaves and
+//                    rejoins the mesh on a seeded schedule.  Rejoins must
+//                    resume the journaled wire frontier (a restarted
+//                    sequence would read as replays), the gradient
+//                    envelope holds on every pair throughout, and no
+//                    honest peer is ever quarantined.
+//   join-flap        rapid leave/rejoin flapping that races admissions
+//                    against in-flight data, acks and skip commits; the
+//                    bar is soundness — no crash, no oracle violation, no
+//                    honest quarantine, convergence after the last rejoin.
 //
 // Exit 0 iff zero oracle violations and every scenario expectation held;
 // the last stdout line is a JSON verdict either way.
@@ -82,7 +92,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: driftsync_chaos [--scenario=partition-heal|clock-step|"
     "crash-restart|client-storm|random|\n"
-    "           byzantine-skew|byzantine-replay|byzantine-equivocate]\n"
+    "           byzantine-skew|byzantine-replay|byzantine-equivocate|"
+    "churn|join-flap]\n"
     "         [--seed=1] [--duration=3.0] [--faults=0.2] [--quiet]";
 
 constexpr double kRho = 5e-4;
@@ -119,6 +130,10 @@ struct Harness {
   std::vector<ChaosTransport*> chaos{kProcs, nullptr};
   std::vector<FaultyTimeSource*> clocks{kProcs, nullptr};
   std::uint64_t seed;
+  /// Dynamic membership (churn scenarios): admit kJoinReq from spec
+  /// neighbors, honor kLeave.  Off elsewhere — the fixed-roster scenarios
+  /// double as regression cover for the default-closed gate.
+  bool dynamic_join = false;
   /// Serving tier on node 0 (client-storm); 0 leaves serving disabled.
   std::size_t serve_max_clients = 0;
   double serve_idle_timeout = 0.4;
@@ -149,6 +164,7 @@ struct Harness {
     cfg.fate_timeout = 0.25;
     cfg.skip_retry = 0.08;
     cfg.checkpoint_path = checkpoint;
+    cfg.dynamic_join = dynamic_join;
     if (p == 0 && serve_max_clients > 0) {
       cfg.serve_max_clients = serve_max_clients;
       cfg.serve_idle_timeout = serve_idle_timeout;
@@ -600,6 +616,129 @@ std::uint64_t run_byzantine_equivocate(Harness& h, double duration) {
   return failed;
 }
 
+/// Expect zero quarantines anywhere: membership churn between honest nodes
+/// must never read as an attack.
+std::uint64_t expect_no_quarantines(const Harness& h) {
+  std::uint64_t failed = 0;
+  for (ProcId p = 0; p < kProcs; ++p) {
+    const std::uint64_t q = h.nodes[p]->stats().peer_quarantines;
+    if (q > 0) {
+      failed += expect_failed("no-quarantine",
+                              "node " + std::to_string(p) + " quarantined " +
+                                  std::to_string(q) +
+                                  " honest peer(s) under churn");
+    }
+  }
+  return failed;
+}
+
+std::uint64_t run_churn(Harness& h, double duration) {
+  // Dynamic membership under measured churn (DESIGN.md decision 19):
+  // node 2 leaves the mesh and rejoins on a seeded schedule while 0 and 1
+  // keep serving.  Every leave aborts in-flight fates (losses are legal on
+  // every edge touching the churner) and every rejoin must resume the
+  // journaled wire frontier — restarted sequence numbers would read as
+  // replays and quarantine an honest peer, which is exactly what the
+  // no-quarantine expectation pins down.  The gradient envelope (oracle
+  // invariant 5) is checked on every pair the whole time: neighbor-clock
+  // bounds are knowledge-based and must stay valid across the churn.
+  h.dynamic_join = true;
+  h.start(ChaosFaults{});
+  h.oracle.track_gradient_pair("node0", "node1");
+  h.oracle.track_gradient_pair("node0", "node2");
+  h.oracle.track_gradient_pair("node1", "node2");
+  for (ProcId p = 0; p < kProcs; ++p) {
+    h.oracle.mark_lossish("node" + std::to_string(p));
+  }
+  h.observe_for(duration * 0.3);  // Converge on the full roster first.
+
+  Rng rng(h.seed ^ 0xC11A05ULL);
+  std::uint64_t cycles = 0;
+  double spent = 0.0;
+  while (spent < duration * 0.45) {
+    // Leave: the churner walks out — retires both neighbors locally and
+    // tells them so; they retire it in turn.
+    h.nodes[2]->remove_peer(0);
+    h.nodes[2]->remove_peer(1);
+    ++cycles;
+    const double away = rng.uniform(0.15, 0.35);
+    h.observe_for(away);
+    // Rejoin through both neighbors; the mesh re-admits and re-polls.
+    h.nodes[2]->admit_peer(0);
+    h.nodes[2]->admit_peer(1);
+    const double dwell = rng.uniform(0.25, 0.5);
+    h.observe_for(dwell);
+    spent += away + dwell;
+  }
+  h.observe_for(duration * 0.25);  // Settle with everyone back in.
+  h.oracle.observe();
+
+  std::uint64_t failed = 0;
+  if (cycles == 0) failed += expect_failed("churn-cycles", "schedule empty");
+  for (ProcId p = 0; p < 2; ++p) {
+    const NodeStats s = h.nodes[p]->stats();
+    failed += expect_counter(p, "peer_joins", s.peer_joins);
+    failed += expect_counter(p, "peer_leaves", s.peer_leaves);
+  }
+  failed += expect_no_quarantines(h);
+  failed += expect_converged(h, 1, 0.5);
+  failed += expect_converged(h, 2, 0.5);
+  return failed;
+}
+
+std::uint64_t run_join_flap(Harness& h, double duration) {
+  // Membership flapping: leave and rejoin with barely any dwell, racing
+  // admissions against in-flight data, acks and skip commits.  The dwell
+  // windows (20-80 ms out, 20-100 ms in) sit above the hub's 4 ms max
+  // latency — a kLeave never reorders past the following kJoinReq — but
+  // well inside the fate timeout, so most cycles tear seats out from under
+  // unresolved fates.  Soundness bar: no crash, no oracle violation, no
+  // honest quarantine, and the mesh still converges once the flapping
+  // stops.
+  h.dynamic_join = true;
+  h.start(ChaosFaults{});
+  h.oracle.track_gradient_pair("node0", "node1");
+  h.oracle.track_gradient_pair("node0", "node2");
+  h.oracle.track_gradient_pair("node1", "node2");
+  for (ProcId p = 0; p < kProcs; ++p) {
+    h.oracle.mark_lossish("node" + std::to_string(p));
+  }
+  h.observe_for(duration * 0.25);
+
+  Rng rng(h.seed ^ 0xF1A9ULL);
+  std::uint64_t flaps = 0;
+  for (double spent = 0.0; spent < duration * 0.5;) {
+    h.nodes[2]->remove_peer(0);
+    h.nodes[2]->remove_peer(1);
+    const double out = rng.uniform(0.02, 0.08);
+    nap(out);
+    h.nodes[2]->admit_peer(0);
+    h.nodes[2]->admit_peer(1);
+    ++flaps;
+    const double in = rng.uniform(0.02, 0.1);
+    nap(in);
+    h.oracle.observe();
+    spent += out + in;
+  }
+  h.observe_for(duration * 0.25);  // Converge after the last rejoin.
+  h.oracle.observe();
+
+  std::uint64_t failed = 0;
+  if (flaps < 3) {
+    failed += expect_failed("flap-cycles",
+                            "only " + std::to_string(flaps) + " flap cycles");
+  }
+  for (ProcId p = 0; p < 2; ++p) {
+    const NodeStats s = h.nodes[p]->stats();
+    failed += expect_counter(p, "peer_joins", s.peer_joins);
+    failed += expect_counter(p, "peer_leaves", s.peer_leaves);
+  }
+  failed += expect_no_quarantines(h);
+  failed += expect_converged(h, 1, 0.5);
+  failed += expect_converged(h, 2, 0.5);
+  return failed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -646,6 +785,10 @@ int main(int argc, char** argv) try {
     expectation_failures = run_byzantine_replay(harness, duration);
   } else if (scenario == "byzantine-equivocate") {
     expectation_failures = run_byzantine_equivocate(harness, duration);
+  } else if (scenario == "churn") {
+    expectation_failures = run_churn(harness, duration);
+  } else if (scenario == "join-flap") {
+    expectation_failures = run_join_flap(harness, duration);
   } else {
     throw FlagError("unknown --scenario: " + scenario);
   }

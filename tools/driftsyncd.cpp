@@ -19,10 +19,14 @@
 // SIGUSR1 dumps one JSON stats line to stdout; --stats-interval dumps
 // periodically; SIGINT/SIGTERM shut down cleanly.  --checkpoint makes the
 // node persist its state (write-ahead, see runtime/node.h) and restore it
-// on restart.  --selftest runs a self-contained 3-node in-process network
-// and exits 0 iff containment and convergence hold AND at least one causal
-// trace id shows up on both its sender's and its receiver's event streams
-// (the observability path is part of the daemon's contract, DESIGN.md §8).
+// on restart.  --dynamic-join lets the daemon admit spec neighbors that
+// ask in at runtime (kJoinReq/kJoinAck) and honor kLeave; the default is a
+// fixed roster.  --selftest runs a self-contained 3-node in-process
+// network and exits 0 iff containment and convergence hold AND at least
+// one causal trace id shows up on both its sender's and its receiver's
+// event streams (the observability path is part of the daemon's contract,
+// DESIGN.md §8); further legs re-run the check under a Byzantine third
+// seat and under a mid-run dynamic join.
 //
 // Observability: every daemon carries a Tracer (--trace-buffer events,
 // 0 disables) and answers kMetricsReq datagrams with Prometheus text plus
@@ -70,10 +74,14 @@ constexpr const char* kUsage =
     "         [--io-shards=1] [--recv-batch=16] [--send-batch=16]\n"
     "         [--serve [--max-clients=4096] [--client-idle-ms=30000]]\n"
     "         [--checkpoint=PATH] [--stats-interval=0] [--duration=0]\n"
-    "         [--trace-buffer=4096] [--trace-out=PATH] [--selftest]\n"
+    "         [--trace-buffer=4096] [--trace-out=PATH] [--dynamic-join]\n"
+    "         [--selftest]\n"
     "  --serve answers kClientReq datagrams (see driftsync_probe --client)\n"
     "  with at most --max-clients resident sessions (1..1048576); sessions\n"
-    "  idle longer than --client-idle-ms (1..86400000) are reaped.";
+    "  idle longer than --client-idle-ms (1..86400000) are reaped.\n"
+    "  --dynamic-join announces this node to its configured neighbors at\n"
+    "  startup, admits kJoinReq from spec neighbors at runtime and\n"
+    "  honors kLeave; without it the roster is fixed at startup.";
 
 volatile std::sig_atomic_t g_terminate = 0;
 volatile std::sig_atomic_t g_dump_stats = 0;
@@ -280,6 +288,82 @@ int run_selftest_byzantine() {
   return failures;
 }
 
+/// Third selftest leg: dynamic membership (DESIGN.md decision 19).  Nodes
+/// 0 and 1 run as a two-node mesh; mid-run a third node comes up and joins
+/// via the kJoinReq/kJoinAck handshake.  Passes iff both incumbents admit
+/// it (peer_joins ticks), the joiner converges next to peers it was never
+/// configured into, and everyone still contains true source time.
+int run_selftest_join() {
+  const double rho = 5e-4;
+  std::vector<ClockSpec> clocks{{0.0}, {rho}, {rho}};
+  std::vector<LinkSpec> links;
+  links.emplace_back(0, 1, 0.0, 0.05);
+  links.emplace_back(0, 2, 0.0, 0.05);
+  links.emplace_back(1, 2, 0.0, 0.05);
+  const SystemSpec spec(clocks, links, 0);
+
+  runtime::ThreadHub hub(19);
+  hub.set_link(0, 1, 0.0005, 0.004);
+  hub.set_link(0, 2, 0.0005, 0.004);
+  hub.set_link(1, 2, 0.001, 0.008);
+
+  const double offsets[3] = {0.0, 41.5, -13.25};
+  const double rates[3] = {1.0, 1.0 + 3e-4, 1.0 - 2e-4};
+  auto make = [&](ProcId p, std::vector<ProcId> peers) {
+    NodeConfig cfg;
+    cfg.self = p;
+    cfg.spec = spec;
+    cfg.peers = std::move(peers);
+    cfg.poll_period = 0.05;
+    cfg.fate_timeout = 0.25;
+    cfg.skip_retry = 0.1;
+    cfg.dynamic_join = true;
+    OptimalCsa::Options opts;
+    opts.loss_tolerant = true;
+    return std::make_unique<Node>(
+        cfg, std::make_unique<OptimalCsa>(opts),
+        std::make_unique<runtime::ScaledTimeSource>(offsets[p], rates[p]),
+        hub.endpoint(p));
+  };
+
+  // The incumbents start WITHOUT node 2 on their rosters.
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.push_back(make(0, {1}));
+  nodes.push_back(make(1, {0}));
+  for (auto& node : nodes) node->start();
+  timespec nap{0, 800'000'000};
+  nanosleep(&nap, nullptr);
+
+  // Mid-run, the third seat comes up and asks in.
+  nodes.push_back(make(2, {0, 1}));
+  nodes[2]->start();
+  nodes[2]->admit_peer(0);
+  nodes[2]->admit_peer(1);
+  nap = {1, 500'000'000};
+  nanosleep(&nap, nullptr);
+
+  int failures = 0;
+  const runtime::SystemTimeSource truth;
+  for (ProcId p = 0; p < 3; ++p) {
+    const double t0 = truth.now();
+    const Interval est = nodes[p]->estimate();
+    const double t1 = truth.now();
+    const runtime::NodeStats s = nodes[p]->stats();
+    const bool contained = est.lo <= t1 && est.hi >= t0;
+    const bool converged = p == 0 || est.width() < 0.5;
+    // Each incumbent must have admitted the joiner at runtime; the joiner
+    // itself was configured with its roster, so its join counter stays 0.
+    const bool admitted = p == 2 || s.peer_joins >= 1;
+    if (!contained || !converged || !admitted) ++failures;
+    std::printf("selftest join node %u: width %.6f peer_joins %llu %s\n", p,
+                est.width(), static_cast<unsigned long long>(s.peer_joins),
+                contained && converged && admitted ? "ok" : "FAIL");
+    std::printf("%s\n", nodes[p]->stats_json().c_str());
+  }
+  for (auto& node : nodes) node->stop();
+  return failures;
+}
+
 /// --selftest: a 3-node path with drifting clocks; passes iff every node's
 /// estimate contains the true source time, the non-source widths converge,
 /// and the shared trace shows at least one id on both a sender's and a
@@ -398,6 +482,7 @@ int run_selftest(std::size_t trace_buffer, const std::string& trace_out,
                 path.c_str());
   }
   failures += run_selftest_byzantine();
+  failures += run_selftest_join();
   std::printf(failures == 0 ? "selftest PASS\n" : "selftest FAIL\n");
   return failures == 0 ? 0 : 1;
 }
@@ -412,6 +497,7 @@ int main(int argc, char** argv) try {
   for (std::string& arg : args) {
     if (arg == "--selftest") arg = "--selftest=1";
     if (arg == "--serve") arg = "--serve=1";
+    if (arg == "--dynamic-join") arg = "--dynamic-join=1";
   }
   std::vector<const char*> argp;
   argp.reserve(args.size());
@@ -469,6 +555,9 @@ int main(int argc, char** argv) try {
   cfg.fate_timeout = flags.get_double("timeout", 2.0);
   cfg.skip_retry = flags.get_double("skip-retry", 1.0);
   cfg.checkpoint_path = flags.get_string("checkpoint", "");
+  // Dynamic membership (DESIGN.md decision 19): default closed so a fixed
+  // deployment cannot be grown by whoever can spoof a spec neighbor.
+  cfg.dynamic_join = flags.get_bool("dynamic-join", false);
   // Serving tier (DESIGN.md decision 17).  The range checks live in the
   // flag getter so nonsense ("--max-clients=0") dies with usage text.
   const bool serve = flags.get_bool("serve", false);
@@ -497,6 +586,16 @@ int main(int argc, char** argv) try {
             std::move(transport));
   install_signal_handlers();
   node.start();  // Throws CheckpointError on a rejected checkpoint.
+  if (cfg.dynamic_join) {
+    // Announce ourselves: a JoinReq to every configured spec neighbor lets
+    // a daemon join a RUNNING mesh whose incumbents were never configured
+    // with us — they learn our address from the datagram's source and
+    // admit us back.  Idempotent at every receiver, so incumbents
+    // restarting with the flag cost only one datagram per neighbor.
+    for (const ProcId p : cfg.peers) {
+      if (spec.are_neighbors(self, p)) node.admit_peer(p);
+    }
+  }
   std::fprintf(stderr, "driftsyncd: node %u up (%s), %zu peer(s)%s\n", self,
                algo.c_str(), cfg.peers.size(),
                serve ? ", serving clients" : "");

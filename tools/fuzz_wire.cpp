@@ -11,8 +11,9 @@
 //
 // Two dictionary stages per seed: a structurally valid event batch
 // (core-layer framing) and a structurally valid datagram drawn from all
-// nine wire types — including the serving tier's ClientReq/ClientResp —
-// each mutated and fed back through its decoder.
+// twelve wire types — including the serving tier's ClientReq/ClientResp
+// and the membership handshake JoinReq/JoinAck/Leave — each mutated and
+// fed back through its decoder.
 //
 //   $ ./fuzz_wire [--iterations=N] [--seconds=S] [--seed0=K]
 //
@@ -85,9 +86,9 @@ std::string random_string(Rng& rng, std::size_t max_len) {
   return s;
 }
 
-/// Random structurally valid datagram covering all nine wire types.
+/// Random structurally valid datagram covering all twelve wire types.
 runtime::Datagram random_datagram(Rng& rng) {
-  switch (rng.uniform_index(9)) {
+  switch (rng.uniform_index(12)) {
     case 0: {
       runtime::DataMsg m;
       m.from = static_cast<ProcId>(rng.uniform_index(8));
@@ -147,7 +148,7 @@ runtime::Datagram random_datagram(Rng& rng) {
       m.last_rtt = rng.flip(0.5) ? rng.uniform(0.0, 1.0) : 0.0;
       return m;
     }
-    default: {
+    case 8: {
       runtime::ClientResp m;
       m.client_id = 1 + rng.uniform_index(1u << 20);
       m.req_seq = 1 + rng.uniform_index(1000);
@@ -158,6 +159,14 @@ runtime::Datagram random_datagram(Rng& rng) {
       m.hi = m.lo + rng.uniform(0.0, 10.0);
       return m;
     }
+    case 9:
+      return runtime::JoinReqMsg{static_cast<ProcId>(rng.uniform_index(8)),
+                                 1 + rng.next_u64() % 1000000};
+    case 10:
+      return runtime::JoinAckMsg{static_cast<ProcId>(rng.uniform_index(8)),
+                                 1 + rng.next_u64() % 1000000};
+    default:
+      return runtime::LeaveMsg{static_cast<ProcId>(rng.uniform_index(8))};
   }
 }
 

@@ -107,8 +107,8 @@ SweepPoint run_fleet(std::size_t n, int rounds, std::uint64_t seed) {
       ++point.requests;
       if (!ok) continue;  // Rejected at the cap (never: fleet == cap).
 
-      const auto& echoed = std::get<runtime::ClientResp>(
-          runtime::decode_datagram(wire_resp));
+      const runtime::Datagram reply = runtime::decode_datagram(wire_resp);
+      const auto& echoed = std::get<runtime::ClientResp>(reply);
       client.est.on_response(echoed, client.local(t_recv));
       const Interval est = client.est.estimate(client.local(t_recv));
       if (est.lo > t_recv || est.hi < t_recv) ++point.violations;

@@ -1,0 +1,222 @@
+#include "clock/disciplined_clock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace driftsync::clock {
+
+namespace {
+
+/// Fixed-format double for the journal: %.9g is enough to round-trip the
+/// magnitudes steering produces (seconds, rates near 1, sub-second errors)
+/// and renders identically across libcs for finite values.
+void append_g9(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+const char* kind_name(SteerDecision::Kind kind) {
+  switch (kind) {
+    case SteerDecision::Kind::kInit:
+      return "init";
+    case SteerDecision::Kind::kSteer:
+      return "steer";
+    case SteerDecision::Kind::kHold:
+      return "hold";
+  }
+  return "?";
+}
+
+}  // namespace
+
+DisciplinedClock::DisciplinedClock(DisciplineOptions opts) : opts_(opts) {
+  DS_CHECK(opts_.max_slew > 0.0 && opts_.max_slew < 1.0);
+  DS_CHECK(opts_.steer_horizon > 0.0);
+  DS_CHECK(opts_.drift_window > 0.0);
+  DS_CHECK(opts_.journal_capacity >= 1);
+  ring_.resize(opts_.journal_capacity);
+  // Sized so a full drift_window of decisions at the Node's externalization
+  // cadence fits; old spans simply age out of the estimate when it doesn't.
+  spans_.resize(256);
+}
+
+double DisciplinedClock::now(LocalTime lt) const {
+  if (!initialized_) return lt;
+  // lt below the ref would read the line backwards; freeze at the ref
+  // instead (the owning Node's query_time_locked already clamps regressing
+  // sources, so this is a backstop, not a code path).
+  const double dt = lt > lt_ref_ ? lt - lt_ref_ : 0.0;
+  double out = out_ref_ + dt * rate_;
+  if (out < last_out_) out = last_out_;
+  last_out_ = out;
+  return out;
+}
+
+SteerDecision DisciplinedClock::steer(LocalTime lt, const Interval& est) {
+  if (initialized_ && lt < lt_ref_) lt = lt_ref_;
+  SteerDecision d;
+  d.seq = ++seq_;
+  d.lt = lt;
+  d.width = est.empty() ? kNoBound : est.width();
+  const bool steerable = !est.empty() && est.bounded();
+  if (!steerable) {
+    // Nothing to steer toward.  Keep the current rate: zeroing it mid-slew
+    // would oscillate on alternating bounded/unbounded estimates, and an
+    // unbounded estimate after convergence does not happen (knowledge only
+    // shrinks intervals).
+    d.kind = SteerDecision::Kind::kHold;
+    d.out = initialized_ ? now(lt) : lt;
+    d.rate = rate_;
+    ++holds_;
+    journal_push(d);
+    return d;
+  }
+  const double mid = est.midpoint();
+  if (!initialized_) {
+    // The one discontinuity: no disciplined reading exists yet, so the
+    // output may snap to the best available point estimate.  From here on
+    // only the rate moves.
+    initialized_ = true;
+    lt_ref_ = lt;
+    out_ref_ = mid;
+    rate_ = 1.0;
+    last_out_ = mid;
+    d.kind = SteerDecision::Kind::kInit;
+    d.out = mid;
+    d.rate = 1.0;
+    d.error = 0.0;
+  } else {
+    // Continuity first: advance the ref pair to this instant, THEN change
+    // the rate — the output never steps across a re-steer.
+    const double out = now(lt);
+    lt_ref_ = lt;
+    out_ref_ = out;
+    const double err = mid - out;
+    const double desired = err / opts_.steer_horizon;
+    const double slew =
+        std::clamp(desired, -opts_.max_slew, opts_.max_slew);
+    d.clamped = desired != slew;
+    if (d.clamped) ++slew_clamps_;
+    rate_ = 1.0 + slew;
+    d.kind = SteerDecision::Kind::kSteer;
+    d.out = out;
+    d.rate = rate_;
+    d.error = err;
+    const double jump = std::fabs(err);
+    if (jumps_ == 0 || jump < jump_min_) jump_min_ = jump;
+    if (jumps_ == 0 || jump > jump_max_) jump_max_ = jump;
+    jump_sum_ += jump;
+    ++jumps_;
+  }
+  ++resteers_;
+  worst_case_error_ =
+      std::max(std::fabs(d.out - est.lo), std::fabs(est.hi - d.out));
+  deficit_ = std::max({0.0, est.lo - d.out, d.out - est.hi});
+  // Record the applied rate span for the sliding-window drift integral.
+  RateSpan& span = spans_[spans_head_];
+  span.lt = lt;
+  span.rate = rate_;
+  spans_head_ = (spans_head_ + 1) % spans_.size();
+  if (spans_size_ < spans_.size()) ++spans_size_;
+  journal_push(d);
+  return d;
+}
+
+void DisciplinedClock::journal_push(const SteerDecision& d) {
+  ring_[ring_head_] = d;
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  if (ring_size_ < ring_.size()) ++ring_size_;
+}
+
+AccuracyStats DisciplinedClock::accuracy() const {
+  AccuracyStats a;
+  a.initialized = initialized_;
+  a.worst_case_error = worst_case_error_;
+  a.deficit = deficit_;
+  a.jumps = jumps_;
+  if (jumps_ > 0) {
+    a.jump_min = jump_min_;
+    a.jump_max = jump_max_;
+    a.jump_avg = jump_sum_ / static_cast<double>(jumps_);
+  }
+  a.resteers = resteers_;
+  a.holds = holds_;
+  a.slew_clamps = slew_clamps_;
+  // Drift: time-weighted mean of (rate - 1) over spans younger than the
+  // window, each span weighted by how long its rate was applied.  The
+  // youngest span extends to "now" = the last decision's lt, so a single
+  // span contributes nothing yet (zero elapsed).
+  if (spans_size_ >= 2) {
+    const std::size_t newest =
+        (spans_head_ + spans_.size() - 1) % spans_.size();
+    const LocalTime horizon = spans_[newest].lt - opts_.drift_window;
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 1; i < spans_size_; ++i) {
+      const std::size_t cur =
+          (spans_head_ + spans_.size() - 1 - i) % spans_.size();
+      const std::size_t next = (cur + 1) % spans_.size();
+      const double span_end = spans_[next].lt;
+      if (span_end <= horizon) break;
+      const double span_start = std::max(spans_[cur].lt, horizon);
+      const double dt = span_end - span_start;
+      if (dt <= 0.0) continue;
+      weighted += (spans_[cur].rate - 1.0) * dt;
+      total += dt;
+    }
+    if (total > 0.0) a.drift = weighted / total;
+  }
+  return a;
+}
+
+void DisciplinedClock::reset_jump_window() {
+  jump_min_ = 0.0;
+  jump_max_ = 0.0;
+  jump_sum_ = 0.0;
+  jumps_ = 0;
+}
+
+std::vector<SteerDecision> DisciplinedClock::journal() const {
+  std::vector<SteerDecision> out;
+  out.reserve(ring_size_);
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    const std::size_t idx =
+        (ring_head_ + ring_.size() - ring_size_ + i) % ring_.size();
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+std::string DisciplinedClock::journal_text() const {
+  std::string out;
+  for (const SteerDecision& d : journal()) {
+    out += "{\"seq\":";
+    out += std::to_string(d.seq);
+    out += ",\"kind\":\"";
+    out += kind_name(d.kind);
+    out += "\",\"lt\":";
+    append_g9(out, d.lt);
+    out += ",\"out\":";
+    append_g9(out, d.out);
+    out += ",\"rate\":";
+    append_g9(out, d.rate);
+    out += ",\"err\":";
+    append_g9(out, d.error);
+    out += ",\"width\":";
+    if (std::isfinite(d.width)) {
+      append_g9(out, d.width);
+    } else {
+      out += "\"inf\"";
+    }
+    out += ",\"clamped\":";
+    out += d.clamped ? "true" : "false";
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace driftsync::clock

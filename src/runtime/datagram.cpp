@@ -37,6 +37,13 @@ constexpr std::uint8_t kMaxType = 11;
 constexpr std::uint8_t kExtTraceId = 0x01;
 constexpr std::uint8_t kExtKnownMask = kExtTraceId;
 
+/// Extension-block flag bits (kClientResp only), same canonical rules:
+/// the disciplined reading (decision 21) is appended as flag byte +
+/// (disc_time, disc_err) doubles, and omission is the only encoding of
+/// "no disciplined reading yet".
+constexpr std::uint8_t kExtDisciplined = 0x01;
+constexpr std::uint8_t kClientRespExtKnownMask = kExtDisciplined;
+
 void put_header(std::vector<std::uint8_t>& out, Type type) {
   out.push_back(kMagic0);
   out.push_back(kMagic1);
@@ -165,6 +172,11 @@ void encode_body(std::vector<std::uint8_t>& out, const ClientResp& m) {
   wire::put_double(out, m.server_lt);
   wire::put_double(out, m.lo);
   wire::put_double(out, m.hi);
+  if (m.has_disc) {
+    out.push_back(kExtDisciplined);
+    wire::put_double(out, m.disc_time);
+    wire::put_double(out, m.disc_err);
+  }
 }
 
 void encode_body(std::vector<std::uint8_t>& out, const JoinReqMsg& m) {
@@ -311,6 +323,28 @@ ClientResp decode_client_resp(std::span<const std::uint8_t> bytes,
     throw WireError("NaN serve estimate bound");
   }
   if (m.lo > m.hi) throw WireError("inverted serve estimate");
+  if (offset < bytes.size()) {
+    // Optional extension block, canonical rules as in decode_data: a zero
+    // flag byte encodes nothing (omission is the canonical form), unknown
+    // bits are rejected, and an absent disciplined reading must be encoded
+    // by omission.
+    const std::uint8_t flags = bytes[offset++];
+    if (flags == 0) throw WireError("empty client-resp extension flags");
+    if ((flags & ~kClientRespExtKnownMask) != 0) {
+      throw WireError("unknown client-resp extension flags");
+    }
+    if ((flags & kExtDisciplined) != 0) {
+      m.has_disc = true;
+      m.disc_time = wire::get_double(bytes, offset);
+      if (!std::isfinite(m.disc_time)) {
+        throw WireError("non-finite disciplined reading");
+      }
+      m.disc_err = wire::get_double(bytes, offset);
+      if (std::isnan(m.disc_err) || m.disc_err < 0.0) {
+        throw WireError("invalid disciplined error bound");
+      }
+    }
+  }
   return m;
 }
 

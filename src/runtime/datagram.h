@@ -140,6 +140,12 @@ struct ClientReq {
 /// The client widens hi by rtt/(1 - rho) to obtain a sound bracket of true
 /// source time at the receive instant (client_session.h).  Bounds may be
 /// infinite (server not yet converged) but never NaN.
+///
+/// When the server's disciplined output clock has initialized (DESIGN.md
+/// decision 21) the reply additionally carries its monotone scalar reading
+/// at server_lt plus the worst-case error bound, as an optional extension
+/// block after the fixed fields — same canonical rules as the DataMsg
+/// trace-id extension, so pre-extension decoders and encoders interoperate.
 struct ClientResp {
   std::uint64_t client_id = 0;
   std::uint64_t req_seq = 0;       ///< Echo of ClientReq::req_seq.
@@ -148,6 +154,11 @@ struct ClientResp {
   LocalTime server_lt = 0.0;       ///< Server local time of the reply.
   double lo = 0.0;
   double hi = 0.0;
+  /// Optional disciplined reading; absent (has_disc = false) until the
+  /// server's clock initializes.  disc_time is finite; disc_err >= 0.
+  bool has_disc = false;
+  double disc_time = 0.0;
+  double disc_err = 0.0;
 
   friend bool operator==(const ClientResp&, const ClientResp&) = default;
 };

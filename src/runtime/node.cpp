@@ -116,6 +116,18 @@ Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
       transport_(std::move(transport)),
       // 100 µs .. ~26 s: spans loopback widths through badly diverged ones.
       width_hist_(Histogram::exponential(1e-4, 4.0, 10)),
+      disc_clock_([this] {
+        clock::DisciplineOptions copts;
+        copts.max_slew = cfg_.clock_max_slew > 0.0
+                             ? cfg_.clock_max_slew
+                             : std::max(cfg_.spec.clock(cfg_.self).rho, 1e-4);
+        copts.steer_horizon = cfg_.clock_steer_horizon;
+        return copts;
+      }()),
+      // 100 ns .. ~0.1 s: steering jumps (midpoint moves per externalize).
+      clock_jump_hist_(Histogram::exponential(1e-7, 4.0, 11)),
+      // 10 µs .. ~2.6 s: worst-case disciplined error vs the interval.
+      clock_error_hist_(Histogram::exponential(1e-5, 4.0, 9)),
       // 1 µs .. ~0.26 s: datagram handling including persist().
       handle_hist_(Histogram::exponential(1e-6, 4.0, 10)),
       // 1 µs .. ~4 s: per-neighbor gradient skew/width (poll-sampled).
@@ -127,6 +139,8 @@ Node::Node(NodeConfig config, std::unique_ptr<Csa> csa,
            cfg_.skip_retry > 0.0);
   DS_CHECK(cfg_.quarantine_probe_factor >= 1.0);
   DS_CHECK(cfg_.backoff_cap < 32);
+  DS_CHECK(cfg_.clock_max_slew >= 0.0 && cfg_.clock_max_slew < 1.0);
+  DS_CHECK(cfg_.clock_steer_horizon > 0.0);
   // Jitter decorrelates peers' retry storms; it never touches protocol
   // state, so an arbitrary per-process seed is fine.
   std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
@@ -203,18 +217,46 @@ void Node::stop() {
   transport_->stop();
 }
 
-void Node::note_externalize(double width) const {
+void Node::note_externalize(const Interval& est, LocalTime now) const {
+  const double width = est.width();
   // An unbounded estimate (infinite width) is still an externalization
   // event, but poisoning the histogram's sum with inf would break the
   // Prometheus exposition — only finite widths are binned.
   if (std::isfinite(width)) width_hist_.add(width);
   trace(TraceEventKind::kExternalize, 0, kInvalidProc, width);
+  // Every externalized estimate re-steers the disciplined output clock
+  // (decision 21): the scalar timestamp consumers read tracks exactly what
+  // the node has published, never a fresher private view.
+  const clock::SteerDecision d = disc_clock_.steer(now, est);
+  if (d.kind == clock::SteerDecision::Kind::kSteer) {
+    clock_jump_hist_.add(std::fabs(d.error));
+  }
+  const double err = disc_clock_.accuracy().worst_case_error;
+  if (std::isfinite(err)) clock_error_hist_.add(err);
+}
+
+DisciplinedReading Node::disciplined_locked(const Interval& est,
+                                            LocalTime now) const {
+  DisciplinedReading d;
+  d.initialized = disc_clock_.initialized();
+  if (!d.initialized) return d;
+  d.out = disc_clock_.now(now);
+  d.max_slew = disc_clock_.options().max_slew;
+  if (!est.empty() && est.bounded()) {
+    d.deficit = std::max({0.0, est.lo - d.out, d.out - est.hi});
+    d.err_bound = std::max(std::fabs(d.out - est.lo), std::fabs(est.hi - d.out));
+  } else {
+    d.deficit = 0.0;
+    d.err_bound = kNoBound;
+  }
+  return d;
 }
 
 Interval Node::estimate() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  const Interval est = csa_->estimate(query_time_locked());
-  note_externalize(est.width());
+  const LocalTime now = query_time_locked();
+  const Interval est = csa_->estimate(now);
+  note_externalize(est, now);
   return est;
 }
 
@@ -223,7 +265,8 @@ NodeSample Node::sample() const {
   NodeSample s;
   s.lt = query_time_locked();
   s.est = csa_->estimate(s.lt);
-  note_externalize(s.est.width());
+  note_externalize(s.est, s.lt);
+  s.disc = disciplined_locked(s.est, s.lt);
   return s;
 }
 
@@ -244,6 +287,12 @@ NodeStats Node::stats() const {
   }
   s.transport = transport_->transport_stats();
   s.width = csa_->estimate(query_time_locked()).width();
+  {
+    const clock::AccuracyStats acc = disc_clock_.accuracy();
+    s.clock_resteers = acc.resteers;
+    s.clock_holds = acc.holds;
+    s.clock_slew_clamps = acc.slew_clamps;
+  }
   s.peers_journaled = membership_.journal_count();
   const double now = steady_seconds();
   membership_.for_each_active([&](const PeerState& state) {
@@ -274,6 +323,8 @@ LocalTime Node::query_time_locked() const {
 std::string Node::stats_json_locked() const {
   const LocalTime now = query_time_locked();
   const Interval est = csa_->estimate(now);
+  const DisciplinedReading disc = disciplined_locked(est, now);
+  const clock::AccuracyStats acc = disc_clock_.accuracy();
   std::string out = "{";
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%u", cfg_.self);
@@ -289,6 +340,18 @@ std::string Node::stats_json_locked() const {
   append_json_number(out, est.hi);
   out += ",\"width\":";
   append_json_number(out, est.width());
+  // Disciplined output clock (decision 21): the monotone reading next to
+  // the raw interval (null until initialized), its worst-case error bound,
+  // and the steering counters.
+  out += ",\"disciplined\":";
+  append_json_number(out, disc.initialized ? disc.out : std::nan(""));
+  out += ",\"clock_err\":";
+  append_json_number(out, disc.initialized ? disc.err_bound : std::nan(""));
+  out += ",\"clock_drift\":";
+  append_json_number(out, acc.drift);
+  append_json_u64(out, "clock_resteers", acc.resteers);
+  append_json_u64(out, "clock_holds", acc.holds);
+  append_json_u64(out, "clock_slew_clamps", acc.slew_clamps);
   append_json_u64(out, "dgrams_in", stats_.dgrams_in);
   append_json_u64(out, "dgrams_out", stats_.dgrams_out);
   append_json_u64(out, "bytes_in", stats_.bytes_in);
@@ -480,11 +543,28 @@ std::string Node::metrics_text_locked() const {
   gauge("driftsync_estimate_lo_seconds", est.lo);
   gauge("driftsync_estimate_hi_seconds", est.hi);
   gauge("driftsync_estimate_width_seconds", est.width());
+  // Disciplined output clock (decision 21).
+  {
+    const DisciplinedReading disc = disciplined_locked(est, now);
+    const clock::AccuracyStats acc = disc_clock_.accuracy();
+    counter("driftsync_clock_resteers", acc.resteers);
+    counter("driftsync_clock_holds", acc.holds);
+    counter("driftsync_clock_slew_clamps", acc.slew_clamps);
+    gauge("driftsync_clock_disciplined_seconds",
+          disc.initialized ? disc.out : std::nan(""));
+    gauge("driftsync_clock_error_bound_seconds",
+          disc.initialized ? disc.err_bound : std::nan(""));
+    gauge("driftsync_clock_drift", acc.drift);
+  }
   if (cfg_.tracer != nullptr) {
     counter("driftsync_trace_recorded", cfg_.tracer->recorded());
     counter("driftsync_trace_dropped", cfg_.tracer->dropped());
   }
   append_prometheus(out, "driftsync_width_seconds", labels, width_hist_);
+  append_prometheus(out, "driftsync_clock_jump_seconds", labels,
+                    clock_jump_hist_);
+  append_prometheus(out, "driftsync_clock_error_seconds", labels,
+                    clock_error_hist_);
   append_prometheus(out, "driftsync_handle_seconds", labels, handle_hist_);
   append_prometheus(out, "driftsync_gradient_skew_seconds", labels,
                     gradient_skew_hist_);
@@ -860,6 +940,9 @@ void Node::handle_skip(const SkipMsg& msg) {
 void Node::handle_probe(const ProbeReq& msg) {
   const LocalTime now = query_time_locked();
   const Interval est = csa_->estimate(now);
+  // Steer before rendering stats so the probe reply's disciplined reading
+  // reflects this very externalization.
+  note_externalize(est, now);
   ProbeResp resp;
   resp.nonce = msg.nonce;
   resp.from = cfg_.self;
@@ -867,7 +950,6 @@ void Node::handle_probe(const ProbeReq& msg) {
   resp.lo = est.lo;
   resp.hi = est.hi;
   resp.stats_json = stats_json_locked();
-  note_externalize(est.width());
   // No state changed, so no checkpoint; the requester is not a configured
   // peer, so the reply addresses the transport's reply slot (kReplyPeer =
   // "origin of the datagram being handled").
@@ -907,8 +989,20 @@ void Node::handle_client_req(const ClientReq& msg) {
         static_cast<double>(msg.req_seq));
   const LocalTime now = query_time_locked();
   const Interval est = csa_->estimate(now);
+  // The client's disciplined reading rides the reply next to the raw
+  // interval (optional wire extension): the server's monotone output at
+  // `now` plus its worst-case error bound, attached once the clock has
+  // initialized against a bounded estimate.
+  const DisciplinedReading disc = disciplined_locked(est, now);
+  serve::DisciplinedPoint point;
+  if (disc.initialized && std::isfinite(disc.err_bound)) {
+    point.valid = true;
+    point.time = disc.out;
+    point.err_bound = disc.err_bound;
+  }
   ClientResp resp;
-  if (!serve_->handle(msg, cfg_.self, est, now, steady_seconds(), &resp)) {
+  if (!serve_->handle(msg, cfg_.self, est, now, steady_seconds(), &resp,
+                      point)) {
     // Rejected at the cap: drop the request silently (the client's retry
     // lands once the grace window or the idle reaper frees a slot).  The
     // rejection is visible through the serve_rejected counter.
@@ -916,7 +1010,7 @@ void Node::handle_client_req(const ClientReq& msg) {
   }
   ++stats_.serve_requests;
   // Serving an estimate externalizes it, exactly like a probe reply.
-  note_externalize(est.width());
+  note_externalize(est, now);
   trace(TraceEventKind::kClientResp, trace_id, kInvalidProc, est.width());
   transmit(kReplyPeer, Datagram{resp});
 }

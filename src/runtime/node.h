@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "clock/disciplined_clock.h"
 #include "common/histogram.h"
 #include "common/ids.h"
 #include "common/interval.h"
@@ -121,6 +122,15 @@ struct NodeConfig {
   std::size_t serve_max_clients = 0;
   double serve_idle_timeout = 30.0;  ///< Seconds before an idle session reaps.
   double serve_evict_grace = 1.0;    ///< LRU protection window at the cap.
+  /// Disciplined output clock (DESIGN.md decision 21).  Max |rate - 1| the
+  /// discipline may apply against the local oscillator; 0 (the default)
+  /// derives it from the node's own drift spec rho, floored at 1e-4 so a
+  /// perfect-clock (rho = 0) node can still correct its offset.
+  /// driftsyncd exposes this as --clock-slew.
+  double clock_max_slew = 0.0;
+  /// Seconds over which proportional steering corrects the full observed
+  /// error (clock/disciplined_clock.h).
+  double clock_steer_horizon = 1.0;
 };
 
 /// Observability counters; stats_json() renders them as one JSON line.
@@ -167,6 +177,10 @@ struct NodeStats {
   std::uint64_t serve_evicted = 0;   ///< LRU evictions at the cap.
   std::uint64_t serve_reaped = 0;    ///< Idle-timeout reaps.
   std::uint64_t serve_rejected = 0;  ///< Newcomers refused at the cap.
+  /// Disciplined clock (decision 21): steering decisions on externalize.
+  std::uint64_t clock_resteers = 0;     ///< Init + rate-steer decisions.
+  std::uint64_t clock_holds = 0;        ///< Unbounded estimate, rate kept.
+  std::uint64_t clock_slew_clamps = 0;  ///< Steers that saturated the budget.
   /// Transport-level counters (drops, socket errors, batch totals) from
   /// Transport::transport_stats(); all zero for transports that track
   /// nothing.
@@ -185,12 +199,28 @@ struct NodeStats {
   std::map<ProcId, std::uint32_t> readmission_cost;
 };
 
-/// One atomic (lock-coherent) estimate reading: the interval and the local
-/// time it was queried at.  The chaos oracle's width-dynamics invariant
-/// needs both from under one lock (runtime/oracle.h).
+/// The disciplined clock's reading as captured in a NodeSample: everything
+/// the oracle's invariant-6 check needs, coherent with the interval it was
+/// steered against.  `initialized` is false until the first bounded
+/// estimate snapped the clock; pre-init "readings" are raw local time and
+/// carry no contract.
+struct DisciplinedReading {
+  bool initialized = false;
+  double out = 0.0;       ///< Disciplined reading at the sample's lt.
+  double max_slew = 0.0;  ///< Configured rate bound |rate - 1| <= max_slew.
+  double deficit = 0.0;   ///< Distance to the sample's est (0 = inside).
+  double err_bound = 0.0; ///< Worst-case error vs true time (interval
+                          ///< geometry); +inf while est is unbounded.
+};
+
+/// One atomic (lock-coherent) estimate reading: the interval, the local
+/// time it was queried at, and the disciplined clock's post-steer output.
+/// The chaos oracle's width-dynamics and disciplined-clock invariants need
+/// all of it from under one lock (runtime/oracle.h).
 struct NodeSample {
   LocalTime lt = 0.0;
   Interval est;
+  DisciplinedReading disc;
 };
 
 class Node {
@@ -278,8 +308,14 @@ class Node {
       cfg_.tracer->record(kind, trace_id, cfg_.self, peer, value);
     }
   }
-  /// Externalization bookkeeping: width histogram + kExternalize event.
-  void note_externalize(double width) const;
+  /// Externalization bookkeeping: width histogram, kExternalize event, and
+  /// a re-steer of the disciplined clock toward `est` (decision 21) — every
+  /// estimate that leaves the node pulls the output clock with it.
+  void note_externalize(const Interval& est, LocalTime now) const;
+  /// The disciplined clock's coherent reading at `now` against `est`
+  /// (mu_ held, post-steer).
+  [[nodiscard]] DisciplinedReading disciplined_locked(const Interval& est,
+                                                      LocalTime now) const;
   void poll_peer(ProcId peer, PeerState& state);
   void send_skip(ProcId peer, PeerState& state);
   void send_ack(ProcId peer, const PeerState& state);
@@ -318,6 +354,13 @@ class Node {
   /// Estimate-width distribution over externalizations (seconds); mutable
   /// because estimate()/sample() are logically const reads.  Guarded by mu_.
   mutable Histogram width_hist_;
+  /// Disciplined output clock (decision 21), re-steered on every
+  /// externalization; mutable for the same reason as width_hist_.  The
+  /// steering-jump and worst-case-error distributions ride the same
+  /// Prometheus path as the width histogram.
+  mutable clock::DisciplinedClock disc_clock_;
+  mutable Histogram clock_jump_hist_;
+  mutable Histogram clock_error_hist_;
   /// Inbound-datagram handling latency (seconds), measured inside mu_.
   Histogram handle_hist_;
   /// Per-neighbor gradient (Kuhn–Lenzen–Locher–Oshman sense): each poll

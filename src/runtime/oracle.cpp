@@ -151,6 +151,64 @@ void InvariantOracle::check_gradient(const std::string& a_name,
   }
 }
 
+const char* InvariantOracle::disciplined_check(const NodeSample& prev,
+                                               const NodeSample& cur,
+                                               double rho, double tolerance,
+                                               std::string* detail) {
+  if (!prev.disc.initialized || !cur.disc.initialized) return nullptr;
+  if (cur.lt < prev.lt) return nullptr;
+  const double dlt = cur.lt - prev.lt;
+  const double dout = cur.disc.out - prev.disc.out;
+  const double slew = std::max(prev.disc.max_slew, cur.disc.max_slew);
+  if (dout < -tolerance) {
+    if (detail != nullptr) {
+      *detail = "output stepped backward by " + std::to_string(-dout) +
+                " over dlt=" + std::to_string(dlt);
+    }
+    return "disciplined-monotone";
+  }
+  if (dout < dlt * (1.0 - slew) - tolerance ||
+      dout > dlt * (1.0 + slew) + tolerance) {
+    if (detail != nullptr) {
+      *detail = "output advanced " + std::to_string(dout) + " over dlt=" +
+                std::to_string(dlt) + ", outside the slew envelope +-" +
+                std::to_string(slew);
+    }
+    return "disciplined-rate";
+  }
+  // Containment-when-feasible.  A slew-limited clock may legally sit
+  // outside a collapsed interval (DESIGN.md decision 21); the observable
+  // is its deficit — the distance to the interval — which may grow only by
+  // however much the interval itself escaped: the shrink past the drift
+  // envelope on the side the clock trails, plus the slew+drift gap a
+  // maximally unlucky chase accumulates over dlt.
+  if (prev.est.bounded() && cur.est.bounded() && !prev.est.empty() &&
+      !cur.est.empty()) {
+    const double env_lo = prev.est.lo + dlt / (1.0 + rho);
+    const double env_hi = prev.est.hi + dlt / (1.0 - rho);
+    double shrink = 0.0;
+    if (cur.disc.out < cur.est.lo) {
+      shrink = std::max(0.0, cur.est.lo - env_lo);
+    } else if (cur.disc.out > cur.est.hi) {
+      shrink = std::max(0.0, env_hi - cur.est.hi);
+    }
+    const double allow =
+        prev.disc.deficit + shrink + dlt * (slew + rho) + tolerance;
+    if (cur.disc.deficit > allow) {
+      if (detail != nullptr) {
+        *detail = "deficit " + std::to_string(cur.disc.deficit) +
+                  " vs est " + cur.est.str() + " exceeds allowance " +
+                  std::to_string(allow) + " (prev deficit " +
+                  std::to_string(prev.disc.deficit) + ", shrink " +
+                  std::to_string(shrink) + ", dlt " + std::to_string(dlt) +
+                  ")";
+      }
+      return "disciplined-containment";
+    }
+  }
+  return nullptr;
+}
+
 void InvariantOracle::observe() {
   for (auto& [name, t] : nodes_) {
     if (t.clock_violated) continue;  // The paper promises nothing here.
@@ -184,6 +242,24 @@ void InvariantOracle::observe() {
                       "] extrapolated over dlt=" + std::to_string(dlt));
       }
     }
+    if (s.disc.initialized) {
+      // Fold the reading into the ground-truth bracket taken around the
+      // sample; the worst case over the run is the verdict's error figure.
+      const double err =
+          std::max({0.0, t0 - s.disc.out, s.disc.out - t1});
+      disciplined_worst_ = std::max(disciplined_worst_, err);
+    }
+
+    if (t.has_baseline && t.baseline.disc.initialized && s.disc.initialized &&
+        s.lt >= t.baseline.lt) {
+      ++checks_;
+      std::string detail;
+      if (const char* inv =
+              disciplined_check(t.baseline, s, t.rho, tol, &detail)) {
+        violation(name, inv, detail);
+      }
+    }
+
     t.baseline = s;
     t.has_baseline = true;
   }

@@ -42,6 +42,15 @@
 //     bounds stay valid across B's leave and rejoin, which is exactly what
 //     the churn scenarios pin down.
 //
+//  6. Disciplined clock (DESIGN.md decision 21): between two samples of a
+//     spec-honoring node, the disciplined output must be monotone, must
+//     advance at a rate within the configured slew bound of local time, and
+//     must track the optimal interval whenever feasible — its distance to
+//     the interval (the deficit) may grow only by what the interval itself
+//     moved away faster than a slew-limited clock can chase.  The oracle
+//     also folds the reading into a ground-truth error bracket
+//     (disciplined_worst_error()), which the chaos verdict reports.
+//
 // Violations are dumped as JSON lines (the fault journal and per-node stats
 // alongside them, so a failure is diagnosable from its log alone) and
 // counted; the runner turns a nonzero count into a hard failure.
@@ -130,6 +139,28 @@ class InvariantOracle {
   [[nodiscard]] std::uint64_t violations() const { return violations_; }
   [[nodiscard]] std::uint64_t checks() const { return checks_; }
 
+  /// Worst ground-truth error of any disciplined reading seen by observe()
+  /// (distance from the reading to the truth bracket around its sample);
+  /// 0 until a tracked node's clock initializes.  The chaos verdict line
+  /// reports it next to the violation count.
+  [[nodiscard]] double disciplined_worst_error() const {
+    return disciplined_worst_;
+  }
+
+  /// The invariant-6 pair check, exposed as a pure static so tests can
+  /// drive the production logic against synthetic samples (including the
+  /// deliberately broken NaiveSteppingClock double).  Returns nullptr when
+  /// the sample pair is consistent, else the violated sub-invariant name
+  /// ("disciplined-monotone", "disciplined-rate",
+  /// "disciplined-containment"); `detail` (may be null) receives context.
+  /// Pairs where either sample's clock is uninitialized, or whose local
+  /// times regress, claim nothing and pass.
+  [[nodiscard]] static const char* disciplined_check(const NodeSample& prev,
+                                                     const NodeSample& cur,
+                                                     double rho,
+                                                     double tolerance,
+                                                     std::string* detail);
+
  private:
   struct Tracked {
     const Node* node = nullptr;
@@ -155,6 +186,7 @@ class InvariantOracle {
   std::size_t trace_last_k_ = 16;
   std::uint64_t checks_ = 0;
   std::uint64_t violations_ = 0;
+  double disciplined_worst_ = 0.0;
 };
 
 }  // namespace driftsync::runtime

@@ -91,6 +91,15 @@ class ClientEstimator {
     last_rtt_ = rtt;
     pending_seq_ = 0;
     ++accepted_;
+    if (resp.has_disc) {
+      // The server's monotone disciplined reading (DESIGN.md decision 21),
+      // valid at its reply instant.  The worst-case error seen by this
+      // client adds the reply-to-receive transit, bounded by rtt/(1-rho)
+      // exactly like the interval bracket above.
+      disc_time_ = resp.disc_time;
+      disc_err_ = resp.disc_err + rtt / (1.0 - opts_.rho);
+      has_disc_ = true;
+    }
     return true;
   }
 
@@ -107,6 +116,11 @@ class ClientEstimator {
   [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t renounced() const { return renounced_; }
   [[nodiscard]] const Options& options() const { return opts_; }
+  /// Last accepted response's disciplined server reading (decision 21);
+  /// false until a serving node with an initialized clock answered.
+  [[nodiscard]] bool has_disciplined() const { return has_disc_; }
+  [[nodiscard]] double disciplined_time() const { return disc_time_; }
+  [[nodiscard]] double disciplined_err() const { return disc_err_; }
 
  private:
   Options opts_;
@@ -118,6 +132,9 @@ class ClientEstimator {
   double last_rtt_ = 0.0;
   std::uint64_t accepted_ = 0;
   std::uint64_t renounced_ = 0;
+  bool has_disc_ = false;
+  double disc_time_ = 0.0;
+  double disc_err_ = 0.0;
 };
 
 }  // namespace driftsync::serve

@@ -14,7 +14,7 @@ Server::Server(const Options& opts)
 
 bool Server::handle(const runtime::ClientReq& req, ProcId self,
                     const Interval& est, LocalTime server_lt, double now,
-                    runtime::ClientResp* resp) {
+                    runtime::ClientResp* resp, const DisciplinedPoint& disc) {
   ClientSession* session = table_.touch(req.client_id, now);
   if (session == nullptr) return false;
   // Stale or replayed sequences are still answered (the exchange is
@@ -32,6 +32,9 @@ bool Server::handle(const runtime::ClientReq& req, ProcId self,
   resp->server_lt = server_lt;
   resp->lo = est.lo;
   resp->hi = est.hi;
+  resp->has_disc = disc.valid;
+  resp->disc_time = disc.valid ? disc.time : 0.0;
+  resp->disc_err = disc.valid ? disc.err_bound : 0.0;
   return true;
 }
 

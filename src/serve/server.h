@@ -23,6 +23,17 @@ namespace driftsync::serve {
 /// bit keeps the two id spaces disjoint).
 std::uint64_t client_trace_id(std::uint64_t client_id, std::uint64_t req_seq);
 
+/// The hosting node's disciplined-clock reading offered alongside the raw
+/// interval (DESIGN.md decision 21).  Plain data so the serve tier keeps no
+/// dependency on the clock library — the Node converts.  invalid (the
+/// default) means "clock not initialized yet": the response then carries
+/// the interval alone, exactly as before the discipline layer existed.
+struct DisciplinedPoint {
+  bool valid = false;
+  double time = 0.0;       ///< Monotone disciplined reading at server_lt.
+  double err_bound = 0.0;  ///< Worst-case error vs true source time (>= 0).
+};
+
 class Server {
  public:
   struct Options {
@@ -33,12 +44,14 @@ class Server {
 
   /// Handles one request: touches the session, folds in the client's
   /// reported RTT, and fills *resp with `est` (the hosting node's estimate
-  /// at its local time server_lt).  `now` is monotonic seconds for session
-  /// bookkeeping (idle/eviction decisions).  Returns false when the client
-  /// was rejected at the cap — no response goes out, and the client's
-  /// retry lands once the grace window or the reaper frees a slot.
+  /// at its local time server_lt) plus the disciplined reading when one is
+  /// available.  `now` is monotonic seconds for session bookkeeping
+  /// (idle/eviction decisions).  Returns false when the client was
+  /// rejected at the cap — no response goes out, and the client's retry
+  /// lands once the grace window or the reaper frees a slot.
   bool handle(const runtime::ClientReq& req, ProcId self, const Interval& est,
-              LocalTime server_lt, double now, runtime::ClientResp* resp);
+              LocalTime server_lt, double now, runtime::ClientResp* resp,
+              const DisciplinedPoint& disc = {});
 
   /// Forwards to SessionTable::reap_idle.
   std::size_t reap_idle(double now) { return table_.reap_idle(now); }

@@ -110,7 +110,13 @@ TEST(Tracer, ConcurrentWritersNeverTearOrLoseCounts) {
   }
   for (auto& t : writers) t.join();
   EXPECT_EQ(tracer.recorded(), kThreads * kPerThread);
-  EXPECT_EQ(tracer.snapshot().size(), tracer.capacity());
+  // A writer lapped mid-write can land its stale stamp after the newer
+  // generation's, and the reader then (correctly) skips that slot.  Each
+  // thread has at most one write in flight, so at most kThreads - 1 of the
+  // final-window slots can be lost that way.
+  const std::size_t n = tracer.snapshot().size();
+  EXPECT_LE(n, tracer.capacity());
+  EXPECT_GE(n, tracer.capacity() - (kThreads - 1));
 }
 
 TEST(MintTraceId, DeterministicNonzeroAndDistinct) {

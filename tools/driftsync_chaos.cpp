@@ -801,11 +801,12 @@ int main(int argc, char** argv) try {
   std::printf(
       "{\"tool\":\"driftsync_chaos\",\"scenario\":\"%s\",\"seed\":%llu,"
       "\"duration\":%g,\"faults_injected\":%llu,\"oracle_checks\":%llu,"
-      "\"violations\":%llu,\"verdict\":\"%s\"}\n",
+      "\"violations\":%llu,\"clock_worst_error\":%g,\"verdict\":\"%s\"}\n",
       scenario.c_str(), static_cast<unsigned long long>(seed), duration,
       static_cast<unsigned long long>(harness.log.total()),
       static_cast<unsigned long long>(harness.oracle.checks()),
       static_cast<unsigned long long>(violations),
+      harness.oracle.disciplined_worst_error(),
       violations == 0 ? "PASS" : "FAIL");
   return violations == 0 ? 0 : 1;
 } catch (const driftsync::FlagError& e) {

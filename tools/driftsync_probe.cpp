@@ -144,6 +144,14 @@ int run_client(int fd, const sockaddr_in& addr, std::uint64_t base_id,
   print_number(est.hi);
   std::printf(",\"width\":");
   print_number(est.width());
+  // The server's disciplined reading next to the raw interval (decision
+  // 21): client 0's last accepted response, error widened by its transit.
+  std::printf(",\"disciplined\":");
+  print_number(clients[0].has_disciplined() ? clients[0].disciplined_time()
+                                            : std::nan(""));
+  std::printf(",\"disciplined_err\":");
+  print_number(clients[0].has_disciplined() ? clients[0].disciplined_err()
+                                            : std::nan(""));
   std::printf(",\"rtt\":%.9f}\n", clients[0].last_rtt());
   if (accepted == 0) {
     std::fprintf(stderr, "probe: no client response accepted\n");

@@ -75,13 +75,16 @@ constexpr const char* kUsage =
     "         [--serve [--max-clients=4096] [--client-idle-ms=30000]]\n"
     "         [--checkpoint=PATH] [--stats-interval=0] [--duration=0]\n"
     "         [--trace-buffer=4096] [--trace-out=PATH] [--dynamic-join]\n"
-    "         [--selftest]\n"
+    "         [--clock-slew=0] [--clock-horizon=1.0] [--selftest]\n"
     "  --serve answers kClientReq datagrams (see driftsync_probe --client)\n"
     "  with at most --max-clients resident sessions (1..1048576); sessions\n"
     "  idle longer than --client-idle-ms (1..86400000) are reaped.\n"
     "  --dynamic-join announces this node to its configured neighbors at\n"
     "  startup, admits kJoinReq from spec neighbors at runtime and\n"
-    "  honors kLeave; without it the roster is fixed at startup.";
+    "  honors kLeave; without it the roster is fixed at startup.\n"
+    "  --clock-slew caps the disciplined output clock's |rate - 1| (0 =\n"
+    "  derive from this node's drift spec); --clock-horizon is the seconds\n"
+    "  over which steering would correct the full observed error.";
 
 volatile std::sig_atomic_t g_terminate = 0;
 volatile std::sig_atomic_t g_dump_stats = 0;
@@ -554,6 +557,10 @@ int main(int argc, char** argv) try {
   cfg.poll_period = flags.get_double("poll", 0.5);
   cfg.fate_timeout = flags.get_double("timeout", 2.0);
   cfg.skip_retry = flags.get_double("skip-retry", 1.0);
+  // Disciplined output clock (DESIGN.md decision 21): 0 = derive the slew
+  // budget from this node's drift spec; the Node ctor range-checks.
+  cfg.clock_max_slew = flags.get_double("clock-slew", 0.0);
+  cfg.clock_steer_horizon = flags.get_double("clock-horizon", 1.0);
   cfg.checkpoint_path = flags.get_string("checkpoint", "");
   // Dynamic membership (DESIGN.md decision 19): default closed so a fixed
   // deployment cannot be grown by whoever can spoof a spec neighbor.
